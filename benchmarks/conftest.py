@@ -1,0 +1,37 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one table/figure/example of the paper (see the
+experiment index in DESIGN.md).  Benchmarks record their reproduced tables
+through the ``record_table`` fixture; a terminal-summary hook prints them
+after the pytest-benchmark timing table, so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures both timings and the
+paper-style rows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_TABLES: List[str] = []
+
+
+import pytest
+
+
+@pytest.fixture
+def record_table():
+    """Record a rendered experiment table for the terminal summary."""
+
+    def record(text: str) -> None:
+        _TABLES.append(text)
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced experiment output")
+    for table in _TABLES:
+        terminalreporter.write_line(table)
+        terminalreporter.write_line("")

@@ -1,0 +1,117 @@
+"""ABL2 — ablation: event aggregation and suppression (Section 6.5 outlook).
+
+The paper leaves "event aggregation" to future work; the reproduction
+implements both delivery-side suppression (drop same-schema repeats within
+a gap) and viewer-side digesting (collapse bursts into digests).  The
+ablation pushes a bursty composite-event stream through three
+configurations and reports the attention cost each leaves on the user:
+
+* base agent (the paper's behaviour): every composite becomes a row;
+* suppression gap: repeats inside the gap never reach the queue;
+* viewer digests: everything is queued, the viewer shows digest rows.
+"""
+
+from repro.awareness.delivery import DeliveryAgent
+from repro.awareness.extensions import (
+    ExtendedDeliveryAgent,
+    aggregate_notifications,
+)
+from repro.awareness.operators.output import DELIVERY_EVENT_TYPE
+from repro.core import CoreEngine, Participant
+from repro.events.event import Event
+from repro.metrics.report import render_table
+
+#: A bursty schedule: five bursts of eight composites, 2 ticks apart
+#: inside a burst, 100 ticks between bursts.
+BURSTS = 5
+PER_BURST = 8
+INTRA_GAP = 2
+INTER_GAP = 100
+
+
+def schedule():
+    times = []
+    time = 1
+    for __ in range(BURSTS):
+        for __ in range(PER_BURST):
+            times.append(time)
+            time += INTRA_GAP
+        time += INTER_GAP
+    return times
+
+
+def delivery_event(time: int) -> Event:
+    return Event(
+        DELIVERY_EVENT_TYPE,
+        {
+            "time": time,
+            "source": "Output",
+            "schemaName": "AS_Burst",
+            "deliveryRole": "watchers",
+            "deliveryContext": None,
+            "assignment": "identity",
+            "processSchemaId": "P",
+            "processInstanceId": "proc-1",
+            "userDescription": "burst event",
+            "intInfo": None,
+            "strInfo": None,
+            "sourceEvent": None,
+        },
+    )
+
+
+def build_core():
+    core = CoreEngine()
+    watcher = core.roles.register_participant(Participant("u1", "watcher"))
+    core.roles.define_role("watchers").add_member(watcher)
+    return core
+
+
+def run_configuration(mode: str) -> dict:
+    core = build_core()
+    if mode == "suppression":
+        agent: DeliveryAgent = ExtendedDeliveryAgent(core)
+        agent.set_suppression_gap(INTRA_GAP * PER_BURST)
+    else:
+        agent = DeliveryAgent(core)
+    for time in schedule():
+        agent.deliver(delivery_event(time))
+    pending = agent.queue.pending("u1")
+    if mode == "digest":
+        rows_shown = len(aggregate_notifications(pending, gap=INTRA_GAP * 2))
+    else:
+        rows_shown = len(pending)
+    return {
+        "mode": mode,
+        "composites": BURSTS * PER_BURST,
+        "queued": len(pending),
+        "rows_shown": rows_shown,
+    }
+
+
+def test_abl2_aggregation(benchmark, record_table):
+    base = run_configuration("base")
+    suppression = run_configuration("suppression")
+    digest = benchmark(run_configuration, "digest")
+
+    assert base["rows_shown"] == BURSTS * PER_BURST
+    # Suppression keeps one notification per burst.
+    assert suppression["queued"] == BURSTS
+    # Digesting keeps everything queued but shows one row per burst.
+    assert digest["queued"] == BURSTS * PER_BURST
+    assert digest["rows_shown"] == BURSTS
+
+    rows = [
+        (r["mode"], r["composites"], r["queued"], r["rows_shown"])
+        for r in (base, suppression, digest)
+    ]
+    record_table(
+        render_table(
+            ("configuration", "composites", "queued", "rows shown to user"),
+            rows,
+            title=(
+                f"ABL2 — aggregation/suppression under bursts "
+                f"({BURSTS} bursts x {PER_BURST})"
+            ),
+        )
+    )

@@ -1,0 +1,109 @@
+"""FIG3 — Figure 3: the basic primitives of the CMM.
+
+Figure 3 shows how application schemas are instantiated from the CMM meta
+types: activity schemas contain exactly one activity state variable;
+process schemas contain activity, resource, and dependency variables;
+basic activity schemas are restricted to input/output/helper resource
+variables and process schemas to input/output/role/local ones; dependency
+types are a fixed set.  The benchmark constructs a representative schema
+family and verifies every multiplicity and restriction the figure draws.
+"""
+
+import pytest
+
+from repro.core.metamodel import DependencyType, MetaType
+from repro.core.resources import ResourceUsage, data_schema, helper_schema
+from repro.core.roles import RoleRef
+from repro.core.schema import (
+    ActivityVariable,
+    BasicActivitySchema,
+    DependencyVariable,
+    ProcessActivitySchema,
+    ResourceVariable,
+)
+from repro.errors import SchemaError
+from repro.metrics.report import render_table
+
+
+def build_schema_family():
+    """Construct the Figure 3 object constellation."""
+    basic = BasicActivitySchema("b-interview", "interview")
+    basic.add_resource_variable(
+        ResourceVariable("notes-in", data_schema("notes"), ResourceUsage.INPUT)
+    )
+    basic.add_resource_variable(
+        ResourceVariable("report", data_schema("report"), ResourceUsage.OUTPUT)
+    )
+    basic.add_resource_variable(
+        ResourceVariable("editor", helper_schema("editor"), ResourceUsage.HELPER)
+    )
+
+    process = ProcessActivitySchema("p-gather", "information-gathering")
+    process.add_resource_variable(
+        ResourceVariable("region", data_schema("region"), ResourceUsage.INPUT)
+    )
+    process.add_resource_variable(
+        ResourceVariable("lead", data_schema("lead"), ResourceUsage.ROLE)
+    )
+    process.add_resource_variable(
+        ResourceVariable("scratch", data_schema("scratch"), ResourceUsage.LOCAL)
+    )
+    process.add_activity_variable(
+        ActivityVariable("interview", basic, performer=RoleRef("epidemiologist"))
+    )
+    process.add_activity_variable(
+        ActivityVariable("second", BasicActivitySchema("b-2", "followup"))
+    )
+    process.add_dependency(
+        DependencyVariable(
+            "seq", DependencyType.SEQUENCE, ("interview",), "second"
+        )
+    )
+    process.mark_entry("interview")
+    process.validate()
+    return basic, process
+
+
+def test_fig3_metamodel(benchmark, record_table):
+    basic, process = benchmark(build_schema_family)
+
+    # Meta-type instantiation (Figure 3's "is instance of" arrows).
+    assert basic.meta_type is MetaType.BASIC_ACTIVITY
+    assert process.meta_type is MetaType.PROCESS_ACTIVITY
+
+    # Exactly one activity state variable per activity schema.
+    assert basic.state_schema is not None
+    assert process.state_schema is not None
+
+    # Usage restrictions: (a) basic = input/output/helper;
+    # (b) process = input/output/role/local.
+    with pytest.raises(SchemaError):
+        basic.add_resource_variable(
+            ResourceVariable("r", data_schema("r"), ResourceUsage.ROLE)
+        )
+    with pytest.raises(SchemaError):
+        process.add_resource_variable(
+            ResourceVariable("h", helper_schema("h"), ResourceUsage.HELPER)
+        )
+
+    # Dependencies relate activity variables (1..* to 1..*), typed from
+    # the fixed dependency palette.
+    dependency = process.dependencies()[0]
+    assert dependency.dependency_type in tuple(DependencyType)
+
+    rows = [
+        ("basic activity schema", "state variables", 1),
+        ("basic activity schema", "resource variables", len(basic.resource_variables())),
+        ("process activity schema", "state variables", 1),
+        ("process activity schema", "activity variables", len(process.activity_variables())),
+        ("process activity schema", "resource variables", len(process.resource_variables())),
+        ("process activity schema", "dependency variables", len(process.dependencies())),
+        ("dependency type palette", "fixed size", len(tuple(DependencyType))),
+    ]
+    record_table(
+        render_table(
+            ("schema", "contains", "count"),
+            rows,
+            title="FIG3 — CMM basic primitives (paper Figure 3)",
+        )
+    )

@@ -1,0 +1,96 @@
+"""QE3 — scoped-role delivery targeting under churn (Section 5.2).
+
+Design-choice ablation from DESIGN.md: delivery roles are resolved *at
+detection time* against live contexts.  The benchmark churns task forces
+and information requests — some requests still live, some completed (their
+``Requestor`` roles expired) — and measures targeting accuracy: every
+violation of a live request is delivered to exactly its requestor; every
+violation after expiry is recorded undeliverable, never mis-delivered.
+"""
+
+from repro import EnactmentSystem, Participant
+from repro.metrics.report import render_table
+from repro.workloads.taskforce import TaskForceApplication
+
+N_FORCES = 10
+
+
+def run_churn():
+    system = EnactmentSystem()
+    role = system.core.roles.define_role("epidemiologist")
+    people = []
+    for index in range(N_FORCES * 2):
+        participant = system.register_participant(
+            Participant(f"u{index}", f"p{index}")
+        )
+        role.add_member(participant)
+        people.append(participant)
+    app = TaskForceApplication(system)
+    app.install_awareness()
+
+    expected_delivered = 0
+    expected_undeliverable = 0
+    for index in range(N_FORCES):
+        leader = people[2 * index]
+        member = people[2 * index + 1]
+        task_force = app.create_task_force(leader, [leader, member], 100)
+        request = app.request_information(task_force, member, 80)
+        if index % 2 == 0:
+            # Live request: the violation must reach exactly the requestor.
+            app.change_task_force_deadline(task_force, 50)
+            expected_delivered += 1
+        else:
+            # Completed request: the role expired before the violation.
+            app.complete_request(request)
+            app.change_task_force_deadline(task_force, 50)
+            expected_undeliverable += 1
+
+    deliveries = {
+        person.participant_id: len(
+            system.participant_client(person).check_awareness()
+        )
+        for person in people
+    }
+    return {
+        "delivered_total": sum(deliveries.values()),
+        "expected_delivered": expected_delivered,
+        "undeliverable": len(system.awareness.delivery.undeliverable),
+        "expected_undeliverable": expected_undeliverable,
+        "misdelivered": sum(
+            count
+            for participant_id, count in deliveries.items()
+            # Only odd-indexed participants (requestors of live requests
+            # in even-indexed forces) may legitimately receive awareness.
+            if not (
+                participant_id.startswith("u")
+                and int(participant_id[1:]) % 2 == 1
+                and (int(participant_id[1:]) // 2) % 2 == 0
+            )
+        ),
+    }
+
+
+def test_qe3_scoped_roles(benchmark, record_table):
+    result = benchmark(run_churn)
+
+    assert result["delivered_total"] == result["expected_delivered"]
+    assert result["undeliverable"] == result["expected_undeliverable"]
+    assert result["misdelivered"] == 0
+
+    rows = [
+        ("violations of live requests", result["expected_delivered"]),
+        ("  -> delivered to their requestors", result["delivered_total"]),
+        ("violations after role expiry", result["expected_undeliverable"]),
+        ("  -> recorded undeliverable", result["undeliverable"]),
+        ("misdirected deliveries", result["misdelivered"]),
+    ]
+    record_table(
+        render_table(
+            ("measure", "count"),
+            rows,
+            title=(
+                "QE3 — scoped-role delivery targeting under task-force churn "
+                f"({N_FORCES} task forces)"
+            ),
+        )
+    )

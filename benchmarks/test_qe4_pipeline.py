@@ -1,0 +1,84 @@
+"""QE4 — awareness pipeline cost vs DAG depth (Section 6).
+
+Measures the wall-clock cost of pushing a primitive event from the source
+agent through awareness descriptions of increasing operator depth to the
+delivery decision.  The structural latency bound of a distributed
+deployment is one hop per DAG level; the reproduction's in-process cost
+should grow roughly linearly with depth.
+"""
+
+import time
+
+from repro.awareness.operators import ContextFilter, Count
+from repro.awareness.description import AwarenessDescription, EventGraph
+from repro.core.context import ContextChange
+from repro.events.producers import ContextEventProducer
+from repro.metrics.latency import LATENCY_HEADERS, LatencyProbe
+from repro.metrics.report import render_table
+
+EVENTS = 2000
+DEPTHS = (1, 2, 4, 6)
+
+
+def build_chain(depth: int):
+    """Filter followed by (depth - 1) Count stages; returns (producer, AD)."""
+    graph = EventGraph()
+    producer = graph.add_producer(ContextEventProducer())
+    flt = graph.add_operator(
+        ContextFilter("P", "Ctx", "deadline", instance_name="flt")
+    )
+    graph.connect(producer, flt, 0)
+    tail = flt
+    for level in range(depth - 1):
+        stage = graph.add_operator(Count("P", instance_name=f"count-{level}"))
+        graph.connect(tail, stage, 0)
+        tail = stage
+    description = AwarenessDescription(graph, tail)
+    description.validate()
+    assert description.depth() == depth
+    return producer, description
+
+
+def drive(depth: int):
+    producer, description = build_chain(depth)
+    probe = LatencyProbe(dag_depth=depth)
+
+    def inject() -> int:
+        for tick in range(EVENTS):
+            producer.produce(
+                ContextChange(
+                    time=tick,
+                    context_id="c1",
+                    context_name="Ctx",
+                    associations=frozenset({("P", "i1")}),
+                    field_name="deadline",
+                    old_value=tick - 1,
+                    new_value=tick,
+                )
+            )
+        return EVENTS
+
+    summary = probe.measure(inject)
+    assert len(description.detected()) == EVENTS
+    return summary
+
+
+def test_qe4_pipeline(benchmark, record_table):
+    summaries = [drive(depth) for depth in DEPTHS[:-1]]
+    summaries.append(benchmark(drive, DEPTHS[-1]))
+
+    # Cost grows with depth but stays sane: depth-6 within ~20x depth-1.
+    assert summaries[-1].per_event_us < max(
+        20 * summaries[0].per_event_us, 200.0
+    )
+
+    record_table(
+        render_table(
+            LATENCY_HEADERS,
+            [summary.as_row() for summary in summaries],
+            title=(
+                "QE4 — primitive event -> detection cost vs awareness DAG "
+                "depth"
+            ),
+        )
+    )

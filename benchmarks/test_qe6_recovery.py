@@ -1,0 +1,76 @@
+"""QE6 — recovery cost vs journal size (durable enactment).
+
+The audit-journal recovery path (see DESIGN.md item 30) must scale with
+history length: restart time is the operational cost of durability.  The
+benchmark journals crisis runs of increasing size, recovers each journal
+into a fresh CORE engine, verifies exactness (instance counts, final
+states), and reports records/second of replay.
+"""
+
+import time
+
+from repro import EnactmentSystem, Participant
+from repro.federation.journal import Journal, recover_core
+from repro.metrics.report import render_table
+from repro.workloads.taskforce import TaskForceApplication
+
+SWEEP = (2, 8, 24)
+
+
+def journaled_run(task_forces: int) -> Journal:
+    journal = Journal()
+    system = EnactmentSystem(journal=journal)
+    leader = system.register_participant(Participant("u0", "lead"))
+    member = system.register_participant(Participant("u1", "mem"))
+    role = system.core.roles.define_role("epidemiologist")
+    role.add_member(leader)
+    role.add_member(member)
+    app = TaskForceApplication(system)
+    for __ in range(task_forces):
+        task_force = app.create_task_force(leader, [leader, member], 100)
+        request = app.request_information(task_force, member, 80)
+        app.change_task_force_deadline(task_force, 50)
+        app.complete_request(request)
+        system.participant_client(leader).claim_and_complete_all()
+        system.participant_client(member).claim_and_complete_all()
+    journal._original_instances = len(system.core.instances())  # type: ignore[attr-defined]
+    return journal
+
+
+def recover_measured(journal: Journal) -> dict:
+    started = time.perf_counter()
+    recovered = recover_core(journal)
+    elapsed = time.perf_counter() - started
+    assert len(recovered.instances()) == journal._original_instances  # type: ignore[attr-defined]
+    return {
+        "records": len(journal),
+        "instances": len(recovered.instances()),
+        "seconds": elapsed,
+    }
+
+
+def test_qe6_recovery(benchmark, record_table):
+    journals = [journaled_run(n) for n in SWEEP]
+    rows = [recover_measured(j) for j in journals[:-1]]
+    rows.append(benchmark(recover_measured, journals[-1]))
+
+    # Linear-ish scaling: 12x the history should cost well under 40x.
+    small, large = rows[0], rows[-1]
+    per_record_small = small["seconds"] / small["records"]
+    per_record_large = large["seconds"] / large["records"]
+    assert per_record_large < 20 * per_record_small + 1e-3
+
+    record_table(
+        render_table(
+            ("journal records", "instances recovered", "krec/s"),
+            [
+                (
+                    row["records"],
+                    row["instances"],
+                    f"{row['records'] / row['seconds'] / 1000:.1f}",
+                )
+                for row in rows
+            ],
+            title="QE6 — audit-journal recovery throughput",
+        )
+    )

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Command and control: phased missions with sequence-aware escalation.
+
+Section 2 lists command and control as the second domain with the paper's
+awareness requirements.  This example models a phased mission and shows
+three operators working together that the other examples don't combine:
+
+* ``Seq`` — the mission phases (recon -> strike -> assess) must complete
+  *in order*; the awareness schema recognizes the completed sequence and
+  notifies mission command;
+* ``And`` + deadline expiry — a *stalled mission* situation: the mission
+  deadline passed (a timer-driven context event) AND recon completed but
+  the strike phase never finished; delivered at URGENT priority through a
+  push channel to the signed-on duty officer.
+
+Run:  python examples/command_and_control.py
+"""
+
+from repro import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ContextFieldSpec,
+    ContextSchema,
+    EnactmentSystem,
+    Participant,
+    ProcessActivitySchema,
+    RoleRef,
+)
+from repro.awareness.extensions import (
+    CallbackChannel,
+    ExtendedDeliveryAgent,
+    Priority,
+)
+from repro.coordination.timers import TimerService, attach_deadline_monitors
+
+
+def build_mission_schema(system):
+    operator_role = RoleRef("operator")
+    mission = ProcessActivitySchema("P-Mission", "mission")
+    mission.add_context_schema(
+        ContextSchema(
+            "MissionContext",
+            [
+                ContextFieldSpec("deadline", "int"),
+                ContextFieldSpec("deadline-expired", "int"),
+                ContextFieldSpec("duty-officer", "role"),
+            ],
+        )
+    )
+    for phase in ("recon", "strike", "assess"):
+        mission.add_activity_variable(
+            ActivityVariable(
+                phase,
+                BasicActivitySchema(f"b-{phase}", phase, performer=operator_role),
+                optional=(phase != "recon"),
+            )
+        )
+    mission.mark_entry("recon")
+    system.core.register_schema(mission)
+    return mission
+
+
+def build_awareness(system):
+    window = system.awareness.create_window("P-Mission")
+
+    def phase_done(phase):
+        op = window.place(
+            "Filter_activity", phase, None, {"Completed"},
+            instance_name=f"{phase}-done",
+        )
+        window.connect(window.source("ActivityEvent"), op, 0)
+        return op
+
+    recon, strike, assess = (
+        phase_done(p) for p in ("recon", "strike", "assess")
+    )
+
+    # Schema 1: the full phase sequence completed, in order.
+    sequence = window.place("Seq", copy=3, arity=3, instance_name="phases-in-order")
+    for slot, op in enumerate((recon, strike, assess)):
+        window.connect(op, sequence, slot)
+    window.output(
+        sequence,
+        RoleRef("mission-command"),
+        user_description="Mission phases completed in order",
+        schema_name="AS_MissionComplete",
+    )
+
+    # Schema 2: stalled — deadline expired AND recon done (strike wasn't).
+    expired = window.place(
+        "Filter_context", "MissionContext", "deadline-expired",
+        instance_name="deadline-expired",
+    )
+    window.connect(window.source("ContextEvent"), expired, 0)
+    stalled = window.place("And", copy=1, instance_name="stalled")
+    window.connect(expired, stalled, 0)
+    window.connect(recon, stalled, 1)
+    window.output(
+        stalled,
+        RoleRef("duty-officer", "MissionContext"),
+        user_description="Mission stalled: deadline passed after recon",
+        schema_name="AS_Stalled",
+    )
+    system.awareness.deploy(window)
+    return window
+
+
+def run_mission(system, mission, duty_officer, complete_strike):
+    instance = system.coordination.start_process(mission)
+    ref = instance.context("MissionContext")
+    system.core.create_scoped_role(ref, "duty-officer", (duty_officer,))
+    # NOTE: the AM operator palette (faithfully) has no negation, so the
+    # stalled-mission schema cannot say "strike did NOT complete"; give
+    # healthy missions a deadline they comfortably beat instead.
+    ref.set("deadline", system.clock.now() + (1000 if complete_strike else 30))
+
+    operator = next(iter(system.core.roles.resolve_global("operator")))
+    client = system.participant_client(operator)
+    client.claim_and_complete_all()  # recon
+    if complete_strike:
+        system.coordination.start_optional_activity(instance, "strike")
+        client.claim_and_complete_all()
+        system.coordination.start_optional_activity(instance, "assess")
+        client.claim_and_complete_all()
+    system.clock.advance(40)  # past the deadline
+    return instance
+
+
+def main() -> None:
+    system = EnactmentSystem()
+    agent = ExtendedDeliveryAgent(system.core, queue=system.awareness.delivery.queue)
+    system.awareness.delivery = agent
+
+    commander = system.register_participant(Participant("u-cmd", "commander"))
+    duty = system.register_participant(Participant("u-duty", "duty-officer"))
+    op1 = system.register_participant(Participant("u-op", "operator-1"))
+    system.core.roles.define_role("mission-command").add_member(commander)
+    system.core.roles.define_role("operator").add_member(op1)
+
+    mission = build_mission_schema(system)
+    build_awareness(system)
+
+    timers = TimerService(system.clock)
+    attach_deadline_monitors(
+        system.core, timers, "MissionContext", "deadline", "deadline-expired"
+    )
+
+    # Urgent stalled-mission alerts push straight to the duty officer.
+    agent.set_priority("AS_Stalled", Priority.URGENT)
+    push = agent.add_channel(CallbackChannel(), Priority.URGENT)
+    pushed = []
+    push.register(duty, pushed.append)
+    duty.sign_on()
+
+    print("mission A: all phases complete before the deadline")
+    run_mission(system, mission, duty, complete_strike=True)
+    for notification in system.participant_client(commander).check_awareness():
+        print(f"  [command] {notification.description}")
+
+    print("\nmission B: stalls after recon")
+    run_mission(system, mission, duty, complete_strike=False)
+    print(f"  urgent pushes to the duty officer: {len(pushed)}")
+    for notification in pushed:
+        print(f"  [push] {notification.description}")
+
+
+if __name__ == "__main__":
+    main()

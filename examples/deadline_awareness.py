@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The Section 5.4 worked example: deadline-violation awareness.
+
+Reproduces the paper's flagship scenario exactly:
+
+* a health crisis leader creates a task force with a deadline
+  (``TaskForceContext.TaskForceDeadline``);
+* a member files an information request with its own earlier deadline
+  (``InfoRequestContext.RequestDeadline``), becoming the ``Requestor``
+  scoped role;
+* the awareness schema ``AS_InfoRequest = (AD, Requestor, Identity)`` with
+  ``AD = Compare2[InfoRequest, <=](op1, op2)`` watches both deadlines;
+* when the leader moves the task-force deadline to or before the request
+  deadline, exactly the requestor is notified — and can renegotiate or
+  cancel.
+
+Run:  python examples/deadline_awareness.py
+"""
+
+from repro import EnactmentSystem, Participant
+from repro.workloads.taskforce import TaskForceApplication
+
+
+def main() -> None:
+    system = EnactmentSystem()
+    lee = system.register_participant(Participant("u-lee", "dr-lee"))
+    kim = system.register_participant(Participant("u-kim", "dr-kim"))
+    park = system.register_participant(Participant("u-park", "dr-park"))
+    role = system.core.roles.define_role("epidemiologist")
+    for person in (lee, kim, park):
+        role.add_member(person)
+
+    app = TaskForceApplication(system)
+    schema = app.install_awareness()
+    print("Deployed awareness schema (Figure 6, right-hand DAG):")
+    print(app.window.render())
+    print()
+
+    # dr-lee creates the task force; deadline tick 200.
+    task_force = app.create_task_force(lee, [lee, kim, park], deadline=200)
+    print(f"task force created, deadline={task_force.deadline}")
+
+    # dr-kim requests external information, due at tick 150.
+    request = app.request_information(task_force, kim, deadline=150)
+    print(f"dr-kim filed an information request, deadline={request.deadline}")
+
+    # The external situation worsens: dr-lee pulls the deadline to 120.
+    app.change_task_force_deadline(task_force, 120)
+    print("\ndr-lee moved the task force deadline to 120 (120 <= 150!)")
+
+    for person in (lee, kim, park):
+        client = system.participant_client(person)
+        notifications = client.check_awareness()
+        marker = f"{len(notifications)} notification(s)"
+        for notification in notifications:
+            marker += f" -> {notification.description!r}"
+        print(f"  {person.name:8s}: {marker}")
+
+    # dr-kim renegotiates below the new task force deadline.
+    app.change_request_deadline(request, 100)
+    print("\ndr-kim renegotiated the request deadline to 100")
+    app.change_task_force_deadline(task_force, 110)
+    print("dr-lee moved the deadline to 110 (harmless: 110 <= 100 is false)")
+    print(
+        f"  dr-kim notifications: "
+        f"{len(system.participant_client(kim).check_awareness())}"
+    )
+
+    # After the request completes, its Requestor role expires: the
+    # delivery interval is over (Section 1).
+    app.complete_request(request)
+    app.change_task_force_deadline(task_force, 10)
+    print("\nafter the request completed, a violating move delivers nothing:")
+    print(
+        f"  dr-kim notifications: "
+        f"{len(system.participant_client(kim).check_awareness())}"
+    )
+    print(
+        f"  undeliverable (role expired): "
+        f"{len(system.awareness.delivery.undeliverable)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The awareness specification language plus the Section 6.5 extensions.
+
+Two things the library adds on top of the paper's implemented core:
+
+1. the **awareness specification language** (Section 5 names it; this is
+   its textual form, using the paper's ``Eop[params](inputs)`` notation) —
+   the Section 5.4 schema is authored as five lines of text and can be
+   decompiled back to text for persistence;
+2. the **future-work extensions** of Section 6.5 — priority levels, a
+   push notification channel for signed-on users, delivery-side
+   suppression of bursts, and a follow-on action that reacts to the
+   awareness event automatically.
+
+Run:  python examples/dsl_and_extensions.py
+"""
+
+from repro import EnactmentSystem, Participant
+from repro.awareness.dsl import compile_specification, window_to_dsl
+from repro.awareness.extensions import (
+    CallbackChannel,
+    ExtendedDeliveryAgent,
+    Priority,
+    aggregate_notifications,
+)
+from repro.workloads.taskforce import TaskForceApplication
+
+SPEC = """
+# Section 5.4, in the awareness specification language.
+op1 = Filter_context[TaskForceContext, TaskForceDeadline](ContextEvent)
+op2 = Filter_context[InfoRequestContext, RequestDeadline](ContextEvent)
+violation = Compare2[<=](op1, op2)
+deliver violation to InfoRequestContext.Requestor using identity \\
+    as "Task force deadline moved before your request deadline" \\
+    named AS_InfoRequest
+"""
+
+
+def main() -> None:
+    system = EnactmentSystem()
+    # Swap in the extended delivery agent before any deployment.
+    agent = ExtendedDeliveryAgent(
+        system.core, queue=system.awareness.delivery.queue
+    )
+    system.awareness.delivery = agent
+
+    lee = system.register_participant(Participant("u-lee", "dr-lee"))
+    kim = system.register_participant(Participant("u-kim", "dr-kim"))
+    role = system.core.roles.define_role("epidemiologist")
+    role.add_member(lee)
+    role.add_member(kim)
+
+    app = TaskForceApplication(system)
+
+    # 1. Author the awareness schema from text.
+    window = system.awareness.create_window(app.info_request_schema.schema_id)
+    compile_specification(window, SPEC)
+    system.awareness.deploy(window)
+    print("specification (decompiled from the live window):")
+    print(window_to_dsl(window))
+
+    # 2. Extensions: deadline violations are URGENT; urgent notifications
+    #    are pushed immediately to signed-on users; repeats within 5 ticks
+    #    are suppressed; a follow-on logs an audit entry automatically.
+    agent.set_priority("AS_InfoRequest", Priority.URGENT)
+    push = agent.add_channel(CallbackChannel(), Priority.HIGH)
+    agent.set_suppression_gap(5)
+    audit_log = []
+    agent.add_follow_on(
+        "AS_InfoRequest",
+        lambda event, receivers: audit_log.append(
+            f"t={event.time}: deadline violation routed to "
+            f"{sorted(p.name for p in receivers)}"
+        ),
+    )
+
+    pushed = []
+    push.register(kim, lambda n: pushed.append(n))
+    kim.sign_on()
+
+    # 3. Run the scenario: one violation, then a burst of three more.
+    task_force = app.create_task_force(lee, [lee, kim], 200)
+    app.request_information(task_force, kim, 150)
+    app.change_task_force_deadline(task_force, 120)   # violation (pushed)
+    for deadline in (119, 118, 117):                  # burst: suppressed
+        system.clock.advance(1)
+        app.change_task_force_deadline(task_force, deadline)
+    system.clock.advance(50)
+    app.change_task_force_deadline(task_force, 60)    # past the gap: delivered
+
+    print(f"pushed immediately to dr-kim's live viewer: {len(pushed)}")
+    print(f"suppressed burst repeats: {agent.suppressed}")
+    print("audit log from the follow-on action:")
+    for line in audit_log:
+        print(f"  {line}")
+
+    # 4. The viewer digests whatever reached the queue.
+    pending = agent.queue.retrieve(kim.participant_id)
+    print(f"\nqueued notifications: {len(pending)}; digest view:")
+    for digest in aggregate_notifications(pending, gap=10):
+        print(f"  {digest.render()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The Figure 1 epidemic information-gathering scenario.
+
+Plays one full course of the crisis process: the three mandatory task
+forces, run-time decisions about the vector-of-transmission task force,
+sequential lab tests that stop at the first positive result (with the
+Section 2 awareness schema notifying the stakeholders), and optional
+rounds of invited local expertise.  Prints the Figure 1-style timeline.
+
+Run:  python examples/epidemic_response.py [seed]
+"""
+
+import sys
+
+from repro import EnactmentSystem
+from repro.workloads.epidemic import EpidemicScenario
+
+
+def main(seed: int = 7) -> None:
+    system = EnactmentSystem()
+    scenario = EpidemicScenario(system, seed=seed)
+    report = scenario.run()
+
+    print(f"=== Epidemic response (seed {seed}) ===\n")
+    print(report.timeline)
+    print()
+    print(f"lab tests run:         {report.lab_tests_run}")
+    if report.positive_test is not None:
+        print(
+            f"positive result:       test #{report.positive_test} — remaining "
+            f"tests skipped (Section 2 requirement)"
+        )
+    else:
+        print("positive result:       none (all tests negative)")
+    print(f"vector task force:     {'yes' if report.vector_tf_started else 'no'}")
+    print(f"expertise invited:     {report.expertise_rounds} round(s)")
+    print(f"process state:         {report.process.current_state}")
+
+    print("\nawareness delivered to lab stakeholders:")
+    for name, count in report.notifications_by_participant.items():
+        print(f"  {name:16s}: {count}")
+
+    print("\nsystem statistics:")
+    for key, value in system.stats().items():
+        print(f"  {key:28s}: {value}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""External situation awareness: the news-service example (Section 5.1.1).
+
+AM is open: events from outside the process enactment arena join awareness
+descriptions through application-specific operators.  Here a task force
+registers keyword queries with a news service; article events carry the
+query id, and a ``Filter_news`` correlation operator relates them back to
+the owning process instance, so only the interested task force hears about
+them — combined, via ``And``, with a process-internal condition (the task
+force must have completed its assessment) to show mixing external and
+process events in one description.
+
+Run:  python examples/newsfeed_integration.py
+"""
+
+from repro import (
+    ActivityVariable,
+    BasicActivitySchema,
+    EnactmentSystem,
+    Participant,
+    ProcessActivitySchema,
+    RoleRef,
+)
+from repro.events.external import NewsServiceSource
+
+
+def main() -> None:
+    system = EnactmentSystem()
+    ana = system.register_participant(Participant("u-ana", "analyst-ana"))
+    raj = system.register_participant(Participant("u-raj", "analyst-raj"))
+    analysts = system.core.roles.define_role("analyst")
+    analysts.add_member(ana)
+    analysts.add_member(raj)
+
+    # A watch process: assess the situation, then track the news.
+    assess = BasicActivitySchema("b-assess", "assess", performer=RoleRef("analyst"))
+    process = ProcessActivitySchema("p-watch", "media-watch")
+    process.add_activity_variable(ActivityVariable("assess", assess))
+    process.mark_entry("assess")
+    system.core.register_schema(process)
+
+    # Register the external source with the awareness engine, then author
+    # the description: (assessment completed) AND (article matched query).
+    news = NewsServiceSource()
+    system.awareness.register_external_source("NewsEvent", news)
+    window = system.awareness.create_window("p-watch")
+    correlate = window.place("Filter_news", instance_name="match-query")
+    assessed = window.place(
+        "Filter_activity", "assess", None, {"Completed"}, instance_name="assessed"
+    )
+    both = window.place("And", copy=1, instance_name="assessed-and-news")
+    window.connect(window.source("NewsEvent"), correlate, 0)
+    window.connect(window.source("ActivityEvent"), assessed, 0)
+    window.connect(correlate, both, 0)
+    window.connect(assessed, both, 1)
+    window.output(
+        both,
+        delivery_role=RoleRef("analyst"),
+        user_description="Relevant news article found after assessment",
+        schema_name="AS_NewsAfterAssessment",
+    )
+    print(window.render())
+    system.awareness.deploy(window)
+
+    # Two watch instances with different queries.
+    watch_a = system.coordination.start_process(process)
+    watch_b = system.coordination.start_process(process)
+    query_a = news.register_query(["outbreak", "region-9"])
+    query_b = news.register_query(["earthquake", "coast"])
+    correlate.bind_query(query_a, watch_a.instance_id)
+    correlate.bind_query(query_b, watch_b.instance_id)
+
+    # Article for A arrives before A's assessment completed: held by And.
+    news.publish_article(query_a, "Region-9 cases double", time=system.clock.tick())
+    print("\narticle published before assessment -> no awareness yet:")
+    print(f"  ana: {len(system.participant_client(ana).check_awareness())}")
+
+    # Analysts complete the assessments.
+    system.participant_client(ana).claim_and_complete_all()
+
+    # The next matching article completes the conjunction for instance A.
+    news.publish_article(query_a, "WHO statement on region-9", time=system.clock.tick())
+    print("\narticle published after assessment -> analysts notified:")
+    for person in (ana, raj):
+        notifications = system.participant_client(person).check_awareness()
+        for notification in notifications:
+            print(f"  {person.name}: {notification.description}")
+
+    # Instance B's query never matched: no cross-talk.
+    print(f"\nbus stats: {system.awareness.stats()}")
+
+
+if __name__ == "__main__":
+    main()

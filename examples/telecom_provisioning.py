@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Telecommunications service provisioning with cross-process awareness.
+
+Section 2 notes that the crisis-management awareness requirements "also
+exist in command and control, and telecommunications service provisioning
+applications".  This example is the telecom case, and it exercises the
+**process invocation (Translate) operator** end to end:
+
+* an *order* process invokes a *provisioning* subprocess per order;
+* the provisioning process tracks its progress in a ``ProvisioningContext``
+  (``attempts`` counter and ``status`` field);
+* the order-level awareness schema is authored **in the order window**,
+  composing the order's own events with the subprocess's events lifted by
+  ``Translate[P-Order, P-Provisioning, provisioning]`` — exactly the
+  paper's "events associated with one process schema translated into
+  events associated with a different process schema";
+* the account manager (an order-scoped role) is notified when provisioning
+  of *their* order needs escalation (3+ failed attempts), while other
+  orders' troubles stay silent.
+
+Run:  python examples/telecom_provisioning.py
+"""
+
+from repro import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ContextFieldSpec,
+    ContextSchema,
+    EnactmentSystem,
+    Participant,
+    ProcessActivitySchema,
+    RoleRef,
+)
+
+ORDER_SCHEMA = "P-Order"
+PROVISIONING_SCHEMA = "P-Provisioning"
+
+
+def build_schemas(system):
+    technician = RoleRef("field-technician")
+    provisioning = ProcessActivitySchema(PROVISIONING_SCHEMA, "provisioning")
+    provisioning.add_context_schema(
+        ContextSchema(
+            "ProvisioningContext",
+            [
+                ContextFieldSpec("attempts", "int"),
+                ContextFieldSpec("status", "str"),
+            ],
+        )
+    )
+    provisioning.add_activity_variable(
+        ActivityVariable(
+            "configure",
+            BasicActivitySchema("b-conf", "configure-line", performer=technician),
+        )
+    )
+    provisioning.mark_entry("configure")
+
+    order = ProcessActivitySchema(ORDER_SCHEMA, "service-order")
+    order.add_context_schema(
+        ContextSchema(
+            "OrderContext", [ContextFieldSpec("account-manager", "role")]
+        )
+    )
+    order.add_activity_variable(
+        ActivityVariable(
+            "intake",
+            BasicActivitySchema("b-intake", "order-intake", performer=technician),
+        )
+    )
+    order.add_activity_variable(
+        ActivityVariable("provisioning", provisioning, optional=True)
+    )
+    order.mark_entry("intake")
+    system.core.register_schema(order)
+    return order, provisioning
+
+
+def build_awareness(system):
+    """The order-window DAG: Translate lifts provisioning attempt counts."""
+    window = system.awareness.create_window(ORDER_SCHEMA)
+
+    # A filter over the *invoked* schema's context events (explicit P).
+    from repro.awareness.operators.filters import ContextFilter
+
+    attempts = window.place_operator(
+        ContextFilter(
+            PROVISIONING_SCHEMA,
+            "ProvisioningContext",
+            "attempts",
+            instance_name="attempts",
+        )
+    )
+    window.connect(window.source("ContextEvent"), attempts, 0)
+
+    lifted = window.place(
+        "Translate",
+        PROVISIONING_SCHEMA,
+        "provisioning",
+        instance_name="lift-to-order",
+    )
+    window.connect(window.source("ActivityEvent"), lifted, 0)
+    window.connect(attempts, lifted, 1)
+
+    escalate = window.place(
+        "Compare1", lambda count: count >= 3, instance_name="needs-escalation"
+    )
+    window.connect(lifted, escalate, 0)
+
+    window.output(
+        escalate,
+        delivery_role=RoleRef("account-manager", "OrderContext"),
+        user_description=(
+            "Provisioning of your order failed three times; escalate"
+        ),
+        schema_name="AS_Escalate",
+    )
+    print(window.render())
+    system.awareness.deploy(window)
+
+
+def main() -> None:
+    system = EnactmentSystem()
+    mia = system.register_participant(Participant("u-mia", "manager-mia"))
+    noah = system.register_participant(Participant("u-noah", "manager-noah"))
+    tech = system.register_participant(Participant("u-tech", "technician"))
+    system.core.roles.define_role("field-technician").add_member(tech)
+
+    order_schema, __ = build_schemas(system)
+    build_awareness(system)
+
+    # Two orders, each with its own account manager (scoped role).
+    orders = []
+    for manager in (mia, noah):
+        order = system.coordination.start_process(order_schema)
+        system.core.create_scoped_role(
+            order.context("OrderContext"), "account-manager", (manager,)
+        )
+        provisioning = system.coordination.start_optional_activity(
+            order, "provisioning"
+        )
+        orders.append((order, provisioning, manager))
+
+    # Order 1's provisioning fails three times; order 2's succeeds at once.
+    trouble = orders[0][1].context("ProvisioningContext")
+    for attempt in (1, 2, 3):
+        system.clock.advance(2)
+        trouble.set("attempts", attempt)
+        trouble.set("status", "failed")
+    smooth = orders[1][1].context("ProvisioningContext")
+    smooth.set("attempts", 1)
+    smooth.set("status", "active")
+
+    print("after provisioning attempts:")
+    for __, ___, manager in orders:
+        notifications = system.participant_client(manager).check_awareness()
+        print(f"  {manager.name:14s}: {len(notifications)} notification(s)")
+        for notification in notifications:
+            print(f"      {notification.description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Virtual-enterprise processes with the Service Model (Section 3).
+
+The SM "supports reusable process activities and related resources,
+service quality, and service agreements, as needed to support
+collaboration processes in virtual enterprises".  In this scenario a
+health agency's crisis process outsources lab analysis to one of two
+provider organizations:
+
+* both providers advertise a ``lab-analysis`` service with different QoS
+  (cost / promised duration / availability);
+* the agency negotiates an agreement by required QoS — selection picks the
+  cheapest qualifying offer;
+* the service is invoked as a subprocess through the coordination engine;
+* completion is reported back and checked against the agreed duration —
+  blowing the promise records an agreement violation;
+* an awareness schema notifies the agency's coordinator when the
+  outsourced analysis completes (awareness across organizational
+  boundaries).
+
+Run:  python examples/virtual_enterprise.py
+"""
+
+from repro import (
+    ActivityVariable,
+    BasicActivitySchema,
+    EnactmentSystem,
+    Participant,
+    ProcessActivitySchema,
+    RoleRef,
+)
+from repro.service import QoSAttributes, ServiceDefinition
+
+
+def provider_process(schema_id: str, provider: str) -> ProcessActivitySchema:
+    """Each provider's reusable lab-analysis process."""
+    analyze = BasicActivitySchema(
+        f"{schema_id}/analyze",
+        "analyze-samples",
+        performer=RoleRef("lab-technician"),
+    )
+    process = ProcessActivitySchema(schema_id, "lab-analysis")
+    process.add_activity_variable(ActivityVariable("analyze", analyze))
+    process.mark_entry("analyze")
+    return process
+
+
+def main() -> None:
+    system = EnactmentSystem()
+    coordinator = system.register_participant(Participant("u-coord", "coordinator"))
+    tech_a = system.register_participant(Participant("u-ta", "tech-at-quicklab"))
+    tech_b = system.register_participant(Participant("u-tb", "tech-at-budgetlab"))
+    system.core.roles.define_role("coordinator").add_member(coordinator)
+    technicians = system.core.roles.define_role("lab-technician")
+    technicians.add_member(tech_a)
+    technicians.add_member(tech_b)
+
+    designer = system.designer_client("enterprise-architect")
+
+    # Two provider organizations advertise the same service name.
+    quicklab = provider_process("p-quicklab", "quicklab")
+    budgetlab = provider_process("p-budgetlab", "budgetlab")
+    designer.register_process(quicklab)
+    designer.register_process(budgetlab)
+    designer.advertise_service(
+        ServiceDefinition(
+            "svc-quicklab", "lab-analysis", "QuickLab Inc.",
+            quicklab, QoSAttributes(max_duration=20, cost=100, availability=0.99),
+        )
+    )
+    designer.advertise_service(
+        ServiceDefinition(
+            "svc-budgetlab", "lab-analysis", "BudgetLab LLC",
+            budgetlab, QoSAttributes(max_duration=80, cost=30, availability=0.95),
+        )
+    )
+
+    # Awareness: the coordinator hears when any outsourced analysis closes.
+    for schema in (quicklab, budgetlab):
+        window = designer.open_awareness_window(schema.schema_id)
+        done = window.place("Filter_activity", "analyze", None, {"Completed"})
+        window.connect(window.source("ActivityEvent"), done, 0)
+        window.output(
+            done,
+            RoleRef("coordinator"),
+            user_description=f"outsourced analysis at {schema.schema_id} completed",
+            schema_name=f"AS_Done_{schema.schema_id}",
+        )
+        designer.deploy_awareness(window)
+
+    # Scenario 1: tight deadline — only QuickLab qualifies.
+    urgent = QoSAttributes(max_duration=30, cost=150, availability=0.9)
+    agreement = system.service.negotiate("health-agency", "lab-analysis", urgent)
+    print(
+        f"urgent request -> selected {agreement.service.provider} "
+        f"(cost {agreement.service.qos.cost}, "
+        f"promised <= {agreement.service.qos.max_duration} ticks)"
+    )
+    instance = system.service.invoke(agreement)
+    system.clock.advance(10)
+    system.participant_client(tech_a).claim_and_complete_all()
+    system.participant_client(tech_b).claim_and_complete_all()
+    system.service.record_completion(instance)
+    print(f"  completed within agreement: violations = {agreement.violations}")
+
+    # Scenario 2: relaxed deadline — the cheap provider wins, then blows it.
+    relaxed = QoSAttributes(max_duration=100, cost=50, availability=0.9)
+    agreement2 = system.service.negotiate("health-agency", "lab-analysis", relaxed)
+    print(
+        f"\nroutine request -> selected {agreement2.service.provider} "
+        f"(cost {agreement2.service.qos.cost})"
+    )
+    instance2 = system.service.invoke(agreement2)
+    system.clock.advance(150)  # the provider is slow this time
+    system.participant_client(tech_a).claim_and_complete_all()
+    system.participant_client(tech_b).claim_and_complete_all()
+    system.service.record_completion(instance2)
+    print(f"  agreement violations: {agreement2.violations}")
+
+    # The coordinator's awareness viewer saw both completions.
+    print("\ncoordinator awareness:")
+    for notification in system.participant_client(coordinator).check_awareness():
+        print(f"  [t={notification.time}] {notification.description}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — a reproduction of the Collaboration Management Infrastructure.
+
+This library reimplements, from scratch and in pure Python, the CMI system
+of Baker, Georgakopoulos, Schuster, Cassandra and Cichocki: a federated
+collaboration-management system providing *customized process and
+situation awareness* on top of a workflow substrate.
+
+Layers (bottom-up; see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the CMM CORE model: activity state schemas, resources,
+  contexts, scoped roles, and the CORE engine;
+* :mod:`repro.coordination` — the Coordination Model: enactment, dependency
+  routing, and worklists (the IBM FlowMark role in the prototype);
+* :mod:`repro.service` — the Service Model: reusable activities, QoS, and
+  agreements;
+* :mod:`repro.events` — the event substrate (the CEDMOS role): self-contained
+  events, pub/sub, primitive producers, persistent delivery queues;
+* :mod:`repro.awareness` — the Awareness Model, the paper's contribution:
+  event operators, awareness descriptions/schemas, detector and delivery
+  agents;
+* :mod:`repro.federation` — the Figure 5 architecture: the enactment system
+  and the participant/designer clients;
+* :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.metrics` —
+  the Section 2 comparators, the crisis scenarios, and the measurement kit
+  used by the benchmark suite.
+
+Quickstart::
+
+    from repro import EnactmentSystem, Participant
+
+    system = EnactmentSystem()
+    alice = system.register_participant(Participant("u1", "alice"))
+    ...  # see examples/quickstart.py
+
+"""
+
+from .clock import LogicalClock
+from .core import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ContextSchema,
+    CoreEngine,
+    DependencyType,
+    DependencyVariable,
+    Participant,
+    ProcessActivitySchema,
+    generic_activity_state_schema,
+)
+from .core.context import ContextFieldSpec
+from .core.roles import RoleRef
+from .errors import ReproError
+from .federation import EnactmentSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityVariable",
+    "BasicActivitySchema",
+    "ContextFieldSpec",
+    "ContextSchema",
+    "CoreEngine",
+    "DependencyType",
+    "DependencyVariable",
+    "EnactmentSystem",
+    "LogicalClock",
+    "Participant",
+    "ProcessActivitySchema",
+    "ReproError",
+    "RoleRef",
+    "__version__",
+    "generic_activity_state_schema",
+]

@@ -1,0 +1,53 @@
+"""Awareness Model (AM) — the paper's primary contribution (Section 5, 6).
+
+AM extends CORE with customized process and situation awareness:
+
+* **awareness descriptions** — composite event specifications: rooted DAGs
+  of event operators over primitive event producers
+  (:mod:`repro.awareness.description`, :mod:`repro.awareness.operators`);
+* **awareness schemas** ``AS_P = (AD_P, R_P, RA_P)`` — a description plus a
+  delivery role and a role assignment (:mod:`repro.awareness.schema`,
+  :mod:`repro.awareness.assignment`);
+* the **awareness specification tool** model of Section 6.2
+  (:mod:`repro.awareness.specification`);
+* the run-time machinery of Section 6.3–6.5: event source agents,
+  detector agents, and the delivery agent with its persistent queues
+  (:mod:`repro.awareness.sources`, :mod:`repro.awareness.detector`,
+  :mod:`repro.awareness.delivery`);
+* the **Awareness Engine** that wires it all together
+  (:mod:`repro.awareness.engine`).
+"""
+
+from .assignment import (
+    RoleAssignment,
+    identity_assignment,
+    least_loaded_assignment,
+    signed_on_assignment,
+)
+from .delivery import DeliveryAgent
+from .description import AwarenessDescription
+from .detector import DetectorAgent
+from .engine import AwarenessEngine
+from .retrospective import RetrospectionResult, retrospect
+from .schema import AwarenessSchema
+from .sources import ActivitySourceAgent, ContextSourceAgent
+from .specification import SpecificationWindow
+from .viewer import AwarenessViewer
+
+__all__ = [
+    "ActivitySourceAgent",
+    "AwarenessDescription",
+    "AwarenessEngine",
+    "AwarenessSchema",
+    "AwarenessViewer",
+    "ContextSourceAgent",
+    "DeliveryAgent",
+    "DetectorAgent",
+    "RetrospectionResult",
+    "RoleAssignment",
+    "SpecificationWindow",
+    "identity_assignment",
+    "least_loaded_assignment",
+    "retrospect",
+    "signed_on_assignment",
+]

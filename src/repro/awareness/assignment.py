@@ -1,0 +1,73 @@
+"""Awareness role assignment functions ``RA_P`` (Section 5.3).
+
+"The awareness role assignment allows a specific subset of the awareness
+delivery role to actually receive the information ... an arbitrary function
+on the set of users gathered by resolving the awareness role that returns a
+subset of those users.  The function may choose users that should receive
+awareness information based on their load or whether they are currently
+signed-on to the system.  Currently, the only implemented awareness role
+assignment function is the identity function."
+
+We implement the paper's identity function plus the two anticipated
+policies (signed-on filtering and load-based selection), registered by name
+so output operators can reference them in delivery instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from ..core.roles import Participant
+from ..errors import DeliveryError
+
+#: An assignment maps the resolved role member set to the receiving subset.
+RoleAssignment = Callable[[FrozenSet[Participant]], FrozenSet[Participant]]
+
+
+def identity_assignment(members: FrozenSet[Participant]) -> FrozenSet[Participant]:
+    """All users in the awareness delivery role receive the information."""
+    return members
+
+
+def signed_on_assignment(members: FrozenSet[Participant]) -> FrozenSet[Participant]:
+    """Only currently signed-on users receive the information."""
+    return frozenset(p for p in members if p.signed_on)
+
+
+def least_loaded_assignment(n: int = 1) -> RoleAssignment:
+    """Select the *n* least-loaded users (deterministic tie-break by id)."""
+    if n < 1:
+        raise DeliveryError(f"least_loaded assignment requires n >= 1, got {n}")
+
+    def assign(members: FrozenSet[Participant]) -> FrozenSet[Participant]:
+        ranked = sorted(members, key=lambda p: (p.load, p.participant_id))
+        return frozenset(ranked[:n])
+
+    return assign
+
+
+class AssignmentRegistry:
+    """Name -> assignment function, used by the delivery agent."""
+
+    def __init__(self) -> None:
+        self._assignments: Dict[str, RoleAssignment] = {}
+        self.register("identity", identity_assignment)
+        self.register("signed_on", signed_on_assignment)
+        self.register("least_loaded", least_loaded_assignment(1))
+
+    def register(self, name: str, assignment: RoleAssignment) -> None:
+        if name in self._assignments:
+            raise DeliveryError(f"assignment {name!r} is already registered")
+        self._assignments[name] = assignment
+
+    def lookup(self, name: str) -> RoleAssignment:
+        try:
+            return self._assignments[name]
+        except KeyError:
+            raise DeliveryError(
+                f"unknown role assignment {name!r}; registered: "
+                f"{sorted(self._assignments)}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._assignments))

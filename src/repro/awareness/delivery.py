@@ -1,0 +1,117 @@
+"""The awareness delivery agent (Section 6.5).
+
+"The awareness delivery agent consumes all composite events of the type
+produced by the special output operator ... When the agent receives such an
+event, it resolves the awareness delivery role and awareness role
+assignment from the event's delivery instructions to a set of participants
+through an interaction with the CORE Engine.  The information from the
+event is then queued for each participant in the set."
+
+Resolution happens **at detection time** against the triggering process
+instance's scope: for scoped roles, the agent asks the CORE engine which
+live contexts are associated with the instance, and looks the role up
+there.  If the role cannot be resolved — the context was destroyed, so the
+role's existence interval is over — the event is recorded as undeliverable
+rather than mis-delivered; this is precisely how "the existence of an
+awareness role determines the appropriate time interval to deliver the
+information" (Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.engine import CoreEngine
+from ..core.roles import RoleRef
+from ..errors import RoleResolutionError
+from ..events.event import Event
+from ..events.queues import DeliveryQueue, MemoryDeliveryQueue, Notification
+from ..ids import IdFactory
+from .assignment import AssignmentRegistry
+
+
+@dataclass(frozen=True)
+class UndeliveredEvent:
+    """Audit record for a composite event that had no live recipients."""
+
+    time: int
+    schema_name: str
+    role: str
+    reason: str
+
+
+class DeliveryAgent:
+    """Resolve delivery instructions and enqueue notifications."""
+
+    def __init__(
+        self,
+        core: CoreEngine,
+        queue: Optional[DeliveryQueue] = None,
+        assignments: Optional[AssignmentRegistry] = None,
+    ) -> None:
+        self.core = core
+        self.queue = queue if queue is not None else MemoryDeliveryQueue()
+        self.assignments = assignments or AssignmentRegistry()
+        self._ids = IdFactory()
+        self.delivered = 0
+        self.undeliverable: List[UndeliveredEvent] = []
+
+    def deliver(self, event: Event) -> Tuple[Notification, ...]:
+        """Process one ``T_delivery`` event; returns the queued notifications."""
+        receivers = self._resolve_receivers(event)
+        if receivers is None:
+            return ()
+        notifications = []
+        for participant in sorted(receivers, key=lambda p: p.participant_id):
+            notification = self._make_notification(event, participant)
+            self._route(event, participant, notification)
+            notifications.append(notification)
+            self.delivered += 1
+        return tuple(notifications)
+
+    # -- overridable steps (the extension hooks of Section 6.5's outlook) -------
+
+    def _resolve_receivers(self, event: Event):
+        """Resolve role + assignment; ``None`` marks the event undeliverable."""
+        role_ref = RoleRef(
+            role_name=event["deliveryRole"],
+            context_name=event.get("deliveryContext"),
+        )
+        try:
+            candidates = self.core.resolve_role(
+                role_ref, event["processInstanceId"]
+            )
+        except RoleResolutionError as exc:
+            self.undeliverable.append(
+                UndeliveredEvent(
+                    time=event.time,
+                    schema_name=event["schemaName"],
+                    role=str(role_ref),
+                    reason=str(exc),
+                )
+            )
+            return None
+        assignment = self.assignments.lookup(event["assignment"])
+        return assignment(candidates)
+
+    def _make_notification(self, event: Event, participant) -> Notification:
+        return Notification(
+            notification_id=self._ids.new("ntf"),
+            participant_id=participant.participant_id,
+            time=event.time,
+            description=event["userDescription"],
+            schema_name=event["schemaName"],
+            parameters={
+                "processSchemaId": event["processSchemaId"],
+                "processInstanceId": event["processInstanceId"],
+                "intInfo": event.get("intInfo"),
+                "strInfo": event.get("strInfo"),
+                "sourceEvent": event.get("sourceEvent"),
+            },
+        )
+
+    def _route(self, event: Event, participant, notification: Notification) -> None:
+        """Hand the notification to its transport; the base agent always
+        uses the persistent queue (the paper's implemented mechanism)."""
+        self.queue.enqueue(notification)

@@ -1,0 +1,273 @@
+"""Awareness descriptions: composite event specifications (Section 5.1).
+
+"A composite event specification is a rooted, directed acyclic graph (DAG)
+where the leaves of the DAG are primitive event producers, the non-leaves
+are event operator instances, and the edges are connections, i.e., typed
+event streams, between event producers and the consuming slots of event
+operator instances."
+
+:class:`EventGraph` is the shared graph substrate (one per specification
+window; interior nodes and leaves may be shared amongst all awareness
+schemata of a window, Section 6.2).  :class:`AwarenessDescription` is the
+sub-DAG rooted at one operator — the ``AD_P`` of an awareness schema.
+
+Wiring an edge both records it for validation and connects the live event
+flow: events entering a leaf flow through operator ``consume`` calls to the
+root.  "Composite events that are output from the root of the DAG are said
+to be composite events *detected* by the composite event specification."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+from ..errors import DagValidationError, SlotError
+from ..events.event import Event
+from ..events.producers import EventProducer
+from .operators.base import EventOperator
+
+Node = Union[EventProducer, EventOperator]
+
+
+def _node_name(node: Node) -> str:
+    if isinstance(node, EventProducer):
+        return node.producer_id
+    return node.instance_name
+
+
+class EventGraph:
+    """A (possibly multi-rooted) DAG of producers and operator instances."""
+
+    def __init__(self) -> None:
+        self._producers: List[EventProducer] = []
+        self._operators: List[EventOperator] = []
+        #: (source node, target operator, slot)
+        self._edges: List[Tuple[Node, EventOperator, int]] = []
+        self._filled_slots: Dict[int, Set[int]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_producer(self, producer: EventProducer) -> EventProducer:
+        if producer not in self._producers:
+            self._producers.append(producer)
+        return producer
+
+    def add_operator(self, operator: EventOperator) -> EventOperator:
+        if operator in self._operators:
+            raise DagValidationError(
+                f"operator {operator.instance_name!r} is already in the graph"
+            )
+        self._operators.append(operator)
+        return operator
+
+    def connect(self, source: Node, target: EventOperator, slot: int) -> None:
+        """Wire *source*'s output stream into *target*'s input *slot*.
+
+        Checks the slot's type constraint and its cardinality (exactly one
+        producer per slot), then installs the live consumer link.
+        """
+        if target not in self._operators:
+            raise DagValidationError(
+                f"target operator {_node_name(target)!r} is not in the graph"
+            )
+        if isinstance(source, EventOperator):
+            if source not in self._operators:
+                raise DagValidationError(
+                    f"source operator {_node_name(source)!r} is not in the graph"
+                )
+        elif source not in self._producers:
+            raise DagValidationError(
+                f"source producer {_node_name(source)!r} is not in the graph"
+            )
+        expected = target.slot_type(slot)
+        if source.output_type != expected:
+            raise SlotError(
+                f"cannot connect {_node_name(source)!r} "
+                f"({source.output_type.name}) to slot {slot} of "
+                f"{_node_name(target)!r} (expects {expected.name})"
+            )
+        filled = self._filled_slots.setdefault(id(target), set())
+        if slot in filled:
+            raise SlotError(
+                f"slot {slot} of {_node_name(target)!r} is already connected"
+            )
+        if self._would_cycle(source, target):
+            raise DagValidationError(
+                f"edge {_node_name(source)} -> {_node_name(target)} "
+                f"would create a cycle"
+            )
+        filled.add(slot)
+        self._edges.append((source, target, slot))
+        if isinstance(source, EventOperator):
+            source.add_consumer(target.consume, slot)
+        else:
+            source.add_consumer(lambda event, t=target, s=slot: t.consume(s, event))
+
+    # -- inspection ---------------------------------------------------------------
+
+    def producers(self) -> Tuple[EventProducer, ...]:
+        return tuple(self._producers)
+
+    def operators(self) -> Tuple[EventOperator, ...]:
+        return tuple(self._operators)
+
+    def edges(self) -> Tuple[Tuple[Node, EventOperator, int], ...]:
+        return tuple(self._edges)
+
+    def upstream(self, operator: EventOperator) -> Tuple[Tuple[Node, int], ...]:
+        """The (source, slot) pairs feeding *operator*."""
+        return tuple(
+            (source, slot)
+            for source, target, slot in self._edges
+            if target is operator
+        )
+
+    def downstream(self, node: Node) -> Tuple[EventOperator, ...]:
+        return tuple(
+            target for source, target, __ in self._edges if source is node
+        )
+
+    def roots(self) -> Tuple[EventOperator, ...]:
+        """Operators with no outgoing edges (the candidate schema roots)."""
+        with_outgoing = {id(source) for source, __, ___ in self._edges}
+        return tuple(
+            op for op in self._operators if id(op) not in with_outgoing
+        )
+
+    # -- validation ------------------------------------------------------------------
+
+    def _would_cycle(self, source: Node, target: EventOperator) -> bool:
+        """True when target already (transitively) feeds source."""
+        if not isinstance(source, EventOperator):
+            return False
+        frontier: List[Node] = [target]
+        seen: Set[int] = set()
+        while frontier:
+            node = frontier.pop()
+            if node is source:
+                return True
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            frontier.extend(self.downstream(node))
+        return False
+
+    def reachable_subgraph(
+        self, root: EventOperator
+    ) -> Tuple[Set[int], List[EventOperator], List[EventProducer]]:
+        """Everything upstream of *root* (inclusive)."""
+        seen: Set[int] = set()
+        operators: List[EventOperator] = []
+        producers: List[EventProducer] = []
+        frontier: List[Node] = [root]
+        while frontier:
+            node = frontier.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, EventOperator):
+                operators.append(node)
+                frontier.extend(src for src, __ in self.upstream(node))
+            else:
+                producers.append(node)
+        return seen, operators, producers
+
+
+class AwarenessDescription:
+    """``AD_P``: the sub-DAG of a graph rooted at one operator.
+
+    The description is itself an event producer for the events produced by
+    its root operator instance: register interest via :meth:`on_detected`.
+    """
+
+    def __init__(self, graph: EventGraph, root: EventOperator) -> None:
+        self.graph = graph
+        self.root = root
+        self._detected: List[Event] = []
+        self._listeners: List[Callable[[Event], None]] = []
+        root.add_consumer(self._collect, 0)
+
+    # -- detection stream --------------------------------------------------------
+
+    def _collect(self, slot: int, event: Event) -> None:
+        self._detected.append(event)
+        for listener in list(self._listeners):
+            listener(event)
+
+    def on_detected(self, listener: Callable[[Event], None]) -> None:
+        self._listeners.append(listener)
+
+    def detected(self) -> Tuple[Event, ...]:
+        """All composite events detected so far (test/bench convenience)."""
+        return tuple(self._detected)
+
+    # -- structure ------------------------------------------------------------------
+
+    @property
+    def process_schema_id(self) -> str:
+        return self.root.process_schema_id
+
+    def operators(self) -> Tuple[EventOperator, ...]:
+        __, operators, ___ = self.graph.reachable_subgraph(self.root)
+        return tuple(operators)
+
+    def producers(self) -> Tuple[EventProducer, ...]:
+        __, ___, producers = self.graph.reachable_subgraph(self.root)
+        return tuple(producers)
+
+    def depth(self) -> int:
+        """Longest producer-to-root operator chain (pipeline latency bound)."""
+
+        def node_depth(node: Node) -> int:
+            if isinstance(node, EventProducer):
+                return 0
+            upstream = self.graph.upstream(node)
+            if not upstream:
+                return 1
+            return 1 + max(node_depth(source) for source, __ in upstream)
+
+        return node_depth(self.root)
+
+    def validate(self) -> None:
+        """Check the Section 5.1 structural rules for this description.
+
+        * the root is an operator with every input slot wired;
+        * every reachable operator has all slots wired (cardinality);
+        * every leaf is a primitive event producer;
+        * the graph is acyclic (enforced on construction; re-checked here).
+        """
+        __, operators, producers = self.graph.reachable_subgraph(self.root)
+        if not producers:
+            raise DagValidationError(
+                f"description rooted at {self.root.instance_name!r} has no "
+                f"primitive event producers"
+            )
+        for operator in operators:
+            wired = {slot for __, slot in self.graph.upstream(operator)}
+            missing = set(range(operator.arity)) - wired
+            if missing:
+                raise DagValidationError(
+                    f"operator {operator.instance_name!r} has unwired input "
+                    f"slots {sorted(missing)}"
+                )
+        # Re-run cycle detection from the root (cheap belt-and-braces).
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {}
+
+        def visit(node: Node) -> None:
+            color[id(node)] = GRAY
+            if isinstance(node, EventOperator):
+                for source, __ in self.graph.upstream(node):
+                    state = color.get(id(source), WHITE)
+                    if state == GRAY:
+                        raise DagValidationError(
+                            f"cycle detected through {_node_name(source)!r}"
+                        )
+                    if state == WHITE:
+                        visit(source)
+            color[id(node)] = BLACK
+
+        visit(self.root)

@@ -1,0 +1,68 @@
+"""Detector agents (Section 6.4).
+
+"At build-time, the designer-specified awareness schemata are automatically
+transformed into one or more detector agents that embody one or more
+awareness schemas.  The resulting agents become part of the Awareness
+Engine.  The agent(s) consume primitive events, perform the event
+processing, and send recognized composite events, complete with delivery
+instructions, to the awareness delivery component."
+
+A :class:`DetectorAgent` is compiled from one specification window.  The
+live operator wiring was installed while the window was authored (edges
+double as consumer links), so the agent's job is: validate the window,
+register as listener on every schema's detection stream, and forward the
+delivery-instruction events to its sink (the delivery agent, or an event
+bus publishing ``T_delivery``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..events.bus import EventBus
+from ..events.event import Event
+from .specification import SpecificationWindow
+
+Sink = Callable[[Event], None]
+
+
+class DetectorAgent:
+    """Embodies the awareness schemas of one specification window."""
+
+    def __init__(
+        self,
+        window: SpecificationWindow,
+        sink: Optional[Sink] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        window.validate()
+        self.window = window
+        self._sinks: List[Sink] = []
+        if sink is not None:
+            self._sinks.append(sink)
+        if bus is not None:
+            self._sinks.append(bus.publish)
+        self.recognized = 0
+        self._recognized_events: List[Event] = []
+        for schema in window.schemas():
+            schema.description.on_detected(self._forward)
+
+    @property
+    def process_schema_id(self) -> str:
+        return self.window.process_schema_id
+
+    def add_sink(self, sink: Sink) -> None:
+        self._sinks.append(sink)
+
+    def _forward(self, event: Event) -> None:
+        self.recognized += 1
+        self._recognized_events.append(event)
+        for sink in list(self._sinks):
+            sink(event)
+
+    def recognized_events(self) -> Tuple[Event, ...]:
+        """All composite events recognized so far (with delivery data)."""
+        return tuple(self._recognized_events)
+
+    def schema_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.window.schemas())

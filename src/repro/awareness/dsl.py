@@ -1,0 +1,635 @@
+"""The awareness specification language (Section 5).
+
+"AM provides an awareness specification *language* that is used by
+awareness designers to construct awareness schemas."  The paper renders
+operator applications as ``Eop[p1, ..., pm](T1, ..., Tn)`` — design-time
+parameters in brackets, consumed event streams in parentheses.  This
+module implements a small textual language using exactly that notation, so
+a specification reads like the paper's formulas:
+
+.. code-block:: text
+
+    # The Section 5.4 deadline-violation awareness schema.
+    op1 = Filter_context[TaskForceContext, TaskForceDeadline](ContextEvent)
+    op2 = Filter_context[InfoRequestContext, RequestDeadline](ContextEvent)
+    violation = Compare2[<=](op1, op2)
+    deliver violation to InfoRequestContext.Requestor using identity \
+        as "Task force deadline moved before your request deadline" \
+        named AS_InfoRequest
+
+Statement forms:
+
+* ``name = Family[param, ...](input, ...)`` — place and wire an operator.
+  Inputs are window source names (``ContextEvent``, ``ActivityEvent``,
+  registered external sources) or previously defined operator names.
+  Parameters may be identifiers, quoted strings, integers, ``*`` (a
+  wildcard, passed as ``None``), state sets ``{Ready, Running}``, and the
+  comparison symbols ``<= < >= > == !=``.
+* ``deliver name to Role using assignment as "text" [named AS_Name]`` —
+  root the named node with an output operator; ``Role`` is either a global
+  role name or ``Context.Role`` for a scoped role.
+* ``#`` starts a comment; a trailing backslash continues a line.
+
+Parameter conventions per built-in family (the window supplies ``P``):
+
+* ``Filter_context[context_name, field_name]``
+* ``Filter_activity[activity_variable, old_states, new_states]`` — each
+  state set is ``{A, B}`` or ``*`` for "any"
+* ``And[copy]`` / ``Seq[copy]`` — optional 1-based copy parameter
+  (default 1); the arity is inferred from the input list
+* ``Or[]`` / ``Count[]`` — no parameters
+* ``Compare1[op, value]`` — e.g. ``Compare1[==, 1]``
+* ``Compare2[op]`` — e.g. ``Compare2[<=]``
+* ``Translate[invoked_schema, activity_variable]`` — the invoking schema
+  is the window's
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.roles import RoleRef
+from ..errors import SpecificationError
+from .operators.compare import NAMED_BOOL_FUNCS_2, named_bool_func_2
+from .schema import AwarenessSchema
+from .specification import SpecificationWindow
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<string>"[^"]*")
+  | (?P<comparison><=|>=|==|!=|<|>)
+  | (?P<number>-?\d+)
+  | (?P<identifier>[A-Za-z_][\w.\-]*)
+  | (?P<symbol>[=\[\](){},*])
+  | (?P<whitespace>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split the specification text into tokens; comments are stripped and
+    backslash continuations joined before scanning."""
+    logical_lines: List[Tuple[int, str]] = []
+    pending = ""
+    pending_start = 1
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0]
+        stripped = line.rstrip()
+        if stripped.endswith("\\"):
+            if not pending:
+                pending_start = number
+            pending += stripped[:-1] + " "
+            continue
+        if pending:
+            logical_lines.append((pending_start, pending + line))
+            pending = ""
+        elif line.strip():
+            logical_lines.append((number, line))
+    if pending:
+        logical_lines.append((pending_start, pending))
+
+    tokens: List[Token] = []
+    for number, line in logical_lines:
+        position = 0
+        while position < len(line):
+            match = _TOKEN_PATTERN.match(line, position)
+            if match is None:
+                raise SpecificationError(
+                    f"line {number}: cannot tokenize {line[position:]!r}"
+                )
+            position = match.end()
+            kind = match.lastgroup
+            if kind == "whitespace":
+                continue
+            value = match.group()
+            if kind == "string":
+                value = value[1:-1]
+            tokens.append(Token(kind, value, number))
+        tokens.append(Token("newline", "\n", number))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _OperatorStatement:
+    name: str
+    family: str
+    parameters: List[Any]
+    inputs: List[str]
+    line: int
+
+
+@dataclass
+class _DeliverStatement:
+    node: str
+    role: RoleRef
+    assignment: str
+    description: str
+    schema_name: Optional[str]
+    line: int
+
+
+Statement = Union[_OperatorStatement, _DeliverStatement]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Optional[Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SpecificationError("unexpected end of specification")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value if value is not None else kind
+            raise SpecificationError(
+                f"line {token.line}: expected {wanted!r}, got {token.value!r}"
+            )
+        return token
+
+    def _skip_newlines(self) -> None:
+        while (token := self._peek()) is not None and token.kind == "newline":
+            self._index += 1
+
+    def parse(self) -> List[Statement]:
+        statements: List[Statement] = []
+        self._skip_newlines()
+        while self._peek() is not None:
+            token = self._peek()
+            assert token is not None
+            if token.kind == "identifier" and token.value == "deliver":
+                statements.append(self._parse_deliver())
+            elif token.kind == "identifier":
+                statements.append(self._parse_operator())
+            else:
+                raise SpecificationError(
+                    f"line {token.line}: unexpected {token.value!r}"
+                )
+            self._skip_newlines()
+        return statements
+
+    # -- name = Family[params](inputs) -----------------------------------------
+
+    def _parse_operator(self) -> _OperatorStatement:
+        name_token = self._expect("identifier")
+        self._expect("symbol", "=")
+        family_token = self._expect("identifier")
+        parameters = self._parse_parameters()
+        inputs = self._parse_inputs()
+        self._expect("newline")
+        return _OperatorStatement(
+            name=name_token.value,
+            family=family_token.value,
+            parameters=parameters,
+            inputs=inputs,
+            line=name_token.line,
+        )
+
+    def _parse_parameters(self) -> List[Any]:
+        self._expect("symbol", "[")
+        parameters: List[Any] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SpecificationError("unterminated parameter list")
+            if token.kind == "symbol" and token.value == "]":
+                self._next()
+                return parameters
+            parameters.append(self._parse_parameter_value())
+            token = self._peek()
+            if token is not None and token.kind == "symbol" and token.value == ",":
+                self._next()
+
+    def _parse_parameter_value(self) -> Any:
+        token = self._next()
+        if token.kind == "symbol" and token.value == "*":
+            return None
+        if token.kind == "symbol" and token.value == "{":
+            return self._parse_state_set()
+        if token.kind == "number":
+            return int(token.value)
+        if token.kind in ("identifier", "string", "comparison"):
+            return token.value
+        raise SpecificationError(
+            f"line {token.line}: invalid parameter {token.value!r}"
+        )
+
+    def _parse_state_set(self) -> frozenset:
+        values = []
+        while True:
+            token = self._next()
+            if token.kind == "symbol" and token.value == "}":
+                return frozenset(values)
+            if token.kind == "symbol" and token.value == ",":
+                continue
+            if token.kind == "identifier":
+                values.append(token.value)
+                continue
+            raise SpecificationError(
+                f"line {token.line}: invalid state set element {token.value!r}"
+            )
+
+    def _parse_inputs(self) -> List[str]:
+        self._expect("symbol", "(")
+        inputs: List[str] = []
+        while True:
+            token = self._next()
+            if token.kind == "symbol" and token.value == ")":
+                return inputs
+            if token.kind == "symbol" and token.value == ",":
+                continue
+            if token.kind == "identifier":
+                inputs.append(token.value)
+                continue
+            raise SpecificationError(
+                f"line {token.line}: invalid input {token.value!r}"
+            )
+
+    # -- deliver ... -------------------------------------------------------------
+
+    def _parse_deliver(self) -> _DeliverStatement:
+        keyword = self._expect("identifier")  # 'deliver'
+        node = self._expect("identifier").value
+        self._expect_keyword("to")
+        role = self._parse_role()
+        assignment = "identity"
+        description = ""
+        schema_name: Optional[str] = None
+        while (token := self._peek()) is not None and token.kind != "newline":
+            word = self._expect("identifier").value
+            if word == "using":
+                assignment = self._expect("identifier").value
+            elif word == "as":
+                description = self._expect("string").value
+            elif word == "named":
+                schema_name = self._expect("identifier").value
+            else:
+                raise SpecificationError(
+                    f"line {token.line}: unexpected {word!r} in deliver"
+                )
+        self._expect("newline")
+        return _DeliverStatement(
+            node=node,
+            role=role,
+            assignment=assignment,
+            description=description,
+            schema_name=schema_name,
+            line=keyword.line,
+        )
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._expect("identifier")
+        if token.value != word:
+            raise SpecificationError(
+                f"line {token.line}: expected {word!r}, got {token.value!r}"
+            )
+
+    def _parse_role(self) -> RoleRef:
+        token = self._expect("identifier")
+        if "." in token.value:
+            context_name, __, role_name = token.value.partition(".")
+            if not context_name or not role_name:
+                raise SpecificationError(
+                    f"line {token.line}: malformed role {token.value!r}"
+                )
+            return RoleRef(role_name, context_name)
+        return RoleRef(token.value)
+
+
+# ---------------------------------------------------------------------------
+# Compilation onto a specification window
+# ---------------------------------------------------------------------------
+
+
+def _build_operator(
+    window: SpecificationWindow, statement: _OperatorStatement
+):
+    """Translate the parameter conventions per family and place the op."""
+    family = statement.family
+    params = statement.parameters
+    arity = len(statement.inputs)
+
+    def fail(message: str) -> SpecificationError:
+        return SpecificationError(f"line {statement.line}: {message}")
+
+    if family in ("Filter_context",):
+        # Paper notation allows the explicit process schema as the first
+        # parameter — Filter_context[P, Cname, Fname] — which is how a
+        # filter over an *invoked* process schema feeds a Translate.
+        if len(params) == 3:
+            from .operators.filters import ContextFilter
+
+            return window.place_operator(
+                ContextFilter(
+                    params[0], params[1], params[2],
+                    instance_name=statement.name,
+                )
+            )
+        if len(params) != 2:
+            raise fail(
+                "Filter_context takes [context_name, field_name] or "
+                "[P, context_name, field_name]"
+            )
+        return window.place(
+            family, params[0], params[1], instance_name=statement.name
+        )
+    if family == "Filter_activity":
+        if len(params) == 4:
+            from .operators.filters import ActivityFilter
+
+            return window.place_operator(
+                ActivityFilter(
+                    params[0], params[1], params[2], params[3],
+                    instance_name=statement.name,
+                )
+            )
+        if len(params) != 3:
+            raise fail(
+                "Filter_activity takes [activity_variable, old_states, "
+                "new_states] or [P, activity_variable, old_states, new_states]"
+            )
+        return window.place(
+            family, params[0], params[1], params[2],
+            instance_name=statement.name,
+        )
+    if family in ("And", "Seq"):
+        if len(params) > 1:
+            raise fail(f"{family} takes an optional [copy] parameter")
+        copy = params[0] if params else 1
+        if not isinstance(copy, int):
+            raise fail(f"{family} copy parameter must be an integer")
+        if arity < 2:
+            raise fail(f"{family} needs at least two inputs")
+        return window.place(
+            family, copy=copy, arity=arity, instance_name=statement.name
+        )
+    if family == "Or":
+        if params:
+            raise fail("Or takes no parameters")
+        if arity < 2:
+            raise fail("Or needs at least two inputs")
+        return window.place(family, arity=arity, instance_name=statement.name)
+    if family == "Count":
+        if params:
+            raise fail("Count takes no parameters")
+        return window.place(family, instance_name=statement.name)
+    if family == "Compare1":
+        if len(params) != 2 or params[0] not in NAMED_BOOL_FUNCS_2:
+            raise fail("Compare1 takes [comparison, integer], e.g. [==, 1]")
+        threshold = params[1]
+        if not isinstance(threshold, int):
+            raise fail("Compare1 threshold must be an integer")
+        comparison = named_bool_func_2(params[0])
+        operator = window.place(
+            family,
+            lambda value, c=comparison, t=threshold: c(value, t),
+            instance_name=statement.name,
+        )
+        # Stash the textual form so window_to_dsl can decompile it.
+        operator._dsl_rendering = f"Compare1[{params[0]}, {threshold}]"
+        return operator
+    if family == "Compare2":
+        if len(params) != 1 or params[0] not in NAMED_BOOL_FUNCS_2:
+            raise fail("Compare2 takes [comparison], e.g. [<=]")
+        return window.place(family, params[0], instance_name=statement.name)
+    if family == "Translate":
+        if len(params) != 2:
+            raise fail("Translate takes [invoked_schema, activity_variable]")
+        return window.place(
+            family, params[0], params[1], instance_name=statement.name
+        )
+    raise fail(f"unknown operator family {family!r}")
+
+
+def compile_specification(
+    window: SpecificationWindow, text: str
+) -> Tuple[AwarenessSchema, ...]:
+    """Compile DSL *text* onto *window*; returns the delivered schemas.
+
+    Operator statements place and wire operators; ``deliver`` statements
+    root them with output operators.  Names are single-assignment;
+    forward references are errors (the language is declarative but reads
+    top-down, like the paper's formula sequences).
+    """
+    statements = _Parser(tokenize(text)).parse()
+    nodes: Dict[str, Any] = {}
+    schemas: List[AwarenessSchema] = []
+    for statement in statements:
+        if isinstance(statement, _OperatorStatement):
+            if statement.name in nodes:
+                raise SpecificationError(
+                    f"line {statement.line}: {statement.name!r} is already "
+                    f"defined"
+                )
+            operator = _build_operator(window, statement)
+            for slot, input_name in enumerate(statement.inputs):
+                source = nodes.get(input_name)
+                if source is None:
+                    try:
+                        source = window.source(input_name)
+                    except SpecificationError:
+                        raise SpecificationError(
+                            f"line {statement.line}: unknown input "
+                            f"{input_name!r}"
+                        ) from None
+                window.connect(source, operator, slot)
+            nodes[statement.name] = operator
+        else:
+            source = nodes.get(statement.node)
+            if source is None:
+                raise SpecificationError(
+                    f"line {statement.line}: deliver references unknown "
+                    f"operator {statement.node!r}"
+                )
+            schemas.append(
+                window.output(
+                    source,
+                    delivery_role=statement.role,
+                    assignment_name=statement.assignment,
+                    user_description=statement.description,
+                    schema_name=statement.schema_name,
+                )
+            )
+    if not schemas:
+        raise SpecificationError(
+            "specification defines no `deliver` statement; nothing would "
+            "ever reach a participant"
+        )
+    return tuple(schemas)
+
+
+# ---------------------------------------------------------------------------
+# Decompilation: window -> DSL text (spec persistence)
+# ---------------------------------------------------------------------------
+
+
+def _render_state_set(states) -> str:
+    if states is None:
+        return "*"
+    return "{" + ", ".join(sorted(states)) + "}"
+
+
+def _render_operator(operator, window: SpecificationWindow) -> str:
+    """Render one operator statement in the paper's bracket notation."""
+    from .operators.compare import NAMED_BOOL_FUNCS_2
+    from .operators.count import Count
+    from .operators.compare import Compare1, Compare2
+    from .operators.filters import ActivityFilter, ContextFilter
+    from .operators.generic import And, Or, Seq
+    from .operators.translate import Translate
+
+    if isinstance(operator, ContextFilter):
+        params = [operator.context_name, operator.field_name]
+        if operator.process_schema_id != window.process_schema_id:
+            params.insert(0, operator.process_schema_id)
+        return f"Filter_context[{', '.join(params)}]"
+    if isinstance(operator, ActivityFilter):
+        params = [
+            operator.activity_variable,
+            _render_state_set(operator.states_old),
+            _render_state_set(operator.states_new),
+        ]
+        if operator.process_schema_id != window.process_schema_id:
+            params.insert(0, operator.process_schema_id)
+        return f"Filter_activity[{', '.join(params)}]"
+    if isinstance(operator, (And, Seq)):
+        return f"{operator.family}[{operator.copy}]"
+    if isinstance(operator, Or):
+        return "Or[]"
+    if isinstance(operator, Count):
+        return "Count[]"
+    if isinstance(operator, Compare2):
+        symbol = next(
+            (s for s, f in NAMED_BOOL_FUNCS_2.items() if f is operator.bool_func),
+            None,
+        )
+        if symbol is None:
+            raise SpecificationError(
+                f"operator {operator.instance_name!r} uses an unnamed "
+                f"comparison; only named comparisons decompile to DSL"
+            )
+        return f"Compare2[{symbol}]"
+    if isinstance(operator, Compare1):
+        rendering = getattr(operator, "_dsl_rendering", None)
+        if rendering is None:
+            raise SpecificationError(
+                f"operator {operator.instance_name!r} carries an arbitrary "
+                f"boolFunc1; only DSL-authored Compare1 decompiles"
+            )
+        return rendering
+    if isinstance(operator, Translate):
+        return (
+            f"Translate[{operator.invoked_schema_id}, "
+            f"{operator.activity_variable}]"
+        )
+    raise SpecificationError(
+        f"operator family {operator.family!r} has no DSL rendering"
+    )
+
+
+def window_to_dsl(window: SpecificationWindow) -> str:
+    """Decompile *window* into DSL text that recompiles to an equivalent
+    window (built-in operator families only).
+
+    Together with :func:`compile_specification` this makes the DSL the
+    persistence format for awareness specifications: author, save the
+    text, reload on the next system boot.
+    """
+    from .operators.output import Output
+
+    graph = window.graph
+    source_names = {}
+    for name in ("ActivityEvent", "ContextEvent"):
+        try:
+            source_names[id(window.source(name))] = name
+        except SpecificationError:
+            pass
+    for name, producer in list(window._sources.items()):
+        source_names.setdefault(id(producer), name)
+
+    # Emit operators in wiring (dependency) order; edges were added in
+    # topological order by construction, but operators may have been
+    # placed early — order by "all inputs already named".
+    operator_names: Dict[int, str] = {}
+    lines: List[str] = []
+    pending = [
+        op for op in graph.operators() if not isinstance(op, Output)
+    ]
+    used_names = set()
+    while pending:
+        progressed = False
+        remaining = []
+        for operator in pending:
+            upstream = graph.upstream(operator)
+            ready = all(
+                id(source) in source_names or id(source) in operator_names
+                for source, __ in upstream
+            )
+            if not ready:
+                remaining.append(operator)
+                continue
+            name = operator.instance_name
+            if not re.fullmatch(r"[A-Za-z_][\w.\-]*", name) or name in used_names:
+                name = f"node{len(operator_names) + 1}"
+            used_names.add(name)
+            operator_names[id(operator)] = name
+            inputs = [""] * operator.arity
+            for source, slot in upstream:
+                inputs[slot] = (
+                    source_names.get(id(source))
+                    or operator_names[id(source)]
+                )
+            lines.append(
+                f"{name} = {_render_operator(operator, window)}"
+                f"({', '.join(inputs)})"
+            )
+            progressed = True
+        if not progressed:
+            raise SpecificationError(
+                "window contains operators with unwired inputs; validate() "
+                "it before decompiling"
+            )
+        pending = remaining
+
+    for schema in window.schemas():
+        root = schema.description.root
+        upstream = graph.upstream(root)
+        source, __ = upstream[0]
+        source_name = operator_names.get(id(source)) or source_names[id(source)]
+        line = f"deliver {source_name} to {schema.delivery_role}"
+        if schema.assignment_name != "identity":
+            line += f" using {schema.assignment_name}"
+        if root.user_description:
+            line += f' as "{root.user_description}"'
+        line += f" named {schema.name}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,124 @@
+"""The Awareness Engine (Figure 5, Section 6).
+
+The Awareness Engine is the CMI Enactment System component "primarily
+responsible for implementation of the CMM Awareness Model".  It owns:
+
+* the primitive event producers ``E_activity`` and ``E_context`` and their
+  event source agents, hooked into the CORE engine (Section 6.3);
+* the detector agents compiled from deployed specification windows
+  (Section 6.4);
+* the awareness delivery agent with the persistent participant queues
+  (Section 6.5).
+
+Its public surface is small: :meth:`AwarenessEngine.create_window` starts a
+designer authoring session against this engine's event sources;
+:meth:`AwarenessEngine.deploy` turns a finished window into a live detector
+agent; :meth:`AwarenessEngine.viewer_for` gives a participant their
+awareness information viewer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.engine import CoreEngine
+from ..core.roles import Participant
+from ..errors import SpecificationError
+from ..events.bus import EventBus
+from ..events.producers import (
+    ActivityEventProducer,
+    ContextEventProducer,
+    EventProducer,
+)
+from ..events.queues import DeliveryQueue, MemoryDeliveryQueue
+from .assignment import AssignmentRegistry
+from .delivery import DeliveryAgent
+from .detector import DetectorAgent
+from .operators.registry import OperatorRegistry, default_registry
+from .sources import ActivitySourceAgent, ContextSourceAgent
+from .specification import SpecificationWindow
+from .viewer import AwarenessViewer
+
+#: The diamond names every specification window starts with (Figure 6 shows
+#: the "Activity Event" and "Context Event" diamonds).
+ACTIVITY_SOURCE = "ActivityEvent"
+CONTEXT_SOURCE = "ContextEvent"
+
+
+class AwarenessEngine:
+    """Wires sources, detectors, and delivery over a CORE engine."""
+
+    def __init__(
+        self,
+        core: CoreEngine,
+        bus: Optional[EventBus] = None,
+        queue: Optional[DeliveryQueue] = None,
+        registry: Optional[OperatorRegistry] = None,
+        assignments: Optional[AssignmentRegistry] = None,
+        delivery_agent: Optional[DeliveryAgent] = None,
+    ) -> None:
+        self.core = core
+        self.bus = bus or EventBus()
+        self.registry = registry or default_registry()
+        self.activity_source = ActivitySourceAgent(core, bus=self.bus)
+        self.context_source = ContextSourceAgent(core, bus=self.bus)
+        self.delivery = delivery_agent or DeliveryAgent(
+            core,
+            queue=queue if queue is not None else MemoryDeliveryQueue(),
+            assignments=assignments,
+        )
+        self._detectors: List[DetectorAgent] = []
+        self._external_sources: Dict[str, EventProducer] = {}
+
+    # -- external sources --------------------------------------------------------
+
+    def register_external_source(
+        self, name: str, producer: EventProducer
+    ) -> EventProducer:
+        """Add an application-specific event source (Section 5.1.1)."""
+        if name in (ACTIVITY_SOURCE, CONTEXT_SOURCE):
+            raise SpecificationError(f"source name {name!r} is reserved")
+        if name in self._external_sources:
+            raise SpecificationError(f"external source {name!r} already exists")
+        producer.attach(self.bus)
+        self._external_sources[name] = producer
+        return producer
+
+    # -- designer side --------------------------------------------------------------
+
+    def create_window(self, process_schema_id: str) -> SpecificationWindow:
+        """Open an authoring window bound to this engine's event sources."""
+        producers: Dict[str, EventProducer] = {
+            ACTIVITY_SOURCE: self.activity_source.producer,
+            CONTEXT_SOURCE: self.context_source.producer,
+        }
+        producers.update(self._external_sources)
+        return SpecificationWindow(
+            process_schema_id, producers, registry=self.registry
+        )
+
+    def deploy(self, window: SpecificationWindow) -> DetectorAgent:
+        """Compile a window into a detector agent feeding delivery."""
+        detector = DetectorAgent(window, sink=self.delivery.deliver)
+        self._detectors.append(detector)
+        return detector
+
+    # -- participant side ---------------------------------------------------------------
+
+    def viewer_for(self, participant: Participant) -> AwarenessViewer:
+        return AwarenessViewer(participant, self.delivery.queue)
+
+    # -- statistics -------------------------------------------------------------------------
+
+    def detectors(self) -> Tuple[DetectorAgent, ...]:
+        return tuple(self._detectors)
+
+    def stats(self) -> Dict[str, int]:
+        """Event-flow counters across the Figure 5 pipeline."""
+        return {
+            "activity_events_gathered": self.activity_source.gathered,
+            "context_events_gathered": self.context_source.gathered,
+            "composites_recognized": sum(d.recognized for d in self._detectors),
+            "notifications_delivered": self.delivery.delivered,
+            "undeliverable_events": len(self.delivery.undeliverable),
+        }

@@ -1,0 +1,305 @@
+"""Awareness extensions the paper leaves as future work (Section 6.5).
+
+"Issues of event aggregation, priority, notification mechanisms, and
+follow-on actions are under further consideration."  This module
+implements all four, layered on the base delivery agent without changing
+its paper-described behaviour:
+
+* **Priority** — awareness schemas are assigned a :class:`Priority`;
+  notifications carry it, viewers can sort/filter by it, and channels can
+  be gated on a minimum priority.
+* **Notification mechanisms** — pluggable :class:`NotificationChannel`
+  transports.  :class:`QueueChannel` is the paper's persistent queue;
+  :class:`CallbackChannel` pushes to signed-on participants immediately
+  (the "popping viewer" mechanism); :class:`RecordingChannel` models a
+  gateway such as e-mail.
+* **Event aggregation** — :func:`aggregate_notifications` digests bursts
+  of same-schema notifications into summary digests; the delivery-side
+  equivalent is :class:`ExtendedDeliveryAgent`'s per-participant
+  suppression window.
+* **Follow-on actions** — callables bound to awareness schema names,
+  executed when a matching composite event is delivered; the crisis
+  domain's "cancel the obsolete lab tests automatically" becomes a
+  one-liner.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import CoreEngine
+from ..core.roles import Participant
+from ..errors import DeliveryError
+from ..events.event import Event
+from ..events.queues import DeliveryQueue, Notification
+from .assignment import AssignmentRegistry
+from .delivery import DeliveryAgent
+
+
+class Priority(enum.IntEnum):
+    """Notification priority levels (ordered; higher is more urgent)."""
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+    URGENT = 3
+
+
+#: Key under which the priority rides in notification parameters.
+PRIORITY_PARAMETER = "priority"
+
+
+def notification_priority(notification: Notification) -> Priority:
+    """Read a notification's priority (NORMAL when absent)."""
+    value = notification.parameters.get(PRIORITY_PARAMETER, Priority.NORMAL)
+    return Priority(value)
+
+
+# ---------------------------------------------------------------------------
+# Notification mechanisms (channels)
+# ---------------------------------------------------------------------------
+
+
+class NotificationChannel:
+    """A transport for awareness notifications."""
+
+    name = "channel"
+
+    def send(self, participant: Participant, notification: Notification) -> None:
+        raise NotImplementedError
+
+
+class QueueChannel(NotificationChannel):
+    """The paper's mechanism: enqueue into the persistent queue."""
+
+    name = "queue"
+
+    def __init__(self, queue: DeliveryQueue) -> None:
+        self.queue = queue
+
+    def send(self, participant: Participant, notification: Notification) -> None:
+        self.queue.enqueue(notification)
+
+
+class CallbackChannel(NotificationChannel):
+    """Immediate push to signed-on participants.
+
+    Participants register a callback (their live viewer); notifications to
+    signed-off participants are silently skipped — the queue channel keeps
+    the durable copy.
+    """
+
+    name = "push"
+
+    def __init__(self) -> None:
+        self._callbacks: Dict[str, Callable[[Notification], None]] = {}
+        self.pushed = 0
+
+    def register(
+        self, participant: Participant, callback: Callable[[Notification], None]
+    ) -> None:
+        self._callbacks[participant.participant_id] = callback
+
+    def unregister(self, participant: Participant) -> None:
+        self._callbacks.pop(participant.participant_id, None)
+
+    def send(self, participant: Participant, notification: Notification) -> None:
+        if not participant.signed_on:
+            return
+        callback = self._callbacks.get(participant.participant_id)
+        if callback is None:
+            return
+        self.pushed += 1
+        callback(notification)
+
+
+class RecordingChannel(NotificationChannel):
+    """A gateway stand-in (e.g. e-mail): records what it would send."""
+
+    name = "gateway"
+
+    def __init__(self) -> None:
+        self.sent: List[Tuple[str, Notification]] = []
+
+    def send(self, participant: Participant, notification: Notification) -> None:
+        self.sent.append((participant.participant_id, notification))
+
+
+@dataclass
+class _ChannelBinding:
+    channel: NotificationChannel
+    min_priority: Priority
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Digest:
+    """An aggregate of several same-schema notifications."""
+
+    schema_name: str
+    count: int
+    first_time: int
+    last_time: int
+    sample_description: str
+
+    def render(self) -> str:
+        if self.count == 1:
+            return f"[t={self.first_time}] {self.sample_description}"
+        return (
+            f"[t={self.first_time}..{self.last_time}] {self.count}x "
+            f"{self.schema_name}: {self.sample_description}"
+        )
+
+
+def aggregate_notifications(
+    notifications: Sequence[Notification],
+    gap: int = 10,
+) -> Tuple[Digest, ...]:
+    """Digest notifications per schema, merging bursts closer than *gap*.
+
+    Notifications of the same awareness schema whose times fall within
+    *gap* ticks of the previous one collapse into a single digest — the
+    viewer shows "5x AS_PositiveLab" instead of five rows.
+    """
+    if gap < 0:
+        raise DeliveryError(f"aggregation gap must be non-negative, got {gap}")
+    by_schema: Dict[str, List[Notification]] = {}
+    for notification in notifications:
+        by_schema.setdefault(notification.schema_name, []).append(notification)
+    digests: List[Digest] = []
+    for schema_name, group in by_schema.items():
+        group.sort(key=lambda n: n.time)
+        run: List[Notification] = []
+        for notification in group:
+            if run and notification.time - run[-1].time > gap:
+                digests.append(_close_run(schema_name, run))
+                run = []
+            run.append(notification)
+        if run:
+            digests.append(_close_run(schema_name, run))
+    digests.sort(key=lambda d: (d.first_time, d.schema_name))
+    return tuple(digests)
+
+
+def _close_run(schema_name: str, run: List[Notification]) -> Digest:
+    return Digest(
+        schema_name=schema_name,
+        count=len(run),
+        first_time=run[0].time,
+        last_time=run[-1].time,
+        sample_description=run[0].description,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Follow-on actions
+# ---------------------------------------------------------------------------
+
+#: A follow-on action receives the raw delivery event and the receiver set.
+FollowOnAction = Callable[[Event, Tuple[Participant, ...]], None]
+
+
+# ---------------------------------------------------------------------------
+# The extended delivery agent
+# ---------------------------------------------------------------------------
+
+
+class ExtendedDeliveryAgent(DeliveryAgent):
+    """Delivery with priorities, channels, suppression, and follow-ons.
+
+    Defaults reproduce the base agent exactly (queue channel at priority
+    LOW, no suppression, no follow-ons); everything else is opt-in.
+    """
+
+    def __init__(
+        self,
+        core: CoreEngine,
+        queue: Optional[DeliveryQueue] = None,
+        assignments: Optional[AssignmentRegistry] = None,
+    ) -> None:
+        super().__init__(core, queue=queue, assignments=assignments)
+        self._priorities: Dict[str, Priority] = {}
+        self._channels: List[_ChannelBinding] = [
+            _ChannelBinding(QueueChannel(self.queue), Priority.LOW)
+        ]
+        self._follow_ons: Dict[str, List[FollowOnAction]] = {}
+        self._suppression_gap = 0
+        self._last_sent: Dict[Tuple[str, str], int] = {}
+        self.suppressed = 0
+        self.follow_ons_run = 0
+
+    # -- configuration -----------------------------------------------------------
+
+    def set_priority(self, schema_name: str, priority: Priority) -> None:
+        """Assign a priority to an awareness schema's notifications."""
+        self._priorities[schema_name] = priority
+
+    def priority_of(self, schema_name: str) -> Priority:
+        return self._priorities.get(schema_name, Priority.NORMAL)
+
+    def add_channel(
+        self,
+        channel: NotificationChannel,
+        min_priority: Priority = Priority.LOW,
+    ) -> NotificationChannel:
+        """Route notifications at or above *min_priority* through *channel*."""
+        self._channels.append(_ChannelBinding(channel, min_priority))
+        return channel
+
+    def set_suppression_gap(self, gap: int) -> None:
+        """Delivery-side aggregation: drop repeats of the same schema to
+        the same participant arriving within *gap* ticks (0 disables)."""
+        if gap < 0:
+            raise DeliveryError(f"suppression gap must be >= 0, got {gap}")
+        self._suppression_gap = gap
+
+    def add_follow_on(self, schema_name: str, action: FollowOnAction) -> None:
+        """Run *action* whenever *schema_name*'s composite is delivered."""
+        self._follow_ons.setdefault(schema_name, []).append(action)
+
+    # -- overridden pipeline steps ----------------------------------------------
+
+    def deliver(self, event: Event):
+        notifications = super().deliver(event)
+        if notifications:
+            receivers = tuple(
+                self.core.roles.participant(n.participant_id)
+                for n in notifications
+            )
+            for action in self._follow_ons.get(event["schemaName"], ()):
+                self.follow_ons_run += 1
+                action(event, receivers)
+        return notifications
+
+    def _make_notification(self, event: Event, participant) -> Notification:
+        notification = super()._make_notification(event, participant)
+        priority = self.priority_of(event["schemaName"])
+        parameters = dict(notification.parameters)
+        parameters[PRIORITY_PARAMETER] = int(priority)
+        return Notification(
+            notification_id=notification.notification_id,
+            participant_id=notification.participant_id,
+            time=notification.time,
+            description=notification.description,
+            schema_name=notification.schema_name,
+            parameters=parameters,
+        )
+
+    def _route(self, event: Event, participant, notification: Notification) -> None:
+        key = (notification.participant_id, notification.schema_name)
+        if self._suppression_gap:
+            last = self._last_sent.get(key)
+            if last is not None and notification.time - last < self._suppression_gap:
+                self.suppressed += 1
+                return
+        self._last_sent[key] = notification.time
+        priority = notification_priority(notification)
+        for binding in self._channels:
+            if priority >= binding.min_priority:
+                binding.channel.send(participant, notification)

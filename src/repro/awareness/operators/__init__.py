@@ -1,0 +1,45 @@
+"""AM event operators (Section 5.1.2, 5.1.3).
+
+An *event operator* is a self-contained, reusable algorithm for recognizing
+instances of a pattern of constituent events and calculating the parameters
+of the resulting composite events.  All AM operators share three
+process-oriented enhancements over generic event processing:
+
+* they output events of the **canonical event type** ``C_P``;
+* they **replicate their algorithm per process instance** so events are
+  never mixed across instances;
+* they are **parameterized families** ``Eop[p1..pm](T1..Tn) -> T_Eop`` whose
+  parameters are fixed at design time.
+
+The taxonomy of Section 5.1.3 — filtering, generic, count, comparison, and
+process invocation operators — maps to the modules of this package.
+"""
+
+from .base import EventOperator, OperatorSignature
+from .compare import Compare1, Compare2
+from .count import Count
+from .filters import ActivityFilter, ContextFilter, ExternalFilter, QueryCorrelationFilter
+from .generic import And, Or, Seq
+from .output import DELIVERY_EVENT_TYPE, Output
+from .registry import OperatorRegistry, default_registry
+from .translate import Translate
+
+__all__ = [
+    "ActivityFilter",
+    "And",
+    "Compare1",
+    "Compare2",
+    "ContextFilter",
+    "Count",
+    "DELIVERY_EVENT_TYPE",
+    "EventOperator",
+    "ExternalFilter",
+    "OperatorRegistry",
+    "OperatorSignature",
+    "Or",
+    "Output",
+    "QueryCorrelationFilter",
+    "Seq",
+    "Translate",
+    "default_registry",
+]

@@ -1,0 +1,160 @@
+"""Operator framework: typed slots, parameterization, instance replication.
+
+Section 5.1.2 gives every AM operator three common properties, all
+implemented here once:
+
+* **Canonical event type** — operators declare a type signature
+  ``Eop[p1..pm](T1..Tn) -> T_Eop``; the framework type-checks events
+  arriving on each input slot, so a mis-wired awareness description fails
+  loudly at the first event rather than silently dropping information.
+
+* **Process instance replication** — "each event operator must replicate
+  its algorithm for each process instance it receives events from ...
+  because the process instance is a parameter on the canonical event type,
+  the operator may simply use that event parameter to access its
+  partitioned internal state."  :meth:`EventOperator.consume` computes the
+  partition key (by default the canonical ``processInstanceId``) and hands
+  the matching private state to the subclass algorithm.
+
+* **Parameterization** — operator parameters are fixed per instance at
+  design time; subclass constructors validate them and store them on the
+  instance (usually the first parameter is ``P``, the process schema id).
+
+Subclasses implement :meth:`EventOperator._apply`; the framework is an
+event-in/events-out pipeline ("an event operator instance can be thought of
+as a computational pipeline that can produce any number of output events
+for a single input event").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ParameterError, SlotError
+from ...events.event import Event, EventType
+
+
+@dataclass(frozen=True)
+class OperatorSignature:
+    """The declared type signature ``(T1, ..., Tn) -> T_Eop``."""
+
+    input_types: Tuple[EventType, ...]
+    output_type: EventType
+
+    @property
+    def arity(self) -> int:
+        return len(self.input_types)
+
+
+class EventOperator:
+    """Base class of all AM event operators."""
+
+    #: Human-readable operator family name ("And", "Filter_activity", ...).
+    family: str = "operator"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        signature: OperatorSignature,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if not process_schema_id:
+            raise ParameterError(
+                f"{type(self).__name__} requires a process schema id P"
+            )
+        self.process_schema_id = process_schema_id
+        self.signature = signature
+        self.instance_name = instance_name or f"{self.family}"
+        self._partitions: Dict[Any, Any] = {}
+        #: Downstream consumers: (callable, slot_index) pairs wired by the
+        #: awareness description / detector.
+        self._consumers: List[Tuple[Callable[[int, Event], None], int]] = []
+        self.consumed = 0
+        self.produced = 0
+
+    # -- wiring -----------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return self.signature.arity
+
+    def slot_type(self, slot: int) -> EventType:
+        self._check_slot(slot)
+        return self.signature.input_types[slot]
+
+    @property
+    def output_type(self) -> EventType:
+        return self.signature.output_type
+
+    def add_consumer(
+        self, consumer: Callable[[int, Event], None], slot: int
+    ) -> None:
+        """Wire this operator's output into *slot* of a downstream consumer."""
+        self._consumers.append((consumer, slot))
+
+    # -- event flow ---------------------------------------------------------------
+
+    def consume(self, slot: int, event: Event) -> List[Event]:
+        """Feed *event* into input *slot*; returns (and forwards) outputs."""
+        self._check_slot(slot)
+        expected = self.signature.input_types[slot]
+        if event.event_type != expected:
+            raise SlotError(
+                f"operator {self.instance_name!r} slot {slot} expects "
+                f"{expected.name!r}, got event of type {event.type_name!r}"
+            )
+        self.consumed += 1
+        key = self.partition_key(slot, event)
+        state = self._partitions.get(key)
+        if state is None:
+            state = self.new_state()
+            self._partitions[key] = state
+        outputs = self._apply(slot, event, state)
+        for output in outputs:
+            self.produced += 1
+            for consumer, consumer_slot in self._consumers:
+                consumer(consumer_slot, output)
+        return outputs
+
+    # -- subclass hooks ---------------------------------------------------------------
+
+    def partition_key(self, slot: int, event: Event) -> Any:
+        """The replication key; canonical inputs partition by instance id."""
+        return event.get("processInstanceId")
+
+    def new_state(self) -> Any:
+        """Fresh private state for one partition (default: stateless)."""
+        return None
+
+    def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
+        raise NotImplementedError
+
+    # -- introspection ------------------------------------------------------------------
+
+    def partition_count(self) -> int:
+        """How many process instances this operator has replicated for."""
+        return len(self._partitions)
+
+    def describe(self) -> str:
+        """One-line rendering used by the specification tool."""
+        return f"{self.family}[{self.process_schema_id}]"
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.signature.arity:
+            raise SlotError(
+                f"operator {self.instance_name!r} has {self.signature.arity} "
+                f"slots; slot {slot} does not exist"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.instance_name!r})"
+
+
+def check_copy_parameter(copy: int, arity: int, family: str) -> None:
+    """Validate the 1-based ``copy`` parameter of And/Seq (Section 5.1.3)."""
+    if not 1 <= copy <= arity:
+        raise ParameterError(
+            f"{family} copy parameter must satisfy 1 <= copy <= {arity}, "
+            f"got {copy}"
+        )

@@ -1,0 +1,144 @@
+"""Comparison event operators (Section 5.1.3).
+
+* ``Compare1[P, boolFunc1](C_P) -> C_P`` — passes an input event when its
+  ``intInfo`` parameter satisfies the one-argument boolean function;
+  otherwise the input is ignored.
+
+* ``Compare2[P, boolFunc2](C_P, C_P) -> C_P`` — keeps, per process
+  instance, the **latest** ``intInfo`` seen on each input position; when
+  both positions have a value and ``boolFunc2(latest_0, latest_1)`` holds,
+  emits a composite whose parameters are copied from the latest input —
+  "irrespective of its position".
+
+``Compare2`` is the operator at the root of the paper's Section 5.4
+deadline-violation description:
+``Compare2[InfoRequest, <=](Filter_ctx(TaskForceDeadline),
+Filter_ctx(RequestDeadline))`` fires whenever the task-force deadline is
+(moved) at or before the information-request deadline.
+
+Named comparison functions (``"<="``, ``"<"``, ``"=="`` ...) are provided
+so the specification DSL can reference them by symbol.
+"""
+
+from __future__ import annotations
+
+import operator as _op
+from typing import Any, Callable, Dict, List, Optional
+
+from ...errors import ParameterError
+from ...events.canonical import canonical_type
+from ...events.event import Event
+from .base import EventOperator, OperatorSignature
+
+BoolFunc1 = Callable[[int], bool]
+BoolFunc2 = Callable[[int, int], bool]
+
+#: Named two-argument comparison functions usable in the specification DSL.
+NAMED_BOOL_FUNCS_2: Dict[str, BoolFunc2] = {
+    "<=": _op.le,
+    "<": _op.lt,
+    ">=": _op.ge,
+    ">": _op.gt,
+    "==": _op.eq,
+    "!=": _op.ne,
+}
+
+
+def named_bool_func_2(symbol: str) -> BoolFunc2:
+    """Look up a named comparison (raises :class:`ParameterError`)."""
+    try:
+        return NAMED_BOOL_FUNCS_2[symbol]
+    except KeyError:
+        raise ParameterError(
+            f"unknown comparison {symbol!r}; expected one of "
+            f"{sorted(NAMED_BOOL_FUNCS_2)}"
+        ) from None
+
+
+class Compare1(EventOperator):
+    """Single-input comparison: pass events whose intInfo satisfies a test."""
+
+    family = "Compare1"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        bool_func: BoolFunc1,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if not callable(bool_func):
+            raise ParameterError("Compare1 requires a callable boolFunc1")
+        ctype = canonical_type(process_schema_id)
+        super().__init__(
+            process_schema_id,
+            OperatorSignature((ctype,), ctype),
+            instance_name,
+        )
+        self.bool_func = bool_func
+
+    def partition_key(self, slot: int, event: Event) -> Any:
+        return None  # stateless
+
+    def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
+        value = event.get("intInfo")
+        if value is None:
+            return []
+        if not self.bool_func(value):
+            return []
+        return [event.derive(source=self.instance_name)]
+
+    def describe(self) -> str:
+        return f"Compare1[{self.process_schema_id}, {self.bool_func!r}]"
+
+
+class Compare2(EventOperator):
+    """Double-input comparison over the latest values of two streams."""
+
+    family = "Compare2"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        bool_func: BoolFunc2,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if isinstance(bool_func, str):
+            bool_func = named_bool_func_2(bool_func)
+        if not callable(bool_func):
+            raise ParameterError("Compare2 requires a callable boolFunc2")
+        ctype = canonical_type(process_schema_id)
+        super().__init__(
+            process_schema_id,
+            OperatorSignature((ctype, ctype), ctype),
+            instance_name,
+        )
+        self.bool_func = bool_func
+
+    def new_state(self) -> Dict[int, int]:
+        return {}
+
+    def _apply(self, slot: int, event: Event, state: Dict[int, int]) -> List[Event]:
+        value = event.get("intInfo")
+        if value is None:
+            return []
+        state[slot] = value
+        if len(state) < 2:
+            return []
+        if not self.bool_func(state[0], state[1]):
+            return []
+        return [
+            event.derive(
+                source=self.instance_name,
+                description=(
+                    f"comparison satisfied: {state[0]} vs {state[1]} "
+                    f"({event.get('description')})"
+                ),
+            )
+        ]
+
+    def describe(self) -> str:
+        symbol = next(
+            (s for s, f in NAMED_BOOL_FUNCS_2.items() if f is self.bool_func),
+            repr(self.bool_func),
+        )
+        return f"Compare2[{self.process_schema_id}, {symbol}]"

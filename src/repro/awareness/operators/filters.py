@@ -1,0 +1,270 @@
+"""Filtering event operators (Section 5.1.3).
+
+"A filter operator takes a primitive event producer as input and outputs
+some subset of those events as specified by the operator's parameters.
+Filtering event operators have a one-to-one correspondence with the
+available primitive event types."
+
+* :class:`ActivityFilter` —
+  ``Filter_activity[P, Av, States_old, States_new](T_activity) -> C_P``
+* :class:`ContextFilter` —
+  ``Filter_context[P, Cname, Fname](T_context) -> C_P``
+* :class:`ExternalFilter` / :class:`QueryCorrelationFilter` — the
+  application-specific filter extension point of Sections 5.1.1/5.1.3 (a
+  "sentinel filter" attached to an external source, here the news service).
+
+Filters are the entry of every awareness description: they are where raw
+primitive events acquire the canonical type and its ``processInstanceId``
+partitioning parameter.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Any, Dict, List, Optional
+
+from ...errors import ParameterError
+from ...events.canonical import canonical_event, canonical_type
+from ...events.event import Event, EventType
+from ...events.external import NEWS_EVENT_TYPE
+from ...events.producers import ACTIVITY_EVENT_TYPE, CONTEXT_EVENT_TYPE
+from .base import EventOperator, OperatorSignature
+
+
+class ActivityFilter(EventOperator):
+    """Pass activity state changes of one activity variable of P.
+
+    Emits a canonical event when an ``T_activity`` event reports that the
+    activity bound to activity variable *Av* in process schema *P*
+    transitioned from a state in *states_old* to a state in *states_new*.
+    Passing ``None`` for either state set means "any state" (a reproduction
+    convenience used by the monitoring baselines; the paper's examples
+    always give explicit sets).
+
+    The composite output summarizes the constituent: ``strInfo`` carries
+    the new state and ``sourceEvent`` the full primitive parameters.
+    """
+
+    family = "Filter_activity"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        activity_variable: str,
+        states_old: Optional[AbstractSet[str]] = None,
+        states_new: Optional[AbstractSet[str]] = None,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if not activity_variable:
+            raise ParameterError("Filter_activity requires an activity variable Av")
+        super().__init__(
+            process_schema_id,
+            OperatorSignature(
+                (ACTIVITY_EVENT_TYPE,), canonical_type(process_schema_id)
+            ),
+            instance_name,
+        )
+        self.activity_variable = activity_variable
+        self.states_old = frozenset(states_old) if states_old is not None else None
+        self.states_new = frozenset(states_new) if states_new is not None else None
+
+    def partition_key(self, slot: int, event: Event) -> Any:
+        # Stateless; a single shared partition suffices.
+        return None
+
+    def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
+        if event["parentProcessSchemaId"] != self.process_schema_id:
+            return []
+        if event["activityVariableId"] != self.activity_variable:
+            return []
+        if self.states_old is not None and event["oldState"] not in self.states_old:
+            return []
+        if self.states_new is not None and event["newState"] not in self.states_new:
+            return []
+        return [
+            canonical_event(
+                self.process_schema_id,
+                event["parentProcessInstanceId"],
+                time=event.time,
+                source=self.instance_name,
+                str_info=event["newState"],
+                description=(
+                    f"activity {self.activity_variable!r}: "
+                    f"{event['oldState']} -> {event['newState']}"
+                ),
+                source_event=event.params,
+            )
+        ]
+
+    def describe(self) -> str:
+        old = sorted(self.states_old) if self.states_old is not None else "*"
+        new = sorted(self.states_new) if self.states_new is not None else "*"
+        return (
+            f"Filter_activity[{self.process_schema_id}, "
+            f"{self.activity_variable}, {old}, {new}]"
+        )
+
+
+class ContextFilter(EventOperator):
+    """Pass changes of one field of one named context associated with P.
+
+    A context resource may be associated with several process instances
+    (Section 5.1.1); the filter emits one canonical event *per instance of
+    P* in the event's association set, so downstream per-instance
+    replication sees the change in every affected scope.
+
+    When the new field value is an int it is copied to ``intInfo``; string
+    values go to ``strInfo`` (Section 5.1.3: "when appropriate, the new
+    field value is copied to the intInfo output event parameter").
+    """
+
+    family = "Filter_context"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        context_name: str,
+        field_name: str,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if not context_name or not field_name:
+            raise ParameterError(
+                "Filter_context requires a context name and a field name"
+            )
+        super().__init__(
+            process_schema_id,
+            OperatorSignature(
+                (CONTEXT_EVENT_TYPE,), canonical_type(process_schema_id)
+            ),
+            instance_name,
+        )
+        self.context_name = context_name
+        self.field_name = field_name
+
+    def partition_key(self, slot: int, event: Event) -> Any:
+        return None
+
+    def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
+        if event["contextName"] != self.context_name:
+            return []
+        if event["fieldName"] != self.field_name:
+            return []
+        new_value = event["newFieldValue"]
+        int_info = new_value if isinstance(new_value, int) and not isinstance(
+            new_value, bool
+        ) else None
+        str_info = new_value if isinstance(new_value, str) else None
+        outputs = []
+        for schema_id, instance_id in sorted(event["processAssociations"]):
+            if schema_id != self.process_schema_id:
+                continue
+            outputs.append(
+                canonical_event(
+                    self.process_schema_id,
+                    instance_id,
+                    time=event.time,
+                    source=self.instance_name,
+                    int_info=int_info,
+                    str_info=str_info,
+                    description=(
+                        f"context {self.context_name!r} field "
+                        f"{self.field_name!r} = {new_value!r}"
+                    ),
+                    source_event=event.params,
+                )
+            )
+        return outputs
+
+    def describe(self) -> str:
+        return (
+            f"Filter_context[{self.process_schema_id}, "
+            f"{self.context_name}, {self.field_name}]"
+        )
+
+
+class ExternalFilter(EventOperator):
+    """Base for application-specific filters over external event sources.
+
+    Subclasses provide the primitive event type, a match predicate, and a
+    mapping from the external event to a process instance id; the base
+    class does the canonicalization.  This is the "sentinel filter" slot of
+    Section 5.1.3.
+    """
+
+    family = "Filter_external"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        input_type: EventType,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            process_schema_id,
+            OperatorSignature((input_type,), canonical_type(process_schema_id)),
+            instance_name,
+        )
+
+    def partition_key(self, slot: int, event: Event) -> Any:
+        return None
+
+    def matches(self, event: Event) -> bool:
+        raise NotImplementedError
+
+    def instance_for(self, event: Event) -> Optional[str]:
+        """Map the external event to a process instance id (None = drop)."""
+        raise NotImplementedError
+
+    def digest(self, event: Event) -> str:
+        return f"external event from {event.source}"
+
+    def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
+        if not self.matches(event):
+            return []
+        instance_id = self.instance_for(event)
+        if instance_id is None:
+            return []
+        return [
+            canonical_event(
+                self.process_schema_id,
+                instance_id,
+                time=event.time,
+                source=self.instance_name,
+                str_info=event.get("headline"),
+                description=self.digest(event),
+                source_event=event.params,
+            )
+        ]
+
+
+class QueryCorrelationFilter(ExternalFilter):
+    """The paper's news-service correlation operator (Section 5.1.1).
+
+    "An event from the news service would contain a query id that can be
+    related back to the process instance through an application-specific
+    event operator."  Process activities register their queries via
+    :meth:`bind_query`; matching articles become canonical events of the
+    owning process instance.
+    """
+
+    family = "Filter_news"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(process_schema_id, NEWS_EVENT_TYPE, instance_name)
+        self._query_to_instance: Dict[str, str] = {}
+
+    def bind_query(self, query_id: str, process_instance_id: str) -> None:
+        """Relate a registered news query to a process instance."""
+        self._query_to_instance[query_id] = process_instance_id
+
+    def matches(self, event: Event) -> bool:
+        return event["queryId"] in self._query_to_instance
+
+    def instance_for(self, event: Event) -> Optional[str]:
+        return self._query_to_instance.get(event["queryId"])
+
+    def digest(self, event: Event) -> str:
+        return f"news article matched query {event['queryId']}: {event['headline']}"

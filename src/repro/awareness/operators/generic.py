@@ -1,0 +1,146 @@
+"""Generic event operators: conjunction, sequence, disjunction (§5.1.3).
+
+All three consume and produce the canonical type ``C_P`` and replicate
+their state per process instance:
+
+* ``And[P, copy](C_P, ..., C_P) -> C_P`` — emits when an event has been
+  seen on **all** input slots, in any order.  The ``copy`` parameter
+  (1-based) selects the input event whose parameters — except time — are
+  copied to the output; the output time is the time of the constituent
+  that completed the pattern.  Constituents are consumed on emission, so
+  the operator then waits for a fresh event on every slot.
+* ``Seq[P, copy](C_P, ..., C_P) -> C_P`` — like ``And`` but events must be
+  seen **in slot order**; an event arriving on a slot other than the next
+  expected one is ignored.
+* ``Or[P](C_P, ..., C_P) -> C_P`` — "merely echoes every input it receives
+  as its output"; stateless.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ...errors import ParameterError
+from ...events.canonical import canonical_type
+from ...events.event import Event
+from .base import EventOperator, OperatorSignature, check_copy_parameter
+
+
+def _canonical_signature(process_schema_id: str, arity: int) -> OperatorSignature:
+    ctype = canonical_type(process_schema_id)
+    return OperatorSignature((ctype,) * arity, ctype)
+
+
+def _compose(template: Event, completing: Event, source: str) -> Event:
+    """Copy *template*'s parameters (except time) onto a new composite event
+    whose time is the completing constituent's time."""
+    return template.derive(time=completing.time, source=source)
+
+
+class And(EventOperator):
+    """Conjunction with per-instance slot memory."""
+
+    family = "And"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        copy: int = 1,
+        arity: int = 2,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if arity < 2:
+            raise ParameterError(f"And requires at least two inputs, got {arity}")
+        check_copy_parameter(copy, arity, "And")
+        super().__init__(
+            process_schema_id,
+            _canonical_signature(process_schema_id, arity),
+            instance_name,
+        )
+        self.copy = copy
+
+    def new_state(self) -> Dict[int, Event]:
+        return {}
+
+    def _apply(self, slot: int, event: Event, state: Dict[int, Event]) -> List[Event]:
+        state[slot] = event
+        if len(state) < self.arity:
+            return []
+        template = state[self.copy - 1]
+        output = _compose(template, event, self.instance_name)
+        state.clear()
+        return [output]
+
+    def describe(self) -> str:
+        return f"And[{self.process_schema_id}, copy={self.copy}]/{self.arity}"
+
+
+class Seq(EventOperator):
+    """Sequence: constituents must arrive in slot order."""
+
+    family = "Seq"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        copy: int = 1,
+        arity: int = 2,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if arity < 2:
+            raise ParameterError(f"Seq requires at least two inputs, got {arity}")
+        check_copy_parameter(copy, arity, "Seq")
+        super().__init__(
+            process_schema_id,
+            _canonical_signature(process_schema_id, arity),
+            instance_name,
+        )
+        self.copy = copy
+
+    def new_state(self) -> Dict[str, Any]:
+        return {"pointer": 0, "seen": []}
+
+    def _apply(self, slot: int, event: Event, state: Dict[str, Any]) -> List[Event]:
+        if slot != state["pointer"]:
+            return []
+        state["seen"].append(event)
+        state["pointer"] += 1
+        if state["pointer"] < self.arity:
+            return []
+        template = state["seen"][self.copy - 1]
+        output = _compose(template, event, self.instance_name)
+        state["pointer"] = 0
+        state["seen"] = []
+        return [output]
+
+    def describe(self) -> str:
+        return f"Seq[{self.process_schema_id}, copy={self.copy}]/{self.arity}"
+
+
+class Or(EventOperator):
+    """Disjunction: echo every input (merge of n streams)."""
+
+    family = "Or"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        arity: int = 2,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if arity < 2:
+            raise ParameterError(f"Or requires at least two inputs, got {arity}")
+        super().__init__(
+            process_schema_id,
+            _canonical_signature(process_schema_id, arity),
+            instance_name,
+        )
+
+    def partition_key(self, slot: int, event: Event) -> Any:
+        return None  # stateless
+
+    def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
+        return [event.derive(source=self.instance_name)]
+
+    def describe(self) -> str:
+        return f"Or[{self.process_schema_id}]/{self.arity}"

@@ -1,0 +1,74 @@
+"""Awareness schemas ``AS_P = (AD_P, R_P, RA_P)`` (Section 5).
+
+"Formally, an awareness schema AS_P on process schema P is defined to be a
+triplet (AD_P, R_P, RA_P), where AD_P is an awareness description, R_P is an
+awareness delivery role, and RA_P is an awareness role assignment."
+
+* ``AD_P`` — a composite event specification over event sources visible in
+  P (:class:`~repro.awareness.description.AwarenessDescription`);
+* ``R_P`` — a role visible in the scope of P, resolved *at composite event
+  detection time* to the candidate receivers; organizational or scoped;
+* ``RA_P`` — a function choosing the receiving subset.
+
+In the implementation the role and assignment ride on the root
+:class:`~repro.awareness.operators.output.Output` operator as delivery
+instructions (Section 6.2); :class:`AwarenessSchema` ties the three parts
+together and validates their consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.roles import RoleRef
+from ..errors import SpecificationError
+from .description import AwarenessDescription
+from .operators.output import Output
+
+
+@dataclass(frozen=True)
+class AwarenessSchema:
+    """The (AD, R, RA) triplet plus a designer-facing name."""
+
+    name: str
+    description: AwarenessDescription
+    delivery_role: RoleRef
+    assignment_name: str = "identity"
+
+    @property
+    def process_schema_id(self) -> str:
+        return self.description.process_schema_id
+
+    @property
+    def output(self) -> Output:
+        root = self.description.root
+        assert isinstance(root, Output)
+        return root
+
+    def validate(self) -> None:
+        """Structural validation of the triplet.
+
+        The description must validate as a DAG, must be rooted by an output
+        operator, and the output operator's delivery instructions must
+        agree with the schema's role and assignment (they are the same
+        information viewed from the model and implementation sides).
+        """
+        root = self.description.root
+        if not isinstance(root, Output):
+            raise SpecificationError(
+                f"awareness schema {self.name!r} must be rooted by the "
+                f"special output operator, found {type(root).__name__}"
+            )
+        if root.delivery_role != self.delivery_role:
+            raise SpecificationError(
+                f"awareness schema {self.name!r}: output operator role "
+                f"{root.delivery_role} disagrees with schema role "
+                f"{self.delivery_role}"
+            )
+        if root.assignment_name != self.assignment_name:
+            raise SpecificationError(
+                f"awareness schema {self.name!r}: output operator assignment "
+                f"{root.assignment_name!r} disagrees with schema assignment "
+                f"{self.assignment_name!r}"
+            )
+        self.description.validate()

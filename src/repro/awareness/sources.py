@@ -1,0 +1,69 @@
+"""Event source agents (Section 6.3).
+
+"The implementation of AM provides event source agents for gathering
+primitive events and delivering them to interested software components.
+Conceptually, the event source agents in CMI are part of the Awareness
+Engine, though they are tightly bound to the actual event sources."
+
+Two agents mirror the paper's two primitive event kinds:
+
+* :class:`ActivitySourceAgent` instruments the Coordination/CORE engine
+  side: it hooks the CORE engine's activity state change callback and
+  converts each change into a ``T_activity`` event through the single
+  ``E_activity`` producer;
+* :class:`ContextSourceAgent` instruments the CORE engine's context store
+  the same way for ``E_context``.
+
+Both count what they gathered so the architecture benchmark (FIG5) can
+verify event flow between components.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.context import ContextChange
+from ..core.engine import CoreEngine
+from ..core.instances import ActivityStateChange
+from ..events.bus import EventBus
+from ..events.producers import ActivityEventProducer, ContextEventProducer
+
+
+class ActivitySourceAgent:
+    """Gathers activity state change events at the coordination side."""
+
+    def __init__(
+        self,
+        core: CoreEngine,
+        producer: Optional[ActivityEventProducer] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        self.producer = producer or ActivityEventProducer()
+        if bus is not None:
+            self.producer.attach(bus)
+        self.gathered = 0
+        core.on_activity_change(self._gather)
+
+    def _gather(self, change: ActivityStateChange) -> None:
+        self.gathered += 1
+        self.producer.produce(change)
+
+
+class ContextSourceAgent:
+    """Gathers context resource field change events at the CORE side."""
+
+    def __init__(
+        self,
+        core: CoreEngine,
+        producer: Optional[ContextEventProducer] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        self.producer = producer or ContextEventProducer()
+        if bus is not None:
+            self.producer.attach(bus)
+        self.gathered = 0
+        core.on_context_change(self._gather)
+
+    def _gather(self, change: ContextChange) -> None:
+        self.gathered += 1
+        self.producer.produce(change)

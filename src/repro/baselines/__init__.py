@@ -1,0 +1,40 @@
+"""Awareness baselines from the related-work critique (Section 2).
+
+The paper argues existing technologies offer "only a few built-in awareness
+choices"; we implement each choice as an adapter observing the *same*
+enactment run as CMI, so the QE1 benchmark can compare deliveries per
+participant and precision/recall of relevant information head-to-head:
+
+* :class:`WorklistOnlyAwareness` — the WfMS "worker" choice: a participant
+  is aware only of the activities assigned to them;
+* :class:`MonitorAllAwareness` — the WfMS "manager" choice: monitor the
+  entire process (every state change of every activity);
+* :class:`ContentFilterPubSub` — the Elvin/wOrlds choice: content-based
+  filtering of single events, "no other form of customized event
+  processing", no role targeting, no composition;
+* :class:`EmailNotification` — the InConcert choice: e-mail on simple
+  workflow conditions to a static recipient list;
+* :class:`GroupwareRoles` — the neT.120 choice: fixed presenter/observer/
+  hybrid roles on shared resources.
+"""
+
+from .base import BaselineAdapter, Delivery
+from .content_filter import ContentFilterPubSub, Subscription
+from .email_notify import EmailNotification
+from .groupware import GroupwareRoles, GroupwareRole
+from .log_analysis import LogAnalysisAwareness
+from .monitor_all import MonitorAllAwareness
+from .worklist_only import WorklistOnlyAwareness
+
+__all__ = [
+    "BaselineAdapter",
+    "ContentFilterPubSub",
+    "Delivery",
+    "EmailNotification",
+    "GroupwareRole",
+    "GroupwareRoles",
+    "LogAnalysisAwareness",
+    "MonitorAllAwareness",
+    "Subscription",
+    "WorklistOnlyAwareness",
+]

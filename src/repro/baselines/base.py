@@ -1,0 +1,58 @@
+"""Common baseline interface: uniform delivery records.
+
+Every awareness mechanism under comparison — CMI and each Section 2
+baseline — ultimately *delivers pieces of information to participants*.
+:class:`Delivery` is the uniform record of one such act:
+
+* ``participant_id`` — who received it;
+* ``key`` — what information it was, as an opaque tuple the benchmark can
+  match against its ground-truth relevance labels (e.g.
+  ``("deadline-violation", "proc-7")`` or ``("state-change", "act-12",
+  "Completed")``);
+* ``time`` — when it was delivered (clock ticks).
+
+:class:`BaselineAdapter` is the minimal surface the overload metrics need;
+adapters hook the live system (bus topics, worklist manager, or delivery
+queue) and accumulate deliveries as the workload runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One piece of information reaching one participant."""
+
+    participant_id: str
+    key: Tuple
+    time: int
+
+
+class BaselineAdapter:
+    """Base: accumulate deliveries; subclasses install their own hooks."""
+
+    #: Human-readable mechanism name used in benchmark tables.
+    mechanism = "baseline"
+
+    def __init__(self) -> None:
+        self._deliveries: List[Delivery] = []
+
+    def record(self, participant_id: str, key: Tuple, time: int) -> None:
+        self._deliveries.append(Delivery(participant_id, key, time))
+
+    def deliveries(self) -> Tuple[Delivery, ...]:
+        return tuple(self._deliveries)
+
+    def deliveries_per_participant(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for delivery in self._deliveries:
+            counts[delivery.participant_id] = (
+                counts.get(delivery.participant_id, 0) + 1
+            )
+        return counts
+
+    def total(self) -> int:
+        return len(self._deliveries)

@@ -1,0 +1,106 @@
+"""The Elvin-style baseline: content-based pub/sub over single events.
+
+"Elvin is a general publish/subscribe framework ... subscriptions are done
+with content-based filtering, but no other form of customized event
+processing is performed" (Section 2).  Participants register predicate
+subscriptions over *individual* primitive events.  The mechanism can
+filter well, but:
+
+* it cannot **compose** events from multiple sources (the deadline
+  violation of Section 5.4 — a comparison *between two* context fields —
+  is inexpressible, so composite situations have recall 0);
+* it cannot target **roles**: a subscription belongs to a user, so
+  dynamically scoped audiences must be approximated by over-subscription.
+
+Subscriptions are evaluated against both primitive event kinds, presented
+as flat attribute dictionaries, which is faithful to Elvin's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from ..core.context import ContextChange
+from ..core.engine import CoreEngine
+from ..core.instances import ActivityStateChange
+from .base import BaselineAdapter
+
+Predicate = Callable[[Mapping[str, Any]], bool]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One participant's content-based subscription."""
+
+    participant_id: str
+    predicate: Predicate
+    label: str = "subscription"
+
+
+class ContentFilterPubSub(BaselineAdapter):
+    """Single-event content filtering; no composition, no roles."""
+
+    mechanism = "content-filter pub/sub (Elvin)"
+
+    def __init__(self, core: CoreEngine) -> None:
+        super().__init__()
+        self._subscriptions: List[Subscription] = []
+        core.on_activity_change(self._on_activity)
+        core.on_context_change(self._on_context)
+
+    def subscribe(
+        self,
+        participant_id: str,
+        predicate: Predicate,
+        label: str = "subscription",
+    ) -> Subscription:
+        subscription = Subscription(participant_id, predicate, label)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    # -- event flattening (Elvin notifications are flat attribute maps) --------
+
+    @staticmethod
+    def _activity_attributes(change: ActivityStateChange) -> Dict[str, Any]:
+        return {
+            "kind": "activity",
+            "time": change.time,
+            "activityInstanceId": change.activity_instance_id,
+            "processSchemaId": change.parent_process_schema_id,
+            "processInstanceId": change.parent_process_instance_id,
+            "activityVariableId": change.activity_variable_id,
+            "oldState": change.old_state,
+            "newState": change.new_state,
+        }
+
+    @staticmethod
+    def _context_attributes(change: ContextChange) -> Dict[str, Any]:
+        return {
+            "kind": "context",
+            "time": change.time,
+            "contextId": change.context_id,
+            "contextName": change.context_name,
+            "fieldName": change.field_name,
+            "oldValue": change.old_value,
+            "newValue": change.new_value,
+        }
+
+    def _match(self, attributes: Dict[str, Any], key: Tuple, time: int) -> None:
+        for subscription in self._subscriptions:
+            if subscription.predicate(attributes):
+                self.record(subscription.participant_id, key, time)
+
+    def _on_activity(self, change: ActivityStateChange) -> None:
+        self._match(
+            self._activity_attributes(change),
+            key=("state-change", change.activity_instance_id, change.new_state),
+            time=change.time,
+        )
+
+    def _on_context(self, change: ContextChange) -> None:
+        self._match(
+            self._context_attributes(change),
+            key=("context-change", change.context_id, change.field_name),
+            time=change.time,
+        )

@@ -1,0 +1,65 @@
+"""The InConcert-style baseline: e-mail on simple workflow conditions.
+
+"InConcert WfMS is an example of a process-oriented system with e-mail
+notification of simple workflow conditions, much in the spirit of this
+publish/subscribe awareness ... these systems provide no mechanism to cater
+the information for specific roles/classes of users, nor do they address
+the issue of combining information from multiple sources" (Section 2).
+
+A *notification rule* names an activity schema and a triggering state; when
+any activity of that schema reaches the state, an e-mail goes to the rule's
+**static recipient list** — fixed at rule-creation time, which is exactly
+what breaks for dynamically composed task forces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.engine import CoreEngine
+from ..core.instances import ActivityStateChange
+from .base import BaselineAdapter
+
+
+@dataclass(frozen=True)
+class NotificationRule:
+    """Send mail to *recipients* when *schema_name* reaches *state*."""
+
+    schema_name: str
+    state: str
+    recipients: Tuple[str, ...]
+
+
+class EmailNotification(BaselineAdapter):
+    """Simple condition -> static recipient list."""
+
+    mechanism = "e-mail notification (InConcert)"
+
+    def __init__(self, core: CoreEngine) -> None:
+        super().__init__()
+        self.core = core
+        self._rules: List[NotificationRule] = []
+        core.on_activity_change(self._on_activity)
+
+    def add_rule(
+        self, schema_name: str, state: str, recipients: Tuple[str, ...]
+    ) -> NotificationRule:
+        rule = NotificationRule(schema_name, state, tuple(recipients))
+        self._rules.append(rule)
+        return rule
+
+    def _on_activity(self, change: ActivityStateChange) -> None:
+        instance = self.core.instance(change.activity_instance_id)
+        for rule in self._rules:
+            if instance.schema.name != rule.schema_name:
+                continue
+            if change.new_state != rule.state:
+                continue
+            key = (
+                "state-change",
+                change.activity_instance_id,
+                change.new_state,
+            )
+            for recipient in rule.recipients:
+                self.record(recipient, key, change.time)

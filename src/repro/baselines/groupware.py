@@ -1,0 +1,90 @@
+"""The neT.120-style groupware baseline: fixed presenter/observer roles.
+
+"Groupware tools for network presentations, such as neT.120, support
+'presenter', 'observer', and/or 'hybrid' roles.  Presenters are allowed to
+write on the shared whiteboard ..., while observers can only observe
+(read) these resources" (Section 2).
+
+We model a shared resource (the "whiteboard") as a context resource: the
+three fixed roles govern write access, and awareness is the tool's only
+built-in kind — every change of a shared resource is shown to everyone
+with read access, regardless of relevance.  Roles are fixed per tool
+session; coordination beyond that "must be negotiated and performed
+outside the scope of groupware tools", which the adapter has no mechanism
+for — exactly the limitation the paper points at.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Set, Tuple
+
+from ..core.context import ContextChange, ContextReference
+from ..core.engine import CoreEngine
+from ..errors import ScopeError
+from .base import BaselineAdapter
+
+
+class GroupwareRole(enum.Enum):
+    """The fixed role palette of the groupware tool."""
+
+    PRESENTER = "presenter"
+    OBSERVER = "observer"
+    HYBRID = "hybrid"
+
+    @property
+    def can_write(self) -> bool:
+        return self in (GroupwareRole.PRESENTER, GroupwareRole.HYBRID)
+
+    @property
+    def can_read(self) -> bool:
+        return self in (GroupwareRole.OBSERVER, GroupwareRole.HYBRID)
+
+
+class GroupwareRoles(BaselineAdapter):
+    """Shared-resource awareness with the fixed three-role palette."""
+
+    mechanism = "groupware fixed roles (neT.120)"
+
+    def __init__(self, core: CoreEngine) -> None:
+        super().__init__()
+        # (context_id -> participant_id -> role); fixed once assigned.
+        self._sessions: Dict[str, Dict[str, GroupwareRole]] = {}
+        core.on_context_change(self._on_context)
+
+    def join(
+        self,
+        shared_resource: ContextReference,
+        participant_id: str,
+        role: GroupwareRole,
+    ) -> None:
+        """A participant joins a tool session on a shared resource."""
+        session = self._sessions.setdefault(shared_resource.context_id, {})
+        session[participant_id] = role
+
+    def write(
+        self,
+        shared_resource: ContextReference,
+        participant_id: str,
+        field_name: str,
+        value: object,
+    ) -> None:
+        """A participant writes the shared resource (role-checked)."""
+        session = self._sessions.get(shared_resource.context_id, {})
+        role = session.get(participant_id)
+        if role is None or not role.can_write:
+            raise ScopeError(
+                f"participant {participant_id!r} has no write access to "
+                f"shared resource {shared_resource.context_name!r}"
+            )
+        shared_resource.set(field_name, value)
+
+    def _on_context(self, change: ContextChange) -> None:
+        """Every change is shown to every reader of the session."""
+        session = self._sessions.get(change.context_id)
+        if not session:
+            return
+        key = ("context-change", change.context_id, change.field_name)
+        for participant_id, role in session.items():
+            if role.can_read:
+                self.record(participant_id, key, change.time)

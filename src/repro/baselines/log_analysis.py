@@ -1,0 +1,109 @@
+"""The do-it-yourself baseline: analyzing process monitoring logs.
+
+Section 2: "unless WfMS users are willing to develop specialized awareness
+applications that analyze process monitoring logs, their awareness choices
+are limited to a few built-in options."  This adapter *is* that specialized
+application, built honestly:
+
+* it sees only what the WfMC-style monitoring API exposes — the activity
+  state change log and the context change log (no scoped roles, no
+  composite operators);
+* it runs its custom analysis **periodically** (a polling monitor app),
+  so detections arrive up to one polling interval late;
+* because role information is not in the log, detected situations are
+  broadcast to a **static recipient list** rather than the dynamically
+  scoped audience.
+
+The QE1 comparison then shows the trade: the situation *can* be derived
+with custom code, but it arrives late and over-broadly — which is
+precisely the paper's argument for building awareness into the
+infrastructure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from ..core.context import ContextChange
+from ..core.engine import CoreEngine
+from ..core.instances import ActivityStateChange
+from .base import BaselineAdapter
+
+#: A custom analysis: given the activity and context log slices since the
+#: previous poll, return the detected situations as (key, event_time)
+#: pairs.  The adapter broadcasts each to the static recipient list with
+#: the *poll* time (the moment the analysis actually ran).
+Analysis = Callable[
+    [Sequence[ActivityStateChange], Sequence[ContextChange]],
+    Iterable[Tuple[Tuple, int]],
+]
+
+
+class LogAnalysisAwareness(BaselineAdapter):
+    """Poll the monitoring logs; run custom analyses; broadcast hits."""
+
+    mechanism = "log analysis (custom monitoring app)"
+
+    def __init__(
+        self,
+        core: CoreEngine,
+        recipients: Iterable[str],
+        poll_interval: int = 25,
+    ) -> None:
+        super().__init__()
+        self._core = core
+        self._recipients: Tuple[str, ...] = tuple(recipients)
+        self._poll_interval = poll_interval
+        self._activity_log: List[ActivityStateChange] = []
+        self._context_log: List[ContextChange] = []
+        self._activity_cursor = 0
+        self._context_cursor = 0
+        self._next_poll = poll_interval
+        self._analyses: List[Analysis] = []
+        self.polls = 0
+        core.on_activity_change(self._on_activity)
+        core.on_context_change(self._on_context)
+
+    def add_analysis(self, analysis: Analysis) -> None:
+        self._analyses.append(analysis)
+
+    # -- log collection + poll scheduling -------------------------------------
+
+    def _on_activity(self, change: ActivityStateChange) -> None:
+        # Poll boundaries crossed by this event fire first, so the event
+        # itself lands in the *next* window (a poll at time P only sees
+        # events that happened before P).
+        self._maybe_poll(change.time)
+        self._activity_log.append(change)
+
+    def _on_context(self, change: ContextChange) -> None:
+        self._maybe_poll(change.time)
+        self._context_log.append(change)
+
+    def _maybe_poll(self, now: int) -> None:
+        while now >= self._next_poll:
+            self._poll(self._next_poll)
+            self._next_poll += self._poll_interval
+
+    def finish(self) -> None:
+        """Run a final poll over whatever is left in the log (call at the
+        end of a workload so trailing events are not lost)."""
+        last_time = max(
+            [c.time for c in self._activity_log[-1:]]
+            + [c.time for c in self._context_log[-1:]]
+            + [0]
+        )
+        self._poll(max(self._next_poll, last_time + self._poll_interval))
+
+    def _poll(self, poll_time: int) -> None:
+        self.polls += 1
+        activity_slice = self._activity_log[self._activity_cursor:]
+        context_slice = self._context_log[self._context_cursor:]
+        self._activity_cursor = len(self._activity_log)
+        self._context_cursor = len(self._context_log)
+        if not activity_slice and not context_slice:
+            return
+        for analysis in self._analyses:
+            for key, __ in analysis(activity_slice, context_slice):
+                for recipient in self._recipients:
+                    self.record(recipient, key, poll_time)

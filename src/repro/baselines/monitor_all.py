@@ -1,0 +1,55 @@
+"""The WfMS "manager" baseline: monitor the entire process.
+
+The second built-in WfMS choice of Section 2: managers "must know the
+status of all the activities in the entire process, i.e., monitor the
+entire process".  Every activity state change and every context field
+change is delivered to every monitoring participant — maximal recall,
+maximal information overload.  The QE1 benchmark uses this as the
+overload upper bound CMI is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..core.context import ContextChange
+from ..core.engine import CoreEngine
+from ..core.instances import ActivityStateChange
+from ..core.roles import Participant
+from .base import BaselineAdapter
+
+
+class MonitorAllAwareness(BaselineAdapter):
+    """Every primitive event goes to every monitoring participant."""
+
+    mechanism = "monitor-everything (WfMS manager)"
+
+    def __init__(
+        self,
+        core: CoreEngine,
+        monitors: Iterable[Participant],
+        include_context_events: bool = True,
+    ) -> None:
+        super().__init__()
+        self._monitors: Tuple[Participant, ...] = tuple(monitors)
+        core.on_activity_change(self._on_activity)
+        if include_context_events:
+            core.on_context_change(self._on_context)
+
+    def _on_activity(self, change: ActivityStateChange) -> None:
+        key = (
+            "state-change",
+            change.activity_instance_id,
+            change.new_state,
+        )
+        for participant in self._monitors:
+            self.record(participant.participant_id, key, change.time)
+
+    def _on_context(self, change: ContextChange) -> None:
+        key = (
+            "context-change",
+            change.context_id,
+            change.field_name,
+        )
+        for participant in self._monitors:
+            self.record(participant.participant_id, key, change.time)

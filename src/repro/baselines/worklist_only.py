@@ -1,0 +1,67 @@
+"""The WfMS "worker" baseline: worklist-only awareness.
+
+"WfMSs currently assume that participants in a process are either 'workers'
+that need to be aware only of the activities assigned to them, or
+'managers' ..." (Section 2).  A worker's entire awareness is their
+worklist: they learn that an activity was offered to them, and nothing
+else — no context changes, no cross-activity situations, no external
+events.
+
+The adapter polls the worklist manager after every activity event and
+records a delivery per (participant, newly offered item).
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from ..coordination.worklist import WorklistManager
+from ..core.engine import CoreEngine
+from .base import BaselineAdapter
+
+
+class WorklistOnlyAwareness(BaselineAdapter):
+    """Deliveries = work item offers reaching role members."""
+
+    mechanism = "worklist-only (WfMS worker)"
+
+    def __init__(self, core: CoreEngine, worklists: WorklistManager) -> None:
+        super().__init__()
+        self._core = core
+        self._worklists = worklists
+        self._seen: Set[Tuple[str, str]] = set()
+        # Work items appear as a consequence of activity state changes, so
+        # polling on that hook observes every offer; offers made after the
+        # last state change of a quiescent system are picked up by the
+        # read-side sync in deliveries().
+        core.on_activity_change(lambda change: self._poll(change.time))
+
+    def deliveries(self):
+        self._poll(self._core.clock.now())
+        return super().deliveries()
+
+    def deliveries_per_participant(self):
+        self._poll(self._core.clock.now())
+        return super().deliveries_per_participant()
+
+    def total(self) -> int:
+        self._poll(self._core.clock.now())
+        return super().total()
+
+    def _poll(self, time: int) -> None:
+        for item in self._worklists.all_items():
+            for participant in item.candidates:
+                mark = (item.item_id, participant.participant_id)
+                if mark in self._seen:
+                    continue
+                self._seen.add(mark)
+                self.record(
+                    participant.participant_id,
+                    key=(
+                        "work-item",
+                        item.activity.parent_process_instance_id
+                        or item.activity.instance_id,
+                        item.activity.schema.name,
+                    ),
+                    time=item.offered_at,
+                )

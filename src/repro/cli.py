@@ -1,0 +1,171 @@
+"""Command-line interface: run the paper's scenarios from a shell.
+
+``python -m repro <command>`` exposes the library's headline flows:
+
+* ``demo`` — the Section 5.4 deadline-violation walkthrough;
+* ``epidemic`` — the Figure 1 crisis information-gathering scenario;
+* ``overload`` — the QE1 comparison tables (CMI vs baselines);
+* ``demonstration`` — the Section 7-scale run with paper-vs-measured rows;
+* ``check-spec`` — parse and validate an awareness specification written
+  in the DSL, printing the resulting window (a designer's lint step).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import EnactmentSystem, Participant
+from .errors import ReproError
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .workloads.taskforce import TaskForceApplication
+
+    system = EnactmentSystem()
+    lee = system.register_participant(Participant("u-lee", "dr-lee"))
+    kim = system.register_participant(Participant("u-kim", "dr-kim"))
+    role = system.core.roles.define_role("epidemiologist")
+    role.add_member(lee)
+    role.add_member(kim)
+    app = TaskForceApplication(system)
+    app.install_awareness()
+    print(app.window.render())
+    task_force = app.create_task_force(lee, [lee, kim], deadline=200)
+    request = app.request_information(task_force, kim, deadline=150)
+    print(f"\ntask force deadline 200; dr-kim's request deadline 150")
+    app.change_task_force_deadline(task_force, 120)
+    print("dr-lee moves the task force deadline to 120 -> violation\n")
+    for notification in system.participant_client(kim).check_awareness():
+        print(f"[dr-kim's viewer] {notification.description}")
+    app.complete_request(request)
+    return 0
+
+
+def _cmd_epidemic(args: argparse.Namespace) -> int:
+    from .workloads.epidemic import EpidemicScenario
+
+    report = EpidemicScenario(EnactmentSystem(), seed=args.seed).run()
+    print(report.timeline)
+    print(
+        f"\nlab tests: {report.lab_tests_run} (positive at "
+        f"{report.positive_test}); vector task force: "
+        f"{report.vector_tf_started}; expertise rounds: "
+        f"{report.expertise_rounds}"
+    )
+    print(f"awareness: {report.notifications_by_participant}")
+    return 0
+
+
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from .workloads.generator import CrisisWorkload, WorkloadConfig
+
+    config = WorkloadConfig(task_forces=args.task_forces, seed=args.seed)
+    result = CrisisWorkload(config).run()
+    print(result.table("raw"))
+    print()
+    print(result.table("digested"))
+    return 0
+
+
+def _cmd_demonstration(args: argparse.Namespace) -> int:
+    from .metrics.report import render_table
+    from .workloads.demonstration import build_demonstration
+
+    report = build_demonstration(seed=args.seed).run()
+    rows = [
+        ("collaboration processes", "9", report.process_schemas),
+        ("CMM activities", "> 50", report.cmm_activities),
+        ("WfMS activities", "a few hundred", report.wfms_activities),
+        ("awareness specifications", "8", report.awareness_specifications),
+        ("context scripts", "30", report.context_scripts),
+        (
+            "all functionality provided",
+            "yes",
+            "yes" if report.all_functionality_provided else "NO",
+        ),
+    ]
+    print(render_table(("statistic", "paper", "measured"), rows))
+    return 0
+
+
+def _cmd_check_spec(args: argparse.Namespace) -> int:
+    from .awareness.dsl import compile_specification
+    from .awareness.specification import SpecificationWindow
+    from .events.producers import ActivityEventProducer, ContextEventProducer
+
+    with open(args.file) as handle:
+        text = handle.read()
+    window = SpecificationWindow(
+        args.process_schema,
+        {
+            "ActivityEvent": ActivityEventProducer(),
+            "ContextEvent": ContextEventProducer(),
+        },
+    )
+    schemas = compile_specification(window, text)
+    window.validate()
+    print(f"OK: {len(schemas)} awareness schema(s)")
+    print(window.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CMI reproduction: run the paper's scenarios",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="the Section 5.4 walkthrough")
+    demo.set_defaults(handler=_cmd_demo)
+
+    epidemic = commands.add_parser(
+        "epidemic", help="the Figure 1 crisis scenario"
+    )
+    epidemic.add_argument("--seed", type=int, default=7)
+    epidemic.set_defaults(handler=_cmd_epidemic)
+
+    overload = commands.add_parser(
+        "overload", help="the QE1 overload comparison"
+    )
+    overload.add_argument("--task-forces", type=int, default=6)
+    overload.add_argument("--seed", type=int, default=11)
+    overload.set_defaults(handler=_cmd_overload)
+
+    demonstration = commands.add_parser(
+        "demonstration", help="the Section 7-scale run"
+    )
+    demonstration.add_argument("--seed", type=int, default=3)
+    demonstration.set_defaults(handler=_cmd_demonstration)
+
+    check = commands.add_parser(
+        "check-spec", help="validate a DSL awareness specification"
+    )
+    check.add_argument("file", help="path to the specification text")
+    check.add_argument(
+        "--process-schema",
+        default="P",
+        help="process schema id the window is associated with",
+    )
+    check.set_defaults(handler=_cmd_check_spec)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

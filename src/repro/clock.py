@@ -1,0 +1,80 @@
+"""Logical clock used throughout the reproduction.
+
+All timestamps in events, state transition histories, and deadlines are
+*ticks* of a :class:`LogicalClock` rather than wall-clock time.  This keeps
+every example, test, and benchmark deterministic: the epidemic scenario of
+Figure 1 unfolds over simulated hours, the deadline comparison of the
+Section 5.4 example compares tick values, and latency benchmarks count
+pipeline hops in ticks.
+
+The clock is strictly monotonic: :meth:`LogicalClock.tick` always moves time
+forward by at least one unit, and :meth:`LogicalClock.advance_to` refuses to
+travel backwards.
+"""
+
+from __future__ import annotations
+
+from .errors import ReproError
+
+
+class ClockError(ReproError):
+    """The logical clock was asked to move backwards."""
+
+
+class LogicalClock:
+    """A deterministic, strictly monotonic tick counter.
+
+    >>> clock = LogicalClock()
+    >>> clock.now()
+    0
+    >>> clock.tick()
+    1
+    >>> clock.advance(10)
+    11
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start}")
+        self._now = start
+        self._listeners = []
+
+    def now(self) -> int:
+        """Return the current tick without advancing."""
+        return self._now
+
+    def on_advance(self, listener) -> None:
+        """Register ``listener(now)`` to run whenever time moves forward.
+
+        This is what timer services hook; listeners run after the move,
+        with the new time, in registration order.
+        """
+        self._listeners.append(listener)
+
+    def _moved(self) -> int:
+        for listener in list(self._listeners):
+            listener(self._now)
+        return self._now
+
+    def tick(self) -> int:
+        """Advance time by one tick and return the new time."""
+        self._now += 1
+        return self._moved()
+
+    def advance(self, ticks: int) -> int:
+        """Advance time by *ticks* (must be positive) and return the new time."""
+        if ticks <= 0:
+            raise ClockError(f"advance requires a positive tick count, got {ticks}")
+        self._now += ticks
+        return self._moved()
+
+    def advance_to(self, when: int) -> int:
+        """Jump forward to absolute time *when* (must not be in the past)."""
+        if when < self._now:
+            raise ClockError(f"cannot move clock backwards from {self._now} to {when}")
+        moved = when > self._now
+        self._now = when
+        return self._moved() if moved else self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalClock(now={self._now})"

@@ -1,0 +1,30 @@
+"""Coordination Model (CM) — the workflow-enactment substrate.
+
+The CM extends CORE with "operations that cause state transitions"
+(Section 4) and with automated process enactment: when an activity closes,
+the dependency variables of the enclosing process schema determine which
+subactivities become ready next, and work items appear on the worklists of
+the participants playing the performer roles.
+
+In the paper's prototype this layer is realized on IBM FlowMark; here it is
+implemented from scratch (see DESIGN.md, substitutions table).  What the
+Awareness Model observes — the stream of activity state change events — is
+identical.
+"""
+
+from .dependencies import DependencyEvaluator
+from .engine import CoordinationEngine
+from .timers import DeadlineMonitor, Timer, TimerService, attach_deadline_monitors
+from .worklist import WorkItem, Worklist, WorklistManager
+
+__all__ = [
+    "CoordinationEngine",
+    "DeadlineMonitor",
+    "DependencyEvaluator",
+    "Timer",
+    "TimerService",
+    "WorkItem",
+    "Worklist",
+    "WorklistManager",
+    "attach_deadline_monitors",
+]

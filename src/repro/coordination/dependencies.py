@@ -1,0 +1,153 @@
+"""Dependency evaluation: which subactivities become ready next.
+
+The coordination rules of a process schema are its dependency variables
+(Section 3, Figure 3).  The evaluator answers one question for the
+enactment engine: *given the current states of a process instance's
+children, which not-yet-instantiated activity variables are now enabled?*
+
+Semantics per dependency type (see
+:class:`repro.core.metamodel.DependencyType`):
+
+* ``SEQUENCE``   — enabled when the single source child **completed**;
+* ``CONDITION``  — like SEQUENCE, additionally guarded by the dependency's
+  condition callable evaluated against the live process instance;
+* ``SYNC_AND``   — enabled when **all** source children completed;
+* ``SYNC_OR``    — enabled when **at least one** source child completed.
+
+An activity variable targeted by several dependencies is enabled when *all*
+of them are satisfied (the dependencies conjoin, matching the WfMC join
+interpretation).  Sources that were terminated (not completed) do not
+satisfy dependencies — termination propagates as dead-path for SEQUENCE
+and CONDITION, while OR-joins simply wait for another source.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.instances import ProcessInstance
+from ..core.metamodel import DependencyType
+from ..core.schema import DependencyVariable, ProcessActivitySchema
+from ..core.states import COMPLETED, TERMINATED
+
+
+class DependencyEvaluator:
+    """Pure evaluation over a process instance's children (no mutation)."""
+
+    def __init__(self, schema: ProcessActivitySchema) -> None:
+        self.schema = schema
+
+    # -- child state helpers ----------------------------------------------------
+
+    @staticmethod
+    def _completed(process: ProcessInstance, variable_name: str) -> bool:
+        if not process.has_child(variable_name):
+            return False
+        child = process.child(variable_name)
+        return child.state_machine.is_in(COMPLETED)
+
+    @staticmethod
+    def _terminated(process: ProcessInstance, variable_name: str) -> bool:
+        if not process.has_child(variable_name):
+            return False
+        child = process.child(variable_name)
+        return child.state_machine.is_in(TERMINATED)
+
+    # -- dependency satisfaction ---------------------------------------------------
+
+    def satisfied(
+        self, dependency: DependencyVariable, process: ProcessInstance
+    ) -> bool:
+        """True when *dependency* currently allows its target to start."""
+        if dependency.dependency_type is DependencyType.SEQUENCE:
+            return self._completed(process, dependency.sources[0])
+        if dependency.dependency_type is DependencyType.CONDITION:
+            if not self._completed(process, dependency.sources[0]):
+                return False
+            assert dependency.condition is not None
+            return bool(dependency.condition(process))
+        if dependency.dependency_type is DependencyType.SYNC_AND:
+            return all(self._completed(process, s) for s in dependency.sources)
+        if dependency.dependency_type is DependencyType.SYNC_OR:
+            return any(self._completed(process, s) for s in dependency.sources)
+        raise AssertionError(f"unhandled dependency type {dependency.dependency_type}")
+
+    def dead(
+        self, dependency: DependencyVariable, process: ProcessInstance
+    ) -> bool:
+        """True when *dependency* can never become satisfied any more.
+
+        SEQUENCE/CONDITION die when their source terminated; AND-joins die
+        when any source terminated; OR-joins die only when all sources
+        terminated.
+        """
+        if dependency.dependency_type in (
+            DependencyType.SEQUENCE,
+            DependencyType.CONDITION,
+        ):
+            return self._terminated(process, dependency.sources[0])
+        if dependency.dependency_type is DependencyType.SYNC_AND:
+            return any(self._terminated(process, s) for s in dependency.sources)
+        if dependency.dependency_type is DependencyType.SYNC_OR:
+            return all(self._terminated(process, s) for s in dependency.sources)
+        raise AssertionError(f"unhandled dependency type {dependency.dependency_type}")
+
+    # -- enabled set ----------------------------------------------------------------
+
+    def enabled_activities(self, process: ProcessInstance) -> Tuple[str, ...]:
+        """Activity variables whose dependencies are all satisfied and that
+        have not been instantiated yet (entry activities excluded: those are
+        started by the engine at process start)."""
+        enabled: List[str] = []
+        for variable in self.schema.activity_variables():
+            name = variable.name
+            if process.has_child(name):
+                continue
+            if name in self.schema.entry_activities:
+                continue
+            targeting = self.schema.dependencies_targeting(name)
+            if not targeting:
+                continue
+            if all(self.satisfied(d, process) for d in targeting):
+                enabled.append(name)
+        return tuple(enabled)
+
+    def dead_activities(self, process: ProcessInstance) -> Tuple[str, ...]:
+        """Activity variables that can never start (dead-path elimination)."""
+        dead: List[str] = []
+        for variable in self.schema.activity_variables():
+            name = variable.name
+            if process.has_child(name):
+                continue
+            targeting = self.schema.dependencies_targeting(name)
+            if not targeting:
+                continue
+            if any(self.dead(d, process) for d in targeting):
+                dead.append(name)
+        return tuple(dead)
+
+    def process_can_complete(self, process: ProcessInstance) -> bool:
+        """True when no child is open and nothing further can be enabled.
+
+        Optional activity variables that never started do not block
+        completion (Figure 1: optional lab tests may simply never happen).
+        """
+        for child in process.children.values():
+            if not child.is_closed():
+                return False
+        if self.enabled_activities(process):
+            return False
+        for variable in self.schema.activity_variables():
+            name = variable.name
+            if process.has_child(name) or variable.optional:
+                continue
+            targeting = self.schema.dependencies_targeting(name)
+            if not targeting and name not in self.schema.entry_activities:
+                continue
+            # A mandatory, never-started target blocks completion unless its
+            # dependencies are dead.
+            if name in self.schema.entry_activities:
+                return False
+            if not any(self.dead(d, process) for d in targeting):
+                return False
+        return True

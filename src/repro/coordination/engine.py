@@ -1,0 +1,209 @@
+"""The Coordination Engine (Figure 5): automated process enactment.
+
+The CM "enhances CORE's activities and activity states with operations that
+cause state transitions" (Section 4).  This engine provides those
+operations and automates routing:
+
+* :meth:`CoordinationEngine.start_process` — instantiate a top-level
+  process, run it (Uninitialized -> Ready -> Running), and start its entry
+  activities;
+* when an activity completes, the dependency evaluator computes the newly
+  enabled subactivities, which are instantiated and made ready;
+* ready **basic** activities are offered on worklists to the members of
+  their performer role (resolved at offer time, so scoped roles work);
+* ready **subprocess** activities are started recursively;
+* when every child is closed and nothing more can be enabled, the parent
+  process completes automatically — the coordination processes of crisis
+  response "may be partially unknown when they start" (Section 1), so
+  completion is detected, not scripted.
+
+All state transitions flow through the CORE engine, which publishes the
+``E_activity`` primitive events the Awareness Model consumes; the
+coordination engine itself contains no awareness logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import EnactmentError
+from ..core.engine import CoreEngine
+from ..core.instances import ActivityInstance, ProcessInstance
+from ..core.roles import Participant, RoleRef
+from ..core.schema import (
+    ActivitySchema,
+    BasicActivitySchema,
+    ProcessActivitySchema,
+)
+from ..core.states import COMPLETED, READY, RUNNING, SUSPENDED, TERMINATED
+from .dependencies import DependencyEvaluator
+from .worklist import WorkItem, Worklist, WorklistManager
+
+
+class CoordinationEngine:
+    """Drives process enactment on top of a :class:`CoreEngine`."""
+
+    def __init__(self, core: CoreEngine) -> None:
+        self.core = core
+        self.worklists = WorklistManager()
+        self._evaluators: Dict[str, DependencyEvaluator] = {}
+
+    # -- process lifecycle -------------------------------------------------------
+
+    def start_process(
+        self,
+        schema: ProcessActivitySchema,
+        parent: Optional[ProcessInstance] = None,
+        activity_variable_name: Optional[str] = None,
+    ) -> ProcessInstance:
+        """Instantiate and start a process (top-level or as a subprocess)."""
+        if parent is None:
+            instance = self.core.create_process_instance(schema)
+        else:
+            if activity_variable_name is None:
+                raise EnactmentError(
+                    "starting a subprocess requires the activity variable name"
+                )
+            variable = parent.schema.activity_variable(activity_variable_name)
+            instance = self.core.create_process_instance(
+                schema, parent=parent, activity_variable=variable
+            )
+        self.core.change_state(instance, READY)
+        self.core.change_state(instance, RUNNING)
+        for entry_name in schema.entry_activities:
+            self._start_activity_variable(instance, entry_name)
+        return instance
+
+    def start_optional_activity(
+        self, process: ProcessInstance, activity_variable_name: str, user: Optional[str] = None
+    ) -> ActivityInstance:
+        """Start an optional subactivity by explicit participant decision.
+
+        Figure 1's optional activities (additional lab tests, inviting local
+        expertise) "depend on current results and decisions made by the
+        process participants" — this is that operation.
+        """
+        variable = process.schema.activity_variable(activity_variable_name)
+        if not variable.optional:
+            raise EnactmentError(
+                f"activity variable {activity_variable_name!r} is not optional; "
+                f"it is routed by dependencies"
+            )
+        if process.has_child(activity_variable_name):
+            raise EnactmentError(
+                f"optional activity {activity_variable_name!r} already started"
+            )
+        return self._start_activity_variable(process, activity_variable_name, user)
+
+    # -- participant operations -----------------------------------------------------
+
+    def claim(self, item: WorkItem, participant: Participant) -> None:
+        """A participant claims a ready work item and starts the activity."""
+        self.worklists.claim(item, participant)
+        item.activity.performer = participant
+        self.core.change_state(item.activity, RUNNING, user=participant.name)
+
+    def complete_activity(
+        self, activity: ActivityInstance, user: Optional[str] = None
+    ) -> None:
+        """Complete a running basic activity and route onward."""
+        if isinstance(activity, ProcessInstance):
+            raise EnactmentError(
+                "processes complete automatically; complete their activities"
+            )
+        item = self.worklists.item_for_activity(activity.instance_id)
+        if item is not None and item.open:
+            self.worklists.finish(item)
+        self.core.change_state(activity, COMPLETED, user=user)
+        if activity.parent is not None:
+            self._advance(activity.parent)
+
+    def terminate_activity(
+        self, activity: ActivityInstance, user: Optional[str] = None
+    ) -> None:
+        """Terminate an open activity (and, recursively, its children).
+
+        A process is terminated *before* its children so that the
+        children's closure cannot race the parent into auto-completion
+        (``_advance`` only completes processes still in Running).
+        """
+        item = self.worklists.item_for_activity(activity.instance_id)
+        if item is not None and item.open:
+            self.worklists.finish(item)
+        if not activity.is_closed():
+            self.core.change_state(activity, TERMINATED, user=user)
+        if isinstance(activity, ProcessInstance):
+            for child in list(activity.children.values()):
+                if not child.is_closed():
+                    self.terminate_activity(child, user=user)
+        if activity.parent is not None:
+            self._advance(activity.parent)
+
+    def suspend_activity(
+        self, activity: ActivityInstance, user: Optional[str] = None
+    ) -> None:
+        self.core.change_state(activity, SUSPENDED, user=user)
+
+    def resume_activity(
+        self, activity: ActivityInstance, user: Optional[str] = None
+    ) -> None:
+        self.core.change_state(activity, RUNNING, user=user)
+
+    def worklist_for(self, participant: Participant) -> Worklist:
+        return self.worklists.worklist_for(participant)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _evaluator(self, schema: ProcessActivitySchema) -> DependencyEvaluator:
+        evaluator = self._evaluators.get(schema.schema_id)
+        if evaluator is None:
+            evaluator = DependencyEvaluator(schema)
+            self._evaluators[schema.schema_id] = evaluator
+        return evaluator
+
+    def _start_activity_variable(
+        self,
+        process: ProcessInstance,
+        variable_name: str,
+        user: Optional[str] = None,
+    ) -> ActivityInstance:
+        variable = process.schema.activity_variable(variable_name)
+        child_schema = variable.activity_schema
+        if isinstance(child_schema, ProcessActivitySchema):
+            return self.start_process(
+                child_schema, parent=process, activity_variable_name=variable_name
+            )
+        activity = self.core.create_activity_instance(process, variable_name)
+        self.core.change_state(activity, READY, user=user)
+        self._offer(activity, variable.performer or getattr(
+            child_schema, "performer", None
+        ))
+        return activity
+
+    def _offer(
+        self, activity: ActivityInstance, performer: Optional[RoleRef]
+    ) -> None:
+        """Offer a ready basic activity on worklists.
+
+        The performer role is resolved *now* (offer time) so dynamically
+        populated scoped roles are honoured.  Activities without a
+        performer role are system steps: they are left READY for the
+        workload driver to run.
+        """
+        if performer is None:
+            return
+        scope = activity.parent_process_instance_id
+        candidates = self.core.resolve_role(performer, scope)
+        self.worklists.offer(activity, candidates, time=self.core.clock.now())
+
+    def _advance(self, process: ProcessInstance) -> None:
+        """Re-evaluate a process after one of its children closed."""
+        evaluator = self._evaluator(process.schema)
+        for name in evaluator.enabled_activities(process):
+            self._start_activity_variable(process, name)
+        if process.state_machine.is_in(RUNNING) and evaluator.process_can_complete(
+            process
+        ):
+            self.core.change_state(process, COMPLETED)
+            if process.parent is not None:
+                self._advance(process.parent)

@@ -1,0 +1,168 @@
+"""Deadline timers: turning deadline values into expiry events.
+
+The crisis processes of the paper are full of deadlines stored in context
+fields (``TaskForceDeadline``, ``RequestDeadline``).  Awareness over
+deadline *changes* needs no machinery beyond ``Filter_context``; awareness
+over deadline *expiry* — "the deadline passed and the work is not done" —
+needs someone to notice the passage of time.  That is this module:
+
+* :class:`TimerService` — a priority queue of timers driven by the
+  logical clock's advancement hooks; timers fire in due-time order (ties
+  in scheduling order) the moment the clock reaches them;
+* :class:`DeadlineMonitor` — watches a deadline-valued context field,
+  keeps exactly one pending timer at the latest deadline value (moves of
+  the deadline reschedule it), and on expiry writes a marker field back
+  into the context — which emits an ordinary context field change event,
+  so **expiry awareness is authored like any other awareness**: a
+  ``Filter_context`` on the marker field.
+
+Neither class knows anything about the awareness model; they extend the
+coordination substrate, exactly where a WfMS keeps its timer service.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..clock import LogicalClock
+from ..core.context import ContextReference
+from ..errors import EnactmentError
+
+
+@dataclass
+class Timer:
+    """A scheduled callback; cancel via :meth:`TimerService.cancel`."""
+
+    due: int
+    sequence: int
+    callback: Callable[[int], None]
+    cancelled: bool = False
+    fired: bool = False
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.due, self.sequence) < (other.due, other.sequence)
+
+
+class TimerService:
+    """Fire callbacks when the logical clock reaches their due time."""
+
+    def __init__(self, clock: LogicalClock) -> None:
+        self.clock = clock
+        self._heap: List[Timer] = []
+        self._sequence = itertools.count()
+        self.fired = 0
+        clock.on_advance(self._on_advance)
+
+    def schedule(self, due: int, callback: Callable[[int], None]) -> Timer:
+        """Schedule ``callback(now)`` at tick *due*.
+
+        A due time at or before the current tick fires immediately — a
+        deadline set in the past has, by definition, already expired.
+        """
+        timer = Timer(due=due, sequence=next(self._sequence), callback=callback)
+        if due <= self.clock.now():
+            self._fire(timer)
+            return timer
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def cancel(self, timer: Timer) -> None:
+        if timer.fired:
+            raise EnactmentError("cannot cancel a timer that already fired")
+        timer.cancelled = True
+
+    def pending_count(self) -> int:
+        return sum(1 for t in self._heap if not t.cancelled and not t.fired)
+
+    def _on_advance(self, now: int) -> None:
+        while self._heap and self._heap[0].due <= now:
+            timer = heapq.heappop(self._heap)
+            if timer.cancelled or timer.fired:
+                continue
+            self._fire(timer)
+
+    def _fire(self, timer: Timer) -> None:
+        timer.fired = True
+        self.fired += 1
+        timer.callback(self.clock.now())
+
+
+class DeadlineMonitor:
+    """Watch one deadline field; mark its expiry back into the context.
+
+    The marker field must be declared in the context schema (an ``int``
+    field; the monitor writes the expiry tick into it).  Rescheduling is
+    automatic: call :meth:`deadline_changed` whenever the deadline field
+    is assigned (or wire it to the engine's context-change hook with
+    :func:`attach_deadline_monitors`).  A monitor whose context is
+    destroyed simply stops marking — the scope has ended.
+    """
+
+    def __init__(
+        self,
+        timers: TimerService,
+        ref: ContextReference,
+        deadline_field: str,
+        marker_field: str,
+    ) -> None:
+        self.timers = timers
+        self.ref = ref
+        self.deadline_field = deadline_field
+        self.marker_field = marker_field
+        self._timer: Optional[Timer] = None
+        self.expired = False
+        if ref.is_set(deadline_field):
+            self.deadline_changed(ref.get(deadline_field))
+
+    def deadline_changed(self, new_deadline: int) -> None:
+        """(Re)schedule the expiry timer for *new_deadline*."""
+        if self._timer is not None and not self._timer.fired:
+            self.timers.cancel(self._timer)
+        self.expired = False
+        self._timer = self.timers.schedule(new_deadline, self._expire)
+
+    def _expire(self, now: int) -> None:
+        self.expired = True
+        try:
+            self.ref.set(self.marker_field, now)
+        except Exception:
+            # The context (scope) is gone; expiry is moot.
+            pass
+
+
+def attach_deadline_monitors(
+    core,
+    timers: TimerService,
+    context_name: str,
+    deadline_field: str,
+    marker_field: str,
+) -> Callable[[], int]:
+    """Auto-create a monitor per context of *context_name*.
+
+    Hooks the engine's context-change stream: the first assignment of the
+    deadline field creates a monitor for that context; later assignments
+    reschedule it.  Returns a callable reporting how many monitors exist
+    (bench/test introspection).
+    """
+    monitors = {}
+
+    def on_change(change) -> None:
+        if change.context_name != context_name:
+            return
+        if change.field_name != deadline_field:
+            return
+        monitor = monitors.get(change.context_id)
+        if monitor is None:
+            resource = core.context_resource(change.context_id)
+            ref = ContextReference(resource, None, core.clock.now)
+            monitors[change.context_id] = DeadlineMonitor(
+                timers, ref, deadline_field, marker_field
+            )
+        else:
+            monitor.deadline_changed(change.new_value)
+
+    core.on_context_change(on_change)
+    return lambda: len(monitors)

@@ -1,0 +1,137 @@
+"""Worklists — the traditional WfMS participant interface.
+
+CMI's Client for Participants contains "a variant of the traditional WfMS
+worklist" (Section 6.1).  A work item appears when a basic activity becomes
+ready; it is offered to every participant who currently plays the
+activity's performer role, and claimed by exactly one of them, who then
+performs and completes the activity.
+
+The worklist also doubles as the **worklist-only awareness baseline** of
+Section 2: WfMSs "assume that participants in a process are either
+'workers' that need to be aware only of the activities assigned to them, or
+'managers' that must know the status of all the activities" — the worklist
+is all the awareness a worker gets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import WorklistError
+from ..core.instances import ActivityInstance
+from ..core.roles import Participant
+
+
+@dataclass
+class WorkItem:
+    """One ready activity offered to the members of its performer role."""
+
+    item_id: str
+    activity: ActivityInstance
+    candidates: FrozenSet[Participant]
+    offered_at: int
+    claimed_by: Optional[Participant] = None
+    completed: bool = False
+
+    @property
+    def open(self) -> bool:
+        return not self.completed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = (
+            "completed"
+            if self.completed
+            else f"claimed by {self.claimed_by.name}"
+            if self.claimed_by
+            else "offered"
+        )
+        return f"WorkItem({self.activity.schema.name!r}, {status})"
+
+
+class Worklist:
+    """The per-participant view over the shared work item pool."""
+
+    def __init__(self, participant: Participant, manager: "WorklistManager"):
+        self.participant = participant
+        self._manager = manager
+
+    def items(self) -> Tuple[WorkItem, ...]:
+        """Open items offered to or claimed by this participant."""
+        return tuple(
+            item
+            for item in self._manager.open_items()
+            if (
+                item.claimed_by == self.participant
+                or (item.claimed_by is None and self.participant in item.candidates)
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.items())
+
+
+class WorklistManager:
+    """Owns the shared pool of work items."""
+
+    def __init__(self) -> None:
+        self._items: Dict[str, WorkItem] = {}
+        self._by_activity: Dict[str, str] = {}
+        self._next = 0
+
+    def offer(
+        self,
+        activity: ActivityInstance,
+        candidates: FrozenSet[Participant],
+        time: int,
+    ) -> WorkItem:
+        if activity.instance_id in self._by_activity:
+            raise WorklistError(
+                f"activity {activity.instance_id!r} already has a work item"
+            )
+        self._next += 1
+        item = WorkItem(
+            item_id=f"item-{self._next}",
+            activity=activity,
+            candidates=candidates,
+            offered_at=time,
+        )
+        self._items[item.item_id] = item
+        self._by_activity[activity.instance_id] = item.item_id
+        return item
+
+    def claim(self, item: WorkItem, participant: Participant) -> None:
+        if item.completed:
+            raise WorklistError(f"work item {item.item_id!r} is already completed")
+        if item.claimed_by is not None:
+            raise WorklistError(
+                f"work item {item.item_id!r} was already claimed by "
+                f"{item.claimed_by.name!r}"
+            )
+        if participant not in item.candidates:
+            raise WorklistError(
+                f"{participant.name!r} is not a candidate for work item "
+                f"{item.item_id!r}"
+            )
+        item.claimed_by = participant
+        participant.load += 1
+
+    def finish(self, item: WorkItem) -> None:
+        if item.completed:
+            raise WorklistError(f"work item {item.item_id!r} is already completed")
+        item.completed = True
+        if item.claimed_by is not None:
+            item.claimed_by.load = max(0, item.claimed_by.load - 1)
+
+    def item_for_activity(self, activity_instance_id: str) -> Optional[WorkItem]:
+        item_id = self._by_activity.get(activity_instance_id)
+        return self._items.get(item_id) if item_id else None
+
+    def open_items(self) -> Tuple[WorkItem, ...]:
+        return tuple(item for item in self._items.values() if item.open)
+
+    def all_items(self) -> Tuple[WorkItem, ...]:
+        return tuple(self._items.values())
+
+    def worklist_for(self, participant: Participant) -> Worklist:
+        return Worklist(participant, self)

@@ -1,0 +1,85 @@
+"""CMM CORE model (Section 4 of the paper).
+
+The CORE defines the common primitives shared by every CMM extension:
+
+* activity state schemas — generic states (Figure 4) plus
+  application-specific substate forests (:mod:`repro.core.states`);
+* resources — data, helper, participant, and context resource types
+  (:mod:`repro.core.resources`, :mod:`repro.core.context`);
+* organizational and scoped roles (:mod:`repro.core.roles`);
+* activity/process schemas built from the CMM meta types
+  (:mod:`repro.core.metamodel`, :mod:`repro.core.schema`);
+* run-time instances and the CORE engine
+  (:mod:`repro.core.instances`, :mod:`repro.core.engine`).
+"""
+
+from .context import ContextReference, ContextResource, ContextSchema
+from .engine import CoreEngine
+from .instances import ActivityInstance, ProcessInstance
+from .metamodel import (
+    CMM_EXTENSIONS,
+    DependencyType,
+    Extension,
+    MetaType,
+    extension_dependencies,
+)
+from .resources import (
+    DataResource,
+    HelperResource,
+    ResourceSchema,
+    ResourceUsage,
+)
+from .roles import (
+    OrganizationalRole,
+    Participant,
+    ParticipantKind,
+    RoleDirectory,
+    ScopedRole,
+)
+from .schema import (
+    ActivityVariable,
+    BasicActivitySchema,
+    DependencyVariable,
+    ProcessActivitySchema,
+    ResourceVariable,
+)
+from .states import (
+    ActivityStateSchema,
+    StateMachine,
+    StateNode,
+    Transition,
+    generic_activity_state_schema,
+)
+
+__all__ = [
+    "ActivityInstance",
+    "ActivityStateSchema",
+    "ActivityVariable",
+    "BasicActivitySchema",
+    "CMM_EXTENSIONS",
+    "ContextReference",
+    "ContextResource",
+    "ContextSchema",
+    "CoreEngine",
+    "DataResource",
+    "DependencyType",
+    "DependencyVariable",
+    "Extension",
+    "HelperResource",
+    "MetaType",
+    "OrganizationalRole",
+    "Participant",
+    "ParticipantKind",
+    "ProcessActivitySchema",
+    "ProcessInstance",
+    "ResourceSchema",
+    "ResourceUsage",
+    "ResourceVariable",
+    "RoleDirectory",
+    "ScopedRole",
+    "StateMachine",
+    "StateNode",
+    "Transition",
+    "extension_dependencies",
+    "generic_activity_state_schema",
+]

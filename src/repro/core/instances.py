@@ -1,0 +1,192 @@
+"""Run-time activity and process instances.
+
+Schemas (types) are instantiated during application execution: an
+:class:`ActivityInstance` for basic activities, a :class:`ProcessInstance`
+for processes.  Instances own a state machine over their schema's activity
+state schema; every transition produces the activity state change record
+that feeds the ``E_activity`` primitive event producer (Section 5.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import EnactmentError, SchemaError
+from .context import ContextReference
+from .resources import DataResource
+from .roles import Participant
+from .schema import ActivitySchema, ActivityVariable, ProcessActivitySchema
+from .states import StateChange, StateMachine
+
+
+@dataclass(frozen=True)
+class ActivityStateChange:
+    """The payload of an ``E_activity`` event, per Section 5.1.1.
+
+    Parameter names follow the paper exactly: time, activityInstanceId,
+    parentProcessSchemaId, parentProcessInstanceId, user,
+    activityVariableId, activityProcessSchemaId, oldState, newState.
+    Fields about the parent are ``None`` for top-level processes; the
+    activityProcessSchemaId is ``None`` for basic activities.
+    """
+
+    time: int
+    activity_instance_id: str
+    parent_process_schema_id: Optional[str]
+    parent_process_instance_id: Optional[str]
+    user: Optional[str]
+    activity_variable_id: Optional[str]
+    activity_process_schema_id: Optional[str]
+    old_state: str
+    new_state: str
+
+
+class ActivityInstance:
+    """A running (basic) activity."""
+
+    def __init__(
+        self,
+        instance_id: str,
+        schema: ActivitySchema,
+        parent: Optional["ProcessInstance"] = None,
+        activity_variable: Optional[ActivityVariable] = None,
+    ) -> None:
+        if (parent is None) != (activity_variable is None):
+            raise EnactmentError(
+                "parent and activity_variable must be supplied together"
+            )
+        self.instance_id = instance_id
+        self.schema = schema
+        self.parent = parent
+        self.activity_variable = activity_variable
+        self.state_machine = StateMachine(schema.state_schema)
+        #: The participant who claimed/performs the activity, if any.
+        self.performer: Optional[Participant] = None
+        #: Data resources bound to this instance, keyed by variable name.
+        self.data: Dict[str, DataResource] = {}
+
+    # -- identity helpers matching the E_activity parameters -------------------
+
+    @property
+    def parent_process_schema_id(self) -> Optional[str]:
+        return self.parent.schema.schema_id if self.parent else None
+
+    @property
+    def parent_process_instance_id(self) -> Optional[str]:
+        return self.parent.instance_id if self.parent else None
+
+    @property
+    def activity_variable_id(self) -> Optional[str]:
+        return self.activity_variable.name if self.activity_variable else None
+
+    @property
+    def activity_process_schema_id(self) -> Optional[str]:
+        if isinstance(self.schema, ProcessActivitySchema):
+            return self.schema.schema_id
+        return None
+
+    @property
+    def current_state(self) -> str:
+        return self.state_machine.current_state
+
+    def is_closed(self) -> bool:
+        return self.state_machine.is_closed()
+
+    # -- state changes ----------------------------------------------------------
+
+    def change_state(
+        self, new_state: str, time: int, user: Optional[str] = None
+    ) -> ActivityStateChange:
+        """Transition and return the ``E_activity`` payload record."""
+        change: StateChange = self.state_machine.transition_to(
+            new_state, time=time, user=user
+        )
+        return ActivityStateChange(
+            time=change.time,
+            activity_instance_id=self.instance_id,
+            parent_process_schema_id=self.parent_process_schema_id,
+            parent_process_instance_id=self.parent_process_instance_id,
+            user=user,
+            activity_variable_id=self.activity_variable_id,
+            activity_process_schema_id=self.activity_process_schema_id,
+            old_state=change.old_state,
+            new_state=change.new_state,
+        )
+
+    # -- data binding ----------------------------------------------------------
+
+    def bind_data(self, variable_name: str, resource: DataResource) -> None:
+        self.schema.resource_variable(variable_name)  # raises if unknown
+        self.data[variable_name] = resource
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.schema.name!r}, "
+            f"id={self.instance_id!r}, state={self.current_state!r})"
+        )
+
+
+class ProcessInstance(ActivityInstance):
+    """A running process: child instances, contexts, and dependency state."""
+
+    def __init__(
+        self,
+        instance_id: str,
+        schema: ProcessActivitySchema,
+        parent: Optional["ProcessInstance"] = None,
+        activity_variable: Optional[ActivityVariable] = None,
+    ) -> None:
+        if not isinstance(schema, ProcessActivitySchema):
+            raise SchemaError(
+                f"ProcessInstance requires a process schema, got {schema!r}"
+            )
+        super().__init__(instance_id, schema, parent, activity_variable)
+        self.schema: ProcessActivitySchema = schema
+        #: Child instances keyed by activity variable name.
+        self.children: Dict[str, ActivityInstance] = {}
+        #: Context references held by this process, keyed by context name.
+        self.context_refs: Dict[str, ContextReference] = {}
+        #: Arbitrary local process data (the "local data variables").
+        self.locals: Dict[str, Any] = {}
+
+    def add_child(self, variable_name: str, child: ActivityInstance) -> None:
+        if variable_name in self.children:
+            raise EnactmentError(
+                f"activity variable {variable_name!r} of process "
+                f"{self.instance_id!r} is already instantiated"
+            )
+        self.children[variable_name] = child
+
+    def child(self, variable_name: str) -> ActivityInstance:
+        try:
+            return self.children[variable_name]
+        except KeyError:
+            raise EnactmentError(
+                f"activity variable {variable_name!r} of process "
+                f"{self.instance_id!r} has no instance"
+            ) from None
+
+    def has_child(self, variable_name: str) -> bool:
+        return variable_name in self.children
+
+    def hold_context(self, ref: ContextReference) -> None:
+        self.context_refs[ref.context_name] = ref
+
+    def context(self, name: str) -> ContextReference:
+        try:
+            return self.context_refs[name]
+        except KeyError:
+            raise EnactmentError(
+                f"process {self.instance_id!r} holds no reference to "
+                f"context {name!r}"
+            ) from None
+
+    def descendants(self) -> List[ActivityInstance]:
+        """All transitive child instances, preorder."""
+        result: List[ActivityInstance] = []
+        for child in self.children.values():
+            result.append(child)
+            if isinstance(child, ProcessInstance):
+                result.extend(child.descendants())
+        return result

@@ -1,0 +1,136 @@
+"""The CMM meta-model layer (Section 3, Figures 2 and 3).
+
+CMM is a process *meta model*: a deliberate compromise between the fixed
+primitive sets of COTS workflow systems and the full meta-modeling of
+academic systems such as MOBILE.  Concretely (Figure 3):
+
+* meta types exist for **activity states** (``ACTIVITY_STATE``), for
+  **activities** (``BASIC_ACTIVITY`` and ``PROCESS_ACTIVITY``), and for
+  **resources** (``RESOURCE``) — schemas are instances of these meta types;
+* **dependency types are a fixed set** (:class:`DependencyType`), following
+  the COTS-WfMS approach, not user-extensible.
+
+This module also records the CMM extension structure of Figure 2 —
+CORE plus the Coordination, Awareness, and Service models, with
+application-specific extensions layered on top — so benchmarks can verify
+the composition declaratively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+
+class MetaType(enum.Enum):
+    """The CMM object meta types of Figure 3."""
+
+    ACTIVITY_STATE = "activity state meta type"
+    BASIC_ACTIVITY = "basic activity meta type"
+    PROCESS_ACTIVITY = "process activity meta type"
+    RESOURCE = "resource meta type"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class DependencyType(enum.Enum):
+    """The fixed set of CMM dependency types.
+
+    The paper prescribes a fixed dependency type set (Section 3).  The set
+    below covers the control-flow dependencies needed by the crisis
+    processes of the paper: plain sequencing, condition-guarded sequencing,
+    and AND/OR joins over several predecessor activities.
+    """
+
+    SEQUENCE = "sequence"
+    CONDITION = "condition"
+    SYNC_AND = "and-join"
+    SYNC_OR = "or-join"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Extension:
+    """One CMM sub-model from Figure 2 and what it builds upon."""
+
+    name: str
+    abbreviation: str
+    builds_on: Tuple[str, ...] = field(default_factory=tuple)
+    provides: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.abbreviation})"
+
+
+#: The CMM composition of Figure 2: CORE at the bottom; CM, AM, and SM as
+#: CORE extensions; application-specific models atop CM, SM, and AM.
+CMM_EXTENSIONS: Dict[str, Extension] = {
+    "CORE": Extension(
+        name="Core Model",
+        abbreviation="CORE",
+        builds_on=(),
+        provides=(
+            "activity state schemas",
+            "generic activity states",
+            "data/helper/participant/context resources",
+            "scoped roles",
+        ),
+    ),
+    "CM": Extension(
+        name="Coordination Model",
+        abbreviation="CM",
+        builds_on=("CORE",),
+        provides=(
+            "participant coordination",
+            "automated process enactment",
+            "state transition operations",
+        ),
+    ),
+    "AM": Extension(
+        name="Awareness Model",
+        abbreviation="AM",
+        builds_on=("CORE",),
+        provides=(
+            "awareness events",
+            "composite event operators",
+            "awareness schemas (AD, R, RA)",
+        ),
+    ),
+    "SM": Extension(
+        name="Service Model",
+        abbreviation="SM",
+        builds_on=("CORE",),
+        provides=(
+            "reusable process activities",
+            "service quality",
+            "service agreements",
+        ),
+    ),
+    "APP": Extension(
+        name="Application-specific Model",
+        abbreviation="APP",
+        builds_on=("CM", "SM", "AM"),
+        provides=("application-specific process models",),
+    ),
+}
+
+
+def extension_dependencies(abbreviation: str) -> FrozenSet[str]:
+    """Transitive closure of what a CMM extension builds on.
+
+    >>> sorted(extension_dependencies("APP"))
+    ['AM', 'CM', 'CORE', 'SM']
+    """
+    closure = set()
+    frontier = list(CMM_EXTENSIONS[abbreviation].builds_on)
+    while frontier:
+        name = frontier.pop()
+        if name in closure:
+            continue
+        closure.add(name)
+        frontier.extend(CMM_EXTENSIONS[name].builds_on)
+    return frozenset(closure)

@@ -1,0 +1,181 @@
+"""CORE resource types (Section 4).
+
+The CORE distinguishes four basic kinds of resources used during activity
+execution:
+
+* **data** resources — workflow-internal and workflow-relevant data;
+* **helper** resources — programs providing auxiliary capabilities for basic
+  activities (the WfMC "invoked applications");
+* **participant** resources — humans or programs that take responsibility
+  for activities; see :mod:`repro.core.roles`;
+* **context** resources — named collections of resources that carry a
+  *scope*; see :mod:`repro.core.context`.
+
+Resource *schemas* are application-specific types instantiated from the CMM
+resource meta type during process specification; instances are created
+during application execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ResourceError
+from .metamodel import MetaType
+
+
+class ResourceKind(enum.Enum):
+    """The four basic CORE resource kinds."""
+
+    DATA = "data"
+    HELPER = "helper"
+    PARTICIPANT = "participant"
+    CONTEXT = "context"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ResourceUsage(enum.Enum):
+    """How a resource variable is used by an activity schema (Figure 3).
+
+    Basic activity schemas use ``INPUT``/``OUTPUT`` plus ``HELPER``
+    variables; process activity schemas use ``INPUT``/``OUTPUT`` plus
+    ``ROLE`` and ``LOCAL`` data variables.
+    """
+
+    INPUT = "input"
+    OUTPUT = "output"
+    HELPER = "helper"
+    ROLE = "role"
+    LOCAL = "local"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ResourceSchema:
+    """An application-specific resource type (instance of the resource
+    meta type).
+
+    ``value_type`` names the expected Python type of data values
+    (``"int"``, ``"str"``, ``"float"``, ``"bool"``, or ``"any"``), used for
+    light-weight validation when data resources are assigned.  A custom
+    ``validator`` may refine it.
+    """
+
+    name: str
+    kind: ResourceKind
+    value_type: str = "any"
+    validator: Optional[Callable[[Any], bool]] = None
+
+    #: Which CMM meta type this schema instantiates.
+    meta_type: MetaType = MetaType.RESOURCE
+
+    _CHECKS: Tuple[Tuple[str, type], ...] = (
+        ("int", int),
+        ("str", str),
+        ("float", float),
+        ("bool", bool),
+    )
+
+    def check_value(self, value: Any) -> None:
+        """Raise :class:`ResourceError` unless *value* fits this schema."""
+        if self.value_type != "any":
+            expected = dict(self._CHECKS).get(self.value_type)
+            if expected is None:
+                raise ResourceError(
+                    f"resource schema {self.name!r} declares unknown "
+                    f"value type {self.value_type!r}"
+                )
+            # bool is an int subclass; an "int" field should reject bools.
+            if expected is int and isinstance(value, bool):
+                raise ResourceError(
+                    f"resource {self.name!r} expects int, got bool {value!r}"
+                )
+            if not isinstance(value, expected):
+                raise ResourceError(
+                    f"resource {self.name!r} expects {self.value_type}, "
+                    f"got {type(value).__name__} {value!r}"
+                )
+        if self.validator is not None and not self.validator(value):
+            raise ResourceError(
+                f"value {value!r} rejected by validator of resource "
+                f"schema {self.name!r}"
+            )
+
+
+@dataclass
+class DataResource:
+    """A workflow data item: an instance of a DATA resource schema."""
+
+    resource_id: str
+    schema: ResourceSchema
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.schema.kind is not ResourceKind.DATA:
+            raise ResourceError(
+                f"DataResource requires a DATA schema, got {self.schema.kind}"
+            )
+        if self.value is not None:
+            self.schema.check_value(self.value)
+
+    def assign(self, value: Any) -> None:
+        """Type-checked assignment."""
+        self.schema.check_value(value)
+        self.value = value
+
+
+@dataclass
+class HelperResource:
+    """An auxiliary program used by basic activities (invoked application).
+
+    ``invoke`` runs the helper's callable (a stand-in for launching the
+    external tool) and records the invocation, so tests can assert that an
+    activity used its helper.
+    """
+
+    resource_id: str
+    schema: ResourceSchema
+    program: Callable[..., Any] = field(default=lambda *a, **k: None)
+    invocations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.schema.kind is not ResourceKind.HELPER:
+            raise ResourceError(
+                f"HelperResource requires a HELPER schema, got {self.schema.kind}"
+            )
+
+    def invoke(self, *args: Any, **kwargs: Any) -> Any:
+        self.invocations += 1
+        return self.program(*args, **kwargs)
+
+
+def data_schema(
+    name: str,
+    value_type: str = "any",
+    validator: Optional[Callable[[Any], bool]] = None,
+) -> ResourceSchema:
+    """Convenience constructor for a DATA resource schema."""
+    return ResourceSchema(
+        name=name, kind=ResourceKind.DATA, value_type=value_type, validator=validator
+    )
+
+
+def helper_schema(name: str) -> ResourceSchema:
+    """Convenience constructor for a HELPER resource schema."""
+    return ResourceSchema(name=name, kind=ResourceKind.HELPER)
+
+
+def participant_schema(name: str) -> ResourceSchema:
+    """Convenience constructor for a PARTICIPANT resource schema."""
+    return ResourceSchema(name=name, kind=ResourceKind.PARTICIPANT)
+
+
+def context_schema_resource(name: str) -> ResourceSchema:
+    """Convenience constructor for a CONTEXT resource schema marker."""
+    return ResourceSchema(name=name, kind=ResourceKind.CONTEXT)

@@ -1,0 +1,258 @@
+"""Participants, organizational roles, and scoped roles (Sections 4, 5.2).
+
+Participant resources capture actors — humans or programs — that take
+responsibility to start and perform activities.  Individuals can play one or
+multiple roles.  Two role flavours exist:
+
+* **Organizational roles** are global: an ``epidemiologist`` is an
+  epidemiologist regardless of which process is running.  They are
+  registered in the :class:`RoleDirectory`.
+* **Scoped roles** are dynamically created, live *inside a context
+  resource*, and are visible only to activity instances that can access the
+  enclosing context.  A task-force leader or the ``Requestor`` of an
+  information request are scoped roles: they exist exactly as long as their
+  context does.
+
+Role resolution happens *at detection/delivery time*, never at
+specification time — this is what lets awareness reach people who joined a
+task force after the process started.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..errors import RoleError, RoleResolutionError
+from .context import ContextResource
+
+
+class ParticipantKind(enum.Enum):
+    """Participants are either humans or programs (Section 4)."""
+
+    HUMAN = "human"
+    PROGRAM = "program"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Participant:
+    """An individual actor.
+
+    ``signed_on`` and ``load`` exist for awareness role assignment
+    functions (Section 5.3 anticipates choosing recipients "based on their
+    load or whether they are currently signed-on").
+    """
+
+    participant_id: str
+    name: str
+    kind: ParticipantKind = ParticipantKind.HUMAN
+    signed_on: bool = False
+    load: int = 0
+
+    def sign_on(self) -> None:
+        self.signed_on = True
+
+    def sign_off(self) -> None:
+        self.signed_on = False
+
+    def __hash__(self) -> int:
+        return hash(self.participant_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Participant):
+            return NotImplemented
+        return self.participant_id == other.participant_id
+
+
+class OrganizationalRole:
+    """A global role with an explicit member set."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._members: Set[Participant] = set()
+
+    def add_member(self, participant: Participant) -> None:
+        self._members.add(participant)
+
+    def remove_member(self, participant: Participant) -> None:
+        self._members.discard(participant)
+
+    def members(self) -> FrozenSet[Participant]:
+        return frozenset(self._members)
+
+    def __contains__(self, participant: Participant) -> bool:
+        return participant in self._members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OrganizationalRole({self.name!r}, members={len(self._members)})"
+
+
+class ScopedRole:
+    """A role that lives inside a context resource.
+
+    A scoped role is visible only through its enclosing context; its
+    lifetime is the context's lifetime.  Resolution fails once the context
+    has been destroyed — exactly the behaviour the Section 5.4 example
+    relies on: the ``Requestor`` role disappears when the information
+    request process completes, which bounds the interval during which the
+    deadline-violation awareness can be delivered.
+    """
+
+    def __init__(self, name: str, context: ContextResource) -> None:
+        self.name = name
+        self._context = context
+        self._members: Set[Participant] = set()
+
+    @property
+    def context(self) -> ContextResource:
+        return self._context
+
+    @property
+    def alive(self) -> bool:
+        return not self._context.destroyed
+
+    def add_member(self, participant: Participant) -> None:
+        self._check_alive()
+        self._members.add(participant)
+
+    def remove_member(self, participant: Participant) -> None:
+        self._members.discard(participant)
+
+    def members(self) -> FrozenSet[Participant]:
+        self._check_alive()
+        return frozenset(self._members)
+
+    def __contains__(self, participant: Participant) -> bool:
+        return participant in self._members
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise RoleError(
+                f"scoped role {self.name!r} has expired: its context "
+                f"{self._context.name!r} was destroyed"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.alive else "expired"
+        return f"ScopedRole({self.name!r}, context={self._context.name!r}, {status})"
+
+
+@dataclass(frozen=True)
+class RoleRef:
+    """A late-bound reference to a role, resolved at delivery time.
+
+    ``context_name`` is ``None`` for organizational roles.  For scoped
+    roles, the pair ``(context_name, role_name)`` names a role-valued field
+    inside a context associated with the triggering process instance.
+    """
+
+    role_name: str
+    context_name: Optional[str] = None
+
+    @property
+    def is_scoped(self) -> bool:
+        return self.context_name is not None
+
+    def __str__(self) -> str:
+        if self.is_scoped:
+            return f"{self.context_name}.{self.role_name}"
+        return self.role_name
+
+
+class RoleDirectory:
+    """Registry of participants and organizational roles.
+
+    The directory resolves :class:`RoleRef` objects to participant sets at
+    call time.  Scoped role refs additionally need the set of contexts that
+    are in scope for the triggering process instance; the awareness delivery
+    agent supplies those (see :mod:`repro.awareness.delivery`).
+    """
+
+    def __init__(self) -> None:
+        self._participants: Dict[str, Participant] = {}
+        self._roles: Dict[str, OrganizationalRole] = {}
+
+    # -- participants --------------------------------------------------------
+
+    def register_participant(self, participant: Participant) -> Participant:
+        if participant.participant_id in self._participants:
+            raise RoleError(
+                f"duplicate participant id {participant.participant_id!r}"
+            )
+        self._participants[participant.participant_id] = participant
+        return participant
+
+    def participant(self, participant_id: str) -> Participant:
+        try:
+            return self._participants[participant_id]
+        except KeyError:
+            raise RoleError(f"unknown participant {participant_id!r}") from None
+
+    def participants(self) -> Tuple[Participant, ...]:
+        return tuple(self._participants.values())
+
+    # -- organizational roles -------------------------------------------------
+
+    def define_role(self, name: str) -> OrganizationalRole:
+        if name in self._roles:
+            raise RoleError(f"duplicate organizational role {name!r}")
+        role = OrganizationalRole(name)
+        self._roles[name] = role
+        return role
+
+    def role(self, name: str) -> OrganizationalRole:
+        try:
+            return self._roles[name]
+        except KeyError:
+            raise RoleResolutionError(
+                f"unknown organizational role {name!r}"
+            ) from None
+
+    def has_role(self, name: str) -> bool:
+        return name in self._roles
+
+    def roles(self) -> Tuple[OrganizationalRole, ...]:
+        return tuple(self._roles.values())
+
+    # -- resolution ------------------------------------------------------------
+
+    def resolve_global(self, role_name: str) -> FrozenSet[Participant]:
+        """Resolve an organizational role to its current member set."""
+        return self.role(role_name).members()
+
+    def resolve(
+        self,
+        ref: RoleRef,
+        contexts_in_scope: Iterable[ContextResource] = (),
+    ) -> FrozenSet[Participant]:
+        """Resolve a role reference at call time.
+
+        For a scoped ref, search the supplied in-scope contexts for a
+        role-valued field ``ref.role_name`` inside a context named
+        ``ref.context_name``.  Raises :class:`RoleResolutionError` when no
+        live role is found — e.g. because the context has been destroyed,
+        which is the mechanism that bounds awareness delivery intervals.
+        """
+        if not ref.is_scoped:
+            return self.resolve_global(ref.role_name)
+        for context in contexts_in_scope:
+            if context.name != ref.context_name or context.destroyed:
+                continue
+            if not context.schema.has_field(ref.role_name):
+                continue
+            if not context._is_set(ref.role_name):
+                continue
+            value = context._get(ref.role_name)
+            if isinstance(value, ScopedRole):
+                return value.members()
+            raise RoleResolutionError(
+                f"field {ref.role_name!r} of context {ref.context_name!r} "
+                f"is not a scoped role (got {type(value).__name__})"
+            )
+        raise RoleResolutionError(
+            f"scoped role {ref} could not be resolved: no live context in scope"
+        )

@@ -1,0 +1,335 @@
+"""Activity schemas and their variables (Section 3, Figure 3).
+
+An application model developed with the CMM is a set of resource, activity
+state, and process schemas that are instantiated during application
+execution.  Per Figure 3:
+
+* a **basic activity schema** contains an activity state variable plus
+  input/output and helper resource variables — it models a unit of work
+  performed by one participant;
+* a **process activity schema** contains an activity state variable,
+  *activity variables* (the subactivities), resource variables (input and
+  output, role and local data variables), and *dependency variables* that
+  define the coordination rules between subactivities.
+
+All parts of a process schema are typed: activity variables are typed by
+activity schemas, resource variables by resource schemas, the state variable
+by an activity state schema, and dependency variables by the fixed
+dependency type set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import DependencyError, SchemaError
+from .context import ContextSchema
+from .metamodel import DependencyType, MetaType
+from .resources import ResourceSchema, ResourceUsage
+from .roles import RoleRef
+from .states import ActivityStateSchema, generic_activity_state_schema
+
+
+@dataclass(frozen=True)
+class ResourceVariable:
+    """A typed slot for a resource in an activity schema."""
+
+    name: str
+    schema: ResourceSchema
+    usage: ResourceUsage
+
+
+@dataclass(frozen=True)
+class ActivityVariable:
+    """A typed slot for a subactivity of a process schema.
+
+    ``optional`` marks subactivities that may never be instantiated in a
+    given run — Figure 1 shows several optional activities (extra lab
+    tests, local expertise) whose execution depends on run-time decisions.
+    ``performer`` names the role responsible for the activity, resolved at
+    run time by the coordination engine.
+    """
+
+    name: str
+    activity_schema: "ActivitySchema"
+    optional: bool = False
+    performer: Optional[RoleRef] = None
+
+
+# A guard condition evaluated against the enclosing process instance.  The
+# coordination engine passes the live ProcessInstance; the callable returns
+# True when the dependency may fire.
+Condition = Callable[["Any"], bool]
+
+
+@dataclass(frozen=True)
+class DependencyVariable:
+    """A coordination rule between subactivities of one process schema.
+
+    * ``SEQUENCE`` — single source, single target: target becomes ready when
+      the source completes.
+    * ``CONDITION`` — like SEQUENCE but guarded by ``condition``.
+    * ``SYNC_AND`` — target becomes ready when *all* sources completed.
+    * ``SYNC_OR`` — target becomes ready when *any* source completed.
+
+    Sources/targets name activity variables of the owning process schema.
+    """
+
+    name: str
+    dependency_type: DependencyType
+    sources: Tuple[str, ...]
+    target: str
+    condition: Optional[Condition] = None
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise DependencyError(f"dependency {self.name!r} has no sources")
+        if self.dependency_type in (
+            DependencyType.SEQUENCE,
+            DependencyType.CONDITION,
+        ) and len(self.sources) != 1:
+            raise DependencyError(
+                f"{self.dependency_type} dependency {self.name!r} requires "
+                f"exactly one source, got {len(self.sources)}"
+            )
+        if (
+            self.dependency_type is DependencyType.CONDITION
+            and self.condition is None
+        ):
+            raise DependencyError(
+                f"CONDITION dependency {self.name!r} requires a condition"
+            )
+
+
+class ActivitySchema:
+    """Common base of basic and process activity schemas."""
+
+    meta_type: MetaType = MetaType.BASIC_ACTIVITY
+
+    def __init__(
+        self,
+        schema_id: str,
+        name: str,
+        state_schema: Optional[ActivityStateSchema] = None,
+    ) -> None:
+        self.schema_id = schema_id
+        self.name = name
+        #: The activity state variable: every activity schema has exactly one.
+        self.state_schema = state_schema or generic_activity_state_schema()
+        self._resource_variables: Dict[str, ResourceVariable] = {}
+
+    # -- resource variables ---------------------------------------------------
+
+    def add_resource_variable(self, variable: ResourceVariable) -> ResourceVariable:
+        if variable.name in self._resource_variables:
+            raise SchemaError(
+                f"duplicate resource variable {variable.name!r} in "
+                f"schema {self.name!r}"
+            )
+        self._check_usage(variable)
+        self._resource_variables[variable.name] = variable
+        return variable
+
+    def resource_variables(self) -> Tuple[ResourceVariable, ...]:
+        return tuple(self._resource_variables.values())
+
+    def resource_variable(self, name: str) -> ResourceVariable:
+        try:
+            return self._resource_variables[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no resource variable {name!r}"
+            ) from None
+
+    def _check_usage(self, variable: ResourceVariable) -> None:
+        raise NotImplementedError
+
+    @property
+    def is_process(self) -> bool:
+        return isinstance(self, ProcessActivitySchema)
+
+    def validate(self) -> None:
+        self.state_schema.validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, id={self.schema_id!r})"
+
+
+class BasicActivitySchema(ActivitySchema):
+    """A unit of work: state variable + input/output/helper resources.
+
+    Per Figure 3(a), basic activity schemas are restricted to input and
+    output plus helper resource variables.  ``performer`` names the role
+    whose members may claim the activity via their worklists.
+    """
+
+    meta_type = MetaType.BASIC_ACTIVITY
+
+    _ALLOWED = (ResourceUsage.INPUT, ResourceUsage.OUTPUT, ResourceUsage.HELPER)
+
+    def __init__(
+        self,
+        schema_id: str,
+        name: str,
+        state_schema: Optional[ActivityStateSchema] = None,
+        performer: Optional[RoleRef] = None,
+    ) -> None:
+        super().__init__(schema_id, name, state_schema)
+        self.performer = performer
+
+    def _check_usage(self, variable: ResourceVariable) -> None:
+        if variable.usage not in self._ALLOWED:
+            raise SchemaError(
+                f"basic activity schema {self.name!r} allows only "
+                f"input/output/helper resource variables, got {variable.usage}"
+            )
+
+
+class ProcessActivitySchema(ActivitySchema):
+    """A process: subactivities plus coordination rules.
+
+    Per Figure 3(b), process schemas carry input and output, role, and local
+    data resource variables; plus activity variables and dependency
+    variables.  ``context_schemas`` declares the context resources this
+    process creates when instantiated (the Section 5.4 task-force process
+    creates ``TaskForceContext``).
+    """
+
+    meta_type = MetaType.PROCESS_ACTIVITY
+
+    _ALLOWED = (
+        ResourceUsage.INPUT,
+        ResourceUsage.OUTPUT,
+        ResourceUsage.ROLE,
+        ResourceUsage.LOCAL,
+    )
+
+    def __init__(
+        self,
+        schema_id: str,
+        name: str,
+        state_schema: Optional[ActivityStateSchema] = None,
+    ) -> None:
+        super().__init__(schema_id, name, state_schema)
+        self._activity_variables: Dict[str, ActivityVariable] = {}
+        self._dependency_variables: Dict[str, DependencyVariable] = {}
+        self._context_schemas: Dict[str, ContextSchema] = {}
+        #: Activity variables started automatically when the process starts.
+        self.entry_activities: List[str] = []
+
+    # -- activity variables -----------------------------------------------------
+
+    def add_activity_variable(self, variable: ActivityVariable) -> ActivityVariable:
+        if variable.name in self._activity_variables:
+            raise SchemaError(
+                f"duplicate activity variable {variable.name!r} in "
+                f"process schema {self.name!r}"
+            )
+        self._activity_variables[variable.name] = variable
+        return variable
+
+    def activity_variables(self) -> Tuple[ActivityVariable, ...]:
+        return tuple(self._activity_variables.values())
+
+    def activity_variable(self, name: str) -> ActivityVariable:
+        try:
+            return self._activity_variables[name]
+        except KeyError:
+            raise SchemaError(
+                f"process schema {self.name!r} has no activity variable {name!r}"
+            ) from None
+
+    def has_activity_variable(self, name: str) -> bool:
+        return name in self._activity_variables
+
+    # -- dependency variables -----------------------------------------------------
+
+    def add_dependency(self, dependency: DependencyVariable) -> DependencyVariable:
+        if dependency.name in self._dependency_variables:
+            raise SchemaError(
+                f"duplicate dependency {dependency.name!r} in "
+                f"process schema {self.name!r}"
+            )
+        for endpoint in (*dependency.sources, dependency.target):
+            if endpoint not in self._activity_variables:
+                raise DependencyError(
+                    f"dependency {dependency.name!r} references unknown "
+                    f"activity variable {endpoint!r}"
+                )
+        self._dependency_variables[dependency.name] = dependency
+        return dependency
+
+    def dependencies(self) -> Tuple[DependencyVariable, ...]:
+        return tuple(self._dependency_variables.values())
+
+    def dependencies_targeting(self, name: str) -> Tuple[DependencyVariable, ...]:
+        return tuple(
+            d for d in self._dependency_variables.values() if d.target == name
+        )
+
+    # -- contexts -------------------------------------------------------------------
+
+    def add_context_schema(self, schema: ContextSchema) -> ContextSchema:
+        if schema.name in self._context_schemas:
+            raise SchemaError(
+                f"duplicate context schema {schema.name!r} in "
+                f"process schema {self.name!r}"
+            )
+        self._context_schemas[schema.name] = schema
+        return schema
+
+    def context_schemas(self) -> Tuple[ContextSchema, ...]:
+        return tuple(self._context_schemas.values())
+
+    # -- entry points ------------------------------------------------------------------
+
+    def mark_entry(self, activity_variable_name: str) -> None:
+        """Mark a subactivity as started automatically at process start."""
+        self.activity_variable(activity_variable_name)
+        if activity_variable_name not in self.entry_activities:
+            self.entry_activities.append(activity_variable_name)
+
+    # -- checks ------------------------------------------------------------------------
+
+    def _check_usage(self, variable: ResourceVariable) -> None:
+        if variable.usage not in self._ALLOWED:
+            raise SchemaError(
+                f"process schema {self.name!r} allows only input/output/"
+                f"role/local resource variables, got {variable.usage}"
+            )
+
+    def validate(self) -> None:
+        super().validate()
+        if not self._activity_variables:
+            raise SchemaError(
+                f"process schema {self.name!r} declares no subactivities"
+            )
+        entry_or_targeted = set(self.entry_activities)
+        entry_or_targeted.update(
+            d.target for d in self._dependency_variables.values()
+        )
+        unreachable = [
+            name
+            for name, var in self._activity_variables.items()
+            if name not in entry_or_targeted and not var.optional
+        ]
+        if unreachable:
+            raise SchemaError(
+                f"process schema {self.name!r} has non-optional subactivities "
+                f"that are neither entry activities nor dependency targets: "
+                f"{sorted(unreachable)}"
+            )
+
+    def count_activities(self, recursive: bool = True) -> int:
+        """Number of activity variables, optionally counting nested processes.
+
+        Used by the Section 7 demonstration bench to reproduce the ">50 CMM
+        activities" statistic.
+        """
+        total = len(self._activity_variables)
+        if recursive:
+            for var in self._activity_variables.values():
+                if isinstance(var.activity_schema, ProcessActivitySchema):
+                    total += var.activity_schema.count_activities(recursive=True)
+        return total

@@ -1,0 +1,374 @@
+"""Process definition interchange (WfMC Interface 1 in spirit).
+
+The paper grounds CMM's activity and resource variables in the WfMC
+reference model and cites the WfMC *Process Definition Interchange*
+standard; a usable release of CMI therefore needs build-time artifacts
+that can be stored and exchanged.  This module serializes activity
+schemas — including state schemas with application-specific substate
+forests, resource variables, context schemas, dependencies, and nested
+process schemas — to plain JSON-able dictionaries and back.
+
+Two non-obvious rules:
+
+* **Shared subschemas stay shared.**  A process definition may reference
+  the same activity schema from several activity variables (the task-force
+  pool does); the serializer emits each schema once under ``schemas`` and
+  references it by id, and the loader rebuilds the object graph with the
+  same sharing.
+* **Conditions are named, not pickled.**  ``CONDITION`` dependencies carry
+  a callable; callables do not survive interchange.  Conditions must be
+  registered by name in a :class:`ConditionRegistry` on both sides;
+  serializing an unregistered condition is an error rather than a silent
+  drop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import SchemaError
+from .context import ContextFieldSpec, ContextSchema
+from .metamodel import DependencyType
+from .resources import ResourceSchema, ResourceKind, ResourceUsage
+from .roles import RoleRef
+from .schema import (
+    ActivitySchema,
+    ActivityVariable,
+    BasicActivitySchema,
+    DependencyVariable,
+    ProcessActivitySchema,
+    ResourceVariable,
+)
+from .states import ActivityStateSchema, generic_activity_state_schema
+
+FORMAT_VERSION = 1
+
+
+class ConditionRegistry:
+    """Named guard conditions for CONDITION dependencies."""
+
+    def __init__(self) -> None:
+        self._conditions: Dict[str, Callable] = {}
+        self._names: Dict[int, str] = {}
+
+    def register(self, name: str, condition: Callable) -> Callable:
+        if name in self._conditions:
+            raise SchemaError(f"condition {name!r} is already registered")
+        self._conditions[name] = condition
+        self._names[id(condition)] = name
+        return condition
+
+    def lookup(self, name: str) -> Callable:
+        try:
+            return self._conditions[name]
+        except KeyError:
+            raise SchemaError(f"unknown condition {name!r}") from None
+
+    def name_of(self, condition: Callable) -> str:
+        name = self._names.get(id(condition))
+        if name is None:
+            raise SchemaError(
+                "CONDITION dependency guard is not registered; register it "
+                "by name in the ConditionRegistry before serializing"
+            )
+        return name
+
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
+
+
+def _state_schema_to_dict(schema: ActivityStateSchema) -> Dict[str, Any]:
+    return {
+        "name": schema.name,
+        "initial": schema.initial_state,
+        "states": [
+            {"name": name, "parent": schema.parent_of(name)}
+            for name in schema.states()
+        ],
+        "transitions": [
+            {"source": t.source, "target": t.target}
+            for t in sorted(schema.transitions(), key=str)
+        ],
+    }
+
+
+def _role_ref_to_dict(ref: Optional[RoleRef]) -> Optional[Dict[str, Any]]:
+    if ref is None:
+        return None
+    return {"role": ref.role_name, "context": ref.context_name}
+
+
+def _resource_variable_to_dict(variable: ResourceVariable) -> Dict[str, Any]:
+    return {
+        "name": variable.name,
+        "usage": variable.usage.name,
+        "schema": {
+            "name": variable.schema.name,
+            "kind": variable.schema.kind.name,
+            "value_type": variable.schema.value_type,
+        },
+    }
+
+
+def _context_schema_to_dict(schema: ContextSchema) -> Dict[str, Any]:
+    return {
+        "name": schema.name,
+        "fields": [
+            {
+                "name": schema.field_spec(name).name,
+                "type": schema.field_spec(name).field_type,
+            }
+            for name in schema.field_names()
+        ],
+    }
+
+
+def _schema_body(
+    schema: ActivitySchema, conditions: Optional[ConditionRegistry]
+) -> Dict[str, Any]:
+    body: Dict[str, Any] = {
+        "schema_id": schema.schema_id,
+        "name": schema.name,
+        "kind": "process" if schema.is_process else "basic",
+        "state_schema": _state_schema_to_dict(schema.state_schema),
+        "resource_variables": [
+            _resource_variable_to_dict(v) for v in schema.resource_variables()
+        ],
+    }
+    if isinstance(schema, BasicActivitySchema):
+        body["performer"] = _role_ref_to_dict(schema.performer)
+        return body
+    assert isinstance(schema, ProcessActivitySchema)
+    body["activity_variables"] = [
+        {
+            "name": variable.name,
+            "schema_ref": variable.activity_schema.schema_id,
+            "optional": variable.optional,
+            "performer": _role_ref_to_dict(variable.performer),
+        }
+        for variable in schema.activity_variables()
+    ]
+    dependencies = []
+    for dependency in schema.dependencies():
+        entry: Dict[str, Any] = {
+            "name": dependency.name,
+            "type": dependency.dependency_type.name,
+            "sources": list(dependency.sources),
+            "target": dependency.target,
+        }
+        if dependency.dependency_type is DependencyType.CONDITION:
+            if conditions is None:
+                raise SchemaError(
+                    f"dependency {dependency.name!r} has a condition; pass a "
+                    f"ConditionRegistry to serialize it"
+                )
+            entry["condition"] = conditions.name_of(dependency.condition)
+        dependencies.append(entry)
+    body["dependencies"] = dependencies
+    body["context_schemas"] = [
+        _context_schema_to_dict(c) for c in schema.context_schemas()
+    ]
+    body["entry_activities"] = list(schema.entry_activities)
+    return body
+
+
+def schema_to_dict(
+    schema: ActivitySchema,
+    conditions: Optional[ConditionRegistry] = None,
+) -> Dict[str, Any]:
+    """Serialize *schema* (and every reachable subschema) to a dict."""
+    collected: Dict[str, ActivitySchema] = {}
+
+    def collect(node: ActivitySchema) -> None:
+        if node.schema_id in collected:
+            if collected[node.schema_id] is not node:
+                raise SchemaError(
+                    f"two different schemas share id {node.schema_id!r}"
+                )
+            return
+        collected[node.schema_id] = node
+        if isinstance(node, ProcessActivitySchema):
+            for variable in node.activity_variables():
+                collect(variable.activity_schema)
+
+    collect(schema)
+    return {
+        "format_version": FORMAT_VERSION,
+        "root": schema.schema_id,
+        "schemas": [
+            _schema_body(node, conditions) for node in collected.values()
+        ],
+    }
+
+
+def schema_to_json(
+    schema: ActivitySchema,
+    conditions: Optional[ConditionRegistry] = None,
+    indent: int = 2,
+) -> str:
+    """Serialize to a JSON string (the interchange wire format)."""
+    return json.dumps(schema_to_dict(schema, conditions), indent=indent)
+
+
+# ---------------------------------------------------------------------------
+# Import
+# ---------------------------------------------------------------------------
+
+
+def _state_schema_from_dict(data: Dict[str, Any]) -> ActivityStateSchema:
+    schema = ActivityStateSchema(data["name"])
+    # Parents must exist before children: emit roots first, then BFS-ish.
+    pending = list(data["states"])
+    emitted = set()
+    while pending:
+        progressed = False
+        remaining = []
+        for node in pending:
+            parent = node["parent"]
+            if parent is None or parent in emitted:
+                schema.add_state(node["name"], parent=parent)
+                emitted.add(node["name"])
+                progressed = True
+            else:
+                remaining.append(node)
+        if not progressed:
+            raise SchemaError(
+                f"state schema {data['name']!r} has orphaned substates: "
+                f"{[n['name'] for n in remaining]}"
+            )
+        pending = remaining
+    for transition in data["transitions"]:
+        schema.add_transition(transition["source"], transition["target"])
+    schema.set_initial(data["initial"])
+    schema.validate()
+    return schema
+
+
+def _role_ref_from_dict(data: Optional[Dict[str, Any]]) -> Optional[RoleRef]:
+    if data is None:
+        return None
+    return RoleRef(data["role"], data["context"])
+
+
+def _resource_variable_from_dict(data: Dict[str, Any]) -> ResourceVariable:
+    schema_data = data["schema"]
+    return ResourceVariable(
+        name=data["name"],
+        schema=ResourceSchema(
+            name=schema_data["name"],
+            kind=ResourceKind[schema_data["kind"]],
+            value_type=schema_data["value_type"],
+        ),
+        usage=ResourceUsage[data["usage"]],
+    )
+
+
+def _context_schema_from_dict(data: Dict[str, Any]) -> ContextSchema:
+    return ContextSchema(
+        data["name"],
+        [
+            ContextFieldSpec(field["name"], field["type"])
+            for field in data["fields"]
+        ],
+    )
+
+
+def schema_from_dict(
+    data: Dict[str, Any],
+    conditions: Optional[ConditionRegistry] = None,
+    resolver: Optional[Callable[[str], Optional[ActivitySchema]]] = None,
+) -> ActivitySchema:
+    """Rebuild the schema object graph; returns the root schema.
+
+    *resolver* lets the caller supply already-materialized schemas by id
+    (e.g. an engine's registry during journal recovery), so two payloads
+    that share a subschema resolve to one object instead of conflicting.
+    """
+    if data.get("format_version") != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported interchange format version "
+            f"{data.get('format_version')!r} (expected {FORMAT_VERSION})"
+        )
+    bodies = {body["schema_id"]: body for body in data["schemas"]}
+    if data["root"] not in bodies:
+        raise SchemaError(f"root schema {data['root']!r} missing from payload")
+    built: Dict[str, ActivitySchema] = {}
+
+    def build(schema_id: str) -> ActivitySchema:
+        if schema_id in built:
+            return built[schema_id]
+        if resolver is not None:
+            existing = resolver(schema_id)
+            if existing is not None:
+                built[schema_id] = existing
+                return existing
+        try:
+            body = bodies[schema_id]
+        except KeyError:
+            raise SchemaError(
+                f"schema {schema_id!r} referenced but not in payload"
+            ) from None
+        state_schema = _state_schema_from_dict(body["state_schema"])
+        if body["kind"] == "basic":
+            schema: ActivitySchema = BasicActivitySchema(
+                body["schema_id"],
+                body["name"],
+                state_schema=state_schema,
+                performer=_role_ref_from_dict(body.get("performer")),
+            )
+        else:
+            schema = ProcessActivitySchema(
+                body["schema_id"], body["name"], state_schema=state_schema
+            )
+        built[schema_id] = schema
+        for variable in body["resource_variables"]:
+            schema.add_resource_variable(_resource_variable_from_dict(variable))
+        if isinstance(schema, ProcessActivitySchema):
+            for variable in body["activity_variables"]:
+                schema.add_activity_variable(
+                    ActivityVariable(
+                        name=variable["name"],
+                        activity_schema=build(variable["schema_ref"]),
+                        optional=variable["optional"],
+                        performer=_role_ref_from_dict(variable.get("performer")),
+                    )
+                )
+            for context in body["context_schemas"]:
+                schema.add_context_schema(_context_schema_from_dict(context))
+            for dependency in body["dependencies"]:
+                dependency_type = DependencyType[dependency["type"]]
+                condition = None
+                if dependency_type is DependencyType.CONDITION:
+                    if conditions is None:
+                        raise SchemaError(
+                            f"dependency {dependency['name']!r} names a "
+                            f"condition; pass a ConditionRegistry to load it"
+                        )
+                    condition = conditions.lookup(dependency["condition"])
+                schema.add_dependency(
+                    DependencyVariable(
+                        name=dependency["name"],
+                        dependency_type=dependency_type,
+                        sources=tuple(dependency["sources"]),
+                        target=dependency["target"],
+                        condition=condition,
+                    )
+                )
+            for entry in body["entry_activities"]:
+                schema.mark_entry(entry)
+        return schema
+
+    root = build(data["root"])
+    root.validate()
+    return root
+
+
+def schema_from_json(
+    payload: str,
+    conditions: Optional[ConditionRegistry] = None,
+) -> ActivitySchema:
+    """Rebuild a schema graph from its JSON interchange form."""
+    return schema_from_dict(json.loads(payload), conditions)

@@ -1,0 +1,117 @@
+"""Publish/subscribe event bus.
+
+The CMI Enactment System is "a collection of communicating agents acting as
+a single server" (Section 6.1).  The bus is the communication fabric between
+those agents: event source agents publish primitive events, detector agents
+subscribe to the primitive types they consume, and the delivery agent
+subscribes to the output-operator event type.
+
+Topics are event type names.  Dispatch is synchronous but *queued*: an event
+published while another event is being dispatched is appended to a FIFO and
+delivered after the current dispatch completes, so cascades triggered by
+handlers (e.g. a detector reacting to an event by modifying a context, which
+publishes another event) see a consistent, non-reentrant order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .event import Event
+
+Handler = Callable[[Event], None]
+
+
+@dataclass
+class Subscription:
+    """A handle returned by :meth:`EventBus.subscribe`; use to unsubscribe."""
+
+    topic: str
+    handler: Handler
+    active: bool = True
+
+
+class EventBus:
+    """Synchronous, queue-draining pub/sub bus with per-topic statistics.
+
+    With ``isolate_errors=True`` a failing handler no longer aborts the
+    dispatch: the exception is recorded in :attr:`handler_errors` and the
+    remaining subscribers still receive the event.  The default is
+    fail-fast, which is what unit tests want; a long-running federation
+    turns isolation on so one broken detector cannot silence the rest of
+    the awareness engine.
+    """
+
+    def __init__(self, isolate_errors: bool = False) -> None:
+        self._subscriptions: Dict[str, List[Subscription]] = {}
+        self._queue: Deque[Event] = deque()
+        self._dispatching = False
+        self._published: Dict[str, int] = {}
+        self._delivered: Dict[str, int] = {}
+        self._isolate_errors = isolate_errors
+        #: (topic, exception) pairs collected under error isolation.
+        self.handler_errors: List[Tuple[str, Exception]] = []
+
+    # -- subscription ----------------------------------------------------------
+
+    def subscribe(self, topic: str, handler: Handler) -> Subscription:
+        """Register *handler* for events whose type name equals *topic*."""
+        subscription = Subscription(topic=topic, handler=handler)
+        self._subscriptions.setdefault(topic, []).append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        subscription.active = False
+        handlers = self._subscriptions.get(subscription.topic)
+        if handlers and subscription in handlers:
+            handlers.remove(subscription)
+
+    def subscriber_count(self, topic: str) -> int:
+        return len(self._subscriptions.get(topic, ()))
+
+    # -- publication -------------------------------------------------------------
+
+    def publish(self, event: Event) -> None:
+        """Enqueue *event* and drain the queue unless a drain is running."""
+        self._queue.append(event)
+        if self._dispatching:
+            return
+        self._dispatching = True
+        try:
+            while self._queue:
+                self._dispatch(self._queue.popleft())
+        finally:
+            self._dispatching = False
+
+    def _dispatch(self, event: Event) -> None:
+        topic = event.type_name
+        self._published[topic] = self._published.get(topic, 0) + 1
+        # Copy: handlers may subscribe/unsubscribe during dispatch.
+        for subscription in list(self._subscriptions.get(topic, ())):
+            if not subscription.active:
+                continue
+            try:
+                subscription.handler(event)
+            except Exception as error:
+                if not self._isolate_errors:
+                    raise
+                self.handler_errors.append((topic, error))
+                continue
+            self._delivered[topic] = self._delivered.get(topic, 0) + 1
+
+    # -- statistics ------------------------------------------------------------------
+
+    def published_count(self, topic: Optional[str] = None) -> int:
+        if topic is None:
+            return sum(self._published.values())
+        return self._published.get(topic, 0)
+
+    def delivered_count(self, topic: Optional[str] = None) -> int:
+        if topic is None:
+            return sum(self._delivered.values())
+        return self._delivered.get(topic, 0)
+
+    def topics(self) -> Tuple[str, ...]:
+        return tuple(self._subscriptions)

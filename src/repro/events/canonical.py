@@ -1,0 +1,89 @@
+"""The canonical event type ``C_P`` (Section 5.1.2).
+
+Nearly all AM operators take inputs and produce outputs of a canonical event
+type associated with a process schema ``P``.  The canonical type carries:
+
+* ``time`` — when the (composite) event occurred;
+* ``processSchemaId`` and ``processInstanceId`` — which process instance the
+  event belongs to (operators use ``processInstanceId`` to partition their
+  internal state, Section 5.1.2 "process instance replication");
+* generic information parameters whose meaning depends on the operator that
+  generated the event: ``intInfo`` (a generic integer, e.g. a count, a
+  deadline tick, or a copied context value), ``strInfo`` (a generic string),
+  and ``description`` (human-readable digest text);
+* ``sourceEvent`` — a digest of the triggering constituent event's
+  parameters, preserving self-containedness when events are composed.
+
+The canonical type is what makes operators freely composable and maximally
+reusable: any operator output can feed any operator input slot typed
+``C_P`` for the same process schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from .event import Event, EventType, ParameterSpec, base_parameters
+
+#: Prefix of every canonical event type name.
+CANONICAL_PREFIX = "C["
+
+
+def canonical_type_name(process_schema_id: str) -> str:
+    """The type name of ``C_P`` for process schema *process_schema_id*."""
+    return f"{CANONICAL_PREFIX}{process_schema_id}]"
+
+
+def is_canonical(type_name: str) -> bool:
+    """True when *type_name* names a canonical type ``C_P`` for some P."""
+    return type_name.startswith(CANONICAL_PREFIX) and type_name.endswith("]")
+
+
+_TYPE_CACHE: dict = {}
+
+
+def canonical_type(process_schema_id: str) -> EventType:
+    """Return (and cache) the canonical event type for a process schema."""
+    cached = _TYPE_CACHE.get(process_schema_id)
+    if cached is not None:
+        return cached
+    event_type = EventType(
+        canonical_type_name(process_schema_id),
+        (
+            *base_parameters(),
+            ParameterSpec("processSchemaId", "str", nullable=False),
+            ParameterSpec("processInstanceId", "str", nullable=False),
+            ParameterSpec("intInfo", "int", required=False),
+            ParameterSpec("strInfo", "str", required=False),
+            ParameterSpec("description", "str", required=False),
+            ParameterSpec("sourceEvent", "any", required=False),
+        ),
+    )
+    _TYPE_CACHE[process_schema_id] = event_type
+    return event_type
+
+
+def canonical_event(
+    process_schema_id: str,
+    process_instance_id: str,
+    time: int,
+    source: str,
+    int_info: Optional[int] = None,
+    str_info: Optional[str] = None,
+    description: Optional[str] = None,
+    source_event: Optional[Mapping[str, Any]] = None,
+) -> Event:
+    """Construct a canonical event for process schema *process_schema_id*."""
+    return Event(
+        canonical_type(process_schema_id),
+        {
+            "time": time,
+            "source": source,
+            "processSchemaId": process_schema_id,
+            "processInstanceId": process_instance_id,
+            "intInfo": int_info,
+            "strInfo": str_info,
+            "description": description,
+            "sourceEvent": dict(source_event) if source_event is not None else None,
+        },
+    )

@@ -1,0 +1,211 @@
+"""Self-contained events and event types (Section 5).
+
+In AM, an event carries a set of name-value pairs called *event parameters*
+that give detail about what occurred.  Events are **self-contained**: an
+event's parameters completely describe the event — including its type, its
+time, and its source.  This differs from active databases, where events may
+reference state held elsewhere.  Because events are self-contained,
+composite events *summarize* the parameters of their constituent events.
+
+An :class:`EventType` is a named set of :class:`ParameterSpec` declarations.
+Event-type conformance is what the typed event streams of awareness
+descriptions check when wiring producers to operator slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from ..errors import EventError, EventTypeError
+
+#: Parameter names every event must carry (self-containedness).
+REQUIRED_PARAMETERS = ("type", "time", "source")
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Declaration of one event parameter.
+
+    ``value_type`` is a coarse tag: ``"int"``, ``"str"``, ``"float"``,
+    ``"bool"``, ``"set"``, or ``"any"``.  ``required`` parameters must be
+    present (possibly ``None`` only when ``nullable``).
+    """
+
+    name: str
+    value_type: str = "any"
+    required: bool = True
+    nullable: bool = True
+
+    _SIMPLE: Tuple[Tuple[str, type], ...] = (
+        ("int", int),
+        ("str", str),
+        ("float", float),
+        ("bool", bool),
+        ("set", frozenset),
+    )
+
+    def check(self, value: Any) -> None:
+        if value is None:
+            if not self.nullable:
+                raise EventTypeError(
+                    f"parameter {self.name!r} must not be null"
+                )
+            return
+        if self.value_type == "any":
+            return
+        expected = dict(self._SIMPLE).get(self.value_type)
+        if expected is None:
+            raise EventTypeError(
+                f"parameter {self.name!r} declares unknown type "
+                f"{self.value_type!r}"
+            )
+        if expected is int and isinstance(value, bool):
+            raise EventTypeError(
+                f"parameter {self.name!r} expects int, got bool"
+            )
+        if not isinstance(value, expected):
+            raise EventTypeError(
+                f"parameter {self.name!r} expects {self.value_type}, got "
+                f"{type(value).__name__} {value!r}"
+            )
+
+
+class EventType:
+    """A named event type: a set of parameter declarations.
+
+    ``EventType`` objects compare by *name* (two independently constructed
+    descriptions of ``C_P`` for the same process schema are the same type),
+    which is what stream type-checking uses.
+    """
+
+    def __init__(self, name: str, parameters: Iterable[ParameterSpec]) -> None:
+        self.name = name
+        self._parameters: Dict[str, ParameterSpec] = {}
+        for spec in parameters:
+            if spec.name in self._parameters:
+                raise EventTypeError(
+                    f"duplicate parameter {spec.name!r} in event type {name!r}"
+                )
+            self._parameters[spec.name] = spec
+        for required in REQUIRED_PARAMETERS:
+            if required not in self._parameters:
+                raise EventTypeError(
+                    f"event type {name!r} must declare the {required!r} "
+                    f"parameter (events are self-contained)"
+                )
+
+    def parameters(self) -> Tuple[ParameterSpec, ...]:
+        return tuple(self._parameters.values())
+
+    def parameter_names(self) -> Tuple[str, ...]:
+        return tuple(self._parameters)
+
+    def has_parameter(self, name: str) -> bool:
+        return name in self._parameters
+
+    def conforms(self, params: Mapping[str, Any]) -> None:
+        """Raise :class:`EventTypeError` unless *params* fit this type."""
+        for spec in self._parameters.values():
+            if spec.name not in params:
+                if spec.required:
+                    raise EventTypeError(
+                        f"event of type {self.name!r} is missing required "
+                        f"parameter {spec.name!r}"
+                    )
+                continue
+            spec.check(params[spec.name])
+        if params.get("type") != self.name:
+            raise EventTypeError(
+                f"event declares type {params.get('type')!r} but was checked "
+                f"against {self.name!r}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventType):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventType({self.name!r}, {len(self._parameters)} params)"
+
+
+def base_parameters() -> Tuple[ParameterSpec, ...]:
+    """The three parameters every self-contained event type declares."""
+    return (
+        ParameterSpec("type", "str", nullable=False),
+        ParameterSpec("time", "int", nullable=False),
+        ParameterSpec("source", "str", nullable=False),
+    )
+
+
+class Event:
+    """An immutable, self-contained event.
+
+    Construction validates the parameters against the event type.  The
+    parameter mapping is exposed read-only; ``event["time"]`` and
+    ``event.get("intInfo")`` give dict-like access.
+    """
+
+    __slots__ = ("_event_type", "_params")
+
+    def __init__(self, event_type: EventType, params: Mapping[str, Any]) -> None:
+        merged = dict(params)
+        merged.setdefault("type", event_type.name)
+        event_type.conforms(merged)
+        self._event_type = event_type
+        self._params = MappingProxyType(merged)
+
+    @property
+    def event_type(self) -> EventType:
+        return self._event_type
+
+    @property
+    def type_name(self) -> str:
+        return self._event_type.name
+
+    @property
+    def time(self) -> int:
+        return self._params["time"]
+
+    @property
+    def source(self) -> str:
+        return self._params["source"]
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        return self._params
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._params[name]
+        except KeyError:
+            raise EventError(
+                f"event of type {self.type_name!r} has no parameter {name!r}"
+            ) from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._params.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def derive(self, event_type: Optional[EventType] = None, **overrides: Any) -> "Event":
+        """A copy with some parameters replaced (composite-event helper)."""
+        new_type = event_type or self._event_type
+        merged = dict(self._params)
+        merged.update(overrides)
+        merged["type"] = new_type.name
+        return Event(new_type, merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        interesting = {
+            k: v
+            for k, v in self._params.items()
+            if k not in ("type",) and v is not None
+        }
+        return f"Event({self.type_name!r}, {interesting})"

@@ -1,0 +1,146 @@
+"""Primitive event producers (Section 5.1.1).
+
+CMI currently implements two primitive event producers, both reproduced
+here with the exact parameter lists of the paper:
+
+* ``E_activity`` — an *activity state change event* each time a CMI
+  activity changes state, with parameters time, activityInstanceId,
+  parentProcessSchemaId, parentProcessInstanceId, user, activityVariableId,
+  activityProcessSchemaId, oldState and newState;
+* ``E_context`` — a *context field change event* each time a field in a
+  context resource is modified, with parameters time, contextId, the set of
+  ``(processSchemaId, processInstanceId)`` tuples of associated processes,
+  fieldName, oldFieldValue and newFieldValue.
+
+Producers translate the CORE engine's change records into self-contained
+:class:`~repro.events.event.Event` objects and publish them on the bus.
+They are the engine-side half of the *event source agents* of Section 6.3
+(the agent wrapper lives in :mod:`repro.awareness.sources`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.context import ContextChange
+from ..core.instances import ActivityStateChange
+from .bus import EventBus
+from .event import Event, EventType, ParameterSpec, base_parameters
+
+#: Type name of activity state change events (``T_activity``).
+ACTIVITY_EVENT_TYPE_NAME = "T_activity"
+
+#: Type name of context field change events (``T_context``).
+CONTEXT_EVENT_TYPE_NAME = "T_context"
+
+ACTIVITY_EVENT_TYPE = EventType(
+    ACTIVITY_EVENT_TYPE_NAME,
+    (
+        *base_parameters(),
+        ParameterSpec("activityInstanceId", "str", nullable=False),
+        ParameterSpec("parentProcessSchemaId", "str"),
+        ParameterSpec("parentProcessInstanceId", "str"),
+        ParameterSpec("user", "str"),
+        ParameterSpec("activityVariableId", "str"),
+        ParameterSpec("activityProcessSchemaId", "str"),
+        ParameterSpec("oldState", "str", nullable=False),
+        ParameterSpec("newState", "str", nullable=False),
+    ),
+)
+
+CONTEXT_EVENT_TYPE = EventType(
+    CONTEXT_EVENT_TYPE_NAME,
+    (
+        *base_parameters(),
+        ParameterSpec("contextId", "str", nullable=False),
+        ParameterSpec("contextName", "str", nullable=False),
+        # The {(processSchemaId, processInstanceId)} association set.
+        ParameterSpec("processAssociations", "set", nullable=False),
+        ParameterSpec("fieldName", "str", nullable=False),
+        ParameterSpec("oldFieldValue", "any"),
+        ParameterSpec("newFieldValue", "any"),
+    ),
+)
+
+
+class EventProducer:
+    """Base class: an identified producer of one event type.
+
+    ``emit`` publishes to the bus (when attached) and also hands the event
+    to directly-registered consumers, which is what awareness description
+    leaves use when a detector runs without a bus (unit tests, benchmarks).
+    """
+
+    def __init__(self, producer_id: str, output_type: EventType) -> None:
+        self.producer_id = producer_id
+        self.output_type = output_type
+        self._bus: Optional[EventBus] = None
+        self._consumers: List[Callable[[Event], None]] = []
+        self.emitted = 0
+
+    def attach(self, bus: EventBus) -> None:
+        self._bus = bus
+
+    def add_consumer(self, consumer: Callable[[Event], None]) -> None:
+        self._consumers.append(consumer)
+
+    def emit(self, event: Event) -> Event:
+        self.emitted += 1
+        for consumer in list(self._consumers):
+            consumer(event)
+        if self._bus is not None:
+            self._bus.publish(event)
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.producer_id!r})"
+
+
+class ActivityEventProducer(EventProducer):
+    """``E_activity`` — the single source of activity state change events."""
+
+    def __init__(self, producer_id: str = "E_activity") -> None:
+        super().__init__(producer_id, ACTIVITY_EVENT_TYPE)
+
+    def produce(self, change: ActivityStateChange) -> Event:
+        """Translate a CORE state-change record into a ``T_activity`` event."""
+        event = Event(
+            ACTIVITY_EVENT_TYPE,
+            {
+                "time": change.time,
+                "source": self.producer_id,
+                "activityInstanceId": change.activity_instance_id,
+                "parentProcessSchemaId": change.parent_process_schema_id,
+                "parentProcessInstanceId": change.parent_process_instance_id,
+                "user": change.user,
+                "activityVariableId": change.activity_variable_id,
+                "activityProcessSchemaId": change.activity_process_schema_id,
+                "oldState": change.old_state,
+                "newState": change.new_state,
+            },
+        )
+        return self.emit(event)
+
+
+class ContextEventProducer(EventProducer):
+    """``E_context`` — the single source of context field change events."""
+
+    def __init__(self, producer_id: str = "E_context") -> None:
+        super().__init__(producer_id, CONTEXT_EVENT_TYPE)
+
+    def produce(self, change: ContextChange) -> Event:
+        """Translate a context field change record into a ``T_context`` event."""
+        event = Event(
+            CONTEXT_EVENT_TYPE,
+            {
+                "time": change.time,
+                "source": self.producer_id,
+                "contextId": change.context_id,
+                "contextName": change.context_name,
+                "processAssociations": frozenset(change.associations),
+                "fieldName": change.field_name,
+                "oldFieldValue": change.old_value,
+                "newFieldValue": change.new_value,
+            },
+        )
+        return self.emit(event)

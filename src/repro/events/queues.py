@@ -1,0 +1,215 @@
+"""Persistent per-participant delivery queues (Section 6.5).
+
+"The information from the event is then queued for each participant in the
+set.  A persistent queue is necessary because a participant is not assumed
+to be logged-on to the system when he receives an awareness event."
+
+Two implementations share one interface:
+
+* :class:`MemoryDeliveryQueue` — fast, used by unit tests and benchmarks;
+* :class:`SqliteDeliveryQueue` — durable via the standard-library
+  ``sqlite3`` module; a queue reopened on the same path sees all
+  undelivered notifications, which is the paper's sign-on-later guarantee.
+
+Awareness information is stored as :class:`Notification` records: the
+digested composite-event parameters plus the user-friendly description the
+output operator attached (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import QueueError
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One piece of awareness information queued for one participant."""
+
+    notification_id: str
+    participant_id: str
+    time: int
+    description: str
+    schema_name: str
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "notification_id": self.notification_id,
+                "participant_id": self.participant_id,
+                "time": self.time,
+                "description": self.description,
+                "schema_name": self.schema_name,
+                "parameters": _jsonable(self.parameters),
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(payload: str) -> "Notification":
+        data = json.loads(payload)
+        return Notification(
+            notification_id=data["notification_id"],
+            participant_id=data["participant_id"],
+            time=data["time"],
+            description=data["description"],
+            schema_name=data["schema_name"],
+            parameters=data["parameters"],
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of event parameters to JSON-safe values."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (frozenset, set)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class DeliveryQueue:
+    """Interface of a per-participant notification queue."""
+
+    def enqueue(self, notification: Notification) -> None:
+        raise NotImplementedError
+
+    def pending(self, participant_id: str) -> Tuple[Notification, ...]:
+        """Notifications queued for a participant, oldest first."""
+        raise NotImplementedError
+
+    def retrieve(self, participant_id: str) -> Tuple[Notification, ...]:
+        """Return and remove all pending notifications for a participant."""
+        raise NotImplementedError
+
+    def pending_count(self, participant_id: Optional[str] = None) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op for the memory queue)."""
+
+
+class MemoryDeliveryQueue(DeliveryQueue):
+    """In-memory queue; contents do not survive the process."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, List[Notification]] = {}
+
+    def enqueue(self, notification: Notification) -> None:
+        self._queues.setdefault(notification.participant_id, []).append(
+            notification
+        )
+
+    def pending(self, participant_id: str) -> Tuple[Notification, ...]:
+        return tuple(self._queues.get(participant_id, ()))
+
+    def retrieve(self, participant_id: str) -> Tuple[Notification, ...]:
+        items = tuple(self._queues.pop(participant_id, ()))
+        return items
+
+    def pending_count(self, participant_id: Optional[str] = None) -> int:
+        if participant_id is not None:
+            return len(self._queues.get(participant_id, ()))
+        return sum(len(q) for q in self._queues.values())
+
+
+class SqliteDeliveryQueue(DeliveryQueue):
+    """Durable queue backed by SQLite.
+
+    Notifications survive :meth:`close` and reopening the same path; the
+    WAL-less default journal is sufficient for the single-writer pattern of
+    the delivery agent.  ``":memory:"`` gives a private non-durable queue
+    with identical semantics (useful in tests).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS notifications (
+                seq INTEGER PRIMARY KEY AUTOINCREMENT,
+                participant_id TEXT NOT NULL,
+                payload TEXT NOT NULL
+            )
+            """
+        )
+        self._conn.execute(
+            """
+            CREATE INDEX IF NOT EXISTS idx_notifications_participant
+            ON notifications (participant_id, seq)
+            """
+        )
+        self._conn.commit()
+
+    def enqueue(self, notification: Notification) -> None:
+        self._check_open()
+        self._conn.execute(
+            "INSERT INTO notifications (participant_id, payload) VALUES (?, ?)",
+            (notification.participant_id, notification.to_json()),
+        )
+        self._conn.commit()
+
+    def pending(self, participant_id: str) -> Tuple[Notification, ...]:
+        self._check_open()
+        rows = self._conn.execute(
+            "SELECT payload FROM notifications WHERE participant_id = ? "
+            "ORDER BY seq",
+            (participant_id,),
+        ).fetchall()
+        return tuple(Notification.from_json(row[0]) for row in rows)
+
+    def retrieve(self, participant_id: str) -> Tuple[Notification, ...]:
+        self._check_open()
+        items = self.pending(participant_id)
+        self._conn.execute(
+            "DELETE FROM notifications WHERE participant_id = ?",
+            (participant_id,),
+        )
+        self._conn.commit()
+        return items
+
+    def pending_count(self, participant_id: Optional[str] = None) -> int:
+        self._check_open()
+        if participant_id is not None:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM notifications WHERE participant_id = ?",
+                (participant_id,),
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM notifications"
+            ).fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+    def _check_open(self) -> None:
+        if self._conn is None:
+            raise QueueError(f"queue at {self.path!r} is closed")
+
+
+class QueueRegistry:
+    """Hands out the queue shared by the delivery agent and the viewers.
+
+    A single queue object stores all participants' notifications
+    (partitioned by participant id); the registry simply owns its
+    lifecycle and lets the federation choose memory or SQLite backing.
+    """
+
+    def __init__(self, queue: Optional[DeliveryQueue] = None) -> None:
+        self.queue = queue if queue is not None else MemoryDeliveryQueue()
+
+    def close(self) -> None:
+        self.queue.close()

@@ -1,0 +1,28 @@
+"""The CMI system architecture (Figure 5, Section 6.1).
+
+"The CMI system follows a client-server approach with the CMI Enactment
+System as the server ... a collection of communicating agents acting as a
+single server.  The components and their interconnections largely resemble
+the interrelationships between sub-models in CMM."
+
+* :class:`~repro.federation.system.EnactmentSystem` — the server: CORE
+  engine + Coordination engine + Service engine + Awareness engine on one
+  shared clock and event bus;
+* :class:`~repro.federation.clients.ParticipantClient` — the run-time
+  client suite: worklist, process monitoring tool, awareness viewer;
+* :class:`~repro.federation.clients.DesignerClient` — the build-time
+  client suite: process specification and awareness specification tools;
+* :class:`~repro.federation.monitor.ProcessMonitor` — the monitoring tool
+  (and the "manager sees everything" awareness baseline of Section 2).
+"""
+
+from .clients import DesignerClient, ParticipantClient
+from .monitor import ProcessMonitor
+from .system import EnactmentSystem
+
+__all__ = [
+    "DesignerClient",
+    "EnactmentSystem",
+    "ParticipantClient",
+    "ProcessMonitor",
+]

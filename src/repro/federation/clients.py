@@ -1,0 +1,123 @@
+"""CMI clients (Figure 5): participant and designer suites.
+
+* The **Client for Participants** "contains a variant of the traditional
+  WfMS worklist, a process monitoring tool, and a viewer for delivered
+  awareness information."
+* The **Client for Designers** "is a suite of build-time tools that
+  includes the Awareness Specification Tool" (plus process and service
+  specification).
+
+Both are thin facades: they bind one user (or one designer session) to the
+corresponding engine surfaces of the enactment system, mirroring how the
+GUI tools of the prototype sat on the server's agent interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from ..awareness.specification import SpecificationWindow
+from ..awareness.detector import DetectorAgent
+from ..awareness.viewer import AwarenessViewer
+from ..coordination.worklist import WorkItem, Worklist
+from ..core.instances import ProcessInstance
+from ..core.roles import Participant
+from ..core.schema import ActivitySchema, ProcessActivitySchema
+from ..errors import WorklistError
+from ..service.model import ServiceDefinition
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .system import EnactmentSystem
+
+
+class ParticipantClient:
+    """Run-time suite: worklist + monitor + awareness viewer for one user."""
+
+    def __init__(self, system: "EnactmentSystem", participant: Participant):
+        self.system = system
+        self.participant = participant
+        self.worklist: Worklist = system.coordination.worklist_for(participant)
+        self.viewer: AwarenessViewer = system.awareness.viewer_for(participant)
+
+    # -- session -----------------------------------------------------------------
+
+    def sign_on(self) -> None:
+        self.participant.sign_on()
+
+    def sign_off(self) -> None:
+        self.participant.sign_off()
+
+    # -- worklist operations -----------------------------------------------------
+
+    def work_items(self) -> Tuple[WorkItem, ...]:
+        return self.worklist.items()
+
+    def claim(self, item: WorkItem) -> None:
+        self.system.coordination.claim(item, self.participant)
+
+    def complete(self, item: WorkItem) -> None:
+        if item.claimed_by != self.participant:
+            raise WorklistError(
+                f"{self.participant.name!r} cannot complete a work item "
+                f"claimed by {item.claimed_by.name if item.claimed_by else 'nobody'!r}"
+            )
+        self.system.coordination.complete_activity(
+            item.activity, user=self.participant.name
+        )
+
+    def claim_and_complete_all(self) -> int:
+        """Drain the worklist (workload-driver convenience); returns count."""
+        done = 0
+        while True:
+            items = [i for i in self.work_items() if i.claimed_by is None]
+            if not items:
+                return done
+            for item in items:
+                self.claim(item)
+                self.complete(item)
+                done += 1
+
+    # -- monitoring --------------------------------------------------------------
+
+    def monitor_view(self, process: ProcessInstance) -> str:
+        return self.system.monitor.status_tree(process)
+
+    # -- awareness ----------------------------------------------------------------
+
+    def check_awareness(self) -> Tuple:
+        """Retrieve pending awareness notifications from the viewer."""
+        return self.viewer.retrieve()
+
+
+class DesignerClient:
+    """Build-time suite: process, service, and awareness specification."""
+
+    def __init__(self, system: "EnactmentSystem", designer_name: str):
+        self.system = system
+        self.designer_name = designer_name
+
+    # -- process specification ------------------------------------------------------
+
+    def register_process(self, schema: ProcessActivitySchema) -> ProcessActivitySchema:
+        """Validate + register a process schema with the CORE engine."""
+        self.system.core.register_schema(schema)
+        return schema
+
+    def register_activity(self, schema: ActivitySchema) -> ActivitySchema:
+        self.system.core.register_schema(schema)
+        return schema
+
+    # -- service specification ---------------------------------------------------------
+
+    def advertise_service(self, service: ServiceDefinition) -> ServiceDefinition:
+        return self.system.service.registry.advertise(service)
+
+    # -- awareness specification (the Awareness Specification Tool) ---------------------
+
+    def open_awareness_window(self, process_schema_id: str) -> SpecificationWindow:
+        """Open a specification window for one process schema (Figure 6)."""
+        return self.system.awareness.create_window(process_schema_id)
+
+    def deploy_awareness(self, window: SpecificationWindow) -> DetectorAgent:
+        """Transform the window's schemata into a live detector agent."""
+        return self.system.awareness.deploy(window)

@@ -1,0 +1,401 @@
+"""Durable enactment: audit journaling and recovery.
+
+The paper's prototype ran its processes on IBM FlowMark — a *persistent*
+commercial WfMS: enactment state survived server restarts.  Our
+from-scratch substrate provides the same guarantee through a write-ahead
+audit journal:
+
+* a :class:`Journal` records every state-affecting CORE operation —
+  participant/role definitions, schema registrations (as interchange
+  payloads, reusing :mod:`repro.core.serialization`), instance creations,
+  activity state changes, context creation/sharing/destruction, field
+  assignments, and scoped-role creation;
+* :func:`recover_core` replays a journal into a fresh
+  :class:`~repro.core.engine.CoreEngine`, reproducing instance trees,
+  state machines (including histories), context contents, associations,
+  and scoped-role membership.
+
+Identifier determinism makes this simple: the CORE engine assigns ids from
+per-prefix counters, so replaying the same creation sequence yields the
+same ids, and journaled references resolve exactly.
+
+Journal records are JSON-able dicts; :class:`Journal` keeps them in memory
+and can persist to/load from a JSON-lines file.  Scoped-role *membership
+changes after creation* go through :meth:`CoreEngine.create_scoped_role`'s
+returned object and are outside the journaled surface — use engine APIs
+for anything that must survive recovery.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.context import ContextChange
+from ..core.engine import CoreEngine
+from ..core.roles import Participant, ParticipantKind
+from ..core.serialization import (
+    ConditionRegistry,
+    schema_from_dict,
+    schema_to_dict,
+)
+from ..errors import ReproError
+
+
+class RecoveryError(ReproError):
+    """The journal could not be replayed."""
+
+
+class Journal:
+    """An append-only log of CORE operations."""
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, Any]] = []
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self._records.append(record)
+
+    def records(self) -> Tuple[Dict[str, Any], ...]:
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the journal as JSON lines."""
+        with open(path, "w") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Journal":
+        journal = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    journal.append(json.loads(line))
+        return journal
+
+
+def attach_journal(
+    core: CoreEngine,
+    journal: Optional[Journal] = None,
+    conditions: Optional[ConditionRegistry] = None,
+) -> Journal:
+    """Instrument *core* so every state-affecting operation is journaled.
+
+    Must be attached to a **fresh** engine (before any schemas, instances,
+    or participants exist); replay correctness depends on the journal
+    covering the engine's whole life.
+    """
+    if core.schemas() or core.instances() or core.roles.participants():
+        raise RecoveryError(
+            "attach_journal requires a fresh CORE engine (the journal must "
+            "cover the engine's entire history)"
+        )
+    journal = journal if journal is not None else Journal()
+
+    # -- wrap the mutators --------------------------------------------------------
+
+    original_register = core.register_schema
+    register_depth = {"value": 0}
+
+    def register_schema(schema):
+        # register_schema recurses into subschemas (each recursive call
+        # lands back here because the engine dispatches through the
+        # instance attribute); journal only the outermost registration —
+        # its interchange payload already contains the whole subtree.
+        known = schema.schema_id in {s.schema_id for s in core.schemas()}
+        register_depth["value"] += 1
+        try:
+            result = original_register(schema)
+        finally:
+            register_depth["value"] -= 1
+        if not known and register_depth["value"] == 0:
+            journal.append(
+                {
+                    "op": "register_schema",
+                    "payload": schema_to_dict(schema, conditions),
+                }
+            )
+        return result
+
+    core.register_schema = register_schema  # type: ignore[method-assign]
+
+    original_register_participant = core.roles.register_participant
+
+    def register_participant(participant):
+        result = original_register_participant(participant)
+        journal.append(
+            {
+                "op": "register_participant",
+                "id": participant.participant_id,
+                "name": participant.name,
+                "kind": participant.kind.name,
+            }
+        )
+        return result
+
+    core.roles.register_participant = register_participant  # type: ignore[method-assign]
+
+    original_define_role = core.roles.define_role
+
+    def define_role(name):
+        role = original_define_role(name)
+        journal.append({"op": "define_role", "name": name})
+
+        original_add_member = role.add_member
+
+        def add_member(participant):
+            original_add_member(participant)
+            journal.append(
+                {
+                    "op": "add_role_member",
+                    "role": name,
+                    "participant": participant.participant_id,
+                }
+            )
+
+        role.add_member = add_member  # type: ignore[method-assign]
+        return role
+
+    core.roles.define_role = define_role  # type: ignore[method-assign]
+
+    original_create_process = core.create_process_instance
+
+    def create_process_instance(schema, parent=None, activity_variable=None):
+        instance = original_create_process(schema, parent, activity_variable)
+        journal.append(
+            {
+                "op": "create_process_instance",
+                "schema_id": schema.schema_id,
+                "parent": parent.instance_id if parent else None,
+                "variable": activity_variable.name if activity_variable else None,
+                "instance_id": instance.instance_id,
+            }
+        )
+        return instance
+
+    core.create_process_instance = create_process_instance  # type: ignore[method-assign]
+
+    original_create_activity = core.create_activity_instance
+
+    def create_activity_instance(parent, activity_variable_name):
+        instance = original_create_activity(parent, activity_variable_name)
+        # Subprocess creation already journaled via create_process_instance.
+        if instance.instance_id.startswith("act-"):
+            journal.append(
+                {
+                    "op": "create_activity_instance",
+                    "parent": parent.instance_id,
+                    "variable": activity_variable_name,
+                    "instance_id": instance.instance_id,
+                }
+            )
+        return instance
+
+    core.create_activity_instance = create_activity_instance  # type: ignore[method-assign]
+
+    original_change_state = core.change_state
+
+    def change_state(instance, new_state, user=None):
+        change = original_change_state(instance, new_state, user)
+        journal.append(
+            {
+                "op": "change_state",
+                "instance_id": instance.instance_id,
+                "new_state": new_state,
+                "time": change.time,
+                "user": user,
+            }
+        )
+        return change
+
+    core.change_state = change_state  # type: ignore[method-assign]
+
+    original_share = core.share_context
+
+    def share_context(ref, subprocess):
+        result = original_share(ref, subprocess)
+        journal.append(
+            {
+                "op": "share_context",
+                "context_id": ref.context_id,
+                "holder": ref.holder_process_instance_id,
+                "subprocess": subprocess.instance_id,
+            }
+        )
+        return result
+
+    core.share_context = share_context  # type: ignore[method-assign]
+
+    original_destroy = core.destroy_context
+
+    def destroy_context(ref):
+        journal.append({"op": "destroy_context", "context_id": ref.context_id})
+        return original_destroy(ref)
+
+    core.destroy_context = destroy_context  # type: ignore[method-assign]
+
+    original_scoped_role = core.create_scoped_role
+
+    def create_scoped_role(ref, field_name, members=()):
+        role = original_scoped_role(ref, field_name, members)
+        journal.append(
+            {
+                "op": "create_scoped_role",
+                "context_id": ref.context_id,
+                "field": field_name,
+                "members": [p.participant_id for p in members],
+            }
+        )
+        return role
+
+    core.create_scoped_role = create_scoped_role  # type: ignore[method-assign]
+
+    # Context field assignments: observe the change stream, skipping the
+    # role-valued writes that create_scoped_role journals itself.
+    def on_context_change(change: ContextChange) -> None:
+        from ..core.roles import ScopedRole
+
+        if isinstance(change.new_value, ScopedRole):
+            return
+        journal.append(
+            {
+                "op": "set_field",
+                "context_id": change.context_id,
+                "field": change.field_name,
+                "value": change.new_value,
+                "time": change.time,
+            }
+        )
+
+    core.on_context_change(on_context_change)
+    return journal
+
+
+def recover_core(
+    journal: Journal,
+    conditions: Optional[ConditionRegistry] = None,
+) -> CoreEngine:
+    """Replay *journal* into a fresh CORE engine.
+
+    The recovered engine has the same schemas, participants, roles,
+    instance trees (ids included), state machines, context contents,
+    associations, and scoped roles as the journaled one at the moment the
+    journal ends.  Coordination worklists and awareness operator state are
+    *not* part of the CORE surface; they re-derive at run time.
+    """
+    core = CoreEngine()
+    contexts_by_id: Dict[str, Any] = {}
+
+    def ref_for(context_id: str):
+        try:
+            return contexts_by_id[context_id]
+        except KeyError:
+            raise RecoveryError(
+                f"journal references unknown context {context_id!r}"
+            ) from None
+
+    def capture_contexts(instance) -> None:
+        for ref in instance.context_refs.values():
+            contexts_by_id[ref.context_id] = ref
+
+    for index, record in enumerate(journal.records()):
+        op = record.get("op")
+        try:
+            if op == "register_schema":
+
+                def resolver(schema_id):
+                    try:
+                        return core.schema(schema_id)
+                    except ReproError:
+                        return None
+
+                core.register_schema(
+                    schema_from_dict(
+                        record["payload"], conditions, resolver=resolver
+                    )
+                )
+            elif op == "register_participant":
+                core.roles.register_participant(
+                    Participant(
+                        record["id"],
+                        record["name"],
+                        ParticipantKind[record["kind"]],
+                    )
+                )
+            elif op == "define_role":
+                core.roles.define_role(record["name"])
+            elif op == "add_role_member":
+                core.roles.role(record["role"]).add_member(
+                    core.roles.participant(record["participant"])
+                )
+            elif op == "create_process_instance":
+                schema = core.schema(record["schema_id"])
+                parent = (
+                    core.instance(record["parent"])
+                    if record["parent"]
+                    else None
+                )
+                variable = (
+                    parent.schema.activity_variable(record["variable"])
+                    if parent is not None
+                    else None
+                )
+                instance = core.create_process_instance(
+                    schema, parent=parent, activity_variable=variable
+                )
+                if instance.instance_id != record["instance_id"]:
+                    raise RecoveryError(
+                        f"id drift: expected {record['instance_id']!r}, "
+                        f"got {instance.instance_id!r}"
+                    )
+                capture_contexts(instance)
+            elif op == "create_activity_instance":
+                parent = core.instance(record["parent"])
+                instance = core.create_activity_instance(
+                    parent, record["variable"]
+                )
+                if instance.instance_id != record["instance_id"]:
+                    raise RecoveryError(
+                        f"id drift: expected {record['instance_id']!r}, "
+                        f"got {instance.instance_id!r}"
+                    )
+            elif op == "change_state":
+                core.clock.advance_to(max(core.clock.now(), record["time"] - 1))
+                core.change_state(
+                    core.instance(record["instance_id"]),
+                    record["new_state"],
+                    user=record["user"],
+                )
+            elif op == "set_field":
+                core.clock.advance_to(max(core.clock.now(), record["time"]))
+                ref_for(record["context_id"]).set(
+                    record["field"], record["value"]
+                )
+            elif op == "share_context":
+                core.share_context(
+                    ref_for(record["context_id"]),
+                    core.instance(record["subprocess"]),
+                )
+            elif op == "destroy_context":
+                core.destroy_context(ref_for(record["context_id"]))
+            elif op == "create_scoped_role":
+                members = tuple(
+                    core.roles.participant(pid) for pid in record["members"]
+                )
+                core.create_scoped_role(
+                    ref_for(record["context_id"]), record["field"], members
+                )
+            else:
+                raise RecoveryError(f"unknown journal op {op!r}")
+        except ReproError as error:
+            raise RecoveryError(
+                f"replay failed at record {index} ({op}): {error}"
+            ) from error
+    return core

@@ -1,0 +1,115 @@
+"""The process monitoring tool (Section 6.1 client suite).
+
+WfMSs assume managers "must know the status of all the activities in the
+entire process, i.e., monitor the entire process" (Section 2).  The
+monitor provides that view: a live status table over a process instance
+tree, plus the full state-change history — which also makes it the
+*monitor-everything* awareness baseline for the QE1 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.context import ContextChange
+from ..core.engine import CoreEngine
+from ..core.instances import ActivityInstance, ActivityStateChange, ProcessInstance
+
+
+class ProcessMonitor:
+    """Observes every activity state change and context field change."""
+
+    def __init__(self, core: CoreEngine) -> None:
+        self.core = core
+        self._log: List[ActivityStateChange] = []
+        self._context_log: List["ContextChange"] = []
+        core.on_activity_change(self._log.append)
+        core.on_context_change(self._context_log.append)
+
+    # -- log access ---------------------------------------------------------------
+
+    def log(self) -> Tuple[ActivityStateChange, ...]:
+        """All observed state changes, in order."""
+        return tuple(self._log)
+
+    def context_log(self) -> Tuple["ContextChange", ...]:
+        """All observed context field changes, in order."""
+        return tuple(self._context_log)
+
+    def log_for_process(
+        self, process: ProcessInstance
+    ) -> Tuple[ActivityStateChange, ...]:
+        """Changes of a process instance and all of its descendants."""
+        ids = {process.instance_id}
+        ids.update(d.instance_id for d in process.descendants())
+        return tuple(
+            c for c in self._log if c.activity_instance_id in ids
+        )
+
+    def query(
+        self,
+        new_state: Optional[str] = None,
+        user: Optional[str] = None,
+        since: Optional[int] = None,
+        until: Optional[int] = None,
+    ) -> Tuple[ActivityStateChange, ...]:
+        """The WfMC-style monitoring query API over the audit trail.
+
+        All filters conjoin; ``since``/``until`` are inclusive tick bounds.
+        This is exactly the interface the Section 2 "specialized awareness
+        applications that analyze process monitoring logs" build on.
+        """
+        results = []
+        for change in self._log:
+            if new_state is not None and change.new_state != new_state:
+                continue
+            if user is not None and change.user != user:
+                continue
+            if since is not None and change.time < since:
+                continue
+            if until is not None and change.time > until:
+                continue
+            results.append(change)
+        return tuple(results)
+
+    # -- status view -----------------------------------------------------------------
+
+    def status_tree(self, process: ProcessInstance, indent: int = 0) -> str:
+        """Indented live status of a process instance tree."""
+        pad = "  " * indent
+        lines = [
+            f"{pad}{process.schema.name} [{process.instance_id}] "
+            f"= {process.current_state}"
+        ]
+        for name, child in process.children.items():
+            if isinstance(child, ProcessInstance):
+                lines.append(self.status_tree(child, indent + 1))
+            else:
+                performer = child.performer.name if child.performer else "-"
+                lines.append(
+                    f"{pad}  {name}: {child.schema.name} = "
+                    f"{child.current_state} (performer: {performer})"
+                )
+        return "\n".join(lines)
+
+    def timeline(self, process: ProcessInstance) -> str:
+        """Figure 1-style rendering: one line per activity with its
+        running interval in clock ticks."""
+        rows: List[str] = [f"Timeline of {process.schema.name}:"]
+        instances: List[ActivityInstance] = [process]
+        instances.extend(process.descendants())
+        for instance in instances:
+            started: Optional[int] = None
+            closed: Optional[int] = None
+            for change in instance.state_machine.history:
+                if change.new_state == "Running" and started is None:
+                    started = change.time
+                if change.new_state in ("Completed", "Terminated"):
+                    closed = change.time
+            if started is None:
+                continue
+            end = str(closed) if closed is not None else "…"
+            rows.append(
+                f"  t={started:>4} ─ {end:>4}  {instance.schema.name}"
+            )
+        return "\n".join(rows)

@@ -1,0 +1,89 @@
+"""The CMI Enactment System: the Figure 5 server.
+
+One :class:`EnactmentSystem` aggregates the four engines over one logical
+clock, one event bus, and one persistent delivery queue:
+
+* **CORE Engine** — schemas, instances, contexts, roles;
+* **Coordination Engine** — enactment operations and routing (the
+  IBM-FlowMark role in the prototype);
+* **Service Engine** — service registry, agreements, invocation;
+* **Awareness Engine** — event sources, detectors, delivery.
+
+Clients attach via :meth:`participant_client` and :meth:`designer_client`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..clock import LogicalClock
+from ..coordination.engine import CoordinationEngine
+from ..core.engine import CoreEngine
+from ..core.roles import Participant
+from ..events.bus import EventBus
+from ..events.queues import DeliveryQueue, MemoryDeliveryQueue
+from ..awareness.engine import AwarenessEngine
+from ..service.engine import ServiceEngine
+from .clients import DesignerClient, ParticipantClient
+from .monitor import ProcessMonitor
+
+
+class EnactmentSystem:
+    """The federated CMI server: four engines acting as one."""
+
+    def __init__(
+        self,
+        clock: Optional[LogicalClock] = None,
+        queue: Optional[DeliveryQueue] = None,
+        journal: Optional["Journal"] = None,
+        isolate_errors: bool = False,
+    ) -> None:
+        self.clock = clock or LogicalClock()
+        self.bus = EventBus(isolate_errors=isolate_errors)
+        self.core = CoreEngine(self.clock)
+        self.journal = journal
+        if journal is not None:
+            from .journal import attach_journal
+
+            attach_journal(self.core, journal)
+        self.coordination = CoordinationEngine(self.core)
+        self.service = ServiceEngine(self.coordination)
+        self.awareness = AwarenessEngine(
+            self.core,
+            bus=self.bus,
+            queue=queue if queue is not None else MemoryDeliveryQueue(),
+        )
+        self.monitor = ProcessMonitor(self.core)
+        self._participant_clients: Dict[str, ParticipantClient] = {}
+
+    # -- client attach -------------------------------------------------------------
+
+    def participant_client(self, participant: Participant) -> ParticipantClient:
+        """The run-time client suite for one participant (cached)."""
+        client = self._participant_clients.get(participant.participant_id)
+        if client is None:
+            client = ParticipantClient(self, participant)
+            self._participant_clients[participant.participant_id] = client
+        return client
+
+    def designer_client(self, designer_name: str = "designer") -> DesignerClient:
+        """A build-time client suite (process + awareness specification)."""
+        return DesignerClient(self, designer_name)
+
+    # -- convenience ----------------------------------------------------------------
+
+    def register_participant(self, participant: Participant) -> Participant:
+        return self.core.roles.register_participant(participant)
+
+    def stats(self) -> Dict[str, int]:
+        """System-wide counters for the FIG5 architecture benchmark."""
+        stats = dict(self.awareness.stats())
+        stats.update(
+            {
+                "bus_events_published": self.bus.published_count(),
+                "processes_started": len(self.core.top_level_processes()),
+                "instances_total": len(self.core.instances()),
+                "work_items_total": len(self.coordination.worklists.all_items()),
+            }
+        )
+        return stats

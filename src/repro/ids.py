@@ -1,0 +1,54 @@
+"""Deterministic identifier generation.
+
+CMI objects (schemas, instances, contexts, events, work items) all carry
+string identifiers.  The paper's prototype used opaque ids from FlowMark and
+CEDMOS; for reproducibility we generate ids deterministically from a
+per-prefix counter, so two runs of the same workload produce identical id
+sequences and benchmark output is stable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Iterator
+
+
+class IdFactory:
+    """Produces ids of the form ``<prefix>-<n>`` with a counter per prefix.
+
+    The factory is thread-safe so event source agents running on different
+    threads may share one factory, although the reference implementation is
+    single-threaded.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Iterator[int]] = {}
+        self._lock = threading.Lock()
+
+    def new(self, prefix: str) -> str:
+        """Return the next id for *prefix*, e.g. ``new("proc")`` -> ``proc-1``."""
+        with self._lock:
+            counter = self._counters.get(prefix)
+            if counter is None:
+                counter = itertools.count(1)
+                self._counters[prefix] = counter
+            return f"{prefix}-{next(counter)}"
+
+    def reset(self) -> None:
+        """Forget all counters (used between benchmark repetitions)."""
+        with self._lock:
+            self._counters.clear()
+
+
+_default_factory = IdFactory()
+
+
+def new_id(prefix: str) -> str:
+    """Return a fresh id from the process-wide default factory."""
+    return _default_factory.new(prefix)
+
+
+def reset_ids() -> None:
+    """Reset the process-wide default factory (test isolation helper)."""
+    _default_factory.reset()

@@ -1,0 +1,29 @@
+"""Measurement utilities for the reproduction benchmarks.
+
+The paper's central quantitative *claim* (Sections 1, 2, 7) is qualitative
+in the original: customized awareness "minimizes information overloading"
+and increases "the relevance of the information provided".  This package
+turns that into measurable quantities:
+
+* :mod:`repro.metrics.overload` — ground-truth relevance labelling,
+  precision/recall/F1 of delivered information, deliveries per participant,
+  and the overload factor, per awareness mechanism;
+* :mod:`repro.metrics.latency` — pipeline hop/latency probes for the QE4
+  benchmark;
+* :mod:`repro.metrics.report` — fixed-width table rendering so benchmark
+  output reads like the rows a paper would report.
+"""
+
+from .latency import LatencyProbe, LatencySummary
+from .overload import GroundTruth, MechanismScore, RelevantFact, score_mechanism
+from .report import render_table
+
+__all__ = [
+    "GroundTruth",
+    "LatencyProbe",
+    "LatencySummary",
+    "MechanismScore",
+    "RelevantFact",
+    "render_table",
+    "score_mechanism",
+]

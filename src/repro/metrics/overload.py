@@ -1,0 +1,193 @@
+"""Information-overload and relevance scoring (QE1).
+
+The workload generator labels the run with *ground truth*: which pieces of
+information genuinely mattered, and to whom.  Each awareness mechanism's
+:class:`~repro.baselines.base.Delivery` records are scored against it:
+
+* **precision** — of everything delivered, what fraction was relevant to
+  its receiver ("with too much information, users must deal with an
+  information overload that adds to their work and masks important
+  information");
+* **recall** — of everything relevant, what fraction actually reached the
+  participant who needed it ("if given too little or improperly targeted
+  information, users will act inappropriately or be less effective");
+* **deliveries per participant** — the raw attention cost;
+* **overload factor** — delivered/needed ratio; 1.0 is the ideal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..baselines.base import Delivery
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class RelevantFact:
+    """One piece of information that genuinely mattered.
+
+    ``key`` must use the same vocabulary the delivery adapters use, so
+    delivered information and needed information can be matched.
+    ``audience`` is the set of participant ids who needed it.
+    """
+
+    key: Tuple
+    audience: FrozenSet[str]
+    time: int = 0
+
+    def pairs(self) -> Set[Tuple[str, Tuple]]:
+        return {(participant, self.key) for participant in self.audience}
+
+
+class GroundTruth:
+    """The run's relevance labels: who needed what."""
+
+    def __init__(self, participants: Iterable[str]) -> None:
+        self.participants: Tuple[str, ...] = tuple(participants)
+        if not self.participants:
+            raise WorkloadError("ground truth requires at least one participant")
+        self._facts: List[RelevantFact] = []
+
+    def add_fact(
+        self, key: Tuple, audience: Iterable[str], time: int = 0
+    ) -> RelevantFact:
+        audience_set = frozenset(audience)
+        unknown = audience_set - set(self.participants)
+        if unknown:
+            raise WorkloadError(
+                f"fact audience references unknown participants {sorted(unknown)}"
+            )
+        fact = RelevantFact(key=key, audience=audience_set, time=time)
+        self._facts.append(fact)
+        return fact
+
+    def facts(self) -> Tuple[RelevantFact, ...]:
+        return tuple(self._facts)
+
+    def relevant_pairs(self) -> Set[Tuple[str, Tuple]]:
+        pairs: Set[Tuple[str, Tuple]] = set()
+        for fact in self._facts:
+            pairs.update(fact.pairs())
+        return pairs
+
+    def needed_by(self, participant_id: str) -> int:
+        return sum(
+            1 for fact in self._facts if participant_id in fact.audience
+        )
+
+
+@dataclass(frozen=True)
+class MechanismScore:
+    """The scored performance of one awareness mechanism."""
+
+    mechanism: str
+    deliveries: int
+    unique_pairs: int
+    true_positives: int
+    relevant_pairs: int
+    participants: int
+    #: Mean ticks between a relevant fact occurring and the earliest
+    #: delivery of it to a participant who needed it (None: no matches).
+    mean_delay: Optional[float] = None
+
+    @property
+    def precision(self) -> float:
+        if self.unique_pairs == 0:
+            return 0.0
+        return self.true_positives / self.unique_pairs
+
+    @property
+    def recall(self) -> float:
+        if self.relevant_pairs == 0:
+            return 0.0
+        return self.true_positives / self.relevant_pairs
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    @property
+    def deliveries_per_participant(self) -> float:
+        if self.participants == 0:
+            return 0.0
+        return self.deliveries / self.participants
+
+    @property
+    def overload_factor(self) -> float:
+        """Delivered info per unit of needed info (1.0 = perfectly lean)."""
+        if self.relevant_pairs == 0:
+            return float("inf") if self.deliveries else 0.0
+        return self.deliveries / self.relevant_pairs
+
+    def as_row(self) -> Tuple:
+        delay = "-" if self.mean_delay is None else f"{self.mean_delay:.1f}"
+        return (
+            self.mechanism,
+            self.deliveries,
+            f"{self.deliveries_per_participant:.1f}",
+            f"{self.precision:.2f}",
+            f"{self.recall:.2f}",
+            f"{self.f1:.2f}",
+            f"{self.overload_factor:.1f}x",
+            delay,
+        )
+
+
+#: Header row matching :meth:`MechanismScore.as_row`.
+SCORE_HEADERS = (
+    "mechanism",
+    "deliveries",
+    "per-user",
+    "precision",
+    "recall",
+    "F1",
+    "overload",
+    "delay",
+)
+
+
+def score_mechanism(
+    mechanism: str,
+    deliveries: Iterable[Delivery],
+    truth: GroundTruth,
+) -> MechanismScore:
+    """Score one mechanism's deliveries against the ground truth.
+
+    The delay column compares each matched (participant, key) pair's
+    *earliest* delivery time against the fact's occurrence time — polling
+    mechanisms (the log-analysis baseline) pay a visible lag here.
+    """
+    delivery_list = list(deliveries)
+    delivered_pairs = {(d.participant_id, d.key) for d in delivery_list}
+    relevant = truth.relevant_pairs()
+    matched = delivered_pairs & relevant
+
+    mean_delay: Optional[float] = None
+    if matched:
+        fact_times = {fact.key: fact.time for fact in truth.facts()}
+        earliest: Dict[Tuple[str, Tuple], int] = {}
+        for delivery in delivery_list:
+            pair = (delivery.participant_id, delivery.key)
+            if pair not in matched:
+                continue
+            if pair not in earliest or delivery.time < earliest[pair]:
+                earliest[pair] = delivery.time
+        delays = [
+            earliest[pair] - fact_times[pair[1]] for pair in matched
+        ]
+        mean_delay = sum(delays) / len(delays)
+
+    return MechanismScore(
+        mechanism=mechanism,
+        deliveries=len(delivery_list),
+        unique_pairs=len(delivered_pairs),
+        true_positives=len(matched),
+        relevant_pairs=len(relevant),
+        participants=len(truth.participants),
+        mean_delay=mean_delay,
+    )

@@ -1,0 +1,50 @@
+"""Fixed-width table rendering for benchmark output.
+
+Benchmarks print the rows a paper's evaluation section would report; this
+keeps the rendering in one place so every table in ``bench_output.txt``
+lines up the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[object],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table.
+
+    >>> print(render_table(("a", "b"), [(1, 22), (333, 4)]))
+    a    | b
+    -----+---
+    1    | 22
+    333  | 4
+    """
+    header_cells = [str(h) for h in headers]
+    body = [[str(cell) for cell in row] for row in rows]
+    columns = len(header_cells)
+    for row in body:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: List[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(header_cells))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in body)
+    return "\n".join(lines)

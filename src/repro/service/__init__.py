@@ -1,0 +1,24 @@
+"""Service Model (SM) — reusable activities, quality, agreements (§3).
+
+"The Service Model supports reusable process activities and related
+resources, service quality, and service agreements, as needed to support
+collaboration processes in virtual enterprises."
+
+The SM is out of the awareness paper's scope (it is detailed in the
+companion TR [7]); this package implements the minimal faithful surface
+the Figure 5 architecture requires: a service registry holding reusable
+process activities with QoS attributes, service agreements between
+providers and consumers, and QoS-based selection + invocation through the
+coordination engine.
+"""
+
+from .engine import ServiceEngine
+from .model import QoSAttributes, ServiceAgreement, ServiceDefinition, ServiceRegistry
+
+__all__ = [
+    "QoSAttributes",
+    "ServiceAgreement",
+    "ServiceDefinition",
+    "ServiceEngine",
+    "ServiceRegistry",
+]

@@ -1,0 +1,101 @@
+"""The Service Engine (Figure 5): agreement management and invocation.
+
+The engine connects the service registry to process enactment: a consumer
+negotiates an agreement (:meth:`ServiceEngine.negotiate`), then invokes the
+service (:meth:`ServiceEngine.invoke`), which starts the service's process
+schema as a subprocess through the coordination engine and tracks the
+agreement's QoS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import ServiceError
+from ..coordination.engine import CoordinationEngine
+from ..core.instances import ProcessInstance
+from ..ids import IdFactory
+from .model import (
+    QoSAttributes,
+    ServiceAgreement,
+    ServiceDefinition,
+    ServiceRegistry,
+)
+
+
+class ServiceEngine:
+    """Registry + agreements + invocation over the coordination engine."""
+
+    def __init__(
+        self,
+        coordination: CoordinationEngine,
+        registry: Optional[ServiceRegistry] = None,
+    ) -> None:
+        self.coordination = coordination
+        self.registry = registry or ServiceRegistry()
+        self._agreements: Dict[str, ServiceAgreement] = {}
+        self._invocation_start: Dict[str, Tuple[str, int]] = {}
+        self._ids = IdFactory()
+
+    # -- agreements ----------------------------------------------------------------
+
+    def negotiate(
+        self,
+        consumer: str,
+        service_name: str,
+        required_qos: Optional[QoSAttributes] = None,
+    ) -> ServiceAgreement:
+        """Select a qualifying service and pin an agreement."""
+        service = self.registry.select(service_name, required_qos)
+        agreement = ServiceAgreement(
+            agreement_id=self._ids.new("sla"),
+            service=service,
+            consumer=consumer,
+            agreed_qos=required_qos or service.qos,
+        )
+        self._agreements[agreement.agreement_id] = agreement
+        return agreement
+
+    def agreement(self, agreement_id: str) -> ServiceAgreement:
+        try:
+            return self._agreements[agreement_id]
+        except KeyError:
+            raise ServiceError(f"unknown agreement {agreement_id!r}") from None
+
+    # -- invocation -----------------------------------------------------------------
+
+    def invoke(
+        self,
+        agreement: ServiceAgreement,
+        parent: Optional[ProcessInstance] = None,
+        activity_variable_name: Optional[str] = None,
+    ) -> ProcessInstance:
+        """Start the agreed service's process (top-level or as subprocess)."""
+        if agreement.agreement_id not in self._agreements:
+            raise ServiceError(
+                f"agreement {agreement.agreement_id!r} is not registered "
+                f"with this service engine"
+            )
+        agreement.record_invocation()
+        instance = self.coordination.start_process(
+            agreement.service.process_schema,
+            parent=parent,
+            activity_variable_name=activity_variable_name,
+        )
+        self._invocation_start[instance.instance_id] = (
+            agreement.agreement_id,
+            self.coordination.core.clock.now(),
+        )
+        return instance
+
+    def record_completion(self, instance: ProcessInstance) -> None:
+        """Report a finished invocation back to its agreement's QoS check."""
+        entry = self._invocation_start.pop(instance.instance_id, None)
+        if entry is None:
+            raise ServiceError(
+                f"instance {instance.instance_id!r} is not a tracked "
+                f"service invocation"
+            )
+        agreement_id, started = entry
+        duration = self.coordination.core.clock.now() - started
+        self._agreements[agreement_id].record_completion(duration)

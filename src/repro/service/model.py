@@ -1,0 +1,136 @@
+"""Service definitions, quality attributes, and agreements.
+
+A *service* wraps a reusable process activity schema so several
+collaboration processes (possibly in different organizations of a virtual
+enterprise) can invoke it.  Services advertise :class:`QoSAttributes`;
+consumers select a service by QoS and pin the terms in a
+:class:`ServiceAgreement`, which invocation then checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ServiceError
+from ..core.schema import ProcessActivitySchema
+
+
+@dataclass(frozen=True)
+class QoSAttributes:
+    """Advertised service quality.
+
+    * ``max_duration`` — promised upper bound on completion (clock ticks);
+    * ``cost`` — abstract per-invocation cost units;
+    * ``availability`` — fraction of requests the provider promises to
+      accept (0..1], used by selection as a ranking criterion.
+    """
+
+    max_duration: int
+    cost: int = 0
+    availability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_duration <= 0:
+            raise ServiceError(
+                f"max_duration must be positive, got {self.max_duration}"
+            )
+        if self.cost < 0:
+            raise ServiceError(f"cost must be non-negative, got {self.cost}")
+        if not 0.0 < self.availability <= 1.0:
+            raise ServiceError(
+                f"availability must be in (0, 1], got {self.availability}"
+            )
+
+    def satisfies(self, required: "QoSAttributes") -> bool:
+        """True when this offer meets or beats *required* on every axis."""
+        return (
+            self.max_duration <= required.max_duration
+            and self.cost <= required.cost
+            and self.availability >= required.availability
+        )
+
+
+@dataclass(frozen=True)
+class ServiceDefinition:
+    """A reusable process activity offered by a provider."""
+
+    service_id: str
+    name: str
+    provider: str
+    process_schema: ProcessActivitySchema
+    qos: QoSAttributes
+
+
+@dataclass
+class ServiceAgreement:
+    """Pinned terms between a consumer and a provider for one service."""
+
+    agreement_id: str
+    service: ServiceDefinition
+    consumer: str
+    agreed_qos: QoSAttributes
+    invocations: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    def record_invocation(self) -> None:
+        self.invocations += 1
+
+    def record_completion(self, duration: int) -> None:
+        """Check the observed duration against the agreed QoS."""
+        if duration > self.agreed_qos.max_duration:
+            self.violations.append(
+                f"invocation took {duration} ticks, agreed "
+                f"max {self.agreed_qos.max_duration}"
+            )
+
+
+class ServiceRegistry:
+    """Provider-side registry with QoS-based selection."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, ServiceDefinition] = {}
+
+    def advertise(self, service: ServiceDefinition) -> ServiceDefinition:
+        if service.service_id in self._services:
+            raise ServiceError(f"duplicate service id {service.service_id!r}")
+        self._services[service.service_id] = service
+        return service
+
+    def service(self, service_id: str) -> ServiceDefinition:
+        try:
+            return self._services[service_id]
+        except KeyError:
+            raise ServiceError(f"unknown service {service_id!r}") from None
+
+    def services(self) -> Tuple[ServiceDefinition, ...]:
+        return tuple(self._services.values())
+
+    def select(
+        self,
+        name: str,
+        required_qos: Optional[QoSAttributes] = None,
+    ) -> ServiceDefinition:
+        """Pick the best offer for *name* that satisfies *required_qos*.
+
+        Ranking: cheapest first, then fastest, then most available
+        (deterministic tie-break by service id).  Raises
+        :class:`ServiceError` when nothing qualifies — a virtual-enterprise
+        process should fail loudly rather than silently degrade.
+        """
+        candidates = [s for s in self._services.values() if s.name == name]
+        if required_qos is not None:
+            candidates = [s for s in candidates if s.qos.satisfies(required_qos)]
+        if not candidates:
+            raise ServiceError(
+                f"no service named {name!r} satisfies the required QoS"
+            )
+        candidates.sort(
+            key=lambda s: (
+                s.qos.cost,
+                s.qos.max_duration,
+                -s.qos.availability,
+                s.service_id,
+            )
+        )
+        return candidates[0]

@@ -1,0 +1,33 @@
+"""Crisis-management workloads (Sections 1, 2, 5.4, 7).
+
+The paper motivates CMI with the crisis-management domain; this package
+contains executable versions of its scenarios:
+
+* :mod:`repro.workloads.taskforce` — the Section 5/5.4 task-force +
+  information-request application with the ``AS_InfoRequest``
+  deadline-violation awareness schema;
+* :mod:`repro.workloads.epidemic` — the Figure 1 epidemic
+  information-gathering process, with its optional activities and
+  participant decisions;
+* :mod:`repro.workloads.generator` — a parameterized synthetic crisis
+  workload with ground-truth relevance labels for the QE1 overload
+  comparison;
+* :mod:`repro.workloads.demonstration` — a generator reproducing the
+  scale of the Section 7 DARPA demonstration (nine processes, fifty-plus
+  activities, eight awareness specifications, thirty context scripts).
+"""
+
+from .demonstration import DemonstrationReport, build_demonstration
+from .epidemic import EpidemicScenario, build_epidemic_application
+from .generator import CrisisWorkload, WorkloadConfig
+from .taskforce import TaskForceApplication
+
+__all__ = [
+    "CrisisWorkload",
+    "DemonstrationReport",
+    "EpidemicScenario",
+    "TaskForceApplication",
+    "WorkloadConfig",
+    "build_demonstration",
+    "build_epidemic_application",
+]

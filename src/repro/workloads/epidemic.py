@@ -1,0 +1,388 @@
+"""The Figure 1 epidemic information-gathering process.
+
+"Suppose a group of similar disease reports is discovered in a region of
+the country.  The health organization for that region would start a
+process responsible for understanding the nature of the disease and
+containing the outbreak."  Figure 1 shows the course of that process:
+
+* always-required activities — the patient-interview task force, the
+  hospital-relations task force, and the media task force;
+* optional activities decided by participants at run time — the
+  vector-of-transmission task force, up to three lab tests, and up to two
+  rounds of invited local expertise.
+
+The module also implements the Section 2 lab-test awareness requirement:
+"if any of these tests is positive, the other tests are not necessary.
+Providing awareness in this case may involve notifying both the test
+requestor and those conducting the alternative tests when a positive
+result is found."  The ``AS_PositiveLab`` schema composes
+``Filter_context`` over the three result fields with ``Or`` and
+``Compare1[== positive]``, delivered to the ``LabStakeholders`` scoped
+role.
+
+:class:`EpidemicScenario` is a deterministic driver (seeded) that plays the
+whole Figure 1 course: it makes the run-time decisions, drives worklists,
+and collects the timeline the FIG1 benchmark prints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..awareness.schema import AwarenessSchema
+from ..core.context import ContextFieldSpec, ContextSchema
+from ..core.instances import ProcessInstance
+from ..core.roles import Participant, RoleRef
+from ..core.schema import (
+    ActivityVariable,
+    BasicActivitySchema,
+    DependencyVariable,
+    ProcessActivitySchema,
+)
+from ..core.metamodel import DependencyType
+from ..errors import WorkloadError
+from ..federation.system import EnactmentSystem
+
+#: Context and field names of the crisis process.
+CRISIS_CONTEXT = "CrisisContext"
+REGION_FIELD = "Region"
+LAB_STAKEHOLDERS = "LabStakeholders"
+LAB_RESULT_FIELDS = ("LabResult1", "LabResult2", "LabResult3")
+
+#: Lab result encoding used in the integer context fields.
+NEGATIVE, POSITIVE = 0, 1
+
+AWARENESS_POSITIVE_LAB = "AS_PositiveLab"
+
+
+def _task_force_schema(
+    schema_id: str, name: str, steps: Tuple[str, ...], performer: RoleRef
+) -> ProcessActivitySchema:
+    """A task-force subprocess: the given steps in strict sequence."""
+    schema = ProcessActivitySchema(schema_id, name)
+    previous: Optional[str] = None
+    for step in steps:
+        basic = BasicActivitySchema(
+            f"{schema_id}/{step}", f"{name}:{step}", performer=performer
+        )
+        schema.add_activity_variable(ActivityVariable(step, basic))
+        if previous is None:
+            schema.mark_entry(step)
+        else:
+            schema.add_dependency(
+                DependencyVariable(
+                    f"seq-{previous}-{step}",
+                    DependencyType.SEQUENCE,
+                    (previous,),
+                    step,
+                )
+            )
+        previous = step
+    return schema
+
+
+def build_epidemic_application(
+    system: EnactmentSystem, suffix: str = ""
+) -> "EpidemicApplication":
+    """Register the Figure 1 schemas on *system* and return the facade."""
+    return EpidemicApplication(system, suffix)
+
+
+class EpidemicApplication:
+    """Schemas + awareness of the information-gathering process."""
+
+    def __init__(self, system: EnactmentSystem, suffix: str = "") -> None:
+        self.system = system
+        self.suffix = suffix
+        self._build_schemas()
+        self.awareness_schema: Optional[AwarenessSchema] = None
+
+    def _sid(self, base: str) -> str:
+        return f"{base}{self.suffix}"
+
+    def _build_schemas(self) -> None:
+        epidemiologist = RoleRef("epidemiologist")
+        media_officer = RoleRef("media-officer")
+        lab_technician = RoleRef("lab-technician")
+        external_expert = RoleRef("external-expert")
+
+        self.patient_tf = _task_force_schema(
+            self._sid("P-PatientTF"),
+            "patient-interview-task-force",
+            ("identify-patients", "interview", "summarize"),
+            epidemiologist,
+        )
+        self.hospital_tf = _task_force_schema(
+            self._sid("P-HospitalTF"),
+            "hospital-relations-task-force",
+            ("contact-hospitals", "collect-reports"),
+            epidemiologist,
+        )
+        self.vector_tf = _task_force_schema(
+            self._sid("P-VectorTF"),
+            "vector-of-transmission-task-force",
+            ("trace-contacts", "model-spread"),
+            epidemiologist,
+        )
+        self.media_tf = _task_force_schema(
+            self._sid("P-MediaTF"),
+            "media-task-force",
+            ("draft-statement", "brief-press"),
+            media_officer,
+        )
+
+        self.lab_test = BasicActivitySchema(
+            self._sid("B-LabTest"), "lab-test", performer=lab_technician
+        )
+        self.local_expertise = BasicActivitySchema(
+            self._sid("B-LocalExpertise"),
+            "local-expertise",
+            performer=external_expert,
+        )
+
+        crisis_context = ContextSchema(
+            CRISIS_CONTEXT,
+            [
+                ContextFieldSpec(REGION_FIELD, "str"),
+                ContextFieldSpec(LAB_STAKEHOLDERS, "role"),
+                *[ContextFieldSpec(name, "int") for name in LAB_RESULT_FIELDS],
+            ],
+        )
+
+        self.info_gathering = ProcessActivitySchema(
+            self._sid("P-InfoGathering"), "information-gathering"
+        )
+        self.info_gathering.add_context_schema(crisis_context)
+        for name, schema in (
+            ("patient_tf", self.patient_tf),
+            ("hospital_tf", self.hospital_tf),
+            ("media_tf", self.media_tf),
+        ):
+            self.info_gathering.add_activity_variable(
+                ActivityVariable(name, schema)
+            )
+            self.info_gathering.mark_entry(name)
+        # Optional, decided at run time (Figure 1).
+        self.info_gathering.add_activity_variable(
+            ActivityVariable("vector_tf", self.vector_tf, optional=True)
+        )
+        for index in range(1, 4):
+            self.info_gathering.add_activity_variable(
+                ActivityVariable(f"labtest{index}", self.lab_test, optional=True)
+            )
+        for index in range(1, 3):
+            self.info_gathering.add_activity_variable(
+                ActivityVariable(
+                    f"expertise{index}", self.local_expertise, optional=True
+                )
+            )
+
+        for schema in (
+            self.patient_tf,
+            self.hospital_tf,
+            self.vector_tf,
+            self.media_tf,
+            self.lab_test,
+            self.local_expertise,
+            self.info_gathering,
+        ):
+            self.system.core.register_schema(schema)
+
+    # -- awareness: the positive-lab-result schema (Section 2) --------------------
+
+    def install_awareness(self) -> AwarenessSchema:
+        """Deploy ``AS_PositiveLab``: Or over result filters + Compare1."""
+        if self.awareness_schema is not None:
+            raise WorkloadError("AS_PositiveLab is already installed")
+        window = self.system.awareness.create_window(
+            self.info_gathering.schema_id
+        )
+        filters = []
+        for field_name in LAB_RESULT_FIELDS:
+            op = window.place(
+                "Filter_context",
+                CRISIS_CONTEXT,
+                field_name,
+                instance_name=f"filter-{field_name}",
+            )
+            window.connect(window.source("ContextEvent"), op, 0)
+            filters.append(op)
+        merge = window.place("Or", arity=len(filters), instance_name="any-result")
+        for slot, op in enumerate(filters):
+            window.connect(op, merge, slot)
+        positive = window.place(
+            "Compare1",
+            lambda value: value == POSITIVE,
+            instance_name="is-positive",
+        )
+        window.connect(merge, positive, 0)
+        self.awareness_schema = window.output(
+            positive,
+            delivery_role=RoleRef(LAB_STAKEHOLDERS, CRISIS_CONTEXT),
+            assignment_name="identity",
+            user_description=(
+                "A lab test came back positive; remaining tests are "
+                "unnecessary"
+            ),
+            schema_name=AWARENESS_POSITIVE_LAB,
+        )
+        self.window = window
+        self.system.awareness.deploy(window)
+        return self.awareness_schema
+
+    # -- process start ---------------------------------------------------------------
+
+    def start(self, region: str, stakeholders: Tuple[Participant, ...]) -> ProcessInstance:
+        process = self.system.coordination.start_process(self.info_gathering)
+        ref = process.context(CRISIS_CONTEXT)
+        ref.set(REGION_FIELD, region)
+        self.system.core.create_scoped_role(ref, LAB_STAKEHOLDERS, stakeholders)
+        return process
+
+
+@dataclass
+class ScenarioReport:
+    """What one scenario run produced (consumed by FIG1 and tests)."""
+
+    process: ProcessInstance
+    lab_tests_run: int
+    positive_test: Optional[int]
+    vector_tf_started: bool
+    expertise_rounds: int
+    notifications_by_participant: Dict[str, int] = field(default_factory=dict)
+    timeline: str = ""
+
+
+class EpidemicScenario:
+    """Deterministic driver playing one Figure 1 course of the process."""
+
+    def __init__(self, system: EnactmentSystem, seed: int = 7) -> None:
+        self.system = system
+        self.random = random.Random(seed)
+        self.app = build_epidemic_application(system, suffix=f"@{seed}")
+        self._setup_participants()
+
+    def _setup_participants(self) -> None:
+        roles = self.system.core.roles
+        if not roles.has_role("epidemiologist"):
+            roles.define_role("epidemiologist")
+            roles.define_role("media-officer")
+            roles.define_role("lab-technician")
+            roles.define_role("external-expert")
+        suffix = self.app.suffix
+
+        def person(pid: str, name: str, role: str) -> Participant:
+            participant = roles.register_participant(
+                Participant(f"{pid}{suffix}", f"{name}{suffix}")
+            )
+            roles.role(role).add_member(participant)
+            return participant
+
+        self.leader = person("lead", "dr-lee", "epidemiologist")
+        self.epidemiologists = [
+            person(f"epi{i}", f"epidemiologist-{i}", "epidemiologist")
+            for i in range(1, 4)
+        ]
+        self.media = person("media", "press-officer", "media-officer")
+        self.technicians = [
+            person(f"tech{i}", f"lab-tech-{i}", "lab-technician")
+            for i in range(1, 3)
+        ]
+        self.experts = [
+            person(f"exp{i}", f"expert-{i}", "external-expert")
+            for i in range(1, 3)
+        ]
+
+    def _drain_worklists(self) -> int:
+        """Everyone works until no open offers remain; returns items done."""
+        participants = [
+            self.leader,
+            *self.epidemiologists,
+            self.media,
+            *self.technicians,
+            *self.experts,
+        ]
+        done = 0
+        progressed = True
+        while progressed:
+            progressed = False
+            for participant in participants:
+                client = self.system.participant_client(participant)
+                items = [
+                    i for i in client.work_items() if i.claimed_by is None
+                ]
+                for item in items:
+                    client.claim(item)
+                    self.system.clock.advance(self.random.randint(1, 3))
+                    client.complete(item)
+                    done += 1
+                    progressed = True
+        return done
+
+    def run(self) -> ScenarioReport:
+        """Play the full scenario; decisions are seeded-random but the
+        structure always matches Figure 1."""
+        self.app.install_awareness()
+        process = self.app.start(
+            region="region-9",
+            stakeholders=(self.leader, *self.technicians),
+        )
+        coordination = self.system.coordination
+        clock = self.system.clock
+
+        # The three always-required task forces started as entry activities;
+        # members work through them.
+        self._drain_worklists()
+
+        # Decision: investigate the vector of transmission?
+        vector_started = self.random.random() < 0.8
+        if vector_started:
+            coordination.start_optional_activity(
+                process, "vector_tf", user=self.leader.name
+            )
+            self._drain_worklists()
+
+        # Lab tests, one after the other; a positive result makes the
+        # remaining ones unnecessary (Section 2).
+        ref = process.context(CRISIS_CONTEXT)
+        positive_at: Optional[int] = None
+        tests_run = 0
+        for index in range(1, 4):
+            coordination.start_optional_activity(
+                process, f"labtest{index}", user=self.leader.name
+            )
+            self._drain_worklists()
+            tests_run += 1
+            clock.advance(2)
+            result = POSITIVE if self.random.random() < 0.4 else NEGATIVE
+            ref.set(LAB_RESULT_FIELDS[index - 1], result)
+            if result == POSITIVE:
+                positive_at = index
+                break
+
+        # Decision: invite local expertise (up to twice).
+        expertise_rounds = 0
+        for index in range(1, 3):
+            if self.random.random() < 0.6:
+                coordination.start_optional_activity(
+                    process, f"expertise{index}", user=self.leader.name
+                )
+                self._drain_worklists()
+                expertise_rounds += 1
+
+        notifications: Dict[str, int] = {}
+        for participant in (self.leader, *self.technicians):
+            client = self.system.participant_client(participant)
+            notifications[participant.name] = len(client.check_awareness())
+
+        return ScenarioReport(
+            process=process,
+            lab_tests_run=tests_run,
+            positive_test=positive_at,
+            vector_tf_started=vector_started,
+            expertise_rounds=expertise_rounds,
+            notifications_by_participant=notifications,
+            timeline=self.system.monitor.timeline(process),
+        )

@@ -1,0 +1,302 @@
+"""The Section 5/5.4 task-force application.
+
+The scenario, exactly as the paper sets it up:
+
+* a health crisis leader creates a **task force** to assess the progress of
+  an epidemic; the *task force process* creates ``TaskForceContext`` with
+  the membership (``TaskForceMembers`` scoped role) and the deadline
+  (``TaskForceDeadline``) as fields;
+* task force members may start an **information request** subprocess with a
+  separate ``RequestDeadline`` that must be earlier than the task-force
+  deadline; the information-request process creates ``InfoRequestContext``
+  holding a ``Requestor`` scoped role (the member who invoked the request);
+* the task-force context is **passed** to the information-request
+  subprocess (shared scope);
+* the ``AS_InfoRequest`` awareness schema notifies the requestor when the
+  task-force deadline is moved to or before the request deadline:
+  ``AD = Compare2[InfoRequest, <=](Filter_ctx[TaskForceContext.
+  TaskForceDeadline], Filter_ctx[InfoRequestContext.RequestDeadline])``
+  with delivery role ``InfoRequestContext.Requestor`` and the identity
+  assignment.
+
+:class:`TaskForceApplication` packages schema construction, awareness
+installation, and the run-time operations (create task force, request
+information, change deadlines) behind one facade so the example, the unit
+tests, and the EX54 benchmark all drive the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..awareness.schema import AwarenessSchema
+from ..core.context import ContextFieldSpec, ContextSchema
+from ..core.instances import ProcessInstance
+from ..core.roles import Participant, RoleRef
+from ..core.schema import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ProcessActivitySchema,
+)
+from ..errors import WorkloadError
+from ..federation.system import EnactmentSystem
+
+#: Schema / context / field names from Section 5.4, verbatim.
+TASK_FORCE_SCHEMA = "P-TaskForce"
+INFO_REQUEST_SCHEMA = "P-InfoRequest"
+TASK_FORCE_CONTEXT = "TaskForceContext"
+INFO_REQUEST_CONTEXT = "InfoRequestContext"
+TASK_FORCE_MEMBERS = "TaskForceMembers"
+TASK_FORCE_DEADLINE = "TaskForceDeadline"
+REQUESTOR = "Requestor"
+REQUEST_DEADLINE = "RequestDeadline"
+AWARENESS_SCHEMA_NAME = "AS_InfoRequest"
+
+
+@dataclass
+class InformationRequest:
+    """A running information-request subprocess and its scoped state."""
+
+    process: ProcessInstance
+    requestor: Participant
+
+    @property
+    def deadline(self) -> int:
+        return self.process.context(INFO_REQUEST_CONTEXT).get(REQUEST_DEADLINE)
+
+
+@dataclass
+class TaskForce:
+    """A running task-force process and its scoped state."""
+
+    process: ProcessInstance
+    leader: Participant
+    members: Tuple[Participant, ...]
+
+    @property
+    def deadline(self) -> int:
+        return self.process.context(TASK_FORCE_CONTEXT).get(TASK_FORCE_DEADLINE)
+
+
+class TaskForceApplication:
+    """Facade over an enactment system running the Section 5.4 scenario."""
+
+    def __init__(
+        self,
+        system: EnactmentSystem,
+        suffix: str = "",
+        max_requests: int = 8,
+    ) -> None:
+        if max_requests < 1:
+            raise WorkloadError("max_requests must be at least 1")
+        self.system = system
+        self.suffix = suffix
+        self.max_requests = max_requests
+        self._build_schemas()
+        self.awareness_schema: Optional[AwarenessSchema] = None
+
+    # -- schema construction -------------------------------------------------------
+
+    def _sid(self, base: str) -> str:
+        return f"{base}{self.suffix}"
+
+    def _build_schemas(self) -> None:
+        core = self.system.core
+        tf_context = ContextSchema(
+            TASK_FORCE_CONTEXT,
+            [
+                ContextFieldSpec(TASK_FORCE_MEMBERS, "role"),
+                ContextFieldSpec(TASK_FORCE_DEADLINE, "int"),
+            ],
+        )
+        ir_context = ContextSchema(
+            INFO_REQUEST_CONTEXT,
+            [
+                ContextFieldSpec(REQUESTOR, "role"),
+                ContextFieldSpec(REQUEST_DEADLINE, "int"),
+            ],
+        )
+
+        # Performers are organizational roles; awareness delivery uses the
+        # scoped roles (Section 5.2: delivery roles may differ from the
+        # roles used for process coordination).
+        performer = RoleRef("epidemiologist")
+        self.gather_schema = BasicActivitySchema(
+            self._sid("B-Gather"), "gather-information", performer=performer
+        )
+        self.info_request_schema = ProcessActivitySchema(
+            self._sid(INFO_REQUEST_SCHEMA), "information-request"
+        )
+        self.info_request_schema.add_context_schema(ir_context)
+        self.info_request_schema.add_activity_variable(
+            ActivityVariable("gather", self.gather_schema)
+        )
+        self.info_request_schema.mark_entry("gather")
+
+        self.assess_schema = BasicActivitySchema(
+            self._sid("B-Assess"),
+            "assess-epidemic-progress",
+            performer=performer,
+        )
+        self.task_force_schema = ProcessActivitySchema(
+            self._sid(TASK_FORCE_SCHEMA), "task-force"
+        )
+        self.task_force_schema.add_context_schema(tf_context)
+        self.task_force_schema.add_activity_variable(
+            ActivityVariable("assess", self.assess_schema)
+        )
+        # Several optional information-request slots: a task force may file
+        # more than one request over its lifetime (the CMM binds one
+        # instance per activity variable, so the schema declares a pool).
+        for index in range(1, self.max_requests + 1):
+            self.task_force_schema.add_activity_variable(
+                ActivityVariable(
+                    f"inforequest{index}", self.info_request_schema, optional=True
+                )
+            )
+        self.task_force_schema.mark_entry("assess")
+
+        for schema in (
+            self.gather_schema,
+            self.info_request_schema,
+            self.assess_schema,
+            self.task_force_schema,
+        ):
+            core.register_schema(schema)
+
+    # -- awareness specification (Section 5.4 / Figure 6, right-hand schema) --------
+
+    def install_awareness(self) -> AwarenessSchema:
+        """Author and deploy ``AS_InfoRequest`` on this system."""
+        if self.awareness_schema is not None:
+            raise WorkloadError("AS_InfoRequest is already installed")
+        window = self.system.awareness.create_window(
+            self.info_request_schema.schema_id
+        )
+        op1 = window.place(
+            "Filter_context",
+            TASK_FORCE_CONTEXT,
+            TASK_FORCE_DEADLINE,
+            instance_name="op1",
+        )
+        op2 = window.place(
+            "Filter_context",
+            INFO_REQUEST_CONTEXT,
+            REQUEST_DEADLINE,
+            instance_name="op2",
+        )
+        compare = window.place("Compare2", "<=", instance_name="deadline<=")
+        window.connect(window.source("ContextEvent"), op1, 0)
+        window.connect(window.source("ContextEvent"), op2, 0)
+        window.connect(op1, compare, 0)
+        window.connect(op2, compare, 1)
+        self.awareness_schema = window.output(
+            compare,
+            delivery_role=RoleRef(REQUESTOR, INFO_REQUEST_CONTEXT),
+            assignment_name="identity",
+            user_description=(
+                "Task force deadline moved earlier than your information "
+                "request deadline; renegotiate or cancel the request"
+            ),
+            schema_name=AWARENESS_SCHEMA_NAME,
+        )
+        self.window = window
+        self.system.awareness.deploy(window)
+        return self.awareness_schema
+
+    # -- run-time operations ------------------------------------------------------------
+
+    def create_task_force(
+        self,
+        leader: Participant,
+        members: Iterable[Participant],
+        deadline: int,
+    ) -> TaskForce:
+        """The health crisis leader creates a task force (Section 5)."""
+        member_tuple = tuple(members)
+        if leader not in member_tuple:
+            member_tuple = (leader, *member_tuple)
+        process = self.system.coordination.start_process(self.task_force_schema)
+        ref = process.context(TASK_FORCE_CONTEXT)
+        self.system.core.create_scoped_role(ref, TASK_FORCE_MEMBERS, member_tuple)
+        ref.set(TASK_FORCE_DEADLINE, deadline)
+        return TaskForce(process=process, leader=leader, members=member_tuple)
+
+    def change_task_force_deadline(self, task_force: TaskForce, deadline: int) -> None:
+        """The leader changes the deadline "due to changes in the external
+        situation" — the awareness trigger of Section 5.4."""
+        task_force.process.context(TASK_FORCE_CONTEXT).set(
+            TASK_FORCE_DEADLINE, deadline
+        )
+
+    def request_information(
+        self,
+        task_force: TaskForce,
+        requestor: Participant,
+        deadline: int,
+    ) -> InformationRequest:
+        """A member invokes the information-request subprocess."""
+        if requestor not in task_force.members:
+            raise WorkloadError(
+                f"{requestor.name!r} is not a member of the task force"
+            )
+        slot = next(
+            (
+                f"inforequest{index}"
+                for index in range(1, self.max_requests + 1)
+                if not task_force.process.has_child(f"inforequest{index}")
+            ),
+            None,
+        )
+        if slot is None:
+            raise WorkloadError(
+                f"task force already filed its maximum of "
+                f"{self.max_requests} information requests"
+            )
+        process = self.system.coordination.start_optional_activity(
+            task_force.process, slot, user=requestor.name
+        )
+        assert isinstance(process, ProcessInstance)
+        # Pass the task-force context into the subprocess scope (Section
+        # 5.4: "this context would be passed to the information request
+        # subprocess").
+        tf_ref = task_force.process.context(TASK_FORCE_CONTEXT)
+        self.system.core.share_context(tf_ref, process)
+        ir_ref = process.context(INFO_REQUEST_CONTEXT)
+        self.system.core.create_scoped_role(ir_ref, REQUESTOR, (requestor,))
+        ir_ref.set(REQUEST_DEADLINE, deadline)
+        return InformationRequest(process=process, requestor=requestor)
+
+    def change_request_deadline(
+        self, request: InformationRequest, deadline: int
+    ) -> None:
+        """The requestor renegotiates the request deadline."""
+        request.process.context(INFO_REQUEST_CONTEXT).set(
+            REQUEST_DEADLINE, deadline
+        )
+
+    def complete_request(self, request: InformationRequest) -> None:
+        """Finish the information request; its context (and the Requestor
+        scoped role) is destroyed — ending the awareness delivery interval."""
+        gather = request.process.child("gather")
+        if not gather.is_closed():
+            if gather.current_state == "Uninitialized":
+                self.system.core.change_state(gather, "Ready")
+            if gather.current_state == "Ready":
+                self.system.core.change_state(gather, "Running")
+            self.system.coordination.complete_activity(
+                gather, user=request.requestor.name
+            )
+        self.system.core.destroy_context(
+            request.process.context(INFO_REQUEST_CONTEXT)
+        )
+
+    def cancel_request(self, request: InformationRequest) -> None:
+        """The requestor cancels after a deadline-violation notification."""
+        self.system.coordination.terminate_activity(
+            request.process, user=request.requestor.name
+        )
+        self.system.core.destroy_context(
+            request.process.context(INFO_REQUEST_CONTEXT)
+        )

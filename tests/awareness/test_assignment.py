@@ -1,0 +1,73 @@
+"""Tests for awareness role assignment functions (Section 5.3)."""
+
+import pytest
+
+from repro.awareness.assignment import (
+    AssignmentRegistry,
+    identity_assignment,
+    least_loaded_assignment,
+    signed_on_assignment,
+)
+from repro.core.roles import Participant
+from repro.errors import DeliveryError
+
+
+def members():
+    alice = Participant("u1", "alice", signed_on=True, load=2)
+    bob = Participant("u2", "bob", signed_on=False, load=0)
+    carol = Participant("u3", "carol", signed_on=True, load=1)
+    return frozenset({alice, bob, carol}), alice, bob, carol
+
+
+class TestIdentity:
+    def test_all_members_receive(self):
+        group, *_ = members()
+        assert identity_assignment(group) == group
+
+    def test_empty_set(self):
+        assert identity_assignment(frozenset()) == frozenset()
+
+
+class TestSignedOn:
+    def test_filters_out_signed_off(self):
+        group, alice, bob, carol = members()
+        assert signed_on_assignment(group) == frozenset({alice, carol})
+
+
+class TestLeastLoaded:
+    def test_selects_n_least_loaded(self):
+        group, alice, bob, carol = members()
+        assert least_loaded_assignment(1)(group) == frozenset({bob})
+        assert least_loaded_assignment(2)(group) == frozenset({bob, carol})
+
+    def test_deterministic_tie_break_by_id(self):
+        a = Participant("u1", "a", load=0)
+        b = Participant("u2", "b", load=0)
+        assert least_loaded_assignment(1)(frozenset({a, b})) == frozenset({a})
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(DeliveryError):
+            least_loaded_assignment(0)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        registry = AssignmentRegistry()
+        assert set(registry.names()) >= {"identity", "signed_on", "least_loaded"}
+        group, *_ = members()
+        assert registry.lookup("identity")(group) == group
+
+    def test_unknown_assignment(self):
+        with pytest.raises(DeliveryError):
+            AssignmentRegistry().lookup("by-horoscope")
+
+    def test_duplicate_registration_rejected(self):
+        registry = AssignmentRegistry()
+        with pytest.raises(DeliveryError):
+            registry.register("identity", identity_assignment)
+
+    def test_custom_registration(self):
+        registry = AssignmentRegistry()
+        registry.register("nobody", lambda members: frozenset())
+        group, *_ = members()
+        assert registry.lookup("nobody")(group) == frozenset()

@@ -1,0 +1,125 @@
+"""Tests for Count, Compare1, and Compare2 (Section 5.1.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.awareness.operators import Compare1, Compare2, Count
+from repro.awareness.operators.compare import (
+    NAMED_BOOL_FUNCS_2,
+    named_bool_func_2,
+)
+from repro.errors import ParameterError
+from repro.events.canonical import canonical_event
+
+
+def cp(instance="i1", time=1, int_info=None):
+    return canonical_event(
+        "P", instance, time=time, source="test", int_info=int_info
+    )
+
+
+class TestCount:
+    def test_emits_running_count_per_instance(self):
+        operator = Count("P")
+        outs = [operator.consume(0, cp(time=t))[0]["intInfo"] for t in range(1, 4)]
+        assert outs == [1, 2, 3]
+
+    def test_description_mentions_count(self):
+        operator = Count("P")
+        out = operator.consume(0, cp())[0]
+        assert out["description"] == "count=1"
+
+    def test_count_with_compare1_fires_at_threshold(self):
+        """The paper's suggested combination: Count -> Compare1."""
+        count = Count("P")
+        threshold = Compare1("P", lambda v: v >= 3)
+        count.add_consumer(threshold.consume, 0)
+        fired = []
+        threshold.add_consumer(lambda s, e: fired.append(e), 0)
+        for t in range(1, 6):
+            count.consume(0, cp(time=t))
+        assert [e["intInfo"] for e in fired] == [3, 4, 5]
+
+
+class TestCompare1:
+    def test_passes_only_satisfying_events(self):
+        operator = Compare1("P", lambda v: v > 10)
+        assert operator.consume(0, cp(int_info=5)) == []
+        out = operator.consume(0, cp(int_info=15))
+        assert len(out) == 1
+        assert out[0]["intInfo"] == 15
+
+    def test_events_without_int_info_ignored(self):
+        operator = Compare1("P", lambda v: True)
+        assert operator.consume(0, cp(int_info=None)) == []
+
+    def test_requires_callable(self):
+        with pytest.raises(ParameterError):
+            Compare1("P", "not-callable")
+
+
+class TestCompare2:
+    def test_waits_for_both_positions(self):
+        operator = Compare2("P", "<=")
+        assert operator.consume(0, cp(int_info=50)) == []
+        out = operator.consume(1, cp(int_info=80, time=2))
+        assert len(out) == 1
+
+    def test_latest_values_compared(self):
+        operator = Compare2("P", "<=")
+        operator.consume(0, cp(int_info=100, time=1))
+        assert operator.consume(1, cp(int_info=80, time=2)) == []  # 100<=80 no
+        out = operator.consume(0, cp(int_info=50, time=3))  # 50<=80 yes
+        assert len(out) == 1
+
+    def test_parameters_copied_from_latest_input_irrespective_of_position(self):
+        operator = Compare2("P", "<=")
+        operator.consume(0, cp(int_info=10, time=1))
+        out = operator.consume(1, cp(int_info=90, time=2))
+        # The latest input was position 1's event: its intInfo is copied.
+        assert out[0]["intInfo"] == 90
+        assert out[0].time == 2
+
+    def test_named_functions(self):
+        assert named_bool_func_2("<=")(3, 3)
+        assert not named_bool_func_2("<")(3, 3)
+        assert named_bool_func_2("!=")(1, 2)
+        with pytest.raises(ParameterError):
+            named_bool_func_2("<=>")
+
+    def test_per_instance_isolation(self):
+        operator = Compare2("P", "==")
+        operator.consume(0, cp("i1", int_info=5, time=1))
+        # i2's slot-1 event must not complete i1's pair.
+        assert operator.consume(1, cp("i2", int_info=5, time=2)) == []
+        out = operator.consume(1, cp("i1", int_info=5, time=3))
+        assert len(out) == 1
+
+    def test_describe_uses_symbol(self):
+        operator = Compare2("P", "<=")
+        assert "<=" in operator.describe()
+
+
+class TestCompare2Properties:
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=150)
+    def test_fires_exactly_when_latest_pair_satisfies(self, updates):
+        operator = Compare2("P", "<=")
+        latest = {}
+        time = 0
+        for slot, value in updates:
+            time += 1
+            out = operator.consume(0 if slot == 0 else 1, cp(int_info=value, time=time))
+            latest[slot] = value
+            should_fire = 0 in latest and 1 in latest and latest[0] <= latest[1]
+            assert (len(out) == 1) == should_fire

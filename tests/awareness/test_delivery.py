@@ -1,0 +1,148 @@
+"""Tests for the awareness delivery agent (Section 6.5)."""
+
+import pytest
+
+from repro.awareness.delivery import DeliveryAgent
+from repro.awareness.operators.output import DELIVERY_EVENT_TYPE
+from repro.core import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ContextSchema,
+    CoreEngine,
+    Participant,
+    ProcessActivitySchema,
+)
+from repro.core.context import ContextFieldSpec
+from repro.events.event import Event
+
+
+def delivery_event(
+    role="Requestor",
+    context="Ctx",
+    instance_id="proc-1",
+    assignment="identity",
+    time=9,
+):
+    return Event(
+        DELIVERY_EVENT_TYPE,
+        {
+            "time": time,
+            "source": "Output(AS_X)",
+            "schemaName": "AS_X",
+            "deliveryRole": role,
+            "deliveryContext": context,
+            "assignment": assignment,
+            "processSchemaId": "P-X",
+            "processInstanceId": instance_id,
+            "userDescription": "something happened",
+            "intInfo": 7,
+            "strInfo": None,
+            "sourceEvent": {"a": 1},
+        },
+    )
+
+
+@pytest.fixture
+def engine_with_scope():
+    engine = CoreEngine()
+    alice = engine.roles.register_participant(Participant("u1", "alice"))
+    bob = engine.roles.register_participant(Participant("u2", "bob"))
+    process = ProcessActivitySchema("P-X", "x")
+    process.add_context_schema(
+        ContextSchema("Ctx", [ContextFieldSpec("Requestor", "role")])
+    )
+    process.add_activity_variable(
+        ActivityVariable("work", BasicActivitySchema("b-w", "work"))
+    )
+    process.mark_entry("work")
+    engine.register_schema(process)
+    instance = engine.create_process_instance(process)
+    engine.create_scoped_role(instance.context("Ctx"), "Requestor", (alice,))
+    return engine, instance, alice, bob
+
+
+class TestScopedDelivery:
+    def test_scoped_role_resolved_at_detection_time(self, engine_with_scope):
+        engine, instance, alice, bob = engine_with_scope
+        agent = DeliveryAgent(engine)
+        notifications = agent.deliver(
+            delivery_event(instance_id=instance.instance_id)
+        )
+        assert [n.participant_id for n in notifications] == ["u1"]
+        assert agent.queue.pending_count("u1") == 1
+        assert agent.queue.pending_count("u2") == 0
+        assert agent.delivered == 1
+
+    def test_notification_content(self, engine_with_scope):
+        engine, instance, alice, bob = engine_with_scope
+        agent = DeliveryAgent(engine)
+        notification = agent.deliver(
+            delivery_event(instance_id=instance.instance_id)
+        )[0]
+        assert notification.description == "something happened"
+        assert notification.schema_name == "AS_X"
+        assert notification.time == 9
+        assert notification.parameters["intInfo"] == 7
+        assert notification.parameters["sourceEvent"] == {"a": 1}
+
+    def test_expired_role_makes_event_undeliverable(self, engine_with_scope):
+        """Destroying the context ends the delivery interval (Section 1)."""
+        engine, instance, alice, bob = engine_with_scope
+        engine.destroy_context(instance.context("Ctx"))
+        agent = DeliveryAgent(engine)
+        assert agent.deliver(
+            delivery_event(instance_id=instance.instance_id)
+        ) == ()
+        assert agent.delivered == 0
+        assert len(agent.undeliverable) == 1
+        record = agent.undeliverable[0]
+        assert record.schema_name == "AS_X"
+        assert record.role == "Ctx.Requestor"
+
+    def test_unknown_instance_scope_undeliverable(self, engine_with_scope):
+        engine, *_ = engine_with_scope
+        agent = DeliveryAgent(engine)
+        assert agent.deliver(delivery_event(instance_id="ghost")) == ()
+        assert len(agent.undeliverable) == 1
+
+
+class TestGlobalDelivery:
+    def test_organizational_role_delivery(self, engine_with_scope):
+        engine, instance, alice, bob = engine_with_scope
+        engine.roles.define_role("managers").add_member(bob)
+        agent = DeliveryAgent(engine)
+        event = delivery_event(role="managers", context=None)
+        notifications = agent.deliver(event)
+        assert [n.participant_id for n in notifications] == ["u2"]
+
+
+class TestAssignments:
+    def test_signed_on_assignment_filters(self, engine_with_scope):
+        engine, instance, alice, bob = engine_with_scope
+        agent = DeliveryAgent(engine)
+        event = delivery_event(
+            instance_id=instance.instance_id, assignment="signed_on"
+        )
+        # alice is signed off: the role resolves but assignment selects nobody.
+        assert agent.deliver(event) == ()
+        alice.sign_on()
+        assert len(agent.deliver(event)) == 1
+
+    def test_unknown_assignment_raises(self, engine_with_scope):
+        engine, instance, *_ = engine_with_scope
+        agent = DeliveryAgent(engine)
+        from repro.errors import DeliveryError
+
+        with pytest.raises(DeliveryError):
+            agent.deliver(
+                delivery_event(
+                    instance_id=instance.instance_id, assignment="mystery"
+                )
+            )
+
+    def test_notification_ids_unique(self, engine_with_scope):
+        engine, instance, *_ = engine_with_scope
+        agent = DeliveryAgent(engine)
+        a = agent.deliver(delivery_event(instance_id=instance.instance_id))
+        b = agent.deliver(delivery_event(instance_id=instance.instance_id))
+        assert a[0].notification_id != b[0].notification_id

@@ -1,0 +1,124 @@
+"""Tests for DSL decompilation (window -> text -> window)."""
+
+import pytest
+
+from repro.awareness.dsl import (
+    compile_specification,
+    window_to_dsl,
+)
+from repro.awareness.specification import SpecificationWindow
+from repro.core.roles import RoleRef
+from repro.errors import SpecificationError
+from repro.events.producers import ActivityEventProducer, ContextEventProducer
+
+
+def make_window(process_schema_id="P-IR"):
+    return SpecificationWindow(
+        process_schema_id,
+        {
+            "ActivityEvent": ActivityEventProducer(),
+            "ContextEvent": ContextEventProducer(),
+        },
+    )
+
+
+FULL_SPEC = """
+op1 = Filter_context[TaskForceContext, TaskForceDeadline](ContextEvent)
+op2 = Filter_context[InfoRequestContext, RequestDeadline](ContextEvent)
+violation = Compare2[<=](op1, op2)
+started = Filter_activity[gather, *, {Running}](ActivityEvent)
+n = Count[](started)
+third = Compare1[>=, 3](n)
+either = Or[](violation, third)
+deliver either to InfoRequestContext.Requestor using signed_on \\
+    as "attention needed" named AS_Full
+"""
+
+
+class TestDecompile:
+    def test_round_trip_is_stable(self):
+        """compile -> decompile -> compile yields the same DSL text."""
+        window_a = make_window()
+        compile_specification(window_a, FULL_SPEC)
+        text_a = window_to_dsl(window_a)
+
+        window_b = make_window()
+        compile_specification(window_b, text_a)
+        text_b = window_to_dsl(window_b)
+        assert text_a == text_b
+
+    def test_recompiled_window_behaves_identically(self):
+        window_a = make_window()
+        compile_specification(window_a, FULL_SPEC)
+        window_b = make_window()
+        compile_specification(window_b, window_to_dsl(window_a))
+
+        schema_a = window_a.schema("AS_Full")
+        schema_b = window_b.schema("AS_Full")
+        assert schema_a.delivery_role == schema_b.delivery_role
+        assert schema_a.assignment_name == schema_b.assignment_name
+        assert schema_a.description.depth() == schema_b.description.depth()
+        assert len(window_a.operators()) == len(window_b.operators())
+
+    def test_decompiled_text_mentions_every_family(self):
+        window = make_window()
+        compile_specification(window, FULL_SPEC)
+        text = window_to_dsl(window)
+        for family in ("Filter_context", "Filter_activity", "Compare2[<=]",
+                       "Count[]", "Compare1[>=, 3]", "Or[]"):
+            assert family in text
+
+    def test_global_role_and_default_assignment_render_minimal(self):
+        window = make_window()
+        compile_specification(
+            window,
+            'a = Filter_context[C, f](ContextEvent)\n'
+            'deliver a to analysts as "hi" named AS_A\n',
+        )
+        text = window_to_dsl(window)
+        assert "deliver a to analysts" in text
+        assert "using" not in text  # identity is the default
+
+    def test_explicit_p_filter_renders_with_p(self):
+        window = make_window("P-TF")
+        compile_specification(
+            window,
+            "inner = Filter_context[P-IR, Ctx, f](ContextEvent)\n"
+            "lifted = Translate[P-IR, invoke1](ActivityEvent, inner)\n"
+            "deliver lifted to leader named AS_T\n",
+        )
+        text = window_to_dsl(window)
+        assert "Filter_context[P-IR, Ctx, f]" in text
+        assert "Translate[P-IR, invoke1]" in text
+        # And it recompiles.
+        window_b = make_window("P-TF")
+        compile_specification(window_b, text)
+
+    def test_hand_built_compare1_refuses_decompilation(self):
+        window = make_window()
+        flt = window.place("Filter_context", "C", "f")
+        window.connect(window.source("ContextEvent"), flt, 0)
+        odd = window.place("Compare1", lambda v: v % 7 == 0)
+        window.connect(flt, odd, 0)
+        window.output(odd, RoleRef("r"), schema_name="AS_X")
+        with pytest.raises(SpecificationError, match="boolFunc1"):
+            window_to_dsl(window)
+
+    def test_and_seq_copy_round_trip(self):
+        window = make_window()
+        compile_specification(
+            window,
+            "a = Filter_context[C, f](ContextEvent)\n"
+            "b = Filter_context[C, g](ContextEvent)\n"
+            "x = And[2](a, b)\n"
+            "y = Seq[1](a, b)\n"
+            "z = Or[](x, y)\n"
+            "deliver z to r named AS_Z\n",
+        )
+        text = window_to_dsl(window)
+        assert "And[2]" in text
+        assert "Seq[1]" in text
+        window_b = make_window()
+        compile_specification(window_b, text)
+        operators = {o.instance_name: o for o in window_b.operators()}
+        assert operators["x"].copy == 2

@@ -1,0 +1,147 @@
+"""Integration tests for the Awareness Engine over the full pipeline."""
+
+import pytest
+
+from repro.core.roles import RoleRef
+from repro.errors import SpecificationError
+from repro.events.external import NewsServiceSource
+from repro.workloads.taskforce import (
+    AWARENESS_SCHEMA_NAME,
+    TaskForceApplication,
+)
+
+
+class TestDeadlineViolationPipeline:
+    """The Section 5.4 example end to end: the paper's flagship scenario."""
+
+    def test_requestor_notified_on_violation(
+        self, system, alice, bob, taskforce_app
+    ):
+        task_force = taskforce_app.create_task_force(alice, [alice, bob], 100)
+        request = taskforce_app.request_information(task_force, bob, 80)
+        taskforce_app.change_task_force_deadline(task_force, 50)  # 50 <= 80
+        viewer = system.awareness.viewer_for(bob)
+        notifications = viewer.retrieve()
+        assert len(notifications) == 1
+        assert notifications[0].schema_name == AWARENESS_SCHEMA_NAME
+        assert "renegotiate" in notifications[0].description
+
+    def test_non_requestor_members_not_notified(
+        self, system, alice, bob, taskforce_app
+    ):
+        task_force = taskforce_app.create_task_force(alice, [alice, bob], 100)
+        taskforce_app.request_information(task_force, bob, 80)
+        taskforce_app.change_task_force_deadline(task_force, 50)
+        assert system.awareness.viewer_for(alice).retrieve() == ()
+
+    def test_harmless_deadline_move_does_not_notify(
+        self, system, alice, bob, taskforce_app
+    ):
+        task_force = taskforce_app.create_task_force(alice, [alice, bob], 100)
+        taskforce_app.request_information(task_force, bob, 80)
+        taskforce_app.change_task_force_deadline(task_force, 120)  # 120 <= 80? no
+        assert system.awareness.viewer_for(bob).retrieve() == ()
+
+    def test_violation_after_request_completion_is_undeliverable(
+        self, system, alice, bob, taskforce_app
+    ):
+        """The Requestor role expires with the request's context; the
+        delivery interval is over (Section 1)."""
+        task_force = taskforce_app.create_task_force(alice, [alice, bob], 100)
+        request = taskforce_app.request_information(task_force, bob, 80)
+        taskforce_app.complete_request(request)
+        taskforce_app.change_task_force_deadline(task_force, 50)
+        assert system.awareness.viewer_for(bob).retrieve() == ()
+        assert len(system.awareness.delivery.undeliverable) >= 1
+
+    def test_two_concurrent_requests_notified_independently(
+        self, system, alice, bob, carol, taskforce_app
+    ):
+        task_force = taskforce_app.create_task_force(
+            alice, [alice, bob, carol], 100
+        )
+        taskforce_app.request_information(task_force, bob, 60)
+        taskforce_app.request_information(task_force, carol, 90)
+        # Move to 70: violates carol's request (70 <= 90), not bob's (70 <= 60 no).
+        taskforce_app.change_task_force_deadline(task_force, 70)
+        assert len(system.awareness.viewer_for(carol).retrieve()) == 1
+        assert system.awareness.viewer_for(bob).retrieve() == ()
+
+    def test_stats_flow_through_pipeline(
+        self, system, alice, bob, taskforce_app
+    ):
+        task_force = taskforce_app.create_task_force(alice, [alice, bob], 100)
+        taskforce_app.request_information(task_force, bob, 80)
+        taskforce_app.change_task_force_deadline(task_force, 50)
+        stats = system.awareness.stats()
+        assert stats["composites_recognized"] >= 1
+        assert stats["notifications_delivered"] >= 1
+        assert stats["context_events_gathered"] >= 3
+
+
+class TestExternalSourceIntegration:
+    def test_news_article_awareness(self, system, alice, epidemiologists):
+        from repro import (
+            ActivityVariable,
+            BasicActivitySchema,
+            ProcessActivitySchema,
+        )
+
+        process = ProcessActivitySchema("P-Watch", "news-watch")
+        process.add_activity_variable(
+            ActivityVariable("watch", BasicActivitySchema("b-watch", "watch"))
+        )
+        process.mark_entry("watch")
+        system.core.register_schema(process)
+
+        news = NewsServiceSource()
+        system.awareness.register_external_source("NewsEvent", news)
+        window = system.awareness.create_window("P-Watch")
+        correlate = window.place("Filter_news")
+        window.connect(window.source("NewsEvent"), correlate, 0)
+        window.output(
+            correlate,
+            RoleRef("epidemiologist"),
+            user_description="news article matched your task force query",
+            schema_name="AS_News",
+        )
+        system.awareness.deploy(window)
+
+        instance = system.coordination.start_process(process)
+        query = news.register_query(["outbreak"])
+        correlate.bind_query(query, instance.instance_id)
+        news.publish_article(query, "Cases rising", time=system.clock.tick())
+
+        notifications = system.awareness.viewer_for(alice).retrieve()
+        assert len(notifications) == 1
+        assert notifications[0].schema_name == "AS_News"
+
+    def test_reserved_source_names(self, system):
+        with pytest.raises(SpecificationError):
+            system.awareness.register_external_source(
+                "ActivityEvent", NewsServiceSource()
+            )
+
+    def test_duplicate_external_source(self, system):
+        system.awareness.register_external_source("NewsEvent", NewsServiceSource())
+        with pytest.raises(SpecificationError):
+            system.awareness.register_external_source(
+                "NewsEvent", NewsServiceSource()
+            )
+
+
+class TestViewer:
+    def test_viewer_unread_then_retrieve(self, system, alice, bob, taskforce_app):
+        task_force = taskforce_app.create_task_force(alice, [alice, bob], 100)
+        taskforce_app.request_information(task_force, bob, 80)
+        taskforce_app.change_task_force_deadline(task_force, 50)
+        viewer = system.awareness.viewer_for(bob)
+        assert viewer.unread_count() == 1
+        items = viewer.retrieve()
+        assert viewer.unread_count() == 0
+        assert viewer.received() == items
+        assert "AS_InfoRequest" in viewer.render()
+
+    def test_empty_viewer_render(self, system, alice):
+        viewer = system.awareness.viewer_for(alice)
+        assert "(no awareness information)" in viewer.render()

@@ -1,0 +1,252 @@
+"""Tests for the Section 6.5 future-work extensions: aggregation,
+priority, notification mechanisms, and follow-on actions."""
+
+import pytest
+
+from repro.awareness.extensions import (
+    CallbackChannel,
+    Digest,
+    ExtendedDeliveryAgent,
+    Priority,
+    QueueChannel,
+    RecordingChannel,
+    aggregate_notifications,
+    notification_priority,
+)
+from repro.awareness.operators.output import DELIVERY_EVENT_TYPE
+from repro.core import (
+    ActivityVariable,
+    BasicActivitySchema,
+    CoreEngine,
+    Participant,
+    ProcessActivitySchema,
+)
+from repro.errors import DeliveryError
+from repro.events.event import Event
+from repro.events.queues import Notification
+
+
+def delivery_event(schema_name="AS_X", time=5, role="analysts"):
+    return Event(
+        DELIVERY_EVENT_TYPE,
+        {
+            "time": time,
+            "source": "Output",
+            "schemaName": schema_name,
+            "deliveryRole": role,
+            "deliveryContext": None,
+            "assignment": "identity",
+            "processSchemaId": "P",
+            "processInstanceId": "proc-1",
+            "userDescription": "something happened",
+            "intInfo": None,
+            "strInfo": None,
+            "sourceEvent": None,
+        },
+    )
+
+
+@pytest.fixture
+def engine_and_agent():
+    core = CoreEngine()
+    alice = core.roles.register_participant(Participant("u1", "alice"))
+    bob = core.roles.register_participant(Participant("u2", "bob"))
+    role = core.roles.define_role("analysts")
+    role.add_member(alice)
+    role.add_member(bob)
+    agent = ExtendedDeliveryAgent(core)
+    return core, agent, alice, bob
+
+
+def note(schema="AS_X", time=1, description="d", participant="u1"):
+    return Notification(
+        notification_id=f"n-{schema}-{time}",
+        participant_id=participant,
+        time=time,
+        description=description,
+        schema_name=schema,
+        parameters={},
+    )
+
+
+class TestPriority:
+    def test_priority_rides_on_notifications(self, engine_and_agent):
+        core, agent, alice, bob = engine_and_agent
+        agent.set_priority("AS_X", Priority.URGENT)
+        notifications = agent.deliver(delivery_event())
+        assert all(
+            notification_priority(n) is Priority.URGENT for n in notifications
+        )
+
+    def test_default_priority_is_normal(self, engine_and_agent):
+        core, agent, *_ = engine_and_agent
+        notifications = agent.deliver(delivery_event())
+        assert notification_priority(notifications[0]) is Priority.NORMAL
+
+    def test_priority_ordering(self):
+        assert Priority.URGENT > Priority.HIGH > Priority.NORMAL > Priority.LOW
+
+
+class TestChannels:
+    def test_queue_channel_is_default(self, engine_and_agent):
+        core, agent, alice, bob = engine_and_agent
+        agent.deliver(delivery_event())
+        assert agent.queue.pending_count("u1") == 1
+        assert agent.queue.pending_count("u2") == 1
+
+    def test_gateway_channel_gated_by_priority(self, engine_and_agent):
+        core, agent, alice, bob = engine_and_agent
+        gateway = agent.add_channel(RecordingChannel(), Priority.HIGH)
+        agent.set_priority("AS_URGENT", Priority.URGENT)
+        agent.deliver(delivery_event("AS_X"))       # NORMAL: queue only
+        agent.deliver(delivery_event("AS_URGENT"))  # URGENT: queue + gateway
+        assert len(gateway.sent) == 2  # one per participant
+        assert {pid for pid, __ in gateway.sent} == {"u1", "u2"}
+        assert all(n.schema_name == "AS_URGENT" for __, n in gateway.sent)
+
+    def test_callback_channel_pushes_to_signed_on_only(self, engine_and_agent):
+        core, agent, alice, bob = engine_and_agent
+        push = agent.add_channel(CallbackChannel())
+        received = []
+        push.register(alice, received.append)
+        push.register(bob, received.append)
+        alice.sign_on()  # bob stays signed off
+        agent.deliver(delivery_event())
+        assert len(received) == 1
+        assert received[0].participant_id == "u1"
+        # bob still has the durable copy in the queue.
+        assert agent.queue.pending_count("u2") == 1
+
+    def test_callback_unregister(self, engine_and_agent):
+        core, agent, alice, bob = engine_and_agent
+        push = agent.add_channel(CallbackChannel())
+        received = []
+        push.register(alice, received.append)
+        push.unregister(alice)
+        alice.sign_on()
+        agent.deliver(delivery_event())
+        assert received == []
+
+
+class TestSuppression:
+    def test_repeats_within_gap_suppressed(self, engine_and_agent):
+        core, agent, *_ = engine_and_agent
+        agent.set_suppression_gap(10)
+        agent.deliver(delivery_event(time=1))
+        agent.deliver(delivery_event(time=5))   # within the gap: suppressed
+        agent.deliver(delivery_event(time=20))  # past the gap: delivered
+        assert agent.queue.pending_count("u1") == 2
+        assert agent.suppressed == 2  # one per participant at t=5
+
+    def test_suppression_is_per_schema(self, engine_and_agent):
+        core, agent, *_ = engine_and_agent
+        agent.set_suppression_gap(10)
+        agent.deliver(delivery_event("AS_A", time=1))
+        agent.deliver(delivery_event("AS_B", time=2))
+        assert agent.queue.pending_count("u1") == 2
+
+    def test_zero_gap_disables(self, engine_and_agent):
+        core, agent, *_ = engine_and_agent
+        agent.deliver(delivery_event(time=1))
+        agent.deliver(delivery_event(time=1))
+        assert agent.queue.pending_count("u1") == 2
+
+    def test_negative_gap_rejected(self, engine_and_agent):
+        core, agent, *_ = engine_and_agent
+        with pytest.raises(DeliveryError):
+            agent.set_suppression_gap(-1)
+
+
+class TestFollowOnActions:
+    def test_action_runs_with_event_and_receivers(self, engine_and_agent):
+        core, agent, alice, bob = engine_and_agent
+        runs = []
+        agent.add_follow_on("AS_X", lambda event, receivers: runs.append(
+            (event["schemaName"], {p.participant_id for p in receivers})
+        ))
+        agent.deliver(delivery_event())
+        assert runs == [("AS_X", {"u1", "u2"})]
+        assert agent.follow_ons_run == 1
+
+    def test_action_not_run_for_other_schemas(self, engine_and_agent):
+        core, agent, *_ = engine_and_agent
+        runs = []
+        agent.add_follow_on("AS_OTHER", lambda e, r: runs.append(1))
+        agent.deliver(delivery_event("AS_X"))
+        assert runs == []
+
+    def test_follow_on_cancels_obsolete_lab_tests(self, system, epidemiologists, alice):
+        """The crisis-domain motivating case: when a positive lab result is
+        delivered, a follow-on action terminates the remaining lab tests."""
+        from repro.awareness.extensions import ExtendedDeliveryAgent
+        from repro.workloads.epidemic import build_epidemic_application
+
+        for role_name in ("media-officer", "lab-technician", "external-expert"):
+            system.core.roles.define_role(role_name).add_member(alice)
+
+        # Rewire the system's awareness engine onto an extended agent.
+        agent = ExtendedDeliveryAgent(system.core, queue=system.awareness.delivery.queue)
+        system.awareness.delivery = agent
+        app = build_epidemic_application(system)
+        app.install_awareness()  # deploys against the extended agent
+
+        process = app.start("region-1", (alice,))
+        system.coordination.start_optional_activity(process, "labtest1")
+        system.coordination.start_optional_activity(process, "labtest2")
+
+        cancelled = []
+
+        def cancel_remaining(event, receivers):
+            for name, child in process.children.items():
+                if name.startswith("labtest") and not child.is_closed():
+                    system.coordination.terminate_activity(child)
+                    cancelled.append(name)
+
+        agent.add_follow_on("AS_PositiveLab", cancel_remaining)
+        ref = process.context("CrisisContext")
+        ref.set("LabResult1", 1)  # positive!
+        assert "labtest1" in cancelled and "labtest2" in cancelled
+        assert process.child("labtest2").current_state == "Terminated"
+
+
+class TestAggregation:
+    def test_bursts_collapse_per_schema(self):
+        notifications = [
+            note("AS_A", 1),
+            note("AS_A", 3),
+            note("AS_A", 5),
+            note("AS_B", 4),
+            note("AS_A", 50),
+        ]
+        digests = aggregate_notifications(notifications, gap=10)
+        by_schema = {}
+        for digest in digests:
+            by_schema.setdefault(digest.schema_name, []).append(digest)
+        assert len(by_schema["AS_A"]) == 2  # burst at 1..5, singleton at 50
+        burst = by_schema["AS_A"][0]
+        assert burst.count == 3
+        assert burst.first_time == 1 and burst.last_time == 5
+        assert by_schema["AS_B"][0].count == 1
+
+    def test_render(self):
+        digest = Digest("AS_A", 3, 1, 5, "deadline moved")
+        assert "3x AS_A" in digest.render()
+        single = Digest("AS_A", 1, 7, 7, "deadline moved")
+        assert single.render() == "[t=7] deadline moved"
+
+    def test_sorted_by_time(self):
+        notifications = [note("AS_B", 9), note("AS_A", 2)]
+        digests = aggregate_notifications(notifications)
+        assert [d.schema_name for d in digests] == ["AS_A", "AS_B"]
+
+    def test_empty_input(self):
+        assert aggregate_notifications([]) == ()
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(DeliveryError):
+            aggregate_notifications([note()], gap=-1)
+
+    def test_gap_zero_merges_simultaneous_only(self):
+        notifications = [note("AS_A", 1), note("AS_A", 1), note("AS_A", 2)]
+        digests = aggregate_notifications(notifications, gap=0)
+        assert [d.count for d in digests] == [2, 1]

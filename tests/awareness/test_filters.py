@@ -1,0 +1,174 @@
+"""Tests for filtering operators (Section 5.1.3)."""
+
+import pytest
+
+from repro.awareness.operators import (
+    ActivityFilter,
+    ContextFilter,
+    QueryCorrelationFilter,
+)
+from repro.errors import ParameterError
+from repro.events.event import Event
+from repro.events.external import NEWS_EVENT_TYPE
+from repro.events.producers import ACTIVITY_EVENT_TYPE, CONTEXT_EVENT_TYPE
+
+
+def activity_event(**overrides):
+    params = dict(
+        time=5,
+        source="E_activity",
+        activityInstanceId="act-1",
+        parentProcessSchemaId="P-TF",
+        parentProcessInstanceId="proc-1",
+        user="alice",
+        activityVariableId="assess",
+        activityProcessSchemaId=None,
+        oldState="Ready",
+        newState="Running",
+    )
+    params.update(overrides)
+    return Event(ACTIVITY_EVENT_TYPE, params)
+
+
+def context_event(**overrides):
+    params = dict(
+        time=7,
+        source="E_context",
+        contextId="ctx-1",
+        contextName="TaskForceContext",
+        processAssociations=frozenset({("P-TF", "proc-1")}),
+        fieldName="TaskForceDeadline",
+        oldFieldValue=100,
+        newFieldValue=50,
+    )
+    params.update(overrides)
+    return Event(CONTEXT_EVENT_TYPE, params)
+
+
+class TestActivityFilter:
+    def test_matching_transition_passes(self):
+        operator = ActivityFilter(
+            "P-TF", "assess", {"Ready"}, {"Running"}
+        )
+        out = operator.consume(0, activity_event())
+        assert len(out) == 1
+        event = out[0]
+        assert event.type_name == "C[P-TF]"
+        assert event["processInstanceId"] == "proc-1"
+        assert event["strInfo"] == "Running"
+        assert event["sourceEvent"]["activityInstanceId"] == "act-1"
+
+    def test_wrong_process_schema_ignored(self):
+        operator = ActivityFilter("P-OTHER", "assess")
+        assert operator.consume(0, activity_event()) == []
+
+    def test_wrong_activity_variable_ignored(self):
+        operator = ActivityFilter("P-TF", "other")
+        assert operator.consume(0, activity_event()) == []
+
+    def test_state_sets_filter(self):
+        operator = ActivityFilter("P-TF", "assess", None, {"Completed"})
+        assert operator.consume(0, activity_event()) == []
+        assert (
+            len(operator.consume(0, activity_event(newState="Completed"))) == 1
+        )
+
+    def test_old_state_set_filter(self):
+        operator = ActivityFilter("P-TF", "assess", {"Suspended"}, None)
+        assert operator.consume(0, activity_event()) == []
+
+    def test_wildcards_pass_everything_for_the_variable(self):
+        operator = ActivityFilter("P-TF", "assess")
+        assert len(operator.consume(0, activity_event())) == 1
+
+    def test_requires_activity_variable(self):
+        with pytest.raises(ParameterError):
+            ActivityFilter("P-TF", "")
+
+    def test_describe_mentions_parameters(self):
+        operator = ActivityFilter("P-TF", "assess", {"Ready"}, {"Running"})
+        text = operator.describe()
+        assert "Filter_activity" in text
+        assert "assess" in text
+
+
+class TestContextFilter:
+    def test_matching_change_passes_with_int_info(self):
+        operator = ContextFilter("P-TF", "TaskForceContext", "TaskForceDeadline")
+        out = operator.consume(0, context_event())
+        assert len(out) == 1
+        assert out[0]["intInfo"] == 50
+        assert out[0]["processInstanceId"] == "proc-1"
+
+    def test_string_values_use_str_info(self):
+        operator = ContextFilter("P-TF", "TaskForceContext", "Status")
+        out = operator.consume(
+            0, context_event(fieldName="Status", newFieldValue="urgent")
+        )
+        assert out[0]["strInfo"] == "urgent"
+        assert out[0]["intInfo"] is None
+
+    def test_bool_not_treated_as_int(self):
+        operator = ContextFilter("P-TF", "TaskForceContext", "Flag")
+        out = operator.consume(
+            0, context_event(fieldName="Flag", newFieldValue=True)
+        )
+        assert out[0]["intInfo"] is None
+
+    def test_fans_out_per_associated_instance_of_schema(self):
+        """A context associated with several instances of P produces one
+        canonical event per instance (Section 5.1.1 association set)."""
+        operator = ContextFilter("P-IR", "TaskForceContext", "TaskForceDeadline")
+        event = context_event(
+            processAssociations=frozenset(
+                {("P-IR", "proc-2"), ("P-IR", "proc-3"), ("P-TF", "proc-1")}
+            )
+        )
+        out = operator.consume(0, event)
+        instances = sorted(e["processInstanceId"] for e in out)
+        assert instances == ["proc-2", "proc-3"]
+
+    def test_wrong_context_name_ignored(self):
+        operator = ContextFilter("P-TF", "OtherContext", "TaskForceDeadline")
+        assert operator.consume(0, context_event()) == []
+
+    def test_wrong_field_ignored(self):
+        operator = ContextFilter("P-TF", "TaskForceContext", "Other")
+        assert operator.consume(0, context_event()) == []
+
+    def test_unassociated_schema_ignored(self):
+        operator = ContextFilter("P-GHOST", "TaskForceContext", "TaskForceDeadline")
+        assert operator.consume(0, context_event()) == []
+
+    def test_requires_names(self):
+        with pytest.raises(ParameterError):
+            ContextFilter("P", "", "field")
+        with pytest.raises(ParameterError):
+            ContextFilter("P", "ctx", "")
+
+
+class TestQueryCorrelationFilter:
+    def news(self, query_id="query-1"):
+        return Event(
+            NEWS_EVENT_TYPE,
+            {
+                "time": 3,
+                "source": "E_news",
+                "queryId": query_id,
+                "headline": "Outbreak update",
+                "articleUrl": None,
+                "relevance": None,
+            },
+        )
+
+    def test_bound_query_relates_article_to_instance(self):
+        operator = QueryCorrelationFilter("P-TF")
+        operator.bind_query("query-1", "proc-9")
+        out = operator.consume(0, self.news())
+        assert len(out) == 1
+        assert out[0]["processInstanceId"] == "proc-9"
+        assert "Outbreak update" in out[0]["description"]
+
+    def test_unbound_query_dropped(self):
+        operator = QueryCorrelationFilter("P-TF")
+        assert operator.consume(0, self.news("query-77")) == []

@@ -1,0 +1,201 @@
+"""Tests for And/Seq/Or semantics, including property-based interleavings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.awareness.operators import And, Or, Seq
+from repro.events.canonical import canonical_event
+
+
+def cp(instance="i1", time=1, int_info=None, str_info=None):
+    return canonical_event(
+        "P", instance, time=time, source="test",
+        int_info=int_info, str_info=str_info,
+    )
+
+
+class TestAnd:
+    def test_fires_only_when_all_slots_seen(self):
+        operator = And("P", arity=3)
+        assert operator.consume(0, cp(time=1)) == []
+        assert operator.consume(2, cp(time=2)) == []
+        out = operator.consume(1, cp(time=3))
+        assert len(out) == 1
+
+    def test_order_does_not_matter(self):
+        operator = And("P")
+        operator.consume(1, cp(time=1))
+        assert len(operator.consume(0, cp(time=2))) == 1
+
+    def test_copy_selects_template_event(self):
+        operator = And("P", copy=2)
+        operator.consume(0, cp(time=1, int_info=10))
+        out = operator.consume(1, cp(time=2, int_info=20))
+        assert out[0]["intInfo"] == 20
+
+    def test_output_time_is_completion_time(self):
+        operator = And("P", copy=1)
+        operator.consume(0, cp(time=1, int_info=10))
+        out = operator.consume(1, cp(time=9, int_info=20))
+        # Parameters from slot 0's event, except time (the completing event).
+        assert out[0]["intInfo"] == 10
+        assert out[0].time == 9
+
+    def test_constituents_consumed_on_emission(self):
+        operator = And("P")
+        operator.consume(0, cp(time=1))
+        operator.consume(1, cp(time=2))
+        # Pattern consumed; a single new event does not fire again.
+        assert operator.consume(0, cp(time=3)) == []
+        assert len(operator.consume(1, cp(time=4))) == 1
+
+    def test_latest_event_per_slot_wins(self):
+        operator = And("P", copy=1)
+        operator.consume(0, cp(time=1, int_info=1))
+        operator.consume(0, cp(time=2, int_info=2))
+        out = operator.consume(1, cp(time=3))
+        assert out[0]["intInfo"] == 2
+
+
+class TestSeq:
+    def test_fires_in_slot_order_only(self):
+        operator = Seq("P", arity=3)
+        assert operator.consume(0, cp(time=1)) == []
+        assert operator.consume(1, cp(time=2)) == []
+        assert len(operator.consume(2, cp(time=3))) == 1
+
+    def test_out_of_order_events_ignored(self):
+        operator = Seq("P")
+        assert operator.consume(1, cp(time=1)) == []  # too early: ignored
+        assert operator.consume(0, cp(time=2)) == []
+        # Slot 1 must arrive again after slot 0.
+        assert len(operator.consume(1, cp(time=3))) == 1
+
+    def test_copy_parameter(self):
+        operator = Seq("P", copy=1)
+        operator.consume(0, cp(time=1, str_info="first"))
+        out = operator.consume(1, cp(time=2, str_info="second"))
+        assert out[0]["strInfo"] == "first"
+        assert out[0].time == 2
+
+    def test_resets_after_emission(self):
+        operator = Seq("P")
+        operator.consume(0, cp(time=1))
+        operator.consume(1, cp(time=2))
+        assert operator.consume(1, cp(time=3)) == []
+        operator.consume(0, cp(time=4))
+        assert len(operator.consume(1, cp(time=5))) == 1
+
+
+class TestOr:
+    def test_echoes_every_input(self):
+        operator = Or("P", arity=3)
+        for slot in range(3):
+            out = operator.consume(slot, cp(time=slot + 1))
+            assert len(out) == 1
+
+    def test_output_carries_input_parameters(self):
+        operator = Or("P")
+        out = operator.consume(1, cp(time=4, int_info=7))
+        assert out[0]["intInfo"] == 7
+        assert out[0].time == 4
+        assert out[0]["source"] == operator.instance_name
+
+
+@st.composite
+def interleavings(draw):
+    """Random per-instance event interleavings over 2 slots."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["i1", "i2", "i3"]),
+                st.integers(min_value=0, max_value=1),
+            ),
+            max_size=40,
+        )
+    )
+
+
+class TestOperatorProperties:
+    @given(stream=interleavings())
+    @settings(max_examples=150)
+    def test_and_emission_count_matches_reference_model(self, stream):
+        """And fires exactly min-ish pairing per instance: the number of
+        times both slots are covered, consuming constituents on emission."""
+        operator = And("P")
+        fired = {}
+        reference_state = {}
+        expected = {}
+        time = 0
+        for instance, slot in stream:
+            time += 1
+            out = operator.consume(slot, cp(instance, time=time))
+            fired[instance] = fired.get(instance, 0) + len(out)
+            slots = reference_state.setdefault(instance, set())
+            slots.add(slot)
+            if slots == {0, 1}:
+                expected[instance] = expected.get(instance, 0) + 1
+                slots.clear()
+        for instance in set(list(fired) + list(expected)):
+            assert fired.get(instance, 0) == expected.get(instance, 0)
+
+    @given(stream=interleavings())
+    @settings(max_examples=150)
+    def test_or_echo_count_equals_input_count(self, stream):
+        operator = Or("P")
+        total_out = 0
+        time = 0
+        for instance, slot in stream:
+            time += 1
+            total_out += len(operator.consume(slot, cp(instance, time=time)))
+        assert total_out == len(stream)
+
+    @given(stream=interleavings())
+    @settings(max_examples=150)
+    def test_seq_emission_matches_reference_model(self, stream):
+        """Seq fires exactly per the pointer model: an event only counts
+        when it arrives on the next expected slot; completion resets."""
+        operator = Seq("P")
+        fired = {}
+        pointers = {}
+        expected = {}
+        time = 0
+        for instance, slot in stream:
+            time += 1
+            out = operator.consume(slot, cp(instance, time=time))
+            fired[instance] = fired.get(instance, 0) + len(out)
+            pointer = pointers.get(instance, 0)
+            if slot == pointer:
+                pointer += 1
+                if pointer == 2:
+                    expected[instance] = expected.get(instance, 0) + 1
+                    pointer = 0
+                pointers[instance] = pointer
+        for instance in set(list(fired) + list(expected)):
+            assert fired.get(instance, 0) == expected.get(instance, 0)
+
+    @given(stream=interleavings())
+    @settings(max_examples=150)
+    def test_seq_never_fires_more_often_than_and_could(self, stream):
+        """Sequences are strictly harder to satisfy than conjunctions."""
+        seq_op = Seq("P")
+        and_op = And("P")
+        seq_fired = and_fired = 0
+        time = 0
+        for instance, slot in stream:
+            time += 1
+            seq_fired += len(seq_op.consume(slot, cp(instance, time=time)))
+            and_fired += len(and_op.consume(slot, cp(instance, time=time)))
+        assert seq_fired <= and_fired
+
+    @given(stream=interleavings())
+    @settings(max_examples=150)
+    def test_outputs_never_cross_instances(self, stream):
+        """Every composite's processInstanceId matches a constituent's."""
+        operator = And("P")
+        time = 0
+        for instance, slot in stream:
+            time += 1
+            for out in operator.consume(slot, cp(instance, time=time)):
+                assert out["processInstanceId"] == instance

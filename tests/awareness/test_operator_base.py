@@ -1,0 +1,92 @@
+"""Tests for the operator framework: slots, typing, replication."""
+
+import pytest
+
+from repro.awareness.operators import And, Count
+from repro.errors import ParameterError, SlotError
+from repro.events.canonical import canonical_event, canonical_type
+from repro.events.event import Event
+
+
+def cp(instance_id, time=1, int_info=None, schema="P"):
+    return canonical_event(
+        schema, instance_id, time=time, source="test", int_info=int_info
+    )
+
+
+class TestSlots:
+    def test_slot_bounds_checked(self):
+        operator = And("P", arity=2)
+        with pytest.raises(SlotError):
+            operator.consume(2, cp("i1"))
+        with pytest.raises(SlotError):
+            operator.slot_type(-1)
+
+    def test_wrong_event_type_rejected(self):
+        operator = And("P", arity=2)
+        wrong = canonical_event("OTHER", "i1", time=1, source="x")
+        with pytest.raises(SlotError):
+            operator.consume(0, wrong)
+
+    def test_signature_exposed(self):
+        operator = And("P", arity=3)
+        assert operator.arity == 3
+        assert operator.output_type == canonical_type("P")
+        assert operator.slot_type(1) == canonical_type("P")
+
+
+class TestParameterValidation:
+    def test_process_schema_required(self):
+        with pytest.raises(ParameterError):
+            And("", arity=2)
+
+    def test_copy_out_of_range(self):
+        with pytest.raises(ParameterError):
+            And("P", copy=0)
+        with pytest.raises(ParameterError):
+            And("P", copy=3, arity=2)
+
+    def test_arity_minimum(self):
+        with pytest.raises(ParameterError):
+            And("P", arity=1)
+
+
+class TestReplication:
+    """Section 5.1.2: operators replicate state per process instance."""
+
+    def test_count_is_partitioned_by_instance(self):
+        count = Count("P")
+        count.consume(0, cp("i1"))
+        count.consume(0, cp("i1"))
+        out = count.consume(0, cp("i2"))
+        assert out[0]["intInfo"] == 1  # i2's private counter
+        assert count.current_count("i1") == 2
+        assert count.current_count("i2") == 1
+        assert count.partition_count() == 2
+
+    def test_and_does_not_mix_instances(self):
+        conjunction = And("P")
+        # i1 fills slot 0; i2 fills slot 1 — no instance saw both slots.
+        assert conjunction.consume(0, cp("i1")) == []
+        assert conjunction.consume(1, cp("i2")) == []
+        # Completing i1 fires only i1's composite.
+        fired = conjunction.consume(1, cp("i1", time=5))
+        assert len(fired) == 1
+        assert fired[0]["processInstanceId"] == "i1"
+
+    def test_counters(self):
+        count = Count("P")
+        count.consume(0, cp("i1"))
+        count.consume(0, cp("i1"))
+        assert count.consumed == 2
+        assert count.produced == 2
+
+
+class TestForwarding:
+    def test_outputs_flow_to_downstream_consumers(self):
+        count = Count("P")
+        received = []
+        count.add_consumer(lambda slot, event: received.append((slot, event)), 1)
+        count.consume(0, cp("i1"))
+        assert len(received) == 1
+        assert received[0][0] == 1

@@ -1,0 +1,126 @@
+"""Tests for retrospective awareness (replay over the audit trail)."""
+
+import pytest
+
+from repro.awareness.retrospective import retrospect
+from repro.core.roles import RoleRef
+from repro.errors import SpecificationError
+
+SECTION_54_SPEC = """
+op1 = Filter_context[TaskForceContext, TaskForceDeadline](ContextEvent)
+op2 = Filter_context[InfoRequestContext, RequestDeadline](ContextEvent)
+violation = Compare2[<=](op1, op2)
+deliver violation to InfoRequestContext.Requestor \\
+    as "deadline violated" named AS_Retro
+"""
+
+
+@pytest.fixture
+def history(system, alice, bob, epidemiologists):
+    """A run WITHOUT any deployed awareness: only the audit trail exists."""
+    from repro.workloads.taskforce import TaskForceApplication
+
+    app = TaskForceApplication(system)
+    task_force = app.create_task_force(alice, [alice, bob], 100)
+    request = app.request_information(task_force, bob, 80)
+    app.change_task_force_deadline(task_force, 90)   # harmless
+    app.change_task_force_deadline(task_force, 50)   # violation!
+    app.change_task_force_deadline(task_force, 40)   # violation again
+    app.complete_request(request)
+    return system, app
+
+
+class TestRetrospect:
+    def test_detects_past_violations_from_the_audit_trail(self, history):
+        system, app = history
+        result = retrospect(
+            app.info_request_schema.schema_id,
+            SECTION_54_SPEC,
+            system.monitor,
+        )
+        assert len(result) == 2  # the two violating moves
+        notified = result.would_have_notified()
+        assert all(schema == "AS_Retro" for __, schema, ___ in notified)
+        assert all(
+            role == "InfoRequestContext.Requestor" for __, ___, role in notified
+        )
+        times = [time for time, __, ___ in notified]
+        assert times == sorted(times)
+
+    def test_nothing_is_delivered_to_live_queues(self, history):
+        system, app = history
+        retrospect(
+            app.info_request_schema.schema_id,
+            SECTION_54_SPEC,
+            system.monitor,
+        )
+        assert system.awareness.delivery.delivered == 0
+        assert system.awareness.delivery.queue.pending_count() == 0
+
+    def test_builder_callable_form(self, history):
+        system, app = history
+
+        def build(window):
+            op1 = window.place(
+                "Filter_context", "TaskForceContext", "TaskForceDeadline"
+            )
+            op2 = window.place(
+                "Filter_context", "InfoRequestContext", "RequestDeadline"
+            )
+            compare = window.place("Compare2", "<=")
+            window.connect(window.source("ContextEvent"), op1, 0)
+            window.connect(window.source("ContextEvent"), op2, 0)
+            window.connect(op1, compare, 0)
+            window.connect(op2, compare, 1)
+            window.output(
+                compare,
+                RoleRef("Requestor", "InfoRequestContext"),
+                schema_name="AS_Built",
+            )
+
+        result = retrospect(
+            app.info_request_schema.schema_id, build, system.monitor
+        )
+        assert len(result) == 2
+
+    def test_render(self, history):
+        system, app = history
+        result = retrospect(
+            app.info_request_schema.schema_id,
+            SECTION_54_SPEC,
+            system.monitor,
+        )
+        text = result.render()
+        assert "retrospective detections: 2" in text
+        assert "AS_Retro -> InfoRequestContext.Requestor" in text
+
+    def test_activity_based_retrospection(self, history):
+        system, app = history
+        spec = (
+            "done = Filter_activity[gather, *, {Completed}](ActivityEvent)\n"
+            'deliver done to InfoRequestContext.Requestor as "gathered" '
+            "named AS_G\n"
+        )
+        result = retrospect(
+            app.info_request_schema.schema_id, spec, system.monitor
+        )
+        assert len(result) == 1  # complete_request finished the gather step
+
+    def test_invalid_spec_rejected(self, history):
+        system, app = history
+        with pytest.raises(SpecificationError):
+            retrospect(
+                app.info_request_schema.schema_id,
+                "x = Magic[](ContextEvent)\ndeliver x to r\n",
+                system.monitor,
+            )
+
+    def test_replay_is_repeatable(self, history):
+        system, app = history
+        first = retrospect(
+            app.info_request_schema.schema_id, SECTION_54_SPEC, system.monitor
+        )
+        second = retrospect(
+            app.info_request_schema.schema_id, SECTION_54_SPEC, system.monitor
+        )
+        assert first.would_have_notified() == second.would_have_notified()

@@ -1,0 +1,129 @@
+"""Tests for the specification window (Section 6.2, Figure 6)."""
+
+import pytest
+
+from repro.awareness.specification import SpecificationWindow
+from repro.core.roles import RoleRef
+from repro.errors import SpecificationError
+from repro.events.producers import ActivityEventProducer, ContextEventProducer
+
+
+def make_window():
+    return SpecificationWindow(
+        "P-IR",
+        {
+            "ActivityEvent": ActivityEventProducer(),
+            "ContextEvent": ContextEventProducer(),
+        },
+    )
+
+
+def author_deadline_schema(window):
+    """The Section 5.4 awareness schema, authored in the three steps."""
+    op1 = window.place("Filter_context", "TaskForceContext", "TaskForceDeadline")
+    op2 = window.place("Filter_context", "InfoRequestContext", "RequestDeadline")
+    compare = window.place("Compare2", "<=")
+    window.connect(window.source("ContextEvent"), op1, 0)
+    window.connect(window.source("ContextEvent"), op2, 0)
+    window.connect(op1, compare, 0)
+    window.connect(op2, compare, 1)
+    return window.output(
+        compare,
+        RoleRef("Requestor", "InfoRequestContext"),
+        "identity",
+        "deadline violated",
+        schema_name="AS_InfoRequest",
+    )
+
+
+class TestAuthoring:
+    def test_three_step_authoring_produces_valid_schema(self):
+        window = make_window()
+        schema = author_deadline_schema(window)
+        schema.validate()
+        window.validate()
+        assert schema.name == "AS_InfoRequest"
+        assert schema.delivery_role == RoleRef("Requestor", "InfoRequestContext")
+        assert schema.description.depth() == 3  # filter -> compare2 -> output
+
+    def test_unknown_operator_family_rejected(self):
+        window = make_window()
+        with pytest.raises(SpecificationError):
+            window.place("Magic")
+
+    def test_unknown_source_rejected(self):
+        window = make_window()
+        with pytest.raises(SpecificationError):
+            window.source("NewsEvent")
+
+    def test_duplicate_schema_name_rejected(self):
+        window = make_window()
+        author_deadline_schema(window)
+        op = window.place("Filter_context", "X", "y")
+        window.connect(window.source("ContextEvent"), op, 0)
+        with pytest.raises(SpecificationError):
+            window.output(
+                op, RoleRef("r"), schema_name="AS_InfoRequest"
+            )
+
+    def test_default_schema_names_are_sequential(self):
+        window = make_window()
+        op = window.place("Filter_context", "X", "y")
+        window.connect(window.source("ContextEvent"), op, 0)
+        schema = window.output(op, RoleRef("r"))
+        assert schema.name == "AS_P-IR_1"
+
+    def test_add_external_source(self):
+        from repro.events.external import NewsServiceSource
+
+        window = make_window()
+        news = window.add_source("NewsEvent", NewsServiceSource())
+        assert window.source("NewsEvent") is news
+        with pytest.raises(SpecificationError):
+            window.add_source("NewsEvent", NewsServiceSource())
+
+
+class TestWindowValidation:
+    def test_window_without_schemas_rejected(self):
+        window = make_window()
+        with pytest.raises(SpecificationError):
+            window.validate()
+
+    def test_dangling_operator_rejected(self):
+        window = make_window()
+        author_deadline_schema(window)
+        window.place("Count")  # placed but never connected to a schema
+        with pytest.raises(SpecificationError):
+            window.validate()
+
+    def test_multi_rooted_window_with_shared_leaves(self):
+        """A window holds several schemas sharing the primitive diamonds
+        (the Figure 6 situation)."""
+        window = make_window()
+        author_deadline_schema(window)
+        other = window.place("Filter_activity", "gather", None, {"Completed"})
+        window.connect(window.source("ActivityEvent"), other, 0)
+        window.output(
+            other, RoleRef("Requestor", "InfoRequestContext"),
+            schema_name="AS_GatherDone",
+        )
+        window.validate()
+        assert len(window.schemas()) == 2
+        assert window.schema("AS_GatherDone").description.depth() == 2
+
+    def test_schema_lookup_error(self):
+        window = make_window()
+        with pytest.raises(SpecificationError):
+            window.schema("AS_Ghost")
+
+
+class TestRendering:
+    def test_render_lists_sources_operators_edges_and_schemas(self):
+        window = make_window()
+        author_deadline_schema(window)
+        text = window.render()
+        assert "<ContextEvent>" in text
+        assert "Compare2" in text
+        assert "--slot 0-->" in text
+        assert "AS_InfoRequest" in text
+        assert "InfoRequestContext.Requestor" in text

@@ -1,0 +1,97 @@
+"""Tests for the process invocation (Translate) operator."""
+
+import pytest
+
+from repro.awareness.operators import Translate
+from repro.errors import ParameterError
+from repro.events.canonical import canonical_event
+from repro.events.event import Event
+from repro.events.producers import ACTIVITY_EVENT_TYPE
+
+
+def invocation_event(invoked_instance="ir-1", invoking_instance="tf-1"):
+    """An activity event showing tf-1 invoked P-IR via 'inforequest'."""
+    return Event(
+        ACTIVITY_EVENT_TYPE,
+        {
+            "time": 1,
+            "source": "E_activity",
+            "activityInstanceId": invoked_instance,
+            "parentProcessSchemaId": "P-TF",
+            "parentProcessInstanceId": invoking_instance,
+            "user": None,
+            "activityVariableId": "inforequest",
+            "activityProcessSchemaId": "P-IR",
+            "oldState": "Uninitialized",
+            "newState": "Ready",
+        },
+    )
+
+
+def invoked_cp(instance="ir-1", time=5, int_info=42):
+    return canonical_event(
+        "P-IR", instance, time=time, source="inner", int_info=int_info
+    )
+
+
+class TestTranslate:
+    def make(self):
+        return Translate("P-TF", "P-IR", "inforequest")
+
+    def test_translates_after_learning_invocation(self):
+        operator = self.make()
+        assert operator.consume(0, invocation_event()) == []
+        out = operator.consume(1, invoked_cp())
+        assert len(out) == 1
+        event = out[0]
+        assert event.type_name == "C[P-TF]"
+        assert event["processInstanceId"] == "tf-1"
+        assert event["intInfo"] == 42
+        assert "translated from P-IR" in event["description"]
+
+    def test_unmapped_instance_ignored(self):
+        operator = self.make()
+        operator.consume(0, invocation_event("ir-1", "tf-1"))
+        assert operator.consume(1, invoked_cp("ir-99")) == []
+
+    def test_learning_filters_on_all_three_parameters(self):
+        operator = self.make()
+        wrong_schema = invocation_event()
+        wrong_schema = Event(
+            ACTIVITY_EVENT_TYPE,
+            dict(wrong_schema.params, parentProcessSchemaId="P-OTHER"),
+        )
+        operator.consume(0, wrong_schema)
+        wrong_variable = Event(
+            ACTIVITY_EVENT_TYPE,
+            dict(invocation_event().params, activityVariableId="other"),
+        )
+        operator.consume(0, wrong_variable)
+        wrong_invoked = Event(
+            ACTIVITY_EVENT_TYPE,
+            dict(invocation_event().params, activityProcessSchemaId="P-X"),
+        )
+        operator.consume(0, wrong_invoked)
+        assert operator.known_invocations() == 0
+
+    def test_multiple_invocations_tracked(self):
+        operator = self.make()
+        operator.consume(0, invocation_event("ir-1", "tf-1"))
+        operator.consume(0, invocation_event("ir-2", "tf-2"))
+        assert operator.known_invocations() == 2
+        out1 = operator.consume(1, invoked_cp("ir-1"))
+        out2 = operator.consume(1, invoked_cp("ir-2"))
+        assert out1[0]["processInstanceId"] == "tf-1"
+        assert out2[0]["processInstanceId"] == "tf-2"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            Translate("P-TF", "", "inforequest")
+        with pytest.raises(ParameterError):
+            Translate("P-TF", "P-IR", "")
+
+    def test_slot_types(self):
+        operator = self.make()
+        assert operator.slot_type(0).name == "T_activity"
+        assert operator.slot_type(1).name == "C[P-IR]"
+        assert operator.output_type.name == "C[P-TF]"

@@ -1,0 +1,166 @@
+"""Tests for the Section 2 awareness baselines."""
+
+import pytest
+
+from repro.baselines import (
+    ContentFilterPubSub,
+    EmailNotification,
+    GroupwareRole,
+    GroupwareRoles,
+    MonitorAllAwareness,
+    WorklistOnlyAwareness,
+)
+from repro.core import ContextSchema
+from repro.core.context import ContextFieldSpec
+from repro.errors import ScopeError
+
+
+class TestWorklistOnly:
+    def test_records_offers_to_candidates(
+        self, system, alice, bob, carol, epidemiologists, simple_process
+    ):
+        adapter = WorklistOnlyAwareness(
+            system.core, system.coordination.worklists
+        )
+        system.coordination.start_process(simple_process)
+        deliveries = adapter.deliveries()
+        # draft offered to all three epidemiologists.
+        assert {d.participant_id for d in deliveries} == {
+            "u-alice",
+            "u-bob",
+            "u-carol",
+        }
+        assert all(d.key[0] == "work-item" for d in deliveries)
+
+    def test_each_offer_recorded_once(
+        self, system, alice, epidemiologists, simple_process
+    ):
+        adapter = WorklistOnlyAwareness(
+            system.core, system.coordination.worklists
+        )
+        system.coordination.start_process(simple_process)
+        first = adapter.total()
+        # More activity events happen; no new offers -> no new deliveries.
+        client = system.participant_client(alice)
+        item = client.work_items()[0]
+        client.claim(item)
+        assert adapter.total() == first
+
+
+class TestMonitorAll:
+    def test_every_event_to_every_monitor(
+        self, system, alice, bob, epidemiologists, simple_process
+    ):
+        adapter = MonitorAllAwareness(system.core, [alice, bob])
+        system.coordination.start_process(simple_process)
+        per_user = adapter.deliveries_per_participant()
+        assert per_user["u-alice"] == per_user["u-bob"]
+        assert per_user["u-alice"] >= 3  # several state changes already
+
+    def test_includes_context_events(self, system, alice, taskforce_app):
+        adapter = MonitorAllAwareness(system.core, [alice])
+        task_force = taskforce_app.create_task_force(alice, [alice], 100)
+        keys = {d.key[0] for d in adapter.deliveries()}
+        assert "context-change" in keys
+        assert "state-change" in keys
+
+
+class TestContentFilter:
+    def test_predicate_filters_events(
+        self, system, alice, epidemiologists, simple_process
+    ):
+        adapter = ContentFilterPubSub(system.core)
+        adapter.subscribe(
+            "u-alice",
+            lambda attrs: attrs.get("newState") == "Completed",
+            label="completions",
+        )
+        system.coordination.start_process(simple_process)
+        client = system.participant_client(alice)
+        client.claim_and_complete_all()
+        deliveries = adapter.deliveries()
+        assert deliveries  # completions observed
+        assert all(d.key[2] == "Completed" for d in deliveries)
+
+    def test_context_subscriptions(self, system, alice, taskforce_app):
+        adapter = ContentFilterPubSub(system.core)
+        adapter.subscribe(
+            "u-alice",
+            lambda attrs: attrs.get("fieldName") == "TaskForceDeadline",
+        )
+        taskforce_app.create_task_force(alice, [alice], 100)
+        assert adapter.total() == 1
+
+
+class TestEmailNotification:
+    def test_rule_fires_to_static_list(
+        self, system, alice, epidemiologists, simple_process
+    ):
+        adapter = EmailNotification(system.core)
+        adapter.add_rule("draft", "Completed", ("boss@example",))
+        system.coordination.start_process(simple_process)
+        system.participant_client(alice).claim_and_complete_all()
+        deliveries = adapter.deliveries()
+        assert len(deliveries) == 1
+        assert deliveries[0].participant_id == "boss@example"
+
+    def test_rule_matches_schema_name_and_state(
+        self, system, alice, epidemiologists, simple_process
+    ):
+        adapter = EmailNotification(system.core)
+        adapter.add_rule("draft", "Terminated", ("boss@example",))
+        system.coordination.start_process(simple_process)
+        system.participant_client(alice).claim_and_complete_all()
+        assert adapter.total() == 0
+
+
+class TestGroupware:
+    def _shared_resource(self, system):
+        """A whiteboard modelled as a context on a process instance."""
+        from repro import (
+            ActivityVariable,
+            BasicActivitySchema,
+            ProcessActivitySchema,
+        )
+
+        process = ProcessActivitySchema("p-meet", "meeting")
+        process.add_context_schema(
+            ContextSchema("Whiteboard", [ContextFieldSpec("content", "str")])
+        )
+        process.add_activity_variable(
+            ActivityVariable("talk", BasicActivitySchema("b-talk", "talk"))
+        )
+        process.mark_entry("talk")
+        system.core.register_schema(process)
+        instance = system.coordination.start_process(process)
+        return instance.context("Whiteboard")
+
+    def test_presenter_writes_observers_see(self, system, alice, bob):
+        adapter = GroupwareRoles(system.core)
+        board = self._shared_resource(system)
+        adapter.join(board, "u-alice", GroupwareRole.PRESENTER)
+        adapter.join(board, "u-bob", GroupwareRole.OBSERVER)
+        adapter.write(board, "u-alice", "content", "agenda")
+        receivers = {d.participant_id for d in adapter.deliveries()}
+        # Observers (and hybrids) read; pure presenters do not.
+        assert receivers == {"u-bob"}
+
+    def test_observer_cannot_write(self, system, alice, bob):
+        adapter = GroupwareRoles(system.core)
+        board = self._shared_resource(system)
+        adapter.join(board, "u-bob", GroupwareRole.OBSERVER)
+        with pytest.raises(ScopeError):
+            adapter.write(board, "u-bob", "content", "graffiti")
+
+    def test_hybrid_can_do_both(self, system, alice):
+        adapter = GroupwareRoles(system.core)
+        board = self._shared_resource(system)
+        adapter.join(board, "u-alice", GroupwareRole.HYBRID)
+        adapter.write(board, "u-alice", "content", "notes")
+        assert {d.participant_id for d in adapter.deliveries()} == {"u-alice"}
+
+    def test_non_member_cannot_write(self, system, alice):
+        adapter = GroupwareRoles(system.core)
+        board = self._shared_resource(system)
+        with pytest.raises(ScopeError):
+            adapter.write(board, "u-alice", "content", "x")

@@ -1,0 +1,117 @@
+"""Tests for the log-analysis baseline (the Section 2 DIY option)."""
+
+import pytest
+
+from repro.baselines import LogAnalysisAwareness
+from repro.core import CoreEngine, Participant
+from repro.core.context import ContextChange
+from repro.core.instances import ActivityStateChange
+
+
+def activity_change(time, instance="ir-1", state="Completed"):
+    return ActivityStateChange(
+        time=time,
+        activity_instance_id=instance,
+        parent_process_schema_id="P-TF",
+        parent_process_instance_id="tf-1",
+        user=None,
+        activity_variable_id="inforequest1",
+        activity_process_schema_id="P-IR",
+        old_state="Running",
+        new_state=state,
+    )
+
+
+def context_change(time, field="TaskForceDeadline", value=50):
+    return ContextChange(
+        time=time,
+        context_id="ctx-1",
+        context_name="TaskForceContext",
+        associations=frozenset({("P-TF", "tf-1"), ("P-IR", "ir-1")}),
+        field_name=field,
+        old_value=None,
+        new_value=value,
+    )
+
+
+class TestPolling:
+    def test_analysis_runs_on_poll_boundaries(self):
+        core = CoreEngine()
+        adapter = LogAnalysisAwareness(core, ["watcher"], poll_interval=10)
+        seen_slices = []
+        adapter.add_analysis(
+            lambda acts, ctxs: seen_slices.append((len(acts), len(ctxs))) or []
+        )
+        # Feed events through the internal hooks directly.
+        adapter._on_context(context_change(3))
+        adapter._on_context(context_change(7))
+        assert adapter.polls == 0  # still inside the first window
+        adapter._on_context(context_change(12))  # crosses t=10
+        assert adapter.polls == 1
+        assert seen_slices[0] == (0, 2)  # the first two changes
+
+    def test_detection_delivered_at_poll_time_to_static_list(self):
+        core = CoreEngine()
+        adapter = LogAnalysisAwareness(core, ["a", "b"], poll_interval=10)
+        adapter.add_analysis(
+            lambda acts, ctxs: [
+                (("violation", change.time), change.time) for change in ctxs
+            ]
+        )
+        adapter._on_context(context_change(4))
+        adapter._on_context(context_change(15))  # triggers the t=10 poll
+        deliveries = adapter.deliveries()
+        assert len(deliveries) == 2  # the t=4 event, to both recipients
+        assert all(d.time == 10 for d in deliveries)  # poll time, not event time
+        assert {d.participant_id for d in deliveries} == {"a", "b"}
+
+    def test_finish_flushes_trailing_window(self):
+        core = CoreEngine()
+        adapter = LogAnalysisAwareness(core, ["a"], poll_interval=100)
+        adapter.add_analysis(
+            lambda acts, ctxs: [(("hit", c.time), c.time) for c in ctxs]
+        )
+        adapter._on_context(context_change(5))
+        assert adapter.total() == 0
+        adapter.finish()
+        assert adapter.total() == 1
+
+    def test_empty_windows_skip_analyses(self):
+        core = CoreEngine()
+        calls = []
+        adapter = LogAnalysisAwareness(core, ["a"], poll_interval=5)
+        adapter.add_analysis(lambda acts, ctxs: calls.append(1) or [])
+        adapter._on_context(context_change(23))  # windows 5..20 were empty
+        assert calls == []  # nothing ran for the empty windows
+        adapter.finish()
+        assert len(calls) == 1  # one analysis pass over the real event
+
+    def test_activity_log_reaches_analyses(self):
+        core = CoreEngine()
+        adapter = LogAnalysisAwareness(core, ["a"], poll_interval=10)
+        closed = []
+        adapter.add_analysis(
+            lambda acts, ctxs: closed.extend(
+                a.activity_instance_id for a in acts
+            )
+            or []
+        )
+        adapter._on_activity(activity_change(3))
+        adapter.finish()
+        assert closed == ["ir-1"]
+
+    def test_hooks_wired_to_engine(self, system, epidemiologists, alice, bob, taskforce_app):
+        """Driven through a real system, the adapter observes the logs."""
+        adapter = LogAnalysisAwareness(
+            system.core, ["epi-x"], poll_interval=1
+        )
+        hits = []
+        adapter.add_analysis(
+            lambda acts, ctxs: hits.extend(
+                c.field_name for c in ctxs
+            ) or []
+        )
+        task_force = taskforce_app.create_task_force(alice, [alice, bob], 100)
+        taskforce_app.change_task_force_deadline(task_force, 50)
+        adapter.finish()
+        assert "TaskForceDeadline" in hits

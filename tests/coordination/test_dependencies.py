@@ -1,0 +1,162 @@
+"""Tests for dependency evaluation (SEQUENCE/CONDITION/AND/OR joins)."""
+
+import pytest
+
+from repro.coordination.dependencies import DependencyEvaluator
+from repro.core import (
+    ActivityVariable,
+    BasicActivitySchema,
+    CoreEngine,
+    DependencyType,
+    DependencyVariable,
+    ProcessActivitySchema,
+)
+
+
+def build(dependency_type, n_sources=1, condition=None, optional_target=False):
+    """A process with *n_sources* entry activities joined into 'target'."""
+    engine = CoreEngine()
+    process = ProcessActivitySchema("p", "joiner")
+    sources = []
+    for index in range(n_sources):
+        name = f"src{index}"
+        process.add_activity_variable(
+            ActivityVariable(name, BasicActivitySchema(f"b-{name}", name))
+        )
+        process.mark_entry(name)
+        sources.append(name)
+    process.add_activity_variable(
+        ActivityVariable(
+            "target",
+            BasicActivitySchema("b-target", "target"),
+            optional=optional_target,
+        )
+    )
+    process.add_dependency(
+        DependencyVariable(
+            "join", dependency_type, tuple(sources), "target", condition
+        )
+    )
+    engine.register_schema(process)
+    instance = engine.create_process_instance(process)
+    for name in sources:
+        child = engine.create_activity_instance(instance, name)
+        engine.change_state(child, "Ready")
+    return engine, process, instance
+
+
+def close(engine, instance, name, state="Completed"):
+    child = instance.child(name)
+    engine.change_state(child, "Running")
+    engine.change_state(child, state)
+
+
+class TestSequence:
+    def test_enabled_after_source_completes(self):
+        engine, process, instance = build(DependencyType.SEQUENCE)
+        evaluator = DependencyEvaluator(process)
+        assert evaluator.enabled_activities(instance) == ()
+        close(engine, instance, "src0")
+        assert evaluator.enabled_activities(instance) == ("target",)
+
+    def test_dead_after_source_terminates(self):
+        engine, process, instance = build(DependencyType.SEQUENCE)
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0", "Terminated")
+        assert evaluator.enabled_activities(instance) == ()
+        assert evaluator.dead_activities(instance) == ("target",)
+
+
+class TestCondition:
+    def test_condition_guards_enablement(self):
+        flag = {"go": False}
+        engine, process, instance = build(
+            DependencyType.CONDITION, condition=lambda proc: flag["go"]
+        )
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0")
+        assert evaluator.enabled_activities(instance) == ()
+        flag["go"] = True
+        assert evaluator.enabled_activities(instance) == ("target",)
+
+    def test_condition_receives_process_instance(self):
+        seen = []
+        engine, process, instance = build(
+            DependencyType.CONDITION,
+            condition=lambda proc: seen.append(proc) or True,
+        )
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0")
+        evaluator.enabled_activities(instance)
+        assert seen[0] is instance
+
+
+class TestAndJoin:
+    def test_requires_all_sources(self):
+        engine, process, instance = build(DependencyType.SYNC_AND, n_sources=3)
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0")
+        close(engine, instance, "src1")
+        assert evaluator.enabled_activities(instance) == ()
+        close(engine, instance, "src2")
+        assert evaluator.enabled_activities(instance) == ("target",)
+
+    def test_dies_if_any_source_terminates(self):
+        engine, process, instance = build(DependencyType.SYNC_AND, n_sources=2)
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0")
+        close(engine, instance, "src1", "Terminated")
+        assert evaluator.dead_activities(instance) == ("target",)
+
+
+class TestOrJoin:
+    def test_any_source_enables(self):
+        engine, process, instance = build(DependencyType.SYNC_OR, n_sources=3)
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src1")
+        assert evaluator.enabled_activities(instance) == ("target",)
+
+    def test_dies_only_when_all_terminate(self):
+        engine, process, instance = build(DependencyType.SYNC_OR, n_sources=2)
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0", "Terminated")
+        assert evaluator.dead_activities(instance) == ()
+        close(engine, instance, "src1", "Terminated")
+        assert evaluator.dead_activities(instance) == ("target",)
+
+
+class TestCompletion:
+    def test_cannot_complete_with_open_children(self):
+        engine, process, instance = build(DependencyType.SEQUENCE)
+        evaluator = DependencyEvaluator(process)
+        assert not evaluator.process_can_complete(instance)
+
+    def test_cannot_complete_with_pending_mandatory_target(self):
+        engine, process, instance = build(DependencyType.SEQUENCE)
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0")
+        # target enabled but not yet instantiated -> not complete
+        assert not evaluator.process_can_complete(instance)
+
+    def test_completes_after_all_children_close(self):
+        engine, process, instance = build(DependencyType.SEQUENCE)
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0")
+        child = engine.create_activity_instance(instance, "target")
+        engine.change_state(child, "Ready")
+        close(engine, instance, "target")
+        assert evaluator.process_can_complete(instance)
+
+    def test_dead_mandatory_target_does_not_block(self):
+        engine, process, instance = build(DependencyType.SEQUENCE)
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0", "Terminated")
+        assert evaluator.process_can_complete(instance)
+
+    def test_unstarted_optional_does_not_block(self):
+        engine, process, instance = build(
+            DependencyType.SEQUENCE, optional_target=True
+        )
+        evaluator = DependencyEvaluator(process)
+        close(engine, instance, "src0", "Terminated")
+        assert evaluator.process_can_complete(instance)

@@ -1,0 +1,204 @@
+"""Tests for the coordination engine: enactment operations and routing."""
+
+import pytest
+
+from repro.core import (
+    ActivityVariable,
+    BasicActivitySchema,
+    DependencyType,
+    DependencyVariable,
+    ProcessActivitySchema,
+)
+from repro.core.roles import RoleRef
+from repro.errors import EnactmentError
+
+
+class TestStartProcess:
+    def test_process_starts_running_with_entry_activity_ready(
+        self, system, epidemiologists, simple_process
+    ):
+        instance = system.coordination.start_process(simple_process)
+        assert instance.current_state == "Running"
+        draft = instance.child("draft")
+        assert draft.current_state == "Ready"
+        assert not instance.has_child("review")
+
+    def test_subprocess_start_requires_variable_name(
+        self, system, epidemiologists, simple_process
+    ):
+        parent = system.coordination.start_process(simple_process)
+        with pytest.raises(EnactmentError):
+            system.coordination.start_process(simple_process, parent=parent)
+
+
+class TestClaimCompleteRoute(object):
+    def test_completing_draft_readies_review(
+        self, system, alice, epidemiologists, simple_process
+    ):
+        coordination = system.coordination
+        instance = coordination.start_process(simple_process)
+        item = coordination.worklist_for(alice).items()[0]
+        coordination.claim(item, alice)
+        draft = instance.child("draft")
+        assert draft.current_state == "Running"
+        assert draft.performer == alice
+        coordination.complete_activity(draft, user=alice.name)
+        assert draft.current_state == "Completed"
+        assert instance.child("review").current_state == "Ready"
+
+    def test_process_autocompletes_after_last_activity(
+        self, system, alice, epidemiologists, simple_process
+    ):
+        coordination = system.coordination
+        instance = coordination.start_process(simple_process)
+        for __ in range(2):
+            item = [
+                i
+                for i in coordination.worklist_for(alice).items()
+                if i.claimed_by is None
+            ][0]
+            coordination.claim(item, alice)
+            coordination.complete_activity(item.activity, user=alice.name)
+        assert instance.current_state == "Completed"
+
+    def test_cannot_complete_process_directly(
+        self, system, epidemiologists, simple_process
+    ):
+        instance = system.coordination.start_process(simple_process)
+        with pytest.raises(EnactmentError):
+            system.coordination.complete_activity(instance)
+
+
+class TestSuspendResume:
+    def test_suspend_and_resume(self, system, alice, epidemiologists, simple_process):
+        coordination = system.coordination
+        instance = coordination.start_process(simple_process)
+        item = coordination.worklist_for(alice).items()[0]
+        coordination.claim(item, alice)
+        draft = instance.child("draft")
+        coordination.suspend_activity(draft, user=alice.name)
+        assert draft.current_state == "Suspended"
+        coordination.resume_activity(draft, user=alice.name)
+        assert draft.current_state == "Running"
+
+
+class TestTerminate:
+    def test_terminate_process_terminates_open_children(
+        self, system, epidemiologists, simple_process
+    ):
+        coordination = system.coordination
+        instance = coordination.start_process(simple_process)
+        coordination.terminate_activity(instance, user="chief")
+        assert instance.current_state == "Terminated"
+        assert instance.child("draft").current_state == "Terminated"
+
+    def test_terminated_activity_finishes_its_work_item(
+        self, system, alice, epidemiologists, simple_process
+    ):
+        coordination = system.coordination
+        instance = coordination.start_process(simple_process)
+        coordination.terminate_activity(instance)
+        assert coordination.worklists.open_items() == ()
+
+    def test_terminating_source_kills_downstream_and_completes_process(
+        self, system, epidemiologists, simple_process
+    ):
+        coordination = system.coordination
+        instance = coordination.start_process(simple_process)
+        draft = instance.child("draft")
+        coordination.terminate_activity(draft)
+        # review can never start; process completes via dead-path logic.
+        assert not instance.has_child("review")
+        assert instance.current_state == "Completed"
+
+
+class TestOptionalActivities:
+    def _process_with_optional(self, system):
+        basic = BasicActivitySchema(
+            "b-main", "main-work", performer=RoleRef("epidemiologist")
+        )
+        extra = BasicActivitySchema(
+            "b-extra", "extra-analysis", performer=RoleRef("epidemiologist")
+        )
+        process = ProcessActivitySchema("p-opt", "optional-demo")
+        process.add_activity_variable(ActivityVariable("main", basic))
+        process.add_activity_variable(
+            ActivityVariable("extra", extra, optional=True)
+        )
+        process.mark_entry("main")
+        system.core.register_schema(process)
+        return process
+
+    def test_optional_started_by_decision(self, system, alice, epidemiologists):
+        process = self._process_with_optional(system)
+        instance = system.coordination.start_process(process)
+        started = system.coordination.start_optional_activity(
+            instance, "extra", user=alice.name
+        )
+        assert started.current_state == "Ready"
+
+    def test_optional_cannot_start_twice(self, system, alice, epidemiologists):
+        process = self._process_with_optional(system)
+        instance = system.coordination.start_process(process)
+        system.coordination.start_optional_activity(instance, "extra")
+        with pytest.raises(EnactmentError):
+            system.coordination.start_optional_activity(instance, "extra")
+
+    def test_non_optional_rejected(self, system, epidemiologists, simple_process):
+        instance = system.coordination.start_process(simple_process)
+        with pytest.raises(EnactmentError):
+            system.coordination.start_optional_activity(instance, "review")
+
+
+class TestJoins:
+    def test_and_join_routing(self, system, alice, epidemiologists):
+        a = BasicActivitySchema("b-a", "a", performer=RoleRef("epidemiologist"))
+        b = BasicActivitySchema("b-b", "b", performer=RoleRef("epidemiologist"))
+        c = BasicActivitySchema("b-c", "c", performer=RoleRef("epidemiologist"))
+        process = ProcessActivitySchema("p-and", "and-join")
+        for name, schema in (("a", a), ("b", b), ("c", c)):
+            process.add_activity_variable(ActivityVariable(name, schema))
+        process.mark_entry("a")
+        process.mark_entry("b")
+        process.add_dependency(
+            DependencyVariable(
+                "join", DependencyType.SYNC_AND, ("a", "b"), "c"
+            )
+        )
+        system.core.register_schema(process)
+        coordination = system.coordination
+        instance = coordination.start_process(process)
+        for name in ("a", "b"):
+            child = instance.child(name)
+            item = coordination.worklists.item_for_activity(child.instance_id)
+            coordination.claim(item, alice)
+            coordination.complete_activity(child)
+            if name == "a":
+                assert not instance.has_child("c")
+        assert instance.child("c").current_state == "Ready"
+
+
+class TestNestedProcesses:
+    def test_subprocess_completion_bubbles_up(
+        self, system, alice, epidemiologists
+    ):
+        leaf = BasicActivitySchema(
+            "b-leaf", "leaf", performer=RoleRef("epidemiologist")
+        )
+        inner = ProcessActivitySchema("p-inner", "inner")
+        inner.add_activity_variable(ActivityVariable("leaf", leaf))
+        inner.mark_entry("leaf")
+        outer = ProcessActivitySchema("p-outer", "outer")
+        outer.add_activity_variable(ActivityVariable("inner", inner))
+        outer.mark_entry("inner")
+        system.core.register_schema(outer)
+        coordination = system.coordination
+        instance = coordination.start_process(outer)
+        inner_instance = instance.child("inner")
+        assert inner_instance.current_state == "Running"
+        leaf_instance = inner_instance.child("leaf")
+        item = coordination.worklists.item_for_activity(leaf_instance.instance_id)
+        coordination.claim(item, alice)
+        coordination.complete_activity(leaf_instance)
+        assert inner_instance.current_state == "Completed"
+        assert instance.current_state == "Completed"

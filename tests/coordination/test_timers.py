@@ -1,0 +1,211 @@
+"""Tests for the timer service and deadline monitors."""
+
+import pytest
+
+from repro.clock import LogicalClock
+from repro.coordination.timers import (
+    DeadlineMonitor,
+    TimerService,
+    attach_deadline_monitors,
+)
+from repro.errors import EnactmentError
+
+
+class TestTimerService:
+    def test_fires_when_clock_reaches_due(self):
+        clock = LogicalClock()
+        timers = TimerService(clock)
+        fired = []
+        timers.schedule(5, fired.append)
+        clock.advance(4)
+        assert fired == []
+        clock.advance(1)
+        assert fired == [5]
+
+    def test_fires_on_jump_past_due(self):
+        clock = LogicalClock()
+        timers = TimerService(clock)
+        fired = []
+        timers.schedule(5, fired.append)
+        clock.advance(100)
+        assert fired == [100]  # callback gets the actual now
+
+    def test_past_due_fires_immediately(self):
+        clock = LogicalClock(start=50)
+        timers = TimerService(clock)
+        fired = []
+        timer = timers.schedule(10, fired.append)
+        assert timer.fired
+        assert fired == [50]
+
+    def test_multiple_timers_fire_in_due_order(self):
+        clock = LogicalClock()
+        timers = TimerService(clock)
+        order = []
+        timers.schedule(7, lambda now: order.append("b"))
+        timers.schedule(3, lambda now: order.append("a"))
+        timers.schedule(7, lambda now: order.append("c"))
+        clock.advance(10)
+        assert order == ["a", "b", "c"]  # due order, ties by scheduling
+
+    def test_cancel(self):
+        clock = LogicalClock()
+        timers = TimerService(clock)
+        fired = []
+        timer = timers.schedule(5, fired.append)
+        timers.cancel(timer)
+        clock.advance(10)
+        assert fired == []
+        assert timers.pending_count() == 0
+
+    def test_cannot_cancel_fired_timer(self):
+        clock = LogicalClock(start=9)
+        timers = TimerService(clock)
+        timer = timers.schedule(5, lambda now: None)
+        with pytest.raises(EnactmentError):
+            timers.cancel(timer)
+
+    def test_fired_counter(self):
+        clock = LogicalClock()
+        timers = TimerService(clock)
+        for due in (1, 2, 3):
+            timers.schedule(due, lambda now: None)
+        clock.advance(2)
+        assert timers.fired == 2
+
+
+class TestDeadlineMonitor:
+    def _system_with_deadline_context(self):
+        from repro import (
+            ActivityVariable,
+            BasicActivitySchema,
+            ContextFieldSpec,
+            ContextSchema,
+            EnactmentSystem,
+            ProcessActivitySchema,
+        )
+
+        system = EnactmentSystem()
+        process = ProcessActivitySchema("P-D", "deadlined")
+        process.add_context_schema(
+            ContextSchema(
+                "DeadlineCtx",
+                [
+                    ContextFieldSpec("deadline", "int"),
+                    ContextFieldSpec("expired-at", "int"),
+                ],
+            )
+        )
+        process.add_activity_variable(
+            ActivityVariable("w", BasicActivitySchema("b-w", "w"))
+        )
+        process.mark_entry("w")
+        system.core.register_schema(process)
+        instance = system.coordination.start_process(process)
+        return system, instance.context("DeadlineCtx")
+
+    def test_expiry_marks_context(self):
+        system, ref = self._system_with_deadline_context()
+        timers = TimerService(system.clock)
+        ref.set("deadline", system.clock.now() + 10)
+        DeadlineMonitor(timers, ref, "deadline", "expired-at")
+        system.clock.advance(20)
+        assert ref.is_set("expired-at")
+        assert ref.get("expired-at") >= 10
+
+    def test_deadline_move_reschedules(self):
+        system, ref = self._system_with_deadline_context()
+        timers = TimerService(system.clock)
+        start = system.clock.now()
+        ref.set("deadline", start + 10)
+        monitor = DeadlineMonitor(timers, ref, "deadline", "expired-at")
+        monitor.deadline_changed(start + 50)  # pushed out
+        system.clock.advance(20)
+        assert not ref.is_set("expired-at")  # old timer was cancelled
+        system.clock.advance(40)
+        assert ref.is_set("expired-at")
+
+    def test_destroyed_context_does_not_crash_expiry(self):
+        system, ref = self._system_with_deadline_context()
+        timers = TimerService(system.clock)
+        ref.set("deadline", system.clock.now() + 5)
+        monitor = DeadlineMonitor(timers, ref, "deadline", "expired-at")
+        system.core.destroy_context(ref)
+        system.clock.advance(10)  # expiry fires, write fails silently
+        assert monitor.expired
+
+    def test_expiry_event_drives_awareness(self):
+        """The headline use: 'deadline passed' awareness authored as a
+        plain Filter_context over the marker field."""
+        from repro import Participant, RoleRef
+
+        system, ref = self._system_with_deadline_context()
+        watcher = system.register_participant(Participant("u-w", "watcher"))
+        system.core.roles.define_role("watchers").add_member(watcher)
+        window = system.awareness.create_window("P-D")
+        expired = window.place("Filter_context", "DeadlineCtx", "expired-at")
+        window.connect(window.source("ContextEvent"), expired, 0)
+        window.output(
+            expired,
+            RoleRef("watchers"),
+            user_description="Deadline passed without completion",
+            schema_name="AS_Expired",
+        )
+        system.awareness.deploy(window)
+
+        timers = TimerService(system.clock)
+        ref.set("deadline", system.clock.now() + 10)
+        DeadlineMonitor(timers, ref, "deadline", "expired-at")
+        system.clock.advance(30)
+        notifications = system.participant_client(watcher).check_awareness()
+        assert len(notifications) == 1
+        assert "Deadline passed" in notifications[0].description
+
+
+class TestAttachDeadlineMonitors:
+    def test_monitors_auto_created_per_context(self):
+        from repro import (
+            ActivityVariable,
+            BasicActivitySchema,
+            ContextFieldSpec,
+            ContextSchema,
+            EnactmentSystem,
+            ProcessActivitySchema,
+        )
+
+        system = EnactmentSystem()
+        process = ProcessActivitySchema("P-D", "deadlined")
+        process.add_context_schema(
+            ContextSchema(
+                "DeadlineCtx",
+                [
+                    ContextFieldSpec("deadline", "int"),
+                    ContextFieldSpec("expired-at", "int"),
+                ],
+            )
+        )
+        process.add_activity_variable(
+            ActivityVariable("w", BasicActivitySchema("b-w", "w"))
+        )
+        process.mark_entry("w")
+        system.core.register_schema(process)
+
+        timers = TimerService(system.clock)
+        monitor_count = attach_deadline_monitors(
+            system.core, timers, "DeadlineCtx", "deadline", "expired-at"
+        )
+
+        refs = []
+        for __ in range(3):
+            instance = system.coordination.start_process(process)
+            ref = instance.context("DeadlineCtx")
+            ref.set("deadline", system.clock.now() + 10)
+            refs.append(ref)
+        assert monitor_count() == 3
+
+        # Push one context's deadline out; expire the other two.
+        refs[0].set("deadline", system.clock.now() + 100)
+        system.clock.advance(30)
+        assert not refs[0].is_set("expired-at")
+        assert refs[1].is_set("expired-at")
+        assert refs[2].is_set("expired-at")

@@ -1,0 +1,120 @@
+"""Tests for work items and worklists."""
+
+import pytest
+
+from repro.coordination.worklist import WorklistManager
+from repro.core import BasicActivitySchema, Participant
+from repro.core.instances import ActivityInstance
+from repro.errors import WorklistError
+
+
+def make_activity(name="work"):
+    return ActivityInstance(f"act-{name}", BasicActivitySchema(f"b-{name}", name))
+
+
+def people(*names):
+    return tuple(Participant(f"u-{n}", n) for n in names)
+
+
+class TestOffer:
+    def test_offer_creates_open_item(self):
+        manager = WorklistManager()
+        alice, = people("alice")
+        item = manager.offer(make_activity(), frozenset({alice}), time=3)
+        assert item.open
+        assert item.offered_at == 3
+        assert manager.open_items() == (item,)
+
+    def test_double_offer_rejected(self):
+        manager = WorklistManager()
+        activity = make_activity()
+        alice, = people("alice")
+        manager.offer(activity, frozenset({alice}), time=1)
+        with pytest.raises(WorklistError):
+            manager.offer(activity, frozenset({alice}), time=2)
+
+    def test_item_for_activity(self):
+        manager = WorklistManager()
+        activity = make_activity()
+        alice, = people("alice")
+        item = manager.offer(activity, frozenset({alice}), time=1)
+        assert manager.item_for_activity(activity.instance_id) is item
+        assert manager.item_for_activity("ghost") is None
+
+
+class TestClaim:
+    def test_claim_by_candidate(self):
+        manager = WorklistManager()
+        alice, bob = people("alice", "bob")
+        item = manager.offer(make_activity(), frozenset({alice, bob}), time=1)
+        manager.claim(item, alice)
+        assert item.claimed_by == alice
+        assert alice.load == 1
+
+    def test_claim_by_non_candidate_rejected(self):
+        manager = WorklistManager()
+        alice, bob = people("alice", "bob")
+        item = manager.offer(make_activity(), frozenset({alice}), time=1)
+        with pytest.raises(WorklistError):
+            manager.claim(item, bob)
+
+    def test_double_claim_rejected(self):
+        manager = WorklistManager()
+        alice, bob = people("alice", "bob")
+        item = manager.offer(make_activity(), frozenset({alice, bob}), time=1)
+        manager.claim(item, alice)
+        with pytest.raises(WorklistError):
+            manager.claim(item, bob)
+
+    def test_claim_after_finish_rejected(self):
+        manager = WorklistManager()
+        alice, = people("alice")
+        item = manager.offer(make_activity(), frozenset({alice}), time=1)
+        manager.finish(item)
+        with pytest.raises(WorklistError):
+            manager.claim(item, alice)
+
+
+class TestFinish:
+    def test_finish_releases_load(self):
+        manager = WorklistManager()
+        alice, = people("alice")
+        item = manager.offer(make_activity(), frozenset({alice}), time=1)
+        manager.claim(item, alice)
+        manager.finish(item)
+        assert alice.load == 0
+        assert not item.open
+
+    def test_double_finish_rejected(self):
+        manager = WorklistManager()
+        alice, = people("alice")
+        item = manager.offer(make_activity(), frozenset({alice}), time=1)
+        manager.finish(item)
+        with pytest.raises(WorklistError):
+            manager.finish(item)
+
+
+class TestWorklistView:
+    def test_worklist_shows_offers_and_claims(self):
+        manager = WorklistManager()
+        alice, bob = people("alice", "bob")
+        item_shared = manager.offer(
+            make_activity("shared"), frozenset({alice, bob}), time=1
+        )
+        item_bob = manager.offer(make_activity("solo"), frozenset({bob}), time=2)
+        assert [i.item_id for i in manager.worklist_for(alice).items()] == [
+            item_shared.item_id
+        ]
+        assert len(manager.worklist_for(bob)) == 2
+        manager.claim(item_shared, bob)
+        # Once bob claims, the item leaves alice's list but stays on bob's.
+        assert manager.worklist_for(alice).items() == ()
+        assert item_shared in manager.worklist_for(bob).items()
+
+    def test_completed_items_disappear(self):
+        manager = WorklistManager()
+        alice, = people("alice")
+        item = manager.offer(make_activity(), frozenset({alice}), time=1)
+        manager.finish(item)
+        assert manager.worklist_for(alice).items() == ()
+        assert manager.all_items() == (item,)

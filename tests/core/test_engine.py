@@ -1,0 +1,204 @@
+"""Tests for the CORE engine: registries, instances, contexts, events."""
+
+import pytest
+
+from repro.core import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ContextSchema,
+    CoreEngine,
+    Participant,
+    ProcessActivitySchema,
+)
+from repro.core.context import ContextFieldSpec
+from repro.core.roles import RoleRef
+from repro.errors import (
+    EnactmentError,
+    RoleResolutionError,
+    SchemaError,
+)
+
+
+def build_process(engine, with_context=False):
+    basic = BasicActivitySchema("b-work", "work")
+    process = ProcessActivitySchema("p-main", "main")
+    if with_context:
+        process.add_context_schema(
+            ContextSchema(
+                "Ctx",
+                [
+                    ContextFieldSpec("deadline", "int"),
+                    ContextFieldSpec("owner", "role"),
+                ],
+            )
+        )
+    process.add_activity_variable(ActivityVariable("work", basic))
+    process.mark_entry("work")
+    engine.register_schema(process)
+    return process
+
+
+class TestSchemaRegistry:
+    def test_recursive_registration(self):
+        engine = CoreEngine()
+        process = build_process(engine)
+        assert engine.schema("p-main") is process
+        assert engine.schema("b-work").name == "work"
+
+    def test_same_object_reregistration_is_noop(self):
+        engine = CoreEngine()
+        process = build_process(engine)
+        engine.register_schema(process)
+
+    def test_different_object_same_id_rejected(self):
+        engine = CoreEngine()
+        build_process(engine)
+        with pytest.raises(SchemaError):
+            engine.register_schema(BasicActivitySchema("b-work", "impostor"))
+
+    def test_unknown_schema_lookup(self):
+        with pytest.raises(SchemaError):
+            CoreEngine().schema("ghost")
+
+    def test_unregistered_schema_cannot_instantiate(self):
+        engine = CoreEngine()
+        process = ProcessActivitySchema("p", "x")
+        process.add_activity_variable(
+            ActivityVariable("a", BasicActivitySchema("b", "a"))
+        )
+        process.mark_entry("a")
+        with pytest.raises(SchemaError):
+            engine.create_process_instance(process)
+
+
+class TestInstances:
+    def test_create_process_and_child(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine)
+        instance = engine.create_process_instance(process_schema)
+        child = engine.create_activity_instance(instance, "work")
+        assert child.parent is instance
+        assert instance.child("work") is child
+        assert child.activity_variable_id == "work"
+        assert engine.instance(child.instance_id) is child
+
+    def test_duplicate_child_rejected(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine)
+        instance = engine.create_process_instance(process_schema)
+        engine.create_activity_instance(instance, "work")
+        with pytest.raises(EnactmentError):
+            engine.create_activity_instance(instance, "work")
+
+    def test_top_level_processes_tracked(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine)
+        a = engine.create_process_instance(process_schema)
+        b = engine.create_process_instance(process_schema)
+        assert engine.top_level_processes() == (a, b)
+
+
+class TestEventHooks:
+    def test_state_change_publishes_activity_event(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine)
+        seen = []
+        engine.on_activity_change(seen.append)
+        instance = engine.create_process_instance(process_schema)
+        engine.change_state(instance, "Ready", user="alice")
+        assert len(seen) == 1
+        change = seen[0]
+        assert change.activity_instance_id == instance.instance_id
+        assert change.old_state == "Uninitialized"
+        assert change.new_state == "Ready"
+        assert change.user == "alice"
+        assert change.parent_process_schema_id is None
+
+    def test_child_change_carries_parent_fields(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine)
+        seen = []
+        engine.on_activity_change(seen.append)
+        instance = engine.create_process_instance(process_schema)
+        child = engine.create_activity_instance(instance, "work")
+        engine.change_state(child, "Ready")
+        change = seen[-1]
+        assert change.parent_process_schema_id == "p-main"
+        assert change.parent_process_instance_id == instance.instance_id
+        assert change.activity_variable_id == "work"
+        assert change.activity_process_schema_id is None
+
+    def test_context_change_hook(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine, with_context=True)
+        seen = []
+        engine.on_context_change(seen.append)
+        instance = engine.create_process_instance(process_schema)
+        instance.context("Ctx").set("deadline", 10)
+        assert len(seen) == 1
+        assert seen[0].field_name == "deadline"
+
+    def test_clock_timestamps_are_monotone(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine)
+        seen = []
+        engine.on_activity_change(seen.append)
+        instance = engine.create_process_instance(process_schema)
+        engine.change_state(instance, "Ready")
+        engine.change_state(instance, "Running")
+        assert seen[0].time < seen[1].time
+
+
+class TestContexts:
+    def test_process_contexts_created_at_instantiation(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine, with_context=True)
+        instance = engine.create_process_instance(process_schema)
+        ref = instance.context("Ctx")
+        assert ref.context_name == "Ctx"
+
+    def test_share_context_adds_association(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine, with_context=True)
+        parent = engine.create_process_instance(process_schema)
+        other = engine.create_process_instance(process_schema)
+        ref = parent.context("Ctx")
+        engine.share_context(ref, other)
+        contexts = engine.contexts_for_instance(other.instance_id)
+        # `other` now sees both its own Ctx and the shared one.
+        assert len(contexts) == 2
+
+    def test_contexts_for_instance_skips_destroyed(self):
+        engine = CoreEngine()
+        process_schema = build_process(engine, with_context=True)
+        instance = engine.create_process_instance(process_schema)
+        engine.destroy_context(instance.context("Ctx"))
+        assert engine.contexts_for_instance(instance.instance_id) == ()
+
+    def test_unknown_context_lookup(self):
+        with pytest.raises(EnactmentError):
+            CoreEngine().context_resource("ghost")
+
+
+class TestScopedRolesViaEngine:
+    def test_create_and_resolve_scoped_role(self):
+        engine = CoreEngine()
+        alice = engine.roles.register_participant(Participant("u1", "alice"))
+        process_schema = build_process(engine, with_context=True)
+        instance = engine.create_process_instance(process_schema)
+        engine.create_scoped_role(instance.context("Ctx"), "owner", (alice,))
+        resolved = engine.resolve_role(
+            RoleRef("owner", "Ctx"), instance.instance_id
+        )
+        assert resolved == frozenset({alice})
+
+    def test_scoped_resolution_requires_instance(self):
+        engine = CoreEngine()
+        with pytest.raises(RoleResolutionError):
+            engine.resolve_role(RoleRef("owner", "Ctx"))
+
+    def test_global_resolution_ignores_instance(self):
+        engine = CoreEngine()
+        alice = engine.roles.register_participant(Participant("u1", "alice"))
+        engine.roles.define_role("analyst").add_member(alice)
+        assert engine.resolve_role(RoleRef("analyst")) == frozenset({alice})

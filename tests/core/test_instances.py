@@ -1,0 +1,85 @@
+"""Tests for activity/process instances and the E_activity payload."""
+
+import pytest
+
+from repro.core import (
+    ActivityVariable,
+    BasicActivitySchema,
+    CoreEngine,
+    ProcessActivitySchema,
+)
+from repro.core.instances import ActivityInstance, ProcessInstance
+from repro.core.resources import DataResource, data_schema
+from repro.errors import EnactmentError, SchemaError
+
+
+def nested_process(engine):
+    leaf = BasicActivitySchema("b-leaf", "leaf")
+    inner = ProcessActivitySchema("p-inner", "inner")
+    inner.add_activity_variable(ActivityVariable("leaf", leaf))
+    inner.mark_entry("leaf")
+    outer = ProcessActivitySchema("p-outer", "outer")
+    outer.add_activity_variable(ActivityVariable("inner", inner))
+    outer.mark_entry("inner")
+    engine.register_schema(outer)
+    return outer
+
+
+class TestActivityInstance:
+    def test_parent_and_variable_must_come_together(self):
+        schema = BasicActivitySchema("b", "x")
+        with pytest.raises(EnactmentError):
+            ActivityInstance("a-1", schema, parent=None,
+                             activity_variable=ActivityVariable("v", schema))
+
+    def test_state_change_record_for_subprocess_names_its_schema(self):
+        engine = CoreEngine()
+        outer_schema = nested_process(engine)
+        outer = engine.create_process_instance(outer_schema)
+        inner = engine.create_activity_instance(outer, "inner")
+        change = inner.change_state("Ready", time=1)
+        assert change.activity_process_schema_id == "p-inner"
+        assert change.parent_process_schema_id == "p-outer"
+        assert change.activity_variable_id == "inner"
+
+    def test_bind_data_checks_variable_exists(self):
+        schema = BasicActivitySchema("b", "x")
+        instance = ActivityInstance("a-1", schema)
+        with pytest.raises(SchemaError):
+            instance.bind_data("ghost", DataResource("d", data_schema("d")))
+
+
+class TestProcessInstance:
+    def test_requires_process_schema(self):
+        with pytest.raises(SchemaError):
+            ProcessInstance("p-1", BasicActivitySchema("b", "x"))
+
+    def test_child_lookup_errors(self):
+        engine = CoreEngine()
+        outer_schema = nested_process(engine)
+        outer = engine.create_process_instance(outer_schema)
+        assert not outer.has_child("inner")
+        with pytest.raises(EnactmentError):
+            outer.child("inner")
+
+    def test_descendants_preorder(self):
+        engine = CoreEngine()
+        outer_schema = nested_process(engine)
+        outer = engine.create_process_instance(outer_schema)
+        inner = engine.create_activity_instance(outer, "inner")
+        leaf = engine.create_activity_instance(inner, "leaf")
+        assert outer.descendants() == [inner, leaf]
+
+    def test_missing_context_reference(self):
+        engine = CoreEngine()
+        outer_schema = nested_process(engine)
+        outer = engine.create_process_instance(outer_schema)
+        with pytest.raises(EnactmentError):
+            outer.context("Ghost")
+
+    def test_locals_store(self):
+        engine = CoreEngine()
+        outer_schema = nested_process(engine)
+        outer = engine.create_process_instance(outer_schema)
+        outer.locals["notes"] = "x"
+        assert outer.locals["notes"] == "x"

@@ -1,0 +1,78 @@
+"""Tests for the CMM meta-model layer (Figures 2 and 3)."""
+
+from repro.core.metamodel import (
+    CMM_EXTENSIONS,
+    DependencyType,
+    MetaType,
+    extension_dependencies,
+)
+from repro.core.schema import BasicActivitySchema, ProcessActivitySchema
+from repro.core.resources import ResourceSchema, ResourceKind
+
+
+class TestExtensionStructure:
+    """Figure 2: CORE + CM/AM/SM + application-specific extension."""
+
+    def test_all_five_layers_present(self):
+        assert set(CMM_EXTENSIONS) == {"CORE", "CM", "AM", "SM", "APP"}
+
+    def test_core_builds_on_nothing(self):
+        assert CMM_EXTENSIONS["CORE"].builds_on == ()
+
+    def test_cm_am_sm_build_directly_on_core(self):
+        for abbreviation in ("CM", "AM", "SM"):
+            assert CMM_EXTENSIONS[abbreviation].builds_on == ("CORE",)
+
+    def test_app_builds_on_all_three_extensions(self):
+        assert set(CMM_EXTENSIONS["APP"].builds_on) == {"CM", "SM", "AM"}
+
+    def test_transitive_closure_reaches_core(self):
+        assert extension_dependencies("APP") == frozenset(
+            {"CM", "SM", "AM", "CORE"}
+        )
+        assert extension_dependencies("AM") == frozenset({"CORE"})
+        assert extension_dependencies("CORE") == frozenset()
+
+    def test_awareness_extension_provides_awareness_schemas(self):
+        provides = CMM_EXTENSIONS["AM"].provides
+        assert any("awareness schema" in p for p in provides)
+
+
+class TestMetaTypes:
+    """Figure 3: schemas are instances of the CMM meta types."""
+
+    def test_four_meta_types(self):
+        assert {m.name for m in MetaType} == {
+            "ACTIVITY_STATE",
+            "BASIC_ACTIVITY",
+            "PROCESS_ACTIVITY",
+            "RESOURCE",
+        }
+
+    def test_basic_activity_schema_instantiates_its_meta_type(self):
+        schema = BasicActivitySchema("b", "write")
+        assert schema.meta_type is MetaType.BASIC_ACTIVITY
+
+    def test_process_activity_schema_instantiates_its_meta_type(self):
+        schema = ProcessActivitySchema("p", "respond")
+        assert schema.meta_type is MetaType.PROCESS_ACTIVITY
+
+    def test_resource_schema_instantiates_resource_meta_type(self):
+        schema = ResourceSchema("doc", ResourceKind.DATA)
+        assert schema.meta_type is MetaType.RESOURCE
+
+
+class TestDependencyTypes:
+    """The dependency type set is fixed (Section 3)."""
+
+    def test_fixed_dependency_palette(self):
+        assert {d.name for d in DependencyType} == {
+            "SEQUENCE",
+            "CONDITION",
+            "SYNC_AND",
+            "SYNC_OR",
+        }
+
+    def test_string_rendering(self):
+        assert str(DependencyType.SEQUENCE) == "sequence"
+        assert str(DependencyType.SYNC_AND) == "and-join"

@@ -1,0 +1,88 @@
+"""Tests for data and helper resources (Section 4)."""
+
+import pytest
+
+from repro.core.resources import (
+    DataResource,
+    HelperResource,
+    ResourceKind,
+    ResourceSchema,
+    ResourceUsage,
+    data_schema,
+    helper_schema,
+)
+from repro.errors import ResourceError
+
+
+class TestResourceSchema:
+    def test_int_value_accepted(self):
+        schema = data_schema("count", "int")
+        schema.check_value(7)
+
+    def test_wrong_type_rejected(self):
+        schema = data_schema("count", "int")
+        with pytest.raises(ResourceError):
+            schema.check_value("seven")
+
+    def test_bool_is_not_an_int(self):
+        schema = data_schema("count", "int")
+        with pytest.raises(ResourceError):
+            schema.check_value(True)
+
+    def test_any_accepts_everything(self):
+        schema = data_schema("blob")
+        schema.check_value(object())
+
+    def test_unknown_value_type_rejected(self):
+        schema = ResourceSchema("x", ResourceKind.DATA, value_type="complex")
+        with pytest.raises(ResourceError):
+            schema.check_value(3)
+
+    def test_custom_validator(self):
+        schema = data_schema("severity", "int", validator=lambda v: 1 <= v <= 5)
+        schema.check_value(3)
+        with pytest.raises(ResourceError):
+            schema.check_value(9)
+
+
+class TestDataResource:
+    def test_assign_checks_type(self):
+        resource = DataResource("r1", data_schema("count", "int"))
+        resource.assign(4)
+        assert resource.value == 4
+        with pytest.raises(ResourceError):
+            resource.assign("four")
+
+    def test_initial_value_checked(self):
+        with pytest.raises(ResourceError):
+            DataResource("r1", data_schema("count", "int"), value="bad")
+
+    def test_requires_data_schema(self):
+        with pytest.raises(ResourceError):
+            DataResource("r1", helper_schema("editor"))
+
+
+class TestHelperResource:
+    def test_invoke_counts_and_delegates(self):
+        calls = []
+        helper = HelperResource(
+            "h1", helper_schema("editor"), program=lambda x: calls.append(x) or x
+        )
+        assert helper.invoke("doc") == "doc"
+        assert helper.invocations == 1
+        assert calls == ["doc"]
+
+    def test_requires_helper_schema(self):
+        with pytest.raises(ResourceError):
+            HelperResource("h1", data_schema("count", "int"))
+
+
+class TestResourceUsage:
+    def test_usage_palette(self):
+        assert {u.name for u in ResourceUsage} == {
+            "INPUT",
+            "OUTPUT",
+            "HELPER",
+            "ROLE",
+            "LOCAL",
+        }

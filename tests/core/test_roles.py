@@ -1,0 +1,173 @@
+"""Tests for participants, organizational roles, and scoped roles."""
+
+import pytest
+
+from repro.core.context import ContextFieldSpec, ContextResource, ContextSchema
+from repro.core.roles import (
+    OrganizationalRole,
+    Participant,
+    ParticipantKind,
+    RoleDirectory,
+    RoleRef,
+    ScopedRole,
+)
+from repro.clock import LogicalClock
+from repro.core.context import ContextReference
+from repro.errors import RoleError, RoleResolutionError
+
+
+def person(pid, name="someone"):
+    return Participant(pid, name)
+
+
+def context_with_role_field():
+    schema = ContextSchema(
+        "TaskForceContext",
+        [ContextFieldSpec("leader", "role"), ContextFieldSpec("deadline", "int")],
+    )
+    return ContextResource("ctx-1", schema)
+
+
+class TestParticipant:
+    def test_sign_on_off(self):
+        participant = person("u1")
+        assert not participant.signed_on
+        participant.sign_on()
+        assert participant.signed_on
+        participant.sign_off()
+        assert not participant.signed_on
+
+    def test_equality_by_id(self):
+        assert person("u1", "a") == person("u1", "b")
+        assert person("u1") != person("u2")
+        assert len({person("u1"), person("u1")}) == 1
+
+    def test_kinds(self):
+        assert person("u1").kind is ParticipantKind.HUMAN
+        robot = Participant("r1", "crawler", ParticipantKind.PROGRAM)
+        assert robot.kind is ParticipantKind.PROGRAM
+
+
+class TestOrganizationalRole:
+    def test_membership(self):
+        role = OrganizationalRole("epidemiologist")
+        alice = person("u1")
+        role.add_member(alice)
+        assert alice in role
+        role.remove_member(alice)
+        assert alice not in role
+
+    def test_members_snapshot_is_frozen(self):
+        role = OrganizationalRole("epidemiologist")
+        role.add_member(person("u1"))
+        snapshot = role.members()
+        role.add_member(person("u2"))
+        assert len(snapshot) == 1
+
+
+class TestScopedRole:
+    def test_lifetime_bound_to_context(self):
+        context = context_with_role_field()
+        role = ScopedRole("leader", context)
+        role.add_member(person("u1"))
+        assert role.alive
+        assert len(role.members()) == 1
+        context._destroy()
+        assert not role.alive
+        with pytest.raises(RoleError):
+            role.members()
+        with pytest.raises(RoleError):
+            role.add_member(person("u2"))
+
+    def test_contains_check_survives_destruction(self):
+        context = context_with_role_field()
+        alice = person("u1")
+        role = ScopedRole("leader", context)
+        role.add_member(alice)
+        context._destroy()
+        assert alice in role  # membership check is not a resolution
+
+
+class TestRoleDirectory:
+    def test_register_and_resolve_global(self):
+        directory = RoleDirectory()
+        alice = directory.register_participant(person("u1", "alice"))
+        directory.define_role("epidemiologist").add_member(alice)
+        assert directory.resolve_global("epidemiologist") == frozenset({alice})
+
+    def test_duplicate_participant_rejected(self):
+        directory = RoleDirectory()
+        directory.register_participant(person("u1"))
+        with pytest.raises(RoleError):
+            directory.register_participant(person("u1"))
+
+    def test_duplicate_role_rejected(self):
+        directory = RoleDirectory()
+        directory.define_role("x")
+        with pytest.raises(RoleError):
+            directory.define_role("x")
+
+    def test_unknown_role_raises_resolution_error(self):
+        with pytest.raises(RoleResolutionError):
+            RoleDirectory().resolve_global("ghost")
+
+    def test_unknown_participant(self):
+        with pytest.raises(RoleError):
+            RoleDirectory().participant("ghost")
+
+
+class TestScopedResolution:
+    def _ref(self, context):
+        return ContextReference(context, "proc-1", LogicalClock().now)
+
+    def test_resolve_scoped_role_through_context(self):
+        directory = RoleDirectory()
+        alice = directory.register_participant(person("u1", "alice"))
+        context = context_with_role_field()
+        role = ScopedRole("leader", context)
+        role.add_member(alice)
+        context._set("leader", role, time=0)
+        resolved = directory.resolve(
+            RoleRef("leader", "TaskForceContext"), [context]
+        )
+        assert resolved == frozenset({alice})
+
+    def test_resolution_fails_after_context_destruction(self):
+        directory = RoleDirectory()
+        alice = directory.register_participant(person("u1"))
+        context = context_with_role_field()
+        role = ScopedRole("leader", context)
+        role.add_member(alice)
+        context._set("leader", role, time=0)
+        context._destroy()
+        with pytest.raises(RoleResolutionError):
+            directory.resolve(RoleRef("leader", "TaskForceContext"), [context])
+
+    def test_resolution_fails_for_unset_field(self):
+        directory = RoleDirectory()
+        context = context_with_role_field()
+        with pytest.raises(RoleResolutionError):
+            directory.resolve(RoleRef("leader", "TaskForceContext"), [context])
+
+    def test_resolution_fails_for_non_role_field(self):
+        directory = RoleDirectory()
+        context = context_with_role_field()
+        context._set("deadline", 10, time=0)
+        with pytest.raises(RoleResolutionError):
+            directory.resolve(RoleRef("deadline", "TaskForceContext"), [context])
+
+    def test_resolution_skips_wrong_context_name(self):
+        directory = RoleDirectory()
+        context = context_with_role_field()
+        role = ScopedRole("leader", context)
+        context._set("leader", role, time=0)
+        with pytest.raises(RoleResolutionError):
+            directory.resolve(RoleRef("leader", "OtherContext"), [context])
+
+    def test_role_ref_str(self):
+        assert str(RoleRef("leader", "TaskForceContext")) == (
+            "TaskForceContext.leader"
+        )
+        assert str(RoleRef("epidemiologist")) == "epidemiologist"
+        assert RoleRef("leader", "C").is_scoped
+        assert not RoleRef("leader").is_scoped

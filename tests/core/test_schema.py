@@ -1,0 +1,189 @@
+"""Tests for activity/process schemas and their variables (Figure 3)."""
+
+import pytest
+
+from repro.core.context import ContextFieldSpec, ContextSchema
+from repro.core.metamodel import DependencyType
+from repro.core.resources import ResourceUsage, data_schema, helper_schema
+from repro.core.roles import RoleRef
+from repro.core.schema import (
+    ActivityVariable,
+    BasicActivitySchema,
+    DependencyVariable,
+    ProcessActivitySchema,
+    ResourceVariable,
+)
+from repro.errors import DependencyError, SchemaError
+
+
+def simple_basic(schema_id="b1", name="write"):
+    return BasicActivitySchema(schema_id, name)
+
+
+def process_with_two_steps():
+    process = ProcessActivitySchema("p1", "report")
+    process.add_activity_variable(ActivityVariable("draft", simple_basic("b1")))
+    process.add_activity_variable(
+        ActivityVariable("review", simple_basic("b2", "review"))
+    )
+    process.add_dependency(
+        DependencyVariable("seq", DependencyType.SEQUENCE, ("draft",), "review")
+    )
+    process.mark_entry("draft")
+    return process
+
+
+class TestBasicActivitySchema:
+    def test_allows_input_output_helper_variables(self):
+        schema = simple_basic()
+        schema.add_resource_variable(
+            ResourceVariable("doc", data_schema("doc"), ResourceUsage.INPUT)
+        )
+        schema.add_resource_variable(
+            ResourceVariable("out", data_schema("out"), ResourceUsage.OUTPUT)
+        )
+        schema.add_resource_variable(
+            ResourceVariable("editor", helper_schema("ed"), ResourceUsage.HELPER)
+        )
+        assert len(schema.resource_variables()) == 3
+
+    def test_rejects_role_variables(self):
+        schema = simple_basic()
+        with pytest.raises(SchemaError):
+            schema.add_resource_variable(
+                ResourceVariable("r", data_schema("r"), ResourceUsage.ROLE)
+            )
+
+    def test_duplicate_resource_variable_rejected(self):
+        schema = simple_basic()
+        schema.add_resource_variable(
+            ResourceVariable("doc", data_schema("doc"), ResourceUsage.INPUT)
+        )
+        with pytest.raises(SchemaError):
+            schema.add_resource_variable(
+                ResourceVariable("doc", data_schema("doc"), ResourceUsage.INPUT)
+            )
+
+    def test_has_generic_state_schema_by_default(self):
+        schema = simple_basic()
+        assert schema.state_schema.has_state("Running")
+        schema.validate()
+
+    def test_performer_role(self):
+        schema = BasicActivitySchema("b", "x", performer=RoleRef("analyst"))
+        assert schema.performer.role_name == "analyst"
+
+
+class TestProcessActivitySchema:
+    def test_allows_role_and_local_variables(self):
+        process = ProcessActivitySchema("p", "x")
+        process.add_resource_variable(
+            ResourceVariable("r", data_schema("r"), ResourceUsage.ROLE)
+        )
+        process.add_resource_variable(
+            ResourceVariable("l", data_schema("l"), ResourceUsage.LOCAL)
+        )
+
+    def test_rejects_helper_variables(self):
+        process = ProcessActivitySchema("p", "x")
+        with pytest.raises(SchemaError):
+            process.add_resource_variable(
+                ResourceVariable("h", helper_schema("h"), ResourceUsage.HELPER)
+            )
+
+    def test_duplicate_activity_variable_rejected(self):
+        process = ProcessActivitySchema("p", "x")
+        process.add_activity_variable(ActivityVariable("a", simple_basic()))
+        with pytest.raises(SchemaError):
+            process.add_activity_variable(ActivityVariable("a", simple_basic("b9")))
+
+    def test_dependency_must_reference_known_variables(self):
+        process = ProcessActivitySchema("p", "x")
+        process.add_activity_variable(ActivityVariable("a", simple_basic()))
+        with pytest.raises(DependencyError):
+            process.add_dependency(
+                DependencyVariable(
+                    "d", DependencyType.SEQUENCE, ("a",), "ghost"
+                )
+            )
+
+    def test_validate_accepts_wired_process(self):
+        process_with_two_steps().validate()
+
+    def test_validate_rejects_unreachable_mandatory_activity(self):
+        process = ProcessActivitySchema("p", "x")
+        process.add_activity_variable(ActivityVariable("a", simple_basic()))
+        process.add_activity_variable(
+            ActivityVariable("b", simple_basic("b2", "other"))
+        )
+        process.mark_entry("a")
+        with pytest.raises(SchemaError):
+            process.validate()
+
+    def test_optional_activities_may_be_unreachable(self):
+        process = ProcessActivitySchema("p", "x")
+        process.add_activity_variable(ActivityVariable("a", simple_basic()))
+        process.add_activity_variable(
+            ActivityVariable("b", simple_basic("b2", "other"), optional=True)
+        )
+        process.mark_entry("a")
+        process.validate()
+
+    def test_validate_requires_subactivities(self):
+        with pytest.raises(SchemaError):
+            ProcessActivitySchema("p", "empty").validate()
+
+    def test_mark_entry_requires_known_variable(self):
+        process = ProcessActivitySchema("p", "x")
+        with pytest.raises(SchemaError):
+            process.mark_entry("ghost")
+
+    def test_duplicate_context_schema_rejected(self):
+        process = ProcessActivitySchema("p", "x")
+        context = ContextSchema("C", [ContextFieldSpec("f")])
+        process.add_context_schema(context)
+        with pytest.raises(SchemaError):
+            process.add_context_schema(ContextSchema("C", []))
+
+    def test_dependencies_targeting(self):
+        process = process_with_two_steps()
+        targeting = process.dependencies_targeting("review")
+        assert len(targeting) == 1
+        assert targeting[0].sources == ("draft",)
+        assert process.dependencies_targeting("draft") == ()
+
+
+class TestDependencyVariable:
+    def test_sequence_requires_single_source(self):
+        with pytest.raises(DependencyError):
+            DependencyVariable(
+                "d", DependencyType.SEQUENCE, ("a", "b"), "c"
+            )
+
+    def test_condition_requires_callable(self):
+        with pytest.raises(DependencyError):
+            DependencyVariable("d", DependencyType.CONDITION, ("a",), "b")
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(DependencyError):
+            DependencyVariable("d", DependencyType.SYNC_AND, (), "b")
+
+    def test_and_join_accepts_many_sources(self):
+        dependency = DependencyVariable(
+            "d", DependencyType.SYNC_AND, ("a", "b", "c"), "z"
+        )
+        assert dependency.sources == ("a", "b", "c")
+
+
+class TestActivityCounting:
+    def test_count_activities_recursive(self):
+        inner = process_with_two_steps()
+        outer = ProcessActivitySchema("p-outer", "outer")
+        outer.add_activity_variable(ActivityVariable("sub", inner))
+        outer.add_activity_variable(
+            ActivityVariable("extra", simple_basic("b-x", "extra"))
+        )
+        outer.mark_entry("sub")
+        outer.mark_entry("extra")
+        assert outer.count_activities(recursive=False) == 2
+        assert outer.count_activities(recursive=True) == 4

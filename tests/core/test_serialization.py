@@ -1,0 +1,264 @@
+"""Tests for process definition interchange (WfMC Interface 1 in spirit)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ContextSchema,
+    CoreEngine,
+    DependencyType,
+    DependencyVariable,
+    ProcessActivitySchema,
+)
+from repro.core.context import ContextFieldSpec
+from repro.core.resources import ResourceUsage, data_schema
+from repro.core.roles import RoleRef
+from repro.core.schema import ResourceVariable
+from repro.core.serialization import (
+    ConditionRegistry,
+    schema_from_dict,
+    schema_from_json,
+    schema_to_dict,
+    schema_to_json,
+)
+from repro.core.states import generic_activity_state_schema
+from repro.errors import SchemaError
+
+
+def rich_process():
+    """A process exercising every serializable feature."""
+    state_schema = generic_activity_state_schema("custom")
+    state_schema.specialize("Running", ["Interviewing", "Writing"])
+    basic = BasicActivitySchema(
+        "b-interview",
+        "interview",
+        state_schema=state_schema,
+        performer=RoleRef("epidemiologist"),
+    )
+    basic.add_resource_variable(
+        ResourceVariable("notes", data_schema("notes", "str"), ResourceUsage.INPUT)
+    )
+    review = BasicActivitySchema("b-review", "review")
+    process = ProcessActivitySchema("p-study", "study")
+    process.add_context_schema(
+        ContextSchema(
+            "StudyContext",
+            [
+                ContextFieldSpec("deadline", "int"),
+                ContextFieldSpec("lead", "role"),
+            ],
+        )
+    )
+    # The same basic schema is shared between two variables.
+    process.add_activity_variable(ActivityVariable("first", basic))
+    process.add_activity_variable(
+        ActivityVariable("second", basic, optional=True)
+    )
+    process.add_activity_variable(
+        ActivityVariable(
+            "review",
+            review,
+            performer=RoleRef("lead", "StudyContext"),
+        )
+    )
+    process.add_dependency(
+        DependencyVariable(
+            "seq", DependencyType.SEQUENCE, ("first",), "review"
+        )
+    )
+    process.mark_entry("first")
+    return process
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_structure(self):
+        original = rich_process()
+        restored = schema_from_json(schema_to_json(original))
+        assert isinstance(restored, ProcessActivitySchema)
+        assert restored.schema_id == "p-study"
+        assert restored.entry_activities == ["first"]
+        assert [v.name for v in restored.activity_variables()] == [
+            "first",
+            "second",
+            "review",
+        ]
+        assert restored.activity_variable("second").optional
+        dependency = restored.dependencies()[0]
+        assert dependency.dependency_type is DependencyType.SEQUENCE
+        assert dependency.sources == ("first",)
+
+    def test_shared_subschemas_stay_shared(self):
+        restored = schema_from_dict(schema_to_dict(rich_process()))
+        first = restored.activity_variable("first").activity_schema
+        second = restored.activity_variable("second").activity_schema
+        assert first is second
+
+    def test_state_schema_specialization_survives(self):
+        restored = schema_from_dict(schema_to_dict(rich_process()))
+        state_schema = restored.activity_variable("first").activity_schema.state_schema
+        assert state_schema.has_state("Interviewing")
+        assert state_schema.parent_of("Interviewing") == "Running"
+        assert state_schema.can_transition("Ready", "Interviewing")
+
+    def test_scoped_performer_round_trips(self):
+        restored = schema_from_dict(schema_to_dict(rich_process()))
+        performer = restored.activity_variable("review").performer
+        assert performer == RoleRef("lead", "StudyContext")
+
+    def test_context_schema_round_trips(self):
+        restored = schema_from_dict(schema_to_dict(rich_process()))
+        context = restored.context_schemas()[0]
+        assert context.name == "StudyContext"
+        assert context.field_spec("deadline").field_type == "int"
+        assert context.field_spec("lead").field_type == "role"
+
+    def test_resource_variables_round_trip(self):
+        restored = schema_from_dict(schema_to_dict(rich_process()))
+        basic = restored.activity_variable("first").activity_schema
+        variable = basic.resource_variable("notes")
+        assert variable.usage is ResourceUsage.INPUT
+        assert variable.schema.value_type == "str"
+
+    def test_restored_schema_registers_and_runs(self):
+        engine = CoreEngine()
+        restored = schema_from_dict(schema_to_dict(rich_process()))
+        engine.register_schema(restored)
+        instance = engine.create_process_instance(restored)
+        assert instance.context("StudyContext") is not None
+
+
+class TestConditions:
+    def _conditional_process(self, registry):
+        go = registry.register("always-go", lambda process: True)
+        process = ProcessActivitySchema("p-c", "conditional")
+        process.add_activity_variable(
+            ActivityVariable("a", BasicActivitySchema("b-a", "a"))
+        )
+        process.add_activity_variable(
+            ActivityVariable("b", BasicActivitySchema("b-b", "b"))
+        )
+        process.add_dependency(
+            DependencyVariable(
+                "guard", DependencyType.CONDITION, ("a",), "b", go
+            )
+        )
+        process.mark_entry("a")
+        return process
+
+    def test_named_condition_round_trips(self):
+        registry = ConditionRegistry()
+        original = self._conditional_process(registry)
+        restored = schema_from_dict(
+            schema_to_dict(original, registry), registry
+        )
+        dependency = restored.dependencies()[0]
+        assert dependency.condition(None) is True
+
+    def test_unregistered_condition_rejected_on_export(self):
+        process = ProcessActivitySchema("p-c", "conditional")
+        process.add_activity_variable(
+            ActivityVariable("a", BasicActivitySchema("b-a", "a"))
+        )
+        process.add_activity_variable(
+            ActivityVariable("b", BasicActivitySchema("b-b", "b"))
+        )
+        process.add_dependency(
+            DependencyVariable(
+                "guard", DependencyType.CONDITION, ("a",), "b", lambda p: True
+            )
+        )
+        process.mark_entry("a")
+        with pytest.raises(SchemaError, match="not registered"):
+            schema_to_dict(process, ConditionRegistry())
+        with pytest.raises(SchemaError, match="ConditionRegistry"):
+            schema_to_dict(process, None)
+
+    def test_loading_condition_without_registry_rejected(self):
+        registry = ConditionRegistry()
+        payload = schema_to_dict(self._conditional_process(registry), registry)
+        with pytest.raises(SchemaError, match="ConditionRegistry"):
+            schema_from_dict(payload, None)
+
+    def test_duplicate_condition_name_rejected(self):
+        registry = ConditionRegistry()
+        registry.register("x", lambda p: True)
+        with pytest.raises(SchemaError):
+            registry.register("x", lambda p: False)
+
+
+class TestErrors:
+    def test_version_checked(self):
+        payload = schema_to_dict(rich_process())
+        payload["format_version"] = 99
+        with pytest.raises(SchemaError, match="format version"):
+            schema_from_dict(payload)
+
+    def test_missing_root_rejected(self):
+        payload = schema_to_dict(rich_process())
+        payload["root"] = "ghost"
+        with pytest.raises(SchemaError, match="root"):
+            schema_from_dict(payload)
+
+    def test_dangling_schema_ref_rejected(self):
+        payload = schema_to_dict(rich_process())
+        payload["schemas"] = [
+            body for body in payload["schemas"]
+            if body["schema_id"] != "b-review"
+        ]
+        with pytest.raises(SchemaError, match="referenced"):
+            schema_from_dict(payload)
+
+    def test_conflicting_schema_ids_rejected_on_export(self):
+        process = ProcessActivitySchema("p", "x")
+        process.add_activity_variable(
+            ActivityVariable("a", BasicActivitySchema("dup", "a"))
+        )
+        process.add_activity_variable(
+            ActivityVariable("b", BasicActivitySchema("dup", "b"))
+        )
+        process.mark_entry("a")
+        process.mark_entry("b")
+        with pytest.raises(SchemaError, match="share id"):
+            schema_to_dict(process)
+
+
+class TestRoundTripProperties:
+    @given(
+        n_steps=st.integers(min_value=1, max_value=6),
+        optional_mask=st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=50)
+    def test_generated_linear_processes_round_trip(self, n_steps, optional_mask):
+        process = ProcessActivitySchema("p-gen", "generated")
+        previous = None
+        for index in range(n_steps):
+            name = f"s{index}"
+            process.add_activity_variable(
+                ActivityVariable(
+                    name,
+                    BasicActivitySchema(f"b-{index}", name),
+                    optional=bool(optional_mask >> index & 1) and index > 0,
+                )
+            )
+            if index == 0:
+                process.mark_entry(name)
+            elif not (optional_mask >> index & 1):
+                process.add_dependency(
+                    DependencyVariable(
+                        f"d{index}",
+                        DependencyType.SEQUENCE,
+                        (previous,),
+                        name,
+                    )
+                )
+            previous = name
+        restored = schema_from_dict(schema_to_dict(process))
+        assert [v.name for v in restored.activity_variables()] == [
+            v.name for v in process.activity_variables()
+        ]
+        assert len(restored.dependencies()) == len(process.dependencies())
+        # Round-trip is idempotent: a second trip gives an equal payload.
+        assert schema_to_dict(restored) == schema_to_dict(process)

@@ -1,0 +1,34 @@
+"""Interchange round-trips at demonstration scale (all nine processes)."""
+
+from repro.core.serialization import schema_from_json, schema_to_json
+from repro.workloads.demonstration import (
+    build_demonstration,
+    translate_to_wfms_activities,
+)
+
+
+class TestDemonstrationScaleRoundTrip:
+    def test_all_nine_process_schemas_round_trip(self):
+        builder = build_demonstration()
+        for schema in builder.process_schemas():
+            payload = schema_to_json(schema)
+            restored = schema_from_json(payload)
+            assert restored.schema_id == schema.schema_id
+            assert restored.name == schema.name
+            assert len(restored.activity_variables()) == len(
+                schema.activity_variables()
+            )
+            assert len(restored.dependencies()) == len(schema.dependencies())
+            assert restored.entry_activities == schema.entry_activities
+            # The WfMS translation count is structure-derived; equality is
+            # a strong whole-tree isomorphism check.
+            assert translate_to_wfms_activities(
+                restored
+            ) == translate_to_wfms_activities(schema)
+
+    def test_round_trip_payloads_are_fixpoints(self):
+        builder = build_demonstration()
+        for schema in builder.process_schemas():
+            once = schema_to_json(schema)
+            twice = schema_to_json(schema_from_json(once))
+            assert once == twice

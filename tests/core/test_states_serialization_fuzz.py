@@ -1,0 +1,68 @@
+"""Property tests: random substate forests survive interchange exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialization import (
+    _state_schema_from_dict,
+    _state_schema_to_dict,
+)
+from repro.core.states import generic_activity_state_schema
+
+
+@st.composite
+def specialized_schemas(draw):
+    """A generic schema with a random cascade of specializations."""
+    schema = generic_activity_state_schema("fuzz")
+    # Specializable states: any current leaf with transitions.
+    counter = 0
+    for __ in range(draw(st.integers(min_value=0, max_value=4))):
+        leaves = [
+            name
+            for name in schema.leaves()
+            if schema.successors(name)
+            or any(
+                schema.can_transition(other, name)
+                for other in schema.leaves()
+            )
+        ]
+        if not leaves:
+            break
+        target = draw(st.sampled_from(sorted(leaves)))
+        n_substates = draw(st.integers(min_value=1, max_value=3))
+        names = [f"S{counter + i}" for i in range(n_substates)]
+        counter += n_substates
+        schema.specialize(target, names)
+    return schema
+
+
+class TestStateSchemaFuzz:
+    @given(schema=specialized_schemas())
+    @settings(max_examples=80)
+    def test_round_trip_preserves_forest_and_transitions(self, schema):
+        restored = _state_schema_from_dict(_state_schema_to_dict(schema))
+        assert set(restored.states()) == set(schema.states())
+        assert restored.transitions() == schema.transitions()
+        assert restored.initial_state == schema.initial_state
+        for name in schema.states():
+            assert restored.parent_of(name) == schema.parent_of(name)
+        restored.validate()
+
+    @given(schema=specialized_schemas())
+    @settings(max_examples=80)
+    def test_leaf_only_invariant_always_holds(self, schema):
+        """No specialization cascade can ever produce a transition that
+        touches a non-leaf (the Section 4 rule)."""
+        for transition in schema.transitions():
+            assert transition.source in schema.leaves()
+            assert transition.target in schema.leaves()
+
+    @given(schema=specialized_schemas())
+    @settings(max_examples=80)
+    def test_every_leaf_root_chain_terminates_at_a_generic_state(self, schema):
+        generic = {
+            "Uninitialized", "Ready", "Running", "Suspended", "Closed",
+        }
+        for name in schema.leaves():
+            assert schema.root_of(name) in generic

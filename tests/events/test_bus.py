@@ -1,0 +1,122 @@
+"""Tests for the pub/sub event bus."""
+
+import pytest
+
+from repro.events.bus import EventBus
+from repro.events.event import Event, EventType, base_parameters
+
+
+def make_event(type_name="T_a", time=1):
+    return Event(
+        EventType(type_name, base_parameters()),
+        {"time": time, "source": "test"},
+    )
+
+
+class TestSubscribe:
+    def test_subscriber_receives_matching_topic_only(self):
+        bus = EventBus()
+        got_a, got_b = [], []
+        bus.subscribe("T_a", got_a.append)
+        bus.subscribe("T_b", got_b.append)
+        bus.publish(make_event("T_a"))
+        assert len(got_a) == 1
+        assert got_b == []
+
+    def test_multiple_subscribers_all_receive(self):
+        bus = EventBus()
+        got1, got2 = [], []
+        bus.subscribe("T_a", got1.append)
+        bus.subscribe("T_a", got2.append)
+        bus.publish(make_event())
+        assert len(got1) == len(got2) == 1
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        got = []
+        subscription = bus.subscribe("T_a", got.append)
+        bus.unsubscribe(subscription)
+        bus.publish(make_event())
+        assert got == []
+        assert bus.subscriber_count("T_a") == 0
+
+
+class TestDispatchOrder:
+    def test_nested_publish_is_queued_not_reentrant(self):
+        """An event published from within a handler is delivered after the
+        current dispatch completes (FIFO), so handlers observe a consistent
+        global order."""
+        bus = EventBus()
+        order = []
+
+        def handler_a(event):
+            order.append(("a", event.time))
+            if event.time == 1:
+                bus.publish(make_event("T_a", time=2))
+
+        def handler_b(event):
+            order.append(("b", event.time))
+
+        bus.subscribe("T_a", handler_a)
+        bus.subscribe("T_a", handler_b)
+        bus.publish(make_event("T_a", time=1))
+        assert order == [("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+    def test_subscription_during_dispatch_applies_to_later_events(self):
+        bus = EventBus()
+        late = []
+
+        def handler(event):
+            if not late:
+                bus.subscribe("T_a", late.append)
+
+        bus.subscribe("T_a", handler)
+        bus.publish(make_event())
+        # The late subscriber was added mid-dispatch; publish again:
+        bus.publish(make_event(time=2))
+        assert len(late) >= 1
+
+
+class TestErrorIsolation:
+    def test_default_is_fail_fast(self):
+        bus = EventBus()
+        bus.subscribe("T_a", lambda e: (_ for _ in ()).throw(ValueError("boom")))
+        with pytest.raises(ValueError):
+            bus.publish(make_event())
+
+    def test_isolated_errors_are_recorded_and_dispatch_continues(self):
+        bus = EventBus(isolate_errors=True)
+        got = []
+
+        def broken(event):
+            raise ValueError("boom")
+
+        bus.subscribe("T_a", broken)
+        bus.subscribe("T_a", got.append)
+        bus.publish(make_event())
+        assert len(got) == 1  # the healthy subscriber still ran
+        assert len(bus.handler_errors) == 1
+        topic, error = bus.handler_errors[0]
+        assert topic == "T_a"
+        assert isinstance(error, ValueError)
+
+    def test_isolated_failures_do_not_count_as_delivered(self):
+        bus = EventBus(isolate_errors=True)
+        bus.subscribe("T_a", lambda e: (_ for _ in ()).throw(ValueError()))
+        bus.publish(make_event())
+        assert bus.delivered_count("T_a") == 0
+        assert bus.published_count("T_a") == 1
+
+
+class TestStatistics:
+    def test_counters(self):
+        bus = EventBus()
+        bus.subscribe("T_a", lambda e: None)
+        bus.subscribe("T_a", lambda e: None)
+        bus.publish(make_event())
+        bus.publish(make_event("T_b"))
+        assert bus.published_count("T_a") == 1
+        assert bus.published_count() == 2
+        assert bus.delivered_count("T_a") == 2
+        assert bus.delivered_count("T_b") == 0
+        assert "T_a" in bus.topics()

@@ -1,0 +1,55 @@
+"""Tests for the canonical event type C_P (Section 5.1.2)."""
+
+import pytest
+
+from repro.events.canonical import (
+    canonical_event,
+    canonical_type,
+    canonical_type_name,
+    is_canonical,
+)
+
+
+class TestCanonicalType:
+    def test_name_encodes_process_schema(self):
+        assert canonical_type_name("P-TF") == "C[P-TF]"
+        assert is_canonical("C[P-TF]")
+        assert not is_canonical("T_activity")
+
+    def test_types_cached_and_equal_per_schema(self):
+        assert canonical_type("P-A") is canonical_type("P-A")
+        assert canonical_type("P-A") != canonical_type("P-B")
+
+    def test_declares_generic_information_parameters(self):
+        event_type = canonical_type("P-A")
+        for name in ("intInfo", "strInfo", "description", "sourceEvent"):
+            assert event_type.has_parameter(name)
+
+    def test_declares_partitioning_parameters(self):
+        event_type = canonical_type("P-A")
+        assert event_type.has_parameter("processSchemaId")
+        assert event_type.has_parameter("processInstanceId")
+
+
+class TestCanonicalEvent:
+    def test_construction(self):
+        event = canonical_event(
+            "P-A", "proc-1", time=9, source="op", int_info=5,
+            description="count=5",
+        )
+        assert event.type_name == "C[P-A]"
+        assert event["processInstanceId"] == "proc-1"
+        assert event["intInfo"] == 5
+        assert event["description"] == "count=5"
+
+    def test_source_event_copied_to_plain_dict(self):
+        event = canonical_event(
+            "P-A", "proc-1", time=1, source="op",
+            source_event={"a": 1},
+        )
+        assert event["sourceEvent"] == {"a": 1}
+
+    def test_optional_parameters_default_to_none(self):
+        event = canonical_event("P-A", "proc-1", time=1, source="op")
+        assert event["intInfo"] is None
+        assert event["strInfo"] is None

@@ -1,0 +1,48 @@
+"""Tests for external event sources (Section 5.1.1 news-service example)."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.event import EventType, ParameterSpec, base_parameters
+from repro.events.external import ExternalEventSource, NewsServiceSource
+
+
+class TestExternalEventSource:
+    def test_produce_validates_against_declared_type(self):
+        event_type = EventType(
+            "T_sensor",
+            (*base_parameters(), ParameterSpec("reading", "int")),
+        )
+        source = ExternalEventSource("E_sensor", event_type)
+        event = source.produce({"time": 3, "reading": 42})
+        assert event["reading"] == 42
+        assert event.source == "E_sensor"
+
+    def test_time_is_mandatory(self):
+        event_type = EventType("T_sensor", base_parameters())
+        source = ExternalEventSource("E_sensor", event_type)
+        with pytest.raises(EventError):
+            source.produce({})
+
+
+class TestNewsService:
+    def test_register_query_and_publish_article(self):
+        news = NewsServiceSource()
+        query_id = news.register_query(["ebola", "region-9"])
+        assert news.keywords_for(query_id) == "ebola region-9"
+        event = news.publish_article(
+            query_id, "Outbreak contained", time=10, relevance=0.9
+        )
+        assert event["queryId"] == query_id
+        assert event["headline"] == "Outbreak contained"
+        assert event["relevance"] == 0.9
+
+    def test_unknown_query_rejected(self):
+        news = NewsServiceSource()
+        with pytest.raises(EventError):
+            news.publish_article("query-99", "x", time=1)
+
+    def test_query_ids_are_sequential(self):
+        news = NewsServiceSource()
+        assert news.register_query(["a"]) == "query-1"
+        assert news.register_query(["b"]) == "query-2"

@@ -1,0 +1,102 @@
+"""Tests for the primitive event producers E_activity and E_context."""
+
+from repro.core.context import ContextChange
+from repro.core.instances import ActivityStateChange
+from repro.events.bus import EventBus
+from repro.events.producers import (
+    ACTIVITY_EVENT_TYPE,
+    CONTEXT_EVENT_TYPE,
+    ActivityEventProducer,
+    ContextEventProducer,
+)
+
+
+def activity_change(**overrides):
+    base = dict(
+        time=5,
+        activity_instance_id="act-1",
+        parent_process_schema_id="P-TF",
+        parent_process_instance_id="proc-1",
+        user="alice",
+        activity_variable_id="assess",
+        activity_process_schema_id=None,
+        old_state="Ready",
+        new_state="Running",
+    )
+    base.update(overrides)
+    return ActivityStateChange(**base)
+
+
+def context_change():
+    return ContextChange(
+        time=7,
+        context_id="ctx-1",
+        context_name="TaskForceContext",
+        associations=frozenset({("P-TF", "proc-1"), ("P-IR", "proc-2")}),
+        field_name="TaskForceDeadline",
+        old_value=100,
+        new_value=50,
+    )
+
+
+class TestActivityProducer:
+    def test_event_carries_section_511_parameters(self):
+        producer = ActivityEventProducer()
+        event = producer.produce(activity_change())
+        assert event.type_name == "T_activity"
+        assert event["activityInstanceId"] == "act-1"
+        assert event["parentProcessSchemaId"] == "P-TF"
+        assert event["parentProcessInstanceId"] == "proc-1"
+        assert event["user"] == "alice"
+        assert event["activityVariableId"] == "assess"
+        assert event["oldState"] == "Ready"
+        assert event["newState"] == "Running"
+        assert event.time == 5
+
+    def test_top_level_process_has_null_parent_fields(self):
+        producer = ActivityEventProducer()
+        event = producer.produce(
+            activity_change(
+                parent_process_schema_id=None,
+                parent_process_instance_id=None,
+                activity_variable_id=None,
+                activity_process_schema_id="P-TF",
+            )
+        )
+        assert event["parentProcessSchemaId"] is None
+        assert event["activityProcessSchemaId"] == "P-TF"
+
+    def test_publishes_on_attached_bus(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("T_activity", got.append)
+        producer = ActivityEventProducer()
+        producer.attach(bus)
+        producer.produce(activity_change())
+        assert len(got) == 1
+        assert producer.emitted == 1
+
+    def test_direct_consumers_receive_without_bus(self):
+        producer = ActivityEventProducer()
+        got = []
+        producer.add_consumer(got.append)
+        producer.produce(activity_change())
+        assert len(got) == 1
+
+
+class TestContextProducer:
+    def test_event_carries_association_set(self):
+        producer = ContextEventProducer()
+        event = producer.produce(context_change())
+        assert event.type_name == "T_context"
+        assert event["contextId"] == "ctx-1"
+        assert event["processAssociations"] == frozenset(
+            {("P-TF", "proc-1"), ("P-IR", "proc-2")}
+        )
+        assert event["fieldName"] == "TaskForceDeadline"
+        assert event["oldFieldValue"] == 100
+        assert event["newFieldValue"] == 50
+
+    def test_type_declarations(self):
+        assert ACTIVITY_EVENT_TYPE.has_parameter("newState")
+        assert CONTEXT_EVENT_TYPE.has_parameter("processAssociations")

@@ -1,0 +1,45 @@
+"""Tests for the monitoring query API (WfMC-style audit trail queries)."""
+
+import pytest
+
+
+class TestQuery:
+    @pytest.fixture
+    def loaded_monitor(self, system, alice, epidemiologists, simple_process):
+        instance = system.coordination.start_process(simple_process)
+        client = system.participant_client(alice)
+        client.claim_and_complete_all()
+        return system.monitor, instance
+
+    def test_filter_by_state(self, loaded_monitor):
+        monitor, __ = loaded_monitor
+        completions = monitor.query(new_state="Completed")
+        assert len(completions) == 3  # draft, review, process
+        assert all(c.new_state == "Completed" for c in completions)
+
+    def test_filter_by_user(self, loaded_monitor):
+        monitor, __ = loaded_monitor
+        by_alice = monitor.query(user="alice")
+        assert by_alice
+        assert all(c.user == "alice" for c in by_alice)
+
+    def test_filter_by_time_range(self, loaded_monitor):
+        monitor, __ = loaded_monitor
+        full = monitor.query()
+        mid = full[len(full) // 2].time
+        early = monitor.query(until=mid)
+        late = monitor.query(since=mid + 1)
+        assert len(early) + len(late) == len(full)
+        assert all(c.time <= mid for c in early)
+
+    def test_filters_conjoin(self, loaded_monitor):
+        monitor, __ = loaded_monitor
+        full = monitor.query()
+        last = full[-1].time
+        results = monitor.query(new_state="Completed", since=last)
+        assert len(results) == 1  # only the process completion itself
+
+    def test_empty_result(self, loaded_monitor):
+        monitor, __ = loaded_monitor
+        assert monitor.query(new_state="Suspended") == ()
+        assert monitor.query(user="nobody") == ()

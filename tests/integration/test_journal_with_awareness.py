@@ -1,0 +1,97 @@
+"""Journaling and awareness coexist: recovery + re-deployment story."""
+
+import pytest
+
+from repro import EnactmentSystem, Participant
+from repro.awareness.dsl import compile_specification, window_to_dsl
+from repro.coordination import CoordinationEngine
+from repro.awareness.engine import AwarenessEngine
+from repro.federation.journal import Journal, recover_core
+from repro.workloads.taskforce import (
+    AWARENESS_SCHEMA_NAME,
+    TaskForceApplication,
+)
+
+
+class TestJournalWithAwareness:
+    def test_journaled_system_delivers_awareness_normally(self):
+        journal = Journal()
+        system = EnactmentSystem(journal=journal)
+        leader = system.register_participant(Participant("u1", "lead"))
+        member = system.register_participant(Participant("u2", "mem"))
+        system.core.roles.define_role("epidemiologist").add_member(leader)
+        app = TaskForceApplication(system)
+        app.install_awareness()
+        task_force = app.create_task_force(leader, [leader, member], 100)
+        app.request_information(task_force, member, 80)
+        app.change_task_force_deadline(task_force, 50)
+        assert len(system.participant_client(member).check_awareness()) == 1
+        assert len(journal) > 0
+
+    def test_full_restart_story_with_spec_persistence(self):
+        """Server restart: CORE state recovers from the journal; the
+        awareness specification recompiles from its persisted DSL text;
+        post-restart situations are detected and delivered."""
+        journal = Journal()
+        system = EnactmentSystem(journal=journal)
+        leader = system.register_participant(Participant("u1", "lead"))
+        member = system.register_participant(Participant("u2", "mem"))
+        system.core.roles.define_role("epidemiologist").add_member(leader)
+        app = TaskForceApplication(system)
+        app.install_awareness()
+        # Persist the awareness specification as DSL text.
+        spec_text = window_to_dsl(app.window)
+
+        task_force = app.create_task_force(leader, [leader, member], 100)
+        app.request_information(task_force, member, 80)
+        # -- crash here; second server lifetime: --------------------------------
+        recovered = recover_core(journal)
+        coordination = CoordinationEngine(recovered)
+        awareness = AwarenessEngine(recovered)
+        window = awareness.create_window(app.info_request_schema.schema_id)
+        compile_specification(window, spec_text)
+        awareness.deploy(window)
+
+        # The recovered task force's deadline moves; BUT the new detector
+        # never saw the pre-crash RequestDeadline context event, so its
+        # Compare2 slot 1 is empty: a single post-crash move cannot fire.
+        twin_tf = recovered.instance(task_force.process.instance_id)
+        twin_tf.context("TaskForceContext").set("TaskForceDeadline", 50)
+        assert awareness.delivery.delivered == 0
+
+        # A new request made after recovery re-populates the description
+        # and the violation is detected and delivered to the requestor.
+        twin_request = recovered.instance(task_force.process.instance_id)
+        # File a fresh request through the recovered schemas.
+        app2 = _rebind_app(recovered, coordination, app)
+        request = app2.request_information_on(
+            twin_tf, recovered.roles.participant("u2"), 45
+        )
+        twin_tf.context("TaskForceContext").set("TaskForceDeadline", 40)
+        viewer = awareness.viewer_for(recovered.roles.participant("u2"))
+        assert viewer.unread_count() == 1
+
+
+def _rebind_app(core, coordination, app):
+    """Minimal facade over recovered schemas for filing a new request."""
+
+    class Rebound:
+        def request_information_on(self, task_force_instance, requestor, deadline):
+            slot = next(
+                f"inforequest{i}"
+                for i in range(1, app.max_requests + 1)
+                if not task_force_instance.has_child(f"inforequest{i}")
+            )
+            process = coordination.start_process(
+                core.schema(app.info_request_schema.schema_id),
+                parent=task_force_instance,
+                activity_variable_name=slot,
+            )
+            tf_ref = task_force_instance.context("TaskForceContext")
+            core.share_context(tf_ref, process)
+            ir_ref = process.context("InfoRequestContext")
+            core.create_scoped_role(ir_ref, "Requestor", (requestor,))
+            ir_ref.set("RequestDeadline", deadline)
+            return process
+
+    return Rebound()

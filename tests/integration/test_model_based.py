@@ -1,0 +1,177 @@
+"""Model-based property test of the Section 5.4 awareness path.
+
+A random sequence of application operations (file requests, move the
+task-force deadline, renegotiate, complete, cancel) is run against the
+real system *and* against a small Python oracle that predicts, from the
+paper's operator semantics, exactly how many notifications each
+participant must receive and how many composites must be undeliverable.
+
+The oracle encodes:
+
+* ``Compare2`` latest-pair semantics — per information-request instance,
+  slot 0 holds the latest task-force deadline *seen by that instance*
+  (only deadline moves after the request was created reach it), slot 1 the
+  latest request deadline; any update of either slot fires when both are
+  present and ``slot0 <= slot1``;
+* scoped-role lifetime — fires for completed/cancelled requests are
+  undeliverable (the ``Requestor`` role expired with its context).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EnactmentSystem, Participant
+from repro.workloads.taskforce import TaskForceApplication
+
+BASE_DEADLINE = 1000
+N_MEMBERS = 3
+MAX_REQUESTS = 6
+
+
+@dataclass
+class _OracleRequest:
+    requestor_index: int
+    deadline: int
+    live: bool = True
+    slot0: Optional[int] = None  # latest TF deadline seen by this instance
+
+
+class _Oracle:
+    """Predicts notification/undeliverable counts from the op sequence."""
+
+    def __init__(self) -> None:
+        self.requests: List[_OracleRequest] = []
+        self.expected: Dict[int, int] = {i: 0 for i in range(N_MEMBERS)}
+        self.undeliverable = 0
+
+    def file_request(self, member: int, deadline: int) -> None:
+        self.requests.append(_OracleRequest(member, deadline))
+
+    def move_deadline(self, new: int) -> None:
+        for request in self.requests:
+            request.slot0 = new
+            if new <= request.deadline:
+                self._fire(request)
+
+    def renegotiate(self, index: int, new: int) -> None:
+        request = self.requests[index]
+        request.deadline = new
+        if request.slot0 is not None and request.slot0 <= new:
+            self._fire(request)
+
+    def close(self, index: int) -> None:
+        self.requests[index].live = False
+
+    def _fire(self, request: _OracleRequest) -> None:
+        if request.live:
+            self.expected[request.requestor_index] += 1
+        else:
+            self.undeliverable += 1
+
+
+@st.composite
+def operation_sequences(draw):
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("request"),
+                    st.integers(0, N_MEMBERS - 1),
+                    st.integers(-200, -1),  # deadline offset below base
+                ),
+                st.tuples(
+                    st.just("move"),
+                    st.integers(-250, 100),  # offset around base
+                ),
+                st.tuples(
+                    st.just("renegotiate"),
+                    st.integers(0, MAX_REQUESTS - 1),
+                    st.integers(-200, -1),
+                ),
+                st.tuples(st.just("complete"), st.integers(0, MAX_REQUESTS - 1)),
+                st.tuples(st.just("cancel"), st.integers(0, MAX_REQUESTS - 1)),
+            ),
+            min_size=1,
+            max_size=18,
+        )
+    )
+    return ops
+
+
+class TestModelBased:
+    @given(ops=operation_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_system_matches_oracle(self, ops):
+        system = EnactmentSystem()
+        role = system.core.roles.define_role("epidemiologist")
+        members = []
+        for index in range(N_MEMBERS):
+            participant = system.register_participant(
+                Participant(f"u{index}", f"member-{index}")
+            )
+            role.add_member(participant)
+            members.append(participant)
+        app = TaskForceApplication(system, max_requests=MAX_REQUESTS)
+        app.install_awareness()
+        task_force = app.create_task_force(
+            members[0], members, BASE_DEADLINE
+        )
+        # NOTE: create_task_force sets the initial deadline before any
+        # request exists, so no instance sees it (matching the oracle's
+        # "slot0 empty until a move happens after creation").
+
+        oracle = _Oracle()
+        live_requests: List = []  # parallel to oracle.requests
+
+        for op in ops:
+            kind = op[0]
+            if kind == "request":
+                __, member_index, offset = op
+                if len(live_requests) >= MAX_REQUESTS:
+                    continue
+                request = app.request_information(
+                    task_force, members[member_index], BASE_DEADLINE + offset
+                )
+                live_requests.append(request)
+                oracle.file_request(member_index, BASE_DEADLINE + offset)
+            elif kind == "move":
+                __, offset = op
+                system.clock.advance(1)
+                app.change_task_force_deadline(task_force, BASE_DEADLINE + offset)
+                oracle.move_deadline(BASE_DEADLINE + offset)
+            elif kind == "renegotiate":
+                __, index, offset = op
+                if index >= len(live_requests):
+                    continue
+                if not oracle.requests[index].live:
+                    continue
+                system.clock.advance(1)
+                app.change_request_deadline(
+                    live_requests[index], BASE_DEADLINE + offset
+                )
+                oracle.renegotiate(index, BASE_DEADLINE + offset)
+            elif kind in ("complete", "cancel"):
+                __, index = op
+                if index >= len(live_requests):
+                    continue
+                if not oracle.requests[index].live:
+                    continue
+                if kind == "complete":
+                    app.complete_request(live_requests[index])
+                else:
+                    app.cancel_request(live_requests[index])
+                oracle.close(index)
+
+        for index, participant in enumerate(members):
+            got = len(system.participant_client(participant).check_awareness())
+            assert got == oracle.expected[index], (
+                f"member {index}: system delivered {got}, oracle expected "
+                f"{oracle.expected[index]} (ops: {ops})"
+            )
+        assert (
+            len(system.awareness.delivery.undeliverable)
+            == oracle.undeliverable
+        ), f"undeliverable mismatch (ops: {ops})"

@@ -1,0 +1,141 @@
+"""End-to-end test of the process invocation operator (Translate).
+
+Mirrors the telecom provisioning example: an order process invokes a
+provisioning subprocess; the order-level awareness description lifts the
+subprocess's context events via Translate and escalates to the order's
+scoped account-manager role.
+"""
+
+import pytest
+
+from repro import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ContextFieldSpec,
+    ContextSchema,
+    EnactmentSystem,
+    Participant,
+    ProcessActivitySchema,
+    RoleRef,
+)
+from repro.awareness.operators.filters import ContextFilter
+
+ORDER = "P-Order"
+PROVISIONING = "P-Prov"
+
+
+@pytest.fixture
+def telecom_system():
+    system = EnactmentSystem()
+    tech = system.register_participant(Participant("u-tech", "technician"))
+    system.core.roles.define_role("field-technician").add_member(tech)
+
+    provisioning = ProcessActivitySchema(PROVISIONING, "provisioning")
+    provisioning.add_context_schema(
+        ContextSchema(
+            "ProvisioningContext", [ContextFieldSpec("attempts", "int")]
+        )
+    )
+    provisioning.add_activity_variable(
+        ActivityVariable(
+            "configure",
+            BasicActivitySchema(
+                "b-conf", "configure", performer=RoleRef("field-technician")
+            ),
+        )
+    )
+    provisioning.mark_entry("configure")
+
+    order = ProcessActivitySchema(ORDER, "service-order")
+    order.add_context_schema(
+        ContextSchema("OrderContext", [ContextFieldSpec("manager", "role")])
+    )
+    order.add_activity_variable(
+        ActivityVariable(
+            "intake",
+            BasicActivitySchema(
+                "b-intake", "intake", performer=RoleRef("field-technician")
+            ),
+        )
+    )
+    order.add_activity_variable(
+        ActivityVariable("provisioning", provisioning, optional=True)
+    )
+    order.mark_entry("intake")
+    system.core.register_schema(order)
+
+    window = system.awareness.create_window(ORDER)
+    attempts = window.place_operator(
+        ContextFilter(
+            PROVISIONING, "ProvisioningContext", "attempts",
+            instance_name="attempts",
+        )
+    )
+    window.connect(window.source("ContextEvent"), attempts, 0)
+    lifted = window.place(
+        "Translate", PROVISIONING, "provisioning", instance_name="lift"
+    )
+    window.connect(window.source("ActivityEvent"), lifted, 0)
+    window.connect(attempts, lifted, 1)
+    escalate = window.place("Compare1", lambda n: n >= 3, instance_name="esc")
+    window.connect(lifted, escalate, 0)
+    window.output(
+        escalate,
+        delivery_role=RoleRef("manager", "OrderContext"),
+        user_description="escalate",
+        schema_name="AS_Escalate",
+    )
+    system.awareness.deploy(window)
+    return system, order
+
+
+def start_order(system, order, manager):
+    instance = system.coordination.start_process(order)
+    system.core.create_scoped_role(
+        instance.context("OrderContext"), "manager", (manager,)
+    )
+    provisioning = system.coordination.start_optional_activity(
+        instance, "provisioning"
+    )
+    return instance, provisioning
+
+
+class TestTranslateEndToEnd:
+    def test_escalation_reaches_the_right_orders_manager(self, telecom_system):
+        system, order = telecom_system
+        mia = system.register_participant(Participant("u-mia", "mia"))
+        noah = system.register_participant(Participant("u-noah", "noah"))
+        __, prov_a = start_order(system, order, mia)
+        __, prov_b = start_order(system, order, noah)
+
+        context_a = prov_a.context("ProvisioningContext")
+        for attempt in (1, 2, 3):
+            context_a.set("attempts", attempt)
+        prov_b.context("ProvisioningContext").set("attempts", 1)
+
+        assert len(system.participant_client(mia).check_awareness()) == 1
+        assert system.participant_client(noah).check_awareness() == ()
+
+    def test_no_escalation_below_threshold(self, telecom_system):
+        system, order = telecom_system
+        mia = system.register_participant(Participant("u-mia", "mia"))
+        __, provisioning = start_order(system, order, mia)
+        provisioning.context("ProvisioningContext").set("attempts", 2)
+        assert system.participant_client(mia).check_awareness() == ()
+
+    def test_subprocess_events_before_invocation_learning_are_dropped(
+        self, telecom_system
+    ):
+        """A provisioning process started *standalone* (not through the
+        order's activity variable) never reaches order-level awareness —
+        Translate only lifts events of learned invocations."""
+        system, order = telecom_system
+        mia = system.register_participant(Participant("u-mia", "mia"))
+        # A standalone provisioning instance: the schema is registered
+        # (recursively) so it can start as a top-level process.
+        provisioning_schema = system.core.schema(PROVISIONING)
+        standalone = system.coordination.start_process(provisioning_schema)
+        for attempt in (1, 2, 3, 4):
+            standalone.context("ProvisioningContext").set("attempts", attempt)
+        assert system.awareness.delivery.delivered == 0
+        assert system.awareness.delivery.undeliverable == []

@@ -1,0 +1,164 @@
+"""Tests for overload scoring, latency probes, and table rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.base import Delivery
+from repro.errors import WorkloadError
+from repro.metrics import (
+    GroundTruth,
+    LatencyProbe,
+    render_table,
+    score_mechanism,
+)
+
+
+class TestGroundTruth:
+    def test_facts_and_pairs(self):
+        truth = GroundTruth(["a", "b", "c"])
+        truth.add_fact(("violation", 5), ["a", "b"], time=5)
+        truth.add_fact(("violation", 9), ["c"], time=9)
+        assert truth.relevant_pairs() == {
+            ("a", ("violation", 5)),
+            ("b", ("violation", 5)),
+            ("c", ("violation", 9)),
+        }
+        assert truth.needed_by("a") == 1
+        assert truth.needed_by("c") == 1
+
+    def test_unknown_audience_rejected(self):
+        truth = GroundTruth(["a"])
+        with pytest.raises(WorkloadError):
+            truth.add_fact(("x",), ["ghost"])
+
+    def test_requires_participants(self):
+        with pytest.raises(WorkloadError):
+            GroundTruth([])
+
+
+class TestScoring:
+    def _truth(self):
+        truth = GroundTruth(["a", "b"])
+        truth.add_fact(("v", 1), ["a"])
+        truth.add_fact(("v", 2), ["b"])
+        return truth
+
+    def test_perfect_mechanism(self):
+        truth = self._truth()
+        deliveries = [Delivery("a", ("v", 1), 1), Delivery("b", ("v", 2), 2)]
+        score = score_mechanism("perfect", deliveries, truth)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+        assert score.overload_factor == 1.0
+        assert score.deliveries_per_participant == 1.0
+
+    def test_spammy_mechanism(self):
+        truth = self._truth()
+        deliveries = [
+            Delivery("a", ("v", 1), 1),
+            Delivery("b", ("v", 2), 2),
+            *[Delivery("a", ("noise", i), i) for i in range(8)],
+        ]
+        score = score_mechanism("spammy", deliveries, truth)
+        assert score.recall == 1.0
+        assert score.precision == pytest.approx(2 / 10)
+        assert score.overload_factor == pytest.approx(5.0)
+
+    def test_blind_mechanism(self):
+        truth = self._truth()
+        score = score_mechanism("blind", [], truth)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_misdirected_delivery_not_credited(self):
+        truth = self._truth()
+        # right information, wrong person
+        score = score_mechanism(
+            "misdirected", [Delivery("b", ("v", 1), 1)], truth
+        )
+        assert score.true_positives == 0
+
+    def test_duplicate_deliveries_count_against_overload_only(self):
+        truth = self._truth()
+        deliveries = [Delivery("a", ("v", 1), 1)] * 5
+        score = score_mechanism("dup", deliveries, truth)
+        assert score.unique_pairs == 1
+        assert score.precision == 1.0
+        assert score.deliveries == 5
+
+    def test_as_row_shape(self):
+        truth = self._truth()
+        row = score_mechanism("m", [], truth).as_row()
+        assert len(row) == 8
+        assert row[0] == "m"
+        assert row[-1] == "-"  # no matches -> no delay
+
+    def test_mean_delay_uses_earliest_matching_delivery(self):
+        truth = self._truth()
+        deliveries = [
+            Delivery("a", ("v", 1), 9),   # late copy
+            Delivery("a", ("v", 1), 4),   # earliest -> delay 4 (fact time 0)
+            Delivery("b", ("v", 2), 2),   # delay 2
+        ]
+        score = score_mechanism("m", deliveries, truth)
+        assert score.mean_delay == pytest.approx(3.0)
+
+    def test_mean_delay_respects_fact_times(self):
+        truth = GroundTruth(["a"])
+        truth.add_fact(("v", 10), ["a"], time=10)
+        score = score_mechanism("m", [Delivery("a", ("v", 10), 14)], truth)
+        assert score.mean_delay == pytest.approx(4.0)
+
+    @given(
+        n_noise=st.integers(min_value=0, max_value=50),
+        n_hits=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=60)
+    def test_precision_recall_bounds(self, n_noise, n_hits):
+        truth = self._truth()
+        hits = [Delivery("a", ("v", 1), 1), Delivery("b", ("v", 2), 2)][:n_hits]
+        noise = [Delivery("a", ("n", i), i) for i in range(n_noise)]
+        score = score_mechanism("m", hits + noise, truth)
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0
+        assert score.true_positives == n_hits
+
+
+class TestLatencyProbe:
+    def test_measure_counts_events_and_time(self):
+        probe = LatencyProbe(dag_depth=3)
+        summary = probe.measure(lambda: 100)
+        assert summary.events == 100
+        assert summary.dag_depth == 3
+        assert summary.total_seconds >= 0.0
+        assert summary.per_event_us >= 0.0
+
+    def test_summary_aggregates(self):
+        probe = LatencyProbe(dag_depth=2)
+        probe.measure(lambda: 10)
+        probe.measure(lambda: 20)
+        assert probe.summary().events == 30
+
+    def test_zero_events(self):
+        probe = LatencyProbe(dag_depth=1)
+        assert probe.measure(lambda: 0).per_event_us == 0.0
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(("a", "b"), [(1, 22), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", "+"}
+        assert lines[2].startswith("1")
+
+    def test_title(self):
+        text = render_table(("x",), [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [(1,)])

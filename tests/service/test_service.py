@@ -1,0 +1,162 @@
+"""Tests for the Service Model: QoS, registry, agreements, invocation."""
+
+import pytest
+
+from repro import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ProcessActivitySchema,
+    RoleRef,
+)
+from repro.errors import ServiceError
+from repro.service import (
+    QoSAttributes,
+    ServiceDefinition,
+    ServiceRegistry,
+)
+
+
+def lab_process(schema_id="p-lab", name="lab-analysis"):
+    process = ProcessActivitySchema(schema_id, name)
+    process.add_activity_variable(
+        ActivityVariable(
+            "analyze",
+            BasicActivitySchema(
+                f"{schema_id}/b", "analyze", performer=RoleRef("epidemiologist")
+            ),
+        )
+    )
+    process.mark_entry("analyze")
+    return process
+
+
+def service(service_id="s1", name="lab-analysis", provider="lab-a", **qos):
+    defaults = dict(max_duration=100, cost=10, availability=0.9)
+    defaults.update(qos)
+    return ServiceDefinition(
+        service_id=service_id,
+        name=name,
+        provider=provider,
+        process_schema=lab_process(f"p-{service_id}"),
+        qos=QoSAttributes(**defaults),
+    )
+
+
+class TestQoS:
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            QoSAttributes(max_duration=0)
+        with pytest.raises(ServiceError):
+            QoSAttributes(max_duration=10, cost=-1)
+        with pytest.raises(ServiceError):
+            QoSAttributes(max_duration=10, availability=0.0)
+        with pytest.raises(ServiceError):
+            QoSAttributes(max_duration=10, availability=1.5)
+
+    def test_satisfies_dominance(self):
+        offer = QoSAttributes(max_duration=50, cost=5, availability=0.95)
+        required = QoSAttributes(max_duration=100, cost=10, availability=0.9)
+        assert offer.satisfies(required)
+        assert not required.satisfies(offer)
+
+
+class TestRegistry:
+    def test_advertise_and_lookup(self):
+        registry = ServiceRegistry()
+        definition = registry.advertise(service())
+        assert registry.service("s1") is definition
+        assert registry.services() == (definition,)
+
+    def test_duplicate_id_rejected(self):
+        registry = ServiceRegistry()
+        registry.advertise(service())
+        with pytest.raises(ServiceError):
+            registry.advertise(service())
+
+    def test_unknown_service(self):
+        with pytest.raises(ServiceError):
+            ServiceRegistry().service("ghost")
+
+    def test_select_cheapest_qualifying(self):
+        registry = ServiceRegistry()
+        registry.advertise(service("s1", cost=10))
+        registry.advertise(service("s2", provider="lab-b", cost=5))
+        registry.advertise(service("s3", provider="lab-c", cost=20))
+        best = registry.select("lab-analysis")
+        assert best.service_id == "s2"
+
+    def test_select_honours_required_qos(self):
+        registry = ServiceRegistry()
+        registry.advertise(service("s1", cost=5, max_duration=500))
+        registry.advertise(service("s2", provider="b", cost=20, max_duration=50))
+        required = QoSAttributes(max_duration=100, cost=50, availability=0.5)
+        assert registry.select("lab-analysis", required).service_id == "s2"
+
+    def test_select_fails_when_nothing_qualifies(self):
+        registry = ServiceRegistry()
+        registry.advertise(service())
+        required = QoSAttributes(max_duration=1, cost=1, availability=1.0)
+        with pytest.raises(ServiceError):
+            registry.select("lab-analysis", required)
+
+
+class TestServiceEngine:
+    def test_negotiate_and_invoke(self, system, alice, epidemiologists):
+        definition = system.service.registry.advertise(service())
+        system.core.register_schema(definition.process_schema)
+        agreement = system.service.negotiate("crisis-team", "lab-analysis")
+        assert agreement.service is definition
+        instance = system.service.invoke(agreement)
+        assert instance.current_state == "Running"
+        assert agreement.invocations == 1
+
+    def test_completion_checks_agreed_duration(
+        self, system, alice, epidemiologists
+    ):
+        definition = system.service.registry.advertise(
+            service(max_duration=5)
+        )
+        system.core.register_schema(definition.process_schema)
+        agreement = system.service.negotiate("crisis-team", "lab-analysis")
+        instance = system.service.invoke(agreement)
+        system.clock.advance(50)  # blow the agreed max_duration
+        client = system.participant_client(alice)
+        client.claim_and_complete_all()
+        system.service.record_completion(instance)
+        assert len(agreement.violations) == 1
+        assert "agreed max 5" in agreement.violations[0]
+
+    def test_fast_completion_has_no_violation(
+        self, system, alice, epidemiologists
+    ):
+        definition = system.service.registry.advertise(service())
+        system.core.register_schema(definition.process_schema)
+        agreement = system.service.negotiate("crisis-team", "lab-analysis")
+        instance = system.service.invoke(agreement)
+        system.participant_client(alice).claim_and_complete_all()
+        system.service.record_completion(instance)
+        assert agreement.violations == []
+
+    def test_untracked_completion_rejected(self, system, epidemiologists):
+        process = lab_process()
+        system.core.register_schema(process)
+        instance = system.coordination.start_process(process)
+        with pytest.raises(ServiceError):
+            system.service.record_completion(instance)
+
+    def test_unknown_agreement_lookup(self, system):
+        with pytest.raises(ServiceError):
+            system.service.agreement("ghost")
+
+    def test_foreign_agreement_cannot_invoke(self, system, epidemiologists):
+        from repro.service.model import ServiceAgreement
+
+        definition = service()
+        foreign = ServiceAgreement(
+            agreement_id="sla-x",
+            service=definition,
+            consumer="x",
+            agreed_qos=definition.qos,
+        )
+        with pytest.raises(ServiceError):
+            system.service.invoke(foreign)

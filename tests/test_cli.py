@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_prints_notification(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "AS_InfoRequest" in out
+        assert "dr-kim's viewer" in out
+
+
+class TestEpidemic:
+    def test_epidemic_prints_timeline(self, capsys):
+        assert main(["epidemic", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "information-gathering" in out
+        assert "lab tests:" in out
+
+
+class TestOverload:
+    def test_overload_prints_both_tables(self, capsys):
+        assert main(["overload", "--task-forces", "2", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "raw mode" in out
+        assert "digested mode" in out
+        assert "CMI customized awareness" in out
+
+
+class TestDemonstration:
+    def test_demonstration_prints_paper_rows(self, capsys):
+        assert main(["demonstration"]) == 0
+        out = capsys.readouterr().out
+        assert "collaboration processes" in out
+        assert "a few hundred" in out
+
+
+class TestCheckSpec:
+    def test_valid_spec_accepted(self, tmp_path, capsys):
+        spec = tmp_path / "spec.dsl"
+        spec.write_text(
+            "a = Filter_context[C, f](ContextEvent)\n"
+            'deliver a to owner as "hello" named AS_A\n'
+        )
+        assert main(["check-spec", str(spec), "--process-schema", "P-X"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 1 awareness schema(s)" in out
+        assert "AS_A" in out
+
+    def test_invalid_spec_reports_error(self, tmp_path, capsys):
+        spec = tmp_path / "bad.dsl"
+        spec.write_text("a = Magic[](ContextEvent)\ndeliver a to r\n")
+        assert main(["check-spec", str(spec)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown operator family" in err
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["check-spec", "/nonexistent/spec.dsl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

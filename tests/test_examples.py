@@ -1,0 +1,64 @@
+"""Every example script must run cleanly and produce its key output.
+
+Examples are documentation that executes; this test keeps them honest by
+running each through ``runpy`` in-process and checking a marker string
+that captures the example's point.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: example file -> a substring its output must contain.
+MARKERS = {
+    "quickstart.py": "A draft is ready for your review",
+    "deadline_awareness.py": "undeliverable (role expired): 1",
+    "epidemic_response.py": "awareness delivered to lab stakeholders",
+    "newsfeed_integration.py": "Relevant news article found after assessment",
+    "overload_comparison.py": "CMI customized awareness",
+    "virtual_enterprise.py": "agreement violations",
+    "dsl_and_extensions.py": "suppressed burst repeats: 3",
+    "telecom_provisioning.py": "failed three times; escalate",
+    "durable_enactment.py": "task force = Completed",
+    "command_and_control.py": "Mission stalled",
+}
+
+
+def run_example(name: str, argv=()) -> str:
+    """Execute an example in-process, returning its stdout."""
+    import io
+    from contextlib import redirect_stdout
+
+    path = EXAMPLES_DIR / name
+    buffer = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = [str(path), *argv]
+    try:
+        with redirect_stdout(buffer):
+            runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return buffer.getvalue()
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", sorted(MARKERS))
+    def test_example_runs_and_prints_its_marker(self, name):
+        output = run_example(name)
+        assert MARKERS[name] in output, (
+            f"{name} output missing marker {MARKERS[name]!r}"
+        )
+
+    def test_every_example_file_has_a_marker(self):
+        on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == set(MARKERS), (
+            "examples/ and the marker table are out of sync"
+        )
+
+    def test_epidemic_example_accepts_seed_argument(self):
+        output = run_example("epidemic_response.py", argv=["13"])
+        assert "seed 13" in output

@@ -1,0 +1,102 @@
+"""Tests for the foundation modules: ids, clock, errors."""
+
+import threading
+
+import pytest
+
+from repro.clock import ClockError, LogicalClock
+from repro.errors import (
+    ContextError,
+    DagValidationError,
+    EventTypeError,
+    InvalidTransitionError,
+    ReproError,
+    RoleResolutionError,
+    ScopeError,
+    SpecificationError,
+    StateError,
+)
+from repro.ids import IdFactory, new_id, reset_ids
+
+
+class TestIdFactory:
+    def test_per_prefix_counters(self):
+        factory = IdFactory()
+        assert factory.new("proc") == "proc-1"
+        assert factory.new("proc") == "proc-2"
+        assert factory.new("act") == "act-1"
+
+    def test_reset(self):
+        factory = IdFactory()
+        factory.new("x")
+        factory.reset()
+        assert factory.new("x") == "x-1"
+
+    def test_thread_safety(self):
+        factory = IdFactory()
+        ids = []
+        lock = threading.Lock()
+
+        def worker():
+            for __ in range(200):
+                value = factory.new("t")
+                with lock:
+                    ids.append(value)
+
+        threads = [threading.Thread(target=worker) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(ids)) == 800
+
+    def test_module_level_factory(self):
+        reset_ids()
+        assert new_id("g") == "g-1"
+        reset_ids()
+        assert new_id("g") == "g-1"
+
+
+class TestLogicalClock:
+    def test_monotonic_operations(self):
+        clock = LogicalClock()
+        assert clock.now() == 0
+        assert clock.tick() == 1
+        assert clock.advance(5) == 6
+        assert clock.advance_to(10) == 10
+        assert clock.advance_to(10) == 10  # same time allowed
+
+    def test_backwards_rejected(self):
+        clock = LogicalClock(start=5)
+        with pytest.raises(ClockError):
+            clock.advance_to(4)
+        with pytest.raises(ClockError):
+            clock.advance(0)
+        with pytest.raises(ClockError):
+            clock.advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            LogicalClock(start=-1)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for error_class in (
+            ClockError,
+            ContextError,
+            DagValidationError,
+            EventTypeError,
+            InvalidTransitionError,
+            RoleResolutionError,
+            ScopeError,
+            SpecificationError,
+            StateError,
+        ):
+            assert issubclass(error_class, ReproError)
+
+    def test_scope_error_is_a_context_error(self):
+        assert issubclass(ScopeError, ContextError)
+
+    def test_invalid_transition_is_a_state_error(self):
+        assert issubclass(InvalidTransitionError, StateError)

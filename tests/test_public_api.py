@@ -1,0 +1,70 @@
+"""Public API surface checks: exports exist, are importable, documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_PACKAGES = (
+    "repro",
+    "repro.core",
+    "repro.coordination",
+    "repro.service",
+    "repro.events",
+    "repro.awareness",
+    "repro.awareness.operators",
+    "repro.baselines",
+    "repro.federation",
+    "repro.workloads",
+    "repro.metrics",
+)
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+    def test_all_exports_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+        for name in package.__all__:
+            assert hasattr(package, name), (
+                f"{package_name}.__all__ lists {name!r} but it is missing"
+            )
+
+    @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+    def test_all_is_sorted(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = list(package.__all__)
+        assert exported == sorted(exported), (
+            f"{package_name}.__all__ is not sorted"
+        )
+
+    @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+    def test_package_docstring_present(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__ and len(package.__doc__.strip()) > 40
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package_name", PUBLIC_PACKAGES)
+    def test_every_exported_class_and_function_is_documented(
+        self, package_name
+    ):
+        package = importlib.import_module(package_name)
+        undocumented = []
+        for name in package.__all__:
+            obj = getattr(package, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, (
+            f"{package_name} exports without docstrings: {undocumented}"
+        )
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)

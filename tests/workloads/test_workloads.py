@@ -1,0 +1,186 @@
+"""Tests for the crisis workloads: task force, epidemic, generator, demo."""
+
+import pytest
+
+from repro import EnactmentSystem
+from repro.errors import WorkloadError
+from repro.workloads import (
+    CrisisWorkload,
+    WorkloadConfig,
+    build_demonstration,
+)
+from repro.workloads.epidemic import EpidemicScenario
+from repro.workloads.taskforce import TaskForceApplication
+
+
+class TestTaskForceApplication:
+    def test_leader_always_a_member(self, system, alice, bob, taskforce_app):
+        task_force = taskforce_app.create_task_force(alice, [bob], 100)
+        assert alice in task_force.members
+        assert task_force.deadline == 100
+
+    def test_non_member_cannot_request(self, system, alice, bob, carol, taskforce_app):
+        task_force = taskforce_app.create_task_force(alice, [alice, bob], 100)
+        with pytest.raises(WorkloadError):
+            taskforce_app.request_information(task_force, carol, 50)
+
+    def test_request_pool_exhaustion(self, system, alice, epidemiologists):
+        app = TaskForceApplication(system, suffix="@small", max_requests=1)
+        task_force = app.create_task_force(alice, [alice], 100)
+        app.request_information(task_force, alice, 50)
+        with pytest.raises(WorkloadError):
+            app.request_information(task_force, alice, 60)
+
+    def test_double_awareness_install_rejected(self, system, taskforce_app):
+        with pytest.raises(WorkloadError):
+            taskforce_app.install_awareness()
+
+    def test_cancel_request_terminates_process(
+        self, system, alice, bob, taskforce_app
+    ):
+        task_force = taskforce_app.create_task_force(alice, [alice, bob], 100)
+        request = taskforce_app.request_information(task_force, bob, 80)
+        taskforce_app.cancel_request(request)
+        assert request.process.current_state == "Terminated"
+
+    def test_max_requests_validation(self, system):
+        with pytest.raises(WorkloadError):
+            TaskForceApplication(system, suffix="@bad", max_requests=0)
+
+
+class TestEpidemicScenario:
+    def test_figure1_structure_holds(self):
+        """Any seed produces the Figure 1 shape: the three mandatory task
+        forces always run; lab tests stop after a positive result."""
+        report = EpidemicScenario(EnactmentSystem(), seed=21).run()
+        timeline = report.timeline
+        assert "patient-interview-task-force" in timeline
+        assert "hospital-relations-task-force" in timeline
+        assert "media-task-force" in timeline
+        assert 1 <= report.lab_tests_run <= 3
+        if report.positive_test is not None:
+            assert report.positive_test == report.lab_tests_run
+
+    def test_positive_result_notifies_stakeholders(self):
+        system = EnactmentSystem()
+        report = EpidemicScenario(system, seed=7).run()
+        if report.positive_test is not None:
+            # leader + both technicians got the digested positive-lab event.
+            assert all(
+                count == 1
+                for count in report.notifications_by_participant.values()
+            )
+        else:
+            assert all(
+                count == 0
+                for count in report.notifications_by_participant.values()
+            )
+
+    def test_deterministic_given_seed(self):
+        a = EpidemicScenario(EnactmentSystem(), seed=5).run()
+        b = EpidemicScenario(EnactmentSystem(), seed=5).run()
+        assert a.lab_tests_run == b.lab_tests_run
+        assert a.positive_test == b.positive_test
+        assert a.expertise_rounds == b.expertise_rounds
+
+    def test_process_completes(self):
+        report = EpidemicScenario(EnactmentSystem(), seed=3).run()
+        assert report.process.current_state == "Completed"
+
+    def test_all_negative_run_delivers_no_lab_awareness(self):
+        """Seed 1 runs all three lab tests, all negative: the positive-lab
+        schema must stay silent and every test must have run."""
+        report = EpidemicScenario(EnactmentSystem(), seed=1).run()
+        assert report.positive_test is None
+        assert report.lab_tests_run == 3
+        assert all(
+            count == 0
+            for count in report.notifications_by_participant.values()
+        )
+
+
+class TestCrisisWorkload:
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(task_forces=0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(members_per_force=1)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(participant_pool=2, members_per_force=4)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(violation_probability=1.5)
+
+    def test_run_produces_expected_shape(self):
+        result = CrisisWorkload(
+            WorkloadConfig(task_forces=3, seed=11)
+        ).run()
+        scores = {s.mechanism: s for s in result.raw_scores}
+        cmi = scores["CMI customized awareness"]
+        monitor = scores["monitor-everything (WfMS manager)"]
+        worklist = scores["worklist-only (WfMS worker)"]
+        # The paper's claims, as ordering constraints:
+        assert cmi.recall == 1.0
+        assert cmi.precision == 1.0
+        assert monitor.deliveries_per_participant > 5 * cmi.deliveries_per_participant
+        assert monitor.precision < cmi.precision
+        assert worklist.recall < 1.0  # misses the violations
+
+    def test_digested_mode_zeroes_baseline_situation_recall(self):
+        result = CrisisWorkload(
+            WorkloadConfig(task_forces=3, seed=11)
+        ).run()
+        digested = {s.mechanism: s for s in result.digested_scores}
+        assert digested["CMI customized awareness"].recall == 1.0
+        assert digested["content-filter pub/sub (Elvin)"].true_positives == 0
+
+    def test_violations_recorded(self):
+        workload = CrisisWorkload(
+            WorkloadConfig(task_forces=3, violation_probability=1.0, seed=2)
+        )
+        result = workload.run()
+        assert result.violations >= 3
+
+    def test_table_renders(self):
+        result = CrisisWorkload(WorkloadConfig(task_forces=2, seed=4)).run()
+        assert "mechanism" in result.table("raw")
+        assert "digested mode" in result.table("digested")
+
+    def test_shape_holds_across_seeds(self):
+        """The QE1 ordering claims are not a one-seed artifact."""
+        for seed in (3, 17, 42):
+            result = CrisisWorkload(
+                WorkloadConfig(
+                    task_forces=3, violation_probability=0.7, seed=seed
+                )
+            ).run()
+            scores = {s.mechanism: s for s in result.raw_scores}
+            cmi = scores["CMI customized awareness"]
+            monitor = scores["monitor-everything (WfMS manager)"]
+            diy = scores["worklist + log analysis (custom monitoring app)"]
+            assert cmi.recall == 1.0, f"seed {seed}"
+            assert cmi.precision == 1.0, f"seed {seed}"
+            assert monitor.precision < cmi.precision, f"seed {seed}"
+            assert (
+                monitor.deliveries_per_participant
+                > cmi.deliveries_per_participant
+            ), f"seed {seed}"
+            if result.violations:
+                assert diy.mean_delay > 0.0, f"seed {seed}"
+
+
+class TestDemonstration:
+    def test_section7_statistics_reproduced(self):
+        report = build_demonstration().run()
+        assert report.process_schemas == 9
+        assert report.cmm_activities > 50
+        assert 200 <= report.wfms_activities <= 600  # "a few hundreds"
+        assert report.awareness_specifications == 8
+        assert report.context_scripts == 30
+        assert report.all_functionality_provided
+        assert report.cmm_limitations == ()
+
+    def test_everything_runs_to_completion(self):
+        report = build_demonstration().run()
+        assert report.processes_run == report.processes_completed
+        assert report.scripts_executed == 30
+        assert report.notifications_delivered > 0
