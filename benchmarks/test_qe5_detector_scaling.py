@@ -79,15 +79,21 @@ def drive(n_schemas: int) -> dict:
 
 
 def test_qe5_detector_scaling(benchmark, record_table):
-    rows = [drive(n) for n in SWEEP[:-1]]
+    drive(1)  # warmup so first-run costs do not skew the 1-schema row
+    rows = [
+        min((drive(n) for __ in range(3)), key=lambda r: r["us_per_event"])
+        for n in SWEEP[:-1]
+    ]
     rows.append(benchmark(drive, SWEEP[-1]))
 
     for row in rows:
         # Each deployed schema recognizes exactly its own field's changes.
         assert row["recognized"] == row["schemas"] * EVENTS_PER_FIELD
-    # Cost grows sub-linearly vs schema count at these scales (filters are
-    # cheap rejections); 32 schemas must stay within ~12x of 1 schema.
-    assert rows[-1]["us_per_event"] < max(12 * rows[0]["us_per_event"], 400.0)
+    # Predicate-indexed routing dispatches each event to the one filter
+    # whose key matches, so cost no longer grows with *deployed* schemas —
+    # only with *matching* ones: 32 schemas must stay within 3x of 1 schema
+    # (was 12x with the linear scan over every deployed filter).
+    assert rows[-1]["us_per_event"] < max(3 * rows[0]["us_per_event"], 100.0)
 
     record_table(
         render_table(

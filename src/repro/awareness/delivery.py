@@ -54,6 +54,7 @@ class DeliveryAgent:
         self.queue = queue if queue is not None else MemoryDeliveryQueue()
         self.assignments = assignments or AssignmentRegistry()
         self._ids = IdFactory()
+        self._role_refs: dict = {}
         self.delivered = 0
         self.undeliverable: List[UndeliveredEvent] = []
 
@@ -62,8 +63,10 @@ class DeliveryAgent:
         receivers = self._resolve_receivers(event)
         if receivers is None:
             return ()
+        if len(receivers) > 1:
+            receivers = sorted(receivers, key=lambda p: p.participant_id)
         notifications = []
-        for participant in sorted(receivers, key=lambda p: p.participant_id):
+        for participant in receivers:
             notification = self._make_notification(event, participant)
             self._route(event, participant, notification)
             notifications.append(notification)
@@ -74,10 +77,12 @@ class DeliveryAgent:
 
     def _resolve_receivers(self, event: Event):
         """Resolve role + assignment; ``None`` marks the event undeliverable."""
-        role_ref = RoleRef(
-            role_name=event["deliveryRole"],
-            context_name=event.get("deliveryContext"),
-        )
+        key = (event["deliveryRole"], event.get("deliveryContext"))
+        role_ref = self._role_refs.get(key)
+        if role_ref is None:
+            role_ref = self._role_refs[key] = RoleRef(
+                role_name=key[0], context_name=key[1]
+            )
         try:
             candidates = self.core.resolve_role(
                 role_ref, event["processInstanceId"]
@@ -96,18 +101,19 @@ class DeliveryAgent:
         return assignment(candidates)
 
     def _make_notification(self, event: Event, participant) -> Notification:
+        params = event.params
         return Notification(
             notification_id=self._ids.new("ntf"),
             participant_id=participant.participant_id,
-            time=event.time,
-            description=event["userDescription"],
-            schema_name=event["schemaName"],
+            time=params["time"],
+            description=params["userDescription"],
+            schema_name=params["schemaName"],
             parameters={
-                "processSchemaId": event["processSchemaId"],
-                "processInstanceId": event["processInstanceId"],
-                "intInfo": event.get("intInfo"),
-                "strInfo": event.get("strInfo"),
-                "sourceEvent": event.get("sourceEvent"),
+                "processSchemaId": params["processSchemaId"],
+                "processInstanceId": params["processInstanceId"],
+                "intInfo": params.get("intInfo"),
+                "strInfo": params.get("strInfo"),
+                "sourceEvent": params.get("sourceEvent"),
             },
         )
 

@@ -44,6 +44,9 @@ class EventGraph:
         #: (source node, target operator, slot)
         self._edges: List[Tuple[Node, EventOperator, int]] = []
         self._filled_slots: Dict[int, Set[int]] = {}
+        #: Live consumer callables this graph installed on (shared)
+        #: producers, kept so undeploy can detach them.
+        self._producer_links: List[Tuple[EventProducer, Callable[[Event], None]]] = []
 
     # -- construction -----------------------------------------------------------
 
@@ -101,7 +104,44 @@ class EventGraph:
         if isinstance(source, EventOperator):
             source.add_consumer(target.consume, slot)
         else:
-            source.add_consumer(lambda event, t=target, s=slot: t.consume(s, event))
+            # Producer leaves go through the routing index: operators with
+            # a static match key (the filters) are only visited for events
+            # carrying their key; everything else rides the wildcard bucket.
+            self._install_producer_link(source, target, slot)
+
+    def _install_producer_link(
+        self, source: EventProducer, target: EventOperator, slot: int
+    ) -> None:
+        handle = source.add_consumer(
+            lambda event, t=target, s=slot: t.consume(s, event),
+            keys=target.routing_keys(slot),
+        )
+        self._producer_links.append((source, handle))
+
+    def attach_producers(self) -> None:
+        """Re-install the producer leaf links after :meth:`detach_producers`.
+
+        Redeploying a previously undeployed window must rewire its leaves
+        against the shared producers; a no-op while the links from
+        :meth:`connect` are still installed.
+        """
+        if self._producer_links:
+            return
+        for source, target, slot in self._edges:
+            if not isinstance(source, EventOperator):
+                self._install_producer_link(source, target, slot)
+
+    def detach_producers(self) -> None:
+        """Remove this graph's consumer links from the shared producers.
+
+        Called on undeploy: the producers outlive the window (they belong
+        to the engine's source agents), so the index entries and wildcard
+        registrations installed by :meth:`connect` must be reaped or the
+        undeployed detector would keep receiving events.
+        """
+        for producer, handle in self._producer_links:
+            producer.remove_consumer(handle)
+        self._producer_links.clear()
 
     # -- inspection ---------------------------------------------------------------
 
@@ -185,17 +225,26 @@ class AwarenessDescription:
         self.root = root
         self._detected: List[Event] = []
         self._listeners: List[Callable[[Event], None]] = []
+        self._listener_snapshot: Tuple[Callable[[Event], None], ...] = ()
         root.add_consumer(self._collect, 0)
 
     # -- detection stream --------------------------------------------------------
 
     def _collect(self, slot: int, event: Event) -> None:
         self._detected.append(event)
-        for listener in list(self._listeners):
+        # Snapshot is rebuilt on on_detected, not copied per detection.
+        for listener in self._listener_snapshot:
             listener(event)
 
     def on_detected(self, listener: Callable[[Event], None]) -> None:
         self._listeners.append(listener)
+        self._listener_snapshot = tuple(self._listeners)
+
+    def remove_listener(self, listener: Callable[[Event], None]) -> None:
+        """Unregister *listener*; a no-op when it is not registered."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+            self._listener_snapshot = tuple(self._listeners)
 
     def detected(self) -> Tuple[Event, ...]:
         """All composite events detected so far (test/bench convenience)."""

@@ -38,10 +38,12 @@ class DetectorAgent:
         window.validate()
         self.window = window
         self._sinks: List[Sink] = []
+        self._sink_snapshot: Tuple[Sink, ...] = ()
         if sink is not None:
             self._sinks.append(sink)
         if bus is not None:
             self._sinks.append(bus.publish)
+        self._sink_snapshot = tuple(self._sinks)
         self.recognized = 0
         self._recognized_events: List[Event] = []
         for schema in window.schemas():
@@ -53,11 +55,26 @@ class DetectorAgent:
 
     def add_sink(self, sink: Sink) -> None:
         self._sinks.append(sink)
+        self._sink_snapshot = tuple(self._sinks)
+
+    def detach(self) -> None:
+        """Disconnect this detector's leaves from the shared producers.
+
+        After detaching, events no longer reach the window's operators;
+        the engine calls this on undeploy so the routing index holds no
+        ghost entries for retired detectors.  The detection listeners are
+        unregistered too, so a later redeploy of the same window does not
+        double-deliver through this retired agent.
+        """
+        self.window.graph.detach_producers()
+        for schema in self.window.schemas():
+            schema.description.remove_listener(self._forward)
 
     def _forward(self, event: Event) -> None:
         self.recognized += 1
         self._recognized_events.append(event)
-        for sink in list(self._sinks):
+        # Snapshot is rebuilt on add_sink, not copied per recognition.
+        for sink in self._sink_snapshot:
             sink(event)
 
     def recognized_events(self) -> Tuple[Event, ...]:

@@ -98,10 +98,30 @@ class AwarenessEngine:
         )
 
     def deploy(self, window: SpecificationWindow) -> DetectorAgent:
-        """Compile a window into a detector agent feeding delivery."""
+        """Compile a window into a detector agent feeding delivery.
+
+        The window's leaf edges were installed against the engine's shared
+        event source producers at authoring time, keyed by each operator's
+        :meth:`~repro.awareness.operators.base.EventOperator.routing_keys`,
+        so a deployed detector only costs dispatch time for events its
+        filters can actually match.  Redeploying a window that was
+        previously retired with :meth:`undeploy` rewires those leaves.
+        """
+        window.graph.attach_producers()
         detector = DetectorAgent(window, sink=self.delivery.deliver)
         self._detectors.append(detector)
         return detector
+
+    def undeploy(self, detector: DetectorAgent) -> None:
+        """Retire a detector: detach its leaves and drop it from the engine.
+
+        Detaching removes the detector's entries from the producers'
+        routing indexes (and wildcard buckets), so no further events are
+        dispatched to the retired window's operators.
+        """
+        detector.detach()
+        if detector in self._detectors:
+            self._detectors.remove(detector)
 
     # -- participant side ---------------------------------------------------------------
 

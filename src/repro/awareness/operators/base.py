@@ -93,13 +93,32 @@ class EventOperator:
         """Wire this operator's output into *slot* of a downstream consumer."""
         self._consumers.append((consumer, slot))
 
+    def routing_keys(self, slot: int) -> Optional[Sequence[Any]]:
+        """Static routing keys this operator can match on input *slot*.
+
+        Operators whose parameters statically determine which events can
+        pass (the filters) return the routing keys — hashables matching
+        the key extractor of the slot's primitive event type — so the
+        event substrate can index-route and skip them for every other
+        event.  ``None`` (the default) means "no static predicate": the
+        operator must observe every event on the slot's stream, and the
+        substrate files it in the wildcard bucket.
+        """
+        self._check_slot(slot)
+        return None
+
     # -- event flow ---------------------------------------------------------------
 
     def consume(self, slot: int, event: Event) -> List[Event]:
         """Feed *event* into input *slot*; returns (and forwards) outputs."""
-        self._check_slot(slot)
-        expected = self.signature.input_types[slot]
-        if event.event_type != expected:
+        input_types = self.signature.input_types
+        if not 0 <= slot < len(input_types):
+            self._check_slot(slot)
+        expected = input_types[slot]
+        # Identity fast path: primitive and canonical EventType objects are
+        # module-level/cached singletons, so `is` almost always settles it.
+        received = event.event_type
+        if received is not expected and received.name != expected.name:
             raise SlotError(
                 f"operator {self.instance_name!r} slot {slot} expects "
                 f"{expected.name!r}, got event of type {event.type_name!r}"

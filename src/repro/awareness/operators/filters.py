@@ -71,27 +71,34 @@ class ActivityFilter(EventOperator):
         # Stateless; a single shared partition suffices.
         return None
 
+    def routing_keys(self, slot: int) -> List[Any]:
+        """Static match key: only ``(P, Av)`` activity events can pass."""
+        self._check_slot(slot)
+        return [(self.process_schema_id, self.activity_variable)]
+
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
-        if event["parentProcessSchemaId"] != self.process_schema_id:
+        params = event.params
+        if params["parentProcessSchemaId"] != self.process_schema_id:
             return []
-        if event["activityVariableId"] != self.activity_variable:
+        if params["activityVariableId"] != self.activity_variable:
             return []
-        if self.states_old is not None and event["oldState"] not in self.states_old:
+        if self.states_old is not None and params["oldState"] not in self.states_old:
             return []
-        if self.states_new is not None and event["newState"] not in self.states_new:
+        if self.states_new is not None and params["newState"] not in self.states_new:
             return []
         return [
             canonical_event(
                 self.process_schema_id,
-                event["parentProcessInstanceId"],
-                time=event.time,
+                params["parentProcessInstanceId"],
+                time=params["time"],
                 source=self.instance_name,
-                str_info=event["newState"],
+                str_info=params["newState"],
                 description=(
                     f"activity {self.activity_variable!r}: "
-                    f"{event['oldState']} -> {event['newState']}"
+                    f"{params['oldState']} -> {params['newState']}"
                 ),
-                source_event=event.params,
+                source_event=params,
+                event_type=self.output_type,
             )
         ]
 
@@ -143,25 +150,34 @@ class ContextFilter(EventOperator):
     def partition_key(self, slot: int, event: Event) -> Any:
         return None
 
+    def routing_keys(self, slot: int) -> List[Any]:
+        """Static match key: only ``(Cname, Fname)`` context events can pass."""
+        self._check_slot(slot)
+        return [(self.context_name, self.field_name)]
+
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
-        if event["contextName"] != self.context_name:
+        params = event.params
+        if params["contextName"] != self.context_name:
             return []
-        if event["fieldName"] != self.field_name:
+        if params["fieldName"] != self.field_name:
             return []
-        new_value = event["newFieldValue"]
+        new_value = params["newFieldValue"]
         int_info = new_value if isinstance(new_value, int) and not isinstance(
             new_value, bool
         ) else None
         str_info = new_value if isinstance(new_value, str) else None
+        associations = params["processAssociations"]
+        if len(associations) > 1:
+            associations = sorted(associations)
         outputs = []
-        for schema_id, instance_id in sorted(event["processAssociations"]):
+        for schema_id, instance_id in associations:
             if schema_id != self.process_schema_id:
                 continue
             outputs.append(
                 canonical_event(
                     self.process_schema_id,
                     instance_id,
-                    time=event.time,
+                    time=params["time"],
                     source=self.instance_name,
                     int_info=int_info,
                     str_info=str_info,
@@ -169,7 +185,8 @@ class ContextFilter(EventOperator):
                         f"context {self.context_name!r} field "
                         f"{self.field_name!r} = {new_value!r}"
                     ),
-                    source_event=event.params,
+                    source_event=params,
+                    event_type=self.output_type,
                 )
             )
         return outputs
@@ -207,6 +224,10 @@ class ExternalFilter(EventOperator):
     def partition_key(self, slot: int, event: Event) -> Any:
         return None
 
+    # routing_keys stays the base-class None: the match predicate is a
+    # method (often over run-time state, e.g. bound queries), so external
+    # filters ride the wildcard bucket and inspect every source event.
+
     def matches(self, event: Event) -> bool:
         raise NotImplementedError
 
@@ -232,6 +253,7 @@ class ExternalFilter(EventOperator):
                 str_info=event.get("headline"),
                 description=self.digest(event),
                 source_event=event.params,
+                event_type=self.output_type,
             )
         ]
 

@@ -90,23 +90,26 @@ class Output(EventOperator):
         return None  # stateless decoration
 
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
+        # Decorating an already-validated canonical event; the trusted
+        # constructor skips a third per-event conformance pass.
+        params = event.params
         return [
-            Event(
+            Event.trusted(
                 DELIVERY_EVENT_TYPE,
                 {
-                    "time": event.time,
+                    "time": params["time"],
                     "source": self.instance_name,
                     "schemaName": self.schema_name,
                     "deliveryRole": self.delivery_role.role_name,
                     "deliveryContext": self.delivery_role.context_name,
                     "assignment": self.assignment_name,
-                    "processSchemaId": event["processSchemaId"],
-                    "processInstanceId": event["processInstanceId"],
+                    "processSchemaId": params["processSchemaId"],
+                    "processInstanceId": params["processInstanceId"],
                     "userDescription": self.user_description
-                    or (event.get("description") or "awareness event"),
-                    "intInfo": event.get("intInfo"),
-                    "strInfo": event.get("strInfo"),
-                    "sourceEvent": event.get("sourceEvent"),
+                    or (params.get("description") or "awareness event"),
+                    "intInfo": params.get("intInfo"),
+                    "strInfo": params.get("strInfo"),
+                    "sourceEvent": params.get("sourceEvent"),
                 },
             )
         ]

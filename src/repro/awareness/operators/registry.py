@@ -6,6 +6,12 @@ by the application" (Section 5.1).  The registry is that palette: the
 specification tool and the textual DSL look operator families up by name,
 and applications register their own operator classes alongside the
 built-ins.
+
+Registered operator classes may override
+:meth:`~repro.awareness.operators.base.EventOperator.routing_keys` when
+their parameters statically determine which primitive events can match
+(the built-in filters do); the event substrate then index-routes events
+to them instead of scanning every deployed operator.
 """
 
 from __future__ import annotations

@@ -20,7 +20,7 @@ verify event flow between components.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, Optional
 
 from ..core.context import ContextChange
 from ..core.engine import CoreEngine
@@ -67,3 +67,14 @@ class ContextSourceAgent:
     def _gather(self, change: ContextChange) -> None:
         self.gathered += 1
         self.producer.produce(change)
+
+    def gather_batch(self, changes: Iterable[ContextChange]) -> List["Event"]:
+        """Forward a burst of field changes as one producer batch.
+
+        Bulk context updates (e.g. :meth:`ContextReference.update`) hand
+        their change records here so the bus sees a single
+        ``publish_batch`` instead of one drain per field.
+        """
+        change_list = list(changes)
+        self.gathered += len(change_list)
+        return self.producer.produce_batch(change_list)

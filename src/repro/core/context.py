@@ -255,6 +255,19 @@ class ContextReference:
         self._check()
         return self._context._set(field_name, value, self._clock_now())
 
+    def update(self, fields: Dict[str, Any]) -> List[ContextChange]:
+        """Set several fields in one call; one change record per field.
+
+        All writes share the scope check and are stamped in mapping order;
+        the returned records can be handed to
+        ``ContextSourceAgent.gather_batch`` for batched event publication.
+        """
+        self._check()
+        return [
+            self._context._set(name, value, self._clock_now())
+            for name, value in fields.items()
+        ]
+
     def pass_to(self, process_instance_id: str) -> "ContextReference":
         """Hand a reference to a subprocess (Section 5.4 passes the task
         force context to the information-request subprocess this way)."""

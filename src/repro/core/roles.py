@@ -69,20 +69,32 @@ class Participant:
 
 
 class OrganizationalRole:
-    """A global role with an explicit member set."""
+    """A global role with an explicit member set.
+
+    The frozen member-set view is cached: awareness delivery resolves the
+    role once per recognized composite event, while membership changes are
+    comparatively rare, so rebuilding the frozenset per resolution was
+    measurable on the dispatch path.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._members: Set[Participant] = set()
+        self._frozen: Optional[FrozenSet[Participant]] = None
 
     def add_member(self, participant: Participant) -> None:
         self._members.add(participant)
+        self._frozen = None
 
     def remove_member(self, participant: Participant) -> None:
         self._members.discard(participant)
+        self._frozen = None
 
     def members(self) -> FrozenSet[Participant]:
-        return frozenset(self._members)
+        frozen = self._frozen
+        if frozen is None:
+            frozen = self._frozen = frozenset(self._members)
+        return frozen
 
     def __contains__(self, participant: Participant) -> bool:
         return participant in self._members

@@ -1,4 +1,4 @@
-"""Publish/subscribe event bus.
+"""Publish/subscribe event bus with predicate-indexed routing.
 
 The CMI Enactment System is "a collection of communicating agents acting as
 a single server" (Section 6.1).  The bus is the communication fabric between
@@ -11,65 +11,222 @@ published while another event is being dispatched is appended to a FIFO and
 delivered after the current dispatch completes, so cascades triggered by
 handlers (e.g. a detector reacting to an event by modifying a context, which
 publishes another event) see a consistent, non-reentrant order.
+
+**Indexed routing.**  A topic may register a *routing key extractor*
+(:meth:`EventBus.set_key_extractor`) that maps each event to a hashable
+routing key — e.g. ``T_context`` keys on ``(contextName, fieldName)``.
+Subscribers that know the static keys they can match pass them to
+:meth:`EventBus.subscribe`; dispatch then only visits the subscribers in the
+event's key bucket plus the *wildcard bucket* of unkeyed subscribers, making
+per-event cost O(matching subscribers) instead of O(all subscribers).
+Unkeyed topics and unkeyed subscribers behave exactly as before.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from .event import Event
 
 Handler = Callable[[Event], None]
+KeyExtractor = Callable[[Event], Hashable]
 
 
 @dataclass
 class Subscription:
-    """A handle returned by :meth:`EventBus.subscribe`; use to unsubscribe."""
+    """A handle returned by :meth:`EventBus.subscribe`; use to unsubscribe.
+
+    ``keys`` is the tuple of routing keys the subscription is indexed
+    under, or ``None`` for a wildcard subscription that sees every event
+    of its topic.
+    """
 
     topic: str
     handler: Handler
+    keys: Optional[Tuple[Hashable, ...]] = None
     active: bool = True
+
+
+class _Topic:
+    """Per-topic subscription state: wildcard bucket + routing index.
+
+    ``wildcard`` holds unkeyed subscriptions (dispatch visits all of
+    them); ``index`` maps each routing key to the keyed subscriptions
+    registered under it.  Dispatch iterates cached tuple snapshots so the
+    hot path never copies a list; snapshots are rebuilt lazily after a
+    subscribe/unsubscribe invalidates them.
+    """
+
+    __slots__ = ("wildcard", "index", "extractor", "_wildcard_snap", "_index_snap", "_needs_reap")
+
+    def __init__(self) -> None:
+        self.wildcard: List[Subscription] = []
+        self.index: Dict[Hashable, List[Subscription]] = {}
+        self.extractor: Optional[KeyExtractor] = None
+        self._wildcard_snap: Optional[Tuple[Subscription, ...]] = None
+        self._index_snap: Dict[Hashable, Tuple[Subscription, ...]] = {}
+        self._needs_reap = False
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, subscription: Subscription) -> None:
+        if subscription.keys is None:
+            self.wildcard.append(subscription)
+            self._wildcard_snap = None
+        else:
+            for key in subscription.keys:
+                self.index.setdefault(key, []).append(subscription)
+                self._index_snap.pop(key, None)
+
+    def discard(self, subscription: Subscription) -> None:
+        if subscription.keys is None:
+            if subscription in self.wildcard:
+                self.wildcard.remove(subscription)
+            self._wildcard_snap = None
+        else:
+            for key in subscription.keys:
+                bucket = self.index.get(key)
+                if bucket and subscription in bucket:
+                    bucket.remove(subscription)
+                    if not bucket:
+                        del self.index[key]
+                self._index_snap.pop(key, None)
+
+    def reap(self) -> None:
+        """Drop inactive subscriptions left by unsubscribe-during-dispatch."""
+        if any(not s.active for s in self.wildcard):
+            self.wildcard = [s for s in self.wildcard if s.active]
+            self._wildcard_snap = None
+        for key in [k for k, bucket in self.index.items() if any(not s.active for s in bucket)]:
+            bucket = [s for s in self.index[key] if s.active]
+            if bucket:
+                self.index[key] = bucket
+            else:
+                del self.index[key]
+            self._index_snap.pop(key, None)
+        self._needs_reap = False
+
+    def mark_dirty(self) -> None:
+        self._needs_reap = True
+
+    # -- dispatch-side views ----------------------------------------------
+
+    def wildcard_snapshot(self) -> Tuple[Subscription, ...]:
+        snap = self._wildcard_snap
+        if snap is None:
+            snap = self._wildcard_snap = tuple(self.wildcard)
+        return snap
+
+    def bucket_snapshot(self, key: Hashable) -> Tuple[Subscription, ...]:
+        snap = self._index_snap.get(key)
+        if snap is None:
+            bucket = self.index.get(key)
+            if not bucket:
+                return ()
+            snap = self._index_snap[key] = tuple(bucket)
+        return snap
+
+    def all_subscriptions(self) -> List[Subscription]:
+        seen: List[Subscription] = list(self.wildcard)
+        for bucket in self.index.values():
+            for subscription in bucket:
+                if subscription not in seen:
+                    seen.append(subscription)
+        return seen
 
 
 class EventBus:
     """Synchronous, queue-draining pub/sub bus with per-topic statistics.
 
     With ``isolate_errors=True`` a failing handler no longer aborts the
-    dispatch: the exception is recorded in :attr:`handler_errors` and the
-    remaining subscribers still receive the event.  The default is
-    fail-fast, which is what unit tests want; a long-running federation
-    turns isolation on so one broken detector cannot silence the rest of
-    the awareness engine.
+    dispatch: the exception is recorded in :attr:`handler_errors` (and the
+    per-topic ``failed`` counter), and the remaining subscribers still
+    receive the event.  The default is fail-fast, which is what unit tests
+    want; a long-running federation turns isolation on so one broken
+    detector cannot silence the rest of the awareness engine.
     """
 
     def __init__(self, isolate_errors: bool = False) -> None:
-        self._subscriptions: Dict[str, List[Subscription]] = {}
+        self._topics: Dict[str, _Topic] = {}
         self._queue: Deque[Event] = deque()
         self._dispatching = False
-        self._published: Dict[str, int] = {}
-        self._delivered: Dict[str, int] = {}
+        self._published: Counter = Counter()
+        self._delivered: Counter = Counter()
+        self._failed: Counter = Counter()
         self._isolate_errors = isolate_errors
         #: (topic, exception) pairs collected under error isolation.
         self.handler_errors: List[Tuple[str, Exception]] = []
 
     # -- subscription ----------------------------------------------------------
 
-    def subscribe(self, topic: str, handler: Handler) -> Subscription:
-        """Register *handler* for events whose type name equals *topic*."""
-        subscription = Subscription(topic=topic, handler=handler)
-        self._subscriptions.setdefault(topic, []).append(subscription)
+    def set_key_extractor(self, topic: str, extractor: KeyExtractor) -> None:
+        """Register the routing key extractor for *topic*.
+
+        Idempotent for the same extractor; re-registering a different one
+        is allowed (last wins) but existing keyed subscriptions keep the
+        keys they registered under, so callers should install extractors
+        before keyed subscribers appear.
+        """
+        self._topics.setdefault(topic, _Topic()).extractor = extractor
+
+    def key_extractor(self, topic: str) -> Optional[KeyExtractor]:
+        entry = self._topics.get(topic)
+        return entry.extractor if entry is not None else None
+
+    def subscribe(
+        self,
+        topic: str,
+        handler: Handler,
+        keys: Optional[Iterable[Hashable]] = None,
+    ) -> Subscription:
+        """Register *handler* for events whose type name equals *topic*.
+
+        With ``keys`` the subscription is indexed: the handler only sees
+        events whose routing key (per the topic's key extractor) is one of
+        *keys*.  Without ``keys`` the handler joins the wildcard bucket
+        and sees every event of the topic — the pre-index behavior.
+        """
+        subscription = Subscription(
+            topic=topic,
+            handler=handler,
+            keys=tuple(keys) if keys is not None else None,
+        )
+        self._topics.setdefault(topic, _Topic()).add(subscription)
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
+        """Deactivate and remove *subscription*.
+
+        Safe to call from inside a handler: the in-flight dispatch checks
+        the ``active`` flag, and the list entry is reaped lazily on the
+        next dispatch of the topic (removing it immediately could race
+        with the dispatch snapshot).
+        """
         subscription.active = False
-        handlers = self._subscriptions.get(subscription.topic)
-        if handlers and subscription in handlers:
-            handlers.remove(subscription)
+        entry = self._topics.get(subscription.topic)
+        if entry is None:
+            return
+        if self._dispatching:
+            entry.mark_dirty()
+        else:
+            entry.discard(subscription)
 
     def subscriber_count(self, topic: str) -> int:
-        return len(self._subscriptions.get(topic, ()))
+        entry = self._topics.get(topic)
+        if entry is None:
+            return 0
+        return sum(1 for s in entry.all_subscriptions() if s.active)
 
     # -- publication -------------------------------------------------------------
 
@@ -78,6 +235,23 @@ class EventBus:
         self._queue.append(event)
         if self._dispatching:
             return
+        self._drain()
+
+    def publish_batch(self, events: Iterable[Event]) -> None:
+        """Enqueue several events and drain once.
+
+        Used by the event source agents for bulk updates (e.g. a context
+        source agent forwarding a burst of field changes): the whole batch
+        joins the FIFO before dispatch starts, and a single drain loop
+        delivers it — same ordering guarantees as repeated :meth:`publish`
+        with less per-event overhead.
+        """
+        self._queue.extend(events)
+        if self._dispatching:
+            return
+        self._drain()
+
+    def _drain(self) -> None:
         self._dispatching = True
         try:
             while self._queue:
@@ -87,9 +261,25 @@ class EventBus:
 
     def _dispatch(self, event: Event) -> None:
         topic = event.type_name
-        self._published[topic] = self._published.get(topic, 0) + 1
-        # Copy: handlers may subscribe/unsubscribe during dispatch.
-        for subscription in list(self._subscriptions.get(topic, ())):
+        self._published[topic] += 1
+        entry = self._topics.get(topic)
+        if entry is None:
+            return
+        if entry._needs_reap:
+            entry.reap()
+        if entry.extractor is not None and entry.index:
+            key = entry.extractor(event)
+            keyed = entry.bucket_snapshot(key)
+            if keyed:
+                self._deliver(topic, keyed, event)
+        wildcard = entry.wildcard_snapshot()
+        if wildcard:
+            self._deliver(topic, wildcard, event)
+
+    def _deliver(
+        self, topic: str, subscriptions: Tuple[Subscription, ...], event: Event
+    ) -> None:
+        for subscription in subscriptions:
             if not subscription.active:
                 continue
             try:
@@ -97,21 +287,28 @@ class EventBus:
             except Exception as error:
                 if not self._isolate_errors:
                     raise
+                self._failed[topic] += 1
                 self.handler_errors.append((topic, error))
                 continue
-            self._delivered[topic] = self._delivered.get(topic, 0) + 1
+            self._delivered[topic] += 1
 
     # -- statistics ------------------------------------------------------------------
 
     def published_count(self, topic: Optional[str] = None) -> int:
         if topic is None:
             return sum(self._published.values())
-        return self._published.get(topic, 0)
+        return self._published[topic]
 
     def delivered_count(self, topic: Optional[str] = None) -> int:
         if topic is None:
             return sum(self._delivered.values())
-        return self._delivered.get(topic, 0)
+        return self._delivered[topic]
+
+    def failed_count(self, topic: Optional[str] = None) -> int:
+        """Deliveries that raised under ``isolate_errors=True``."""
+        if topic is None:
+            return sum(self._failed.values())
+        return self._failed[topic]
 
     def topics(self) -> Tuple[str, ...]:
-        return tuple(self._subscriptions)
+        return tuple(self._topics)

@@ -72,10 +72,17 @@ def canonical_event(
     str_info: Optional[str] = None,
     description: Optional[str] = None,
     source_event: Optional[Mapping[str, Any]] = None,
+    event_type: Optional[EventType] = None,
 ) -> Event:
-    """Construct a canonical event for process schema *process_schema_id*."""
-    return Event(
-        canonical_type(process_schema_id),
+    """Construct a canonical event for process schema *process_schema_id*.
+
+    Hot-path callers (the filters) pass their cached ``C_P`` object as
+    *event_type* to skip the type-cache lookup per produced event.  The
+    parameters are assembled here from typed arguments, so the trusted
+    (non-revalidating) event constructor is safe.
+    """
+    return Event.trusted(
+        event_type if event_type is not None else canonical_type(process_schema_id),
         {
             "time": time,
             "source": source,
@@ -84,6 +91,8 @@ def canonical_event(
             "intInfo": int_info,
             "strInfo": str_info,
             "description": description,
-            "sourceEvent": dict(source_event) if source_event is not None else None,
+            # No defensive copy: callers pass an Event's read-only params
+            # mapping (or a dict they own), both safe to hold by reference.
+            "sourceEvent": source_event,
         },
     )

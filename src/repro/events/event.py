@@ -160,6 +160,23 @@ class Event:
         self._event_type = event_type
         self._params = MappingProxyType(merged)
 
+    @classmethod
+    def trusted(cls, event_type: EventType, params: Dict[str, Any]) -> "Event":
+        """Construct without re-validating *params* against *event_type*.
+
+        The dispatch-path fast constructor: the built-in producers and
+        operators translate already-typed engine records into events, so
+        checking every parameter spec again per event is pure overhead.
+        Callers must guarantee conformance (including a correct ``type``
+        parameter); events built from external input should use the
+        validating constructor.
+        """
+        self = object.__new__(cls)
+        params.setdefault("type", event_type.name)
+        self._event_type = event_type
+        self._params = MappingProxyType(params)
+        return self
+
     @property
     def event_type(self) -> EventType:
         return self._event_type

@@ -81,6 +81,8 @@ class EnactmentSystem:
         stats.update(
             {
                 "bus_events_published": self.bus.published_count(),
+                "bus_events_delivered": self.bus.delivered_count(),
+                "bus_events_failed": self.bus.failed_count(),
                 "processes_started": len(self.core.top_level_processes()),
                 "instances_total": len(self.core.instances()),
                 "work_items_total": len(self.coordination.worklists.all_items()),

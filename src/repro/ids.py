@@ -27,13 +27,17 @@ class IdFactory:
         self._lock = threading.Lock()
 
     def new(self, prefix: str) -> str:
-        """Return the next id for *prefix*, e.g. ``new("proc")`` -> ``proc-1``."""
-        with self._lock:
-            counter = self._counters.get(prefix)
-            if counter is None:
-                counter = itertools.count(1)
-                self._counters[prefix] = counter
-            return f"{prefix}-{next(counter)}"
+        """Return the next id for *prefix*, e.g. ``new("proc")`` -> ``proc-1``.
+
+        Lock-free on the hot path: ``dict.setdefault`` and ``next`` on an
+        ``itertools.count`` are both atomic under the CPython GIL, so two
+        threads can never observe the same id.  The lock is only taken by
+        :meth:`reset`.
+        """
+        counter = self._counters.get(prefix)
+        if counter is None:
+            counter = self._counters.setdefault(prefix, itertools.count(1))
+        return f"{prefix}-{next(counter)}"
 
     def reset(self) -> None:
         """Forget all counters (used between benchmark repetitions)."""

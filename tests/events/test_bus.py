@@ -77,6 +77,138 @@ class TestDispatchOrder:
         assert len(late) >= 1
 
 
+class TestUnsubscribeDuringDispatch:
+    def test_unsubscribe_from_handler_stops_future_delivery(self):
+        bus = EventBus()
+        got = []
+        subscription = None
+
+        def once(event):
+            got.append(event)
+            bus.unsubscribe(subscription)
+
+        subscription = bus.subscribe("T_a", once)
+        bus.publish(make_event(time=1))
+        bus.publish(make_event(time=2))
+        assert len(got) == 1
+
+    def test_stale_entry_is_reaped_on_next_dispatch(self):
+        """Unsubscribing mid-dispatch only flips ``active``; the list entry
+        must be reaped lazily so it does not accumulate forever."""
+        bus = EventBus()
+        subscription = None
+
+        def once(event):
+            bus.unsubscribe(subscription)
+
+        subscription = bus.subscribe("T_a", once)
+        keep = bus.subscribe("T_a", lambda e: None)
+        bus.publish(make_event(time=1))
+        # The inactive subscription may linger until the next dispatch...
+        bus.publish(make_event(time=2))
+        # ...after which it must be gone from the subscriber list.
+        entry = bus._topics["T_a"]
+        assert subscription not in entry.all_subscriptions()
+        assert keep in entry.all_subscriptions()
+
+    def test_subscribe_and_unsubscribe_same_dispatch(self):
+        bus = EventBus()
+        late_events = []
+
+        def handler(event):
+            if event.time == 1:
+                late = bus.subscribe("T_a", late_events.append)
+                bus.unsubscribe(late)
+
+        bus.subscribe("T_a", handler)
+        bus.publish(make_event(time=1))
+        bus.publish(make_event(time=2))
+        assert late_events == []
+
+
+class TestKeyedSubscriptions:
+    @staticmethod
+    def keyed_bus():
+        bus = EventBus()
+        bus.set_key_extractor("T_a", lambda event: event.time)
+        return bus
+
+    def test_keyed_subscriber_sees_only_its_key(self):
+        bus = self.keyed_bus()
+        got = []
+        bus.subscribe("T_a", got.append, keys=[1])
+        bus.publish(make_event(time=1))
+        bus.publish(make_event(time=2))
+        assert [e.time for e in got] == [1]
+
+    def test_wildcard_subscriber_sees_everything(self):
+        bus = self.keyed_bus()
+        keyed, wild = [], []
+        bus.subscribe("T_a", keyed.append, keys=[1])
+        bus.subscribe("T_a", wild.append)
+        bus.publish(make_event(time=1))
+        bus.publish(make_event(time=2))
+        assert [e.time for e in keyed] == [1]
+        assert [e.time for e in wild] == [1, 2]
+
+    def test_subscription_under_several_keys(self):
+        bus = self.keyed_bus()
+        got = []
+        bus.subscribe("T_a", got.append, keys=[1, 3])
+        for t in (1, 2, 3):
+            bus.publish(make_event(time=t))
+        assert [e.time for e in got] == [1, 3]
+
+    def test_unsubscribe_keyed_removes_index_entries(self):
+        bus = self.keyed_bus()
+        got = []
+        subscription = bus.subscribe("T_a", got.append, keys=[1])
+        bus.unsubscribe(subscription)
+        bus.publish(make_event(time=1))
+        assert got == []
+        assert bus.subscriber_count("T_a") == 0
+
+    def test_keys_without_extractor_fall_back_to_wildcard_dispatch(self):
+        """Keyed subscriptions on a topic with no extractor are never
+        reachable by key, but unkeyed topics keep plain-topic dispatch."""
+        bus = EventBus()
+        wild = []
+        bus.subscribe("T_a", wild.append)
+        bus.publish(make_event(time=1))
+        assert len(wild) == 1
+
+    def test_delivered_count_tracks_keyed_deliveries(self):
+        bus = self.keyed_bus()
+        bus.subscribe("T_a", lambda e: None, keys=[1])
+        bus.subscribe("T_a", lambda e: None)
+        bus.publish(make_event(time=1))
+        bus.publish(make_event(time=2))
+        assert bus.delivered_count("T_a") == 3
+
+
+class TestPublishBatch:
+    def test_batch_delivers_in_order(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("T_a", got.append)
+        bus.publish_batch([make_event(time=t) for t in (1, 2, 3)])
+        assert [e.time for e in got] == [1, 2, 3]
+        assert bus.published_count("T_a") == 3
+
+    def test_batch_from_handler_is_queued(self):
+        bus = EventBus()
+        order = []
+
+        def handler(event):
+            order.append(event.time)
+            if event.time == 1:
+                bus.publish_batch([make_event(time=2), make_event(time=3)])
+
+        bus.subscribe("T_a", handler)
+        bus.publish(make_event(time=1))
+        assert order == [1, 2, 3]
+
+
 class TestErrorIsolation:
     def test_default_is_fail_fast(self):
         bus = EventBus()
@@ -106,6 +238,20 @@ class TestErrorIsolation:
         bus.publish(make_event())
         assert bus.delivered_count("T_a") == 0
         assert bus.published_count("T_a") == 1
+
+    def test_failed_counter_tracks_partial_failures(self):
+        """A partially-failing topic is not silently undercounted: the
+        failures show up in their own counter."""
+        bus = EventBus(isolate_errors=True)
+        bus.subscribe("T_a", lambda e: (_ for _ in ()).throw(ValueError()))
+        bus.subscribe("T_a", lambda e: None)
+        bus.publish(make_event(time=1))
+        bus.publish(make_event(time=2))
+        assert bus.published_count("T_a") == 2
+        assert bus.delivered_count("T_a") == 2
+        assert bus.failed_count("T_a") == 2
+        assert bus.failed_count() == 2
+        assert bus.failed_count("T_other") == 0
 
 
 class TestStatistics:

@@ -84,6 +84,92 @@ class TestActivityProducer:
         assert len(got) == 1
 
 
+class TestIndexedRouting:
+    def test_keyed_consumer_sees_only_matching_key(self):
+        producer = ContextEventProducer()
+        deadline, status = [], []
+        producer.add_consumer(
+            deadline.append, keys=[("TaskForceContext", "TaskForceDeadline")]
+        )
+        producer.add_consumer(
+            status.append, keys=[("TaskForceContext", "Status")]
+        )
+        producer.produce(context_change())  # field TaskForceDeadline
+        assert len(deadline) == 1
+        assert status == []
+
+    def test_wildcard_consumer_sees_everything(self):
+        producer = ContextEventProducer()
+        wild = []
+        producer.add_consumer(
+            [].append, keys=[("Other", "field")]
+        )
+        producer.add_consumer(wild.append)
+        producer.produce(context_change())
+        assert len(wild) == 1
+
+    def test_remove_consumer_clears_index_entries(self):
+        producer = ContextEventProducer()
+        got = []
+        handle = producer.add_consumer(
+            got.append, keys=[("TaskForceContext", "TaskForceDeadline")]
+        )
+        producer.remove_consumer(handle)
+        producer.produce(context_change())
+        assert got == []
+        assert producer.consumer_count() == 0
+        assert producer.indexed_key_count() == 0
+
+    def test_linear_mode_matches_indexed_mode(self):
+        for indexed in (True, False):
+            producer = ContextEventProducer()
+            producer.indexed = indexed
+            matching, other = [], []
+            producer.add_consumer(
+                matching.append,
+                keys=[("TaskForceContext", "TaskForceDeadline")],
+            )
+            producer.add_consumer(other.append, keys=[("Ctx", "x")])
+            producer.produce(context_change())
+            assert len(matching) == 1, f"indexed={indexed}"
+            # Linear mode scans everyone, but only registration differs;
+            # the keyed consumer list is what the filter would reject from.
+            if indexed:
+                assert other == []
+
+    def test_activity_producer_routes_by_schema_and_variable(self):
+        producer = ActivityEventProducer()
+        assess, other = [], []
+        producer.add_consumer(assess.append, keys=[("P-TF", "assess")])
+        producer.add_consumer(other.append, keys=[("P-TF", "report")])
+        producer.produce(activity_change())
+        assert len(assess) == 1
+        assert other == []
+
+    def test_attach_installs_bus_key_extractor(self):
+        bus = EventBus()
+        producer = ContextEventProducer()
+        producer.attach(bus)
+        extractor = bus.key_extractor("T_context")
+        assert extractor is not None
+        event = producer.produce(context_change())
+        assert extractor(event) == ("TaskForceContext", "TaskForceDeadline")
+
+    def test_produce_batch_emits_all_and_publishes_once_drained(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe("T_context", got.append)
+        producer = ContextEventProducer()
+        producer.attach(bus)
+        direct = []
+        producer.add_consumer(direct.append)
+        events = producer.produce_batch([context_change(), context_change()])
+        assert len(events) == 2
+        assert len(direct) == 2
+        assert len(got) == 2
+        assert producer.emitted == 2
+
+
 class TestContextProducer:
     def test_event_carries_association_set(self):
         producer = ContextEventProducer()
