@@ -13,7 +13,6 @@ the built-in choices require.  Expected shape:
 * e-mail rules: static lists, neither precise nor complete.
 """
 
-from repro.metrics.overload import SCORE_HEADERS
 from repro.metrics.report import render_table
 from repro.workloads.generator import CrisisWorkload, WorkloadConfig
 
@@ -90,7 +89,10 @@ def test_qe1_overload(benchmark, record_table):
                 sweep_result.violations,
                 f"{cmi_row.deliveries_per_participant:.1f}",
                 f"{monitor_row.deliveries_per_participant:.1f}",
-                f"{monitor_row.deliveries_per_participant / max(cmi_row.deliveries_per_participant, 0.1):.1f}x",
+                "{:.1f}x".format(
+                    monitor_row.deliveries_per_participant
+                    / max(cmi_row.deliveries_per_participant, 0.1)
+                ),
             )
         )
     # The overload gap does not close as the crisis grows.

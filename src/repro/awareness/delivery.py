@@ -28,6 +28,8 @@ from ..errors import RoleResolutionError
 from ..events.event import Event
 from ..events.queues import DeliveryQueue, MemoryDeliveryQueue, Notification
 from ..ids import IdFactory
+from ..observability import INSTRUMENTATION as _OBS
+from ..observability import MetricsRegistry
 from .assignment import AssignmentRegistry
 
 
@@ -49,17 +51,37 @@ class DeliveryAgent:
         core: CoreEngine,
         queue: Optional[DeliveryQueue] = None,
         assignments: Optional[AssignmentRegistry] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.core = core
         self.queue = queue if queue is not None else MemoryDeliveryQueue()
         self.assignments = assignments or AssignmentRegistry()
         self._ids = IdFactory()
         self._role_refs: dict = {}
-        self.delivered = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._delivered = self.metrics.counter(
+            "notifications_delivered_total",
+            "Notifications queued for participants by the delivery agent",
+        )
         self.undeliverable: List[UndeliveredEvent] = []
+
+    @property
+    def delivered(self) -> int:
+        """Notifications queued so far (a view over the registry counter)."""
+        return int(self._delivered.value())
 
     def deliver(self, event: Event) -> Tuple[Notification, ...]:
         """Process one ``T_delivery`` event; returns the queued notifications."""
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "delivery.deliver",
+                logical_time=event.time,
+                schema=event.get("schemaName"),
+            ):
+                return self._deliver(event)
+        return self._deliver(event)
+
+    def _deliver(self, event: Event) -> Tuple[Notification, ...]:
         receivers = self._resolve_receivers(event)
         if receivers is None:
             return ()
@@ -70,7 +92,16 @@ class DeliveryAgent:
             notification = self._make_notification(event, participant)
             self._route(event, participant, notification)
             notifications.append(notification)
-            self.delivered += 1
+            self._delivered.inc()
+            if _OBS.enabled:
+                _OBS.provenance.record_delivery(
+                    notification.notification_id,
+                    notification.participant_id,
+                    notification.schema_name,
+                    notification.description,
+                    notification.time,
+                    event,
+                )
         return tuple(notifications)
 
     # -- overridable steps (the extension hooks of Section 6.5's outlook) -------
@@ -102,22 +133,35 @@ class DeliveryAgent:
 
     def _make_notification(self, event: Event, participant) -> Notification:
         params = event.params
+        parameters = {
+            "processSchemaId": params["processSchemaId"],
+            "processInstanceId": params["processInstanceId"],
+            "intInfo": params.get("intInfo"),
+            "strInfo": params.get("strInfo"),
+            "sourceEvent": params.get("sourceEvent"),
+        }
+        if _OBS.enabled:
+            # The chain object itself, not a rendering: the viewer renders
+            # lazily, and persistent queues stringify it on serialization.
+            parameters["provenance"] = getattr(event, "provenance", None)
         return Notification(
             notification_id=self._ids.new("ntf"),
             participant_id=participant.participant_id,
             time=params["time"],
             description=params["userDescription"],
             schema_name=params["schemaName"],
-            parameters={
-                "processSchemaId": params["processSchemaId"],
-                "processInstanceId": params["processInstanceId"],
-                "intInfo": params.get("intInfo"),
-                "strInfo": params.get("strInfo"),
-                "sourceEvent": params.get("sourceEvent"),
-            },
+            parameters=parameters,
         )
 
     def _route(self, event: Event, participant, notification: Notification) -> None:
         """Hand the notification to its transport; the base agent always
         uses the persistent queue (the paper's implemented mechanism)."""
+        if _OBS.enabled:
+            with _OBS.tracer.span(
+                "queue.append",
+                logical_time=notification.time,
+                participant=notification.participant_id,
+            ):
+                self.queue.enqueue(notification)
+            return
         self.queue.enqueue(notification)

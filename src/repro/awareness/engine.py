@@ -25,12 +25,9 @@ from ..core.engine import CoreEngine
 from ..core.roles import Participant
 from ..errors import SpecificationError
 from ..events.bus import EventBus
-from ..events.producers import (
-    ActivityEventProducer,
-    ContextEventProducer,
-    EventProducer,
-)
+from ..events.producers import EventProducer
 from ..events.queues import DeliveryQueue, MemoryDeliveryQueue
+from ..observability import MetricsRegistry
 from .assignment import AssignmentRegistry
 from .delivery import DeliveryAgent
 from .detector import DetectorAgent
@@ -56,19 +53,38 @@ class AwarenessEngine:
         registry: Optional[OperatorRegistry] = None,
         assignments: Optional[AssignmentRegistry] = None,
         delivery_agent: Optional[DeliveryAgent] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.core = core
-        self.bus = bus or EventBus()
+        #: All Figure 5 agents owned by this engine register their counters
+        #: here; :meth:`stats` is a view over these instruments.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.bus = bus or EventBus(metrics=self.metrics)
         self.registry = registry or default_registry()
-        self.activity_source = ActivitySourceAgent(core, bus=self.bus)
-        self.context_source = ContextSourceAgent(core, bus=self.bus)
+        self.activity_source = ActivitySourceAgent(
+            core, bus=self.bus, metrics=self.metrics
+        )
+        self.context_source = ContextSourceAgent(
+            core, bus=self.bus, metrics=self.metrics
+        )
         self.delivery = delivery_agent or DeliveryAgent(
             core,
             queue=queue if queue is not None else MemoryDeliveryQueue(),
             assignments=assignments,
+            metrics=self.metrics,
         )
         self._detectors: List[DetectorAgent] = []
         self._external_sources: Dict[str, EventProducer] = {}
+        self.metrics.callback_gauge(
+            "composites_recognized",
+            lambda: sum(d.recognized for d in self._detectors),
+            "Composite events recognized across deployed detector agents",
+        )
+        self.metrics.callback_gauge(
+            "undeliverable_events",
+            lambda: len(self.delivery.undeliverable),
+            "Delivery events whose awareness role could not be resolved",
+        )
 
     # -- external sources --------------------------------------------------------
 
@@ -134,11 +150,21 @@ class AwarenessEngine:
         return tuple(self._detectors)
 
     def stats(self) -> Dict[str, int]:
-        """Event-flow counters across the Figure 5 pipeline."""
+        """Event-flow counters across the Figure 5 pipeline.
+
+        Every value is a view over a registry instrument: the gathered /
+        delivered counts read the agents' counters, and the recognized /
+        undeliverable counts read the collection-time gauges registered in
+        :attr:`metrics`.
+        """
         return {
             "activity_events_gathered": self.activity_source.gathered,
             "context_events_gathered": self.context_source.gathered,
-            "composites_recognized": sum(d.recognized for d in self._detectors),
+            "composites_recognized": int(
+                self.metrics.value("composites_recognized")
+            ),
             "notifications_delivered": self.delivery.delivered,
-            "undeliverable_events": len(self.delivery.undeliverable),
+            "undeliverable_events": int(
+                self.metrics.value("undeliverable_events")
+            ),
         }

@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...errors import ParameterError, SlotError
 from ...events.event import Event, EventType
+from ...observability import INSTRUMENTATION as _OBS
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,13 @@ class EventOperator:
         self._consumers: List[Tuple[Callable[[int, Event], None], int]] = []
         self.consumed = 0
         self.produced = 0
+        #: Transient provenance hand-off: multi-input subclasses (And, Seq)
+        #: set this inside `_apply` — guarded by the instrumentation flag —
+        #: to report *all* constituent events of an emission, since their
+        #: partition state is cleared before `_apply` returns.
+        self._constituents: Optional[Tuple[Event, ...]] = None
+        #: Lazily-built, shared attribute dict for this operator's spans.
+        self._span_attrs: Optional[Dict[str, object]] = None
 
     # -- wiring -----------------------------------------------------------------
 
@@ -129,11 +137,61 @@ class EventOperator:
         if state is None:
             state = self.new_state()
             self._partitions[key] = state
-        outputs = self._apply(slot, event, state)
-        for output in outputs:
-            self.produced += 1
-            for consumer, consumer_slot in self._consumers:
-                consumer(consumer_slot, output)
+        if not _OBS.enabled:
+            outputs = self._apply(slot, event, state)
+            for output in outputs:
+                self.produced += 1
+                for consumer, consumer_slot in self._consumers:
+                    consumer(consumer_slot, output)
+            return outputs
+        # Instrumented tail, inlined (an extra frame per consume is real
+        # money at this call rate): wrap the subclass algorithm and the
+        # downstream forwarding in an ``operator.consume`` span (downstream
+        # consume spans nest under it) and stamp every output with a
+        # provenance node linking it to its constituents.  Constituents
+        # default to the triggering event; multi-input operators override
+        # via :attr:`_constituents`.
+        tracer = _OBS.tracer
+        if tracer._light_depth:
+            # Sampler skipped this trace: bump the depth in place instead
+            # of paying two method calls (see Tracer._light_depth).
+            tracer._light_depth += 1
+            span = None
+        else:
+            attrs = self._span_attrs
+            if attrs is None:
+                attrs = self._span_attrs = {
+                    "node": self.instance_name,
+                    "op": self.family,
+                }
+            span = tracer.begin(
+                "operator.consume", event._params["time"], attrs
+            )
+        try:
+            self._constituents = None
+            outputs = self._apply(slot, event, state)
+            if outputs:
+                constituents = self._constituents
+                if constituents is None:
+                    constituents = (event,)
+                else:
+                    self._constituents = None
+                tracker = _OBS.provenance
+                name = self.instance_name
+                family = self.family
+                for output in outputs:
+                    if output.provenance is None:
+                        tracker.record_operator(
+                            output, name, family, constituents
+                        )
+                    self.produced += 1
+                    for consumer, consumer_slot in self._consumers:
+                        consumer(consumer_slot, output)
+        finally:
+            if span is None:
+                tracer._light_depth -= 1
+            else:
+                tracer.end(span)
         return outputs
 
     # -- subclass hooks ---------------------------------------------------------------

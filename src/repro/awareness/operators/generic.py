@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional
 from ...errors import ParameterError
 from ...events.canonical import canonical_type
 from ...events.event import Event
+from ...observability import INSTRUMENTATION as _OBS
 from .base import EventOperator, OperatorSignature, check_copy_parameter
 
 
@@ -68,6 +69,8 @@ class And(EventOperator):
             return []
         template = state[self.copy - 1]
         output = _compose(template, event, self.instance_name)
+        if _OBS.enabled:
+            self._constituents = tuple(state[i] for i in sorted(state))
         state.clear()
         return [output]
 
@@ -109,6 +112,8 @@ class Seq(EventOperator):
             return []
         template = state["seen"][self.copy - 1]
         output = _compose(template, event, self.instance_name)
+        if _OBS.enabled:
+            self._constituents = tuple(state["seen"])
         state["pointer"] = 0
         state["seen"] = []
         return [output]

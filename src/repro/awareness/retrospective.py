@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from ..core.context import ContextChange
-from ..core.instances import ActivityStateChange
 from ..events.event import Event
 from ..events.producers import ActivityEventProducer, ContextEventProducer
 from ..federation.monitor import ProcessMonitor

@@ -14,19 +14,35 @@ Two agents mirror the paper's two primitive event kinds:
 * :class:`ContextSourceAgent` instruments the CORE engine's context store
   the same way for ``E_context``.
 
-Both count what they gathered so the architecture benchmark (FIG5) can
-verify event flow between components.
+Both count what they gathered — in the metrics registry, as the
+``events_gathered_total{source=...}`` counter — so the architecture
+benchmark (FIG5) can verify event flow between components.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from ..core.context import ContextChange
 from ..core.engine import CoreEngine
 from ..core.instances import ActivityStateChange
 from ..events.bus import EventBus
 from ..events.producers import ActivityEventProducer, ContextEventProducer
+from ..observability import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..events.event import Event
+
+#: Counter name shared by both source agents; the label tells them apart.
+GATHERED_COUNTER = "events_gathered_total"
+
+
+def _gathered_child(metrics: MetricsRegistry, source: str):
+    return metrics.counter(
+        GATHERED_COUNTER,
+        "Primitive change records gathered, by source agent",
+        ("source",),
+    ).child((source,))
 
 
 class ActivitySourceAgent:
@@ -37,15 +53,24 @@ class ActivitySourceAgent:
         core: CoreEngine,
         producer: Optional[ActivityEventProducer] = None,
         bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.producer = producer or ActivityEventProducer()
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self.producer = producer or ActivityEventProducer(metrics=metrics)
         if bus is not None:
             self.producer.attach(bus)
-        self.gathered = 0
+        self._gathered = _gathered_child(metrics, "activity")
         core.on_activity_change(self._gather)
 
+    @property
+    def gathered(self) -> int:
+        """Change records gathered (a view over the registry counter)."""
+        return int(self._gathered.value())
+
     def _gather(self, change: ActivityStateChange) -> None:
-        self.gathered += 1
+        self._gathered.inc()
         self.producer.produce(change)
 
 
@@ -57,15 +82,24 @@ class ContextSourceAgent:
         core: CoreEngine,
         producer: Optional[ContextEventProducer] = None,
         bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.producer = producer or ContextEventProducer()
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self.producer = producer or ContextEventProducer(metrics=metrics)
         if bus is not None:
             self.producer.attach(bus)
-        self.gathered = 0
+        self._gathered = _gathered_child(metrics, "context")
         core.on_context_change(self._gather)
 
+    @property
+    def gathered(self) -> int:
+        """Change records gathered (a view over the registry counter)."""
+        return int(self._gathered.value())
+
     def _gather(self, change: ContextChange) -> None:
-        self.gathered += 1
+        self._gathered.inc()
         self.producer.produce(change)
 
     def gather_batch(self, changes: Iterable[ContextChange]) -> List["Event"]:
@@ -76,5 +110,5 @@ class ContextSourceAgent:
         ``publish_batch`` instead of one drain per field.
         """
         change_list = list(changes)
-        self.gathered += len(change_list)
+        self._gathered.inc(len(change_list))
         return self.producer.produce_batch(change_list)

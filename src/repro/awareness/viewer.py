@@ -12,10 +12,11 @@ the composite event was detected still receives the information.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.roles import Participant
 from ..events.queues import DeliveryQueue, Notification
+from ..observability import ProvenanceNode
 
 
 class AwarenessViewer:
@@ -40,8 +41,25 @@ class AwarenessViewer:
         """Everything this viewer has retrieved so far."""
         return tuple(self._received)
 
-    def render(self) -> str:
-        """Plain-text display of the retrieved awareness information."""
+    @staticmethod
+    def provenance_for(notification: Notification) -> Optional[ProvenanceNode]:
+        """The recognition chain of *notification*, if one was recorded.
+
+        Chains exist only for notifications delivered while pipeline
+        instrumentation (:mod:`repro.observability`) was enabled; a
+        notification that crossed a serializing queue carries at most a
+        stringified chain, for which this returns ``None``.
+        """
+        chain = notification.parameters.get("provenance")
+        return chain if isinstance(chain, ProvenanceNode) else None
+
+    def render(self, provenance: bool = False) -> str:
+        """Plain-text display of the retrieved awareness information.
+
+        With ``provenance=True`` each notification that carries a recorded
+        recognition chain is followed by the indented chain — the "why was
+        I notified" evidence behind the prose description.
+        """
         lines = [f"Awareness for {self.participant.name}:"]
         if not self._received:
             lines.append("  (no awareness information)")
@@ -50,4 +68,8 @@ class AwarenessViewer:
                 f"  [t={notification.time}] {notification.schema_name}: "
                 f"{notification.description}"
             )
+            if provenance:
+                chain = self.provenance_for(notification)
+                if chain is not None:
+                    lines.append(chain.render(indent=2))
         return "\n".join(lines)

@@ -6,6 +6,9 @@
 * ``epidemic`` — the Figure 1 crisis information-gathering scenario;
 * ``overload`` — the QE1 comparison tables (CMI vs baselines);
 * ``demonstration`` — the Section 7-scale run with paper-vs-measured rows;
+* ``trace`` — the demonstration run under pipeline instrumentation:
+  recognition provenance chains for delivered notifications plus the
+  per-stage latency summary;
 * ``check-spec`` — parse and validate an awareness specification written
   in the DSL, printing the resulting window (a designer's lint step).
 """
@@ -34,7 +37,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(app.window.render())
     task_force = app.create_task_force(lee, [lee, kim], deadline=200)
     request = app.request_information(task_force, kim, deadline=150)
-    print(f"\ntask force deadline 200; dr-kim's request deadline 150")
+    print("\ntask force deadline 200; dr-kim's request deadline 150")
     app.change_task_force_deadline(task_force, 120)
     print("dr-lee moves the task force deadline to 120 -> violation\n")
     for notification in system.participant_client(kim).check_awareness():
@@ -90,6 +93,52 @@ def _cmd_demonstration(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .metrics.report import render_table
+    from .observability import instrumented
+    from .workloads.demonstration import build_demonstration
+
+    with instrumented() as obs:
+        build_demonstration(seed=args.seed).run()
+
+    deliveries = obs.provenance.recent_deliveries()
+    shown = deliveries[-args.limit :] if args.limit else deliveries
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "deliveries": [record.to_dict() for record in shown],
+                    "stages": {
+                        stage: {"spans": count, "mean_us": round(mean, 3)}
+                        for stage, (count, mean) in obs.tracer.stage_summary().items()
+                    },
+                    "traces": obs.tracer.export_json(),
+                },
+                indent=2,
+                default=str,
+            )
+        )
+        return 0
+    if not deliveries:
+        print("no notifications were delivered; nothing to trace")
+        return 1
+    print(
+        f"{len(deliveries)} notification(s) delivered; "
+        f"showing the last {len(shown)} with recognition provenance:\n"
+    )
+    for record in shown:
+        print(record.render())
+        print()
+    rows = [
+        (stage, count, f"{mean:.1f}")
+        for stage, (count, mean) in sorted(obs.tracer.stage_summary().items())
+    ]
+    print(render_table(("stage", "spans", "mean us"), rows, title="pipeline stages"))
+    return 0
+
+
 def _cmd_check_spec(args: argparse.Namespace) -> int:
     from .awareness.dsl import compile_specification
     from .awareness.specification import SpecificationWindow
@@ -139,6 +188,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demonstration.add_argument("--seed", type=int, default=3)
     demonstration.set_defaults(handler=_cmd_demonstration)
+
+    trace = commands.add_parser(
+        "trace",
+        help="demonstration run with provenance chains + stage latencies",
+    )
+    trace.add_argument("--seed", type=int, default=3)
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=5,
+        help="how many recent deliveries to show (0 = all recorded)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit deliveries, stage summary, and raw traces as JSON",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     check = commands.add_parser(
         "check-spec", help="validate a DSL awareness specification"

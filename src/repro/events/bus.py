@@ -24,8 +24,8 @@ Unkeyed topics and unkeyed subscribers behave exactly as before.
 
 from __future__ import annotations
 
-from collections import Counter, deque
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import (
     Callable,
     Deque,
@@ -37,6 +37,8 @@ from typing import (
     Tuple,
 )
 
+from ..observability import INSTRUMENTATION as _OBS
+from ..observability import MetricsRegistry
 from .event import Event
 
 Handler = Callable[[Event], None]
@@ -157,16 +159,38 @@ class EventBus:
     detector cannot silence the rest of the awareness engine.
     """
 
-    def __init__(self, isolate_errors: bool = False) -> None:
+    def __init__(
+        self,
+        isolate_errors: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._topics: Dict[str, _Topic] = {}
         self._queue: Deque[Event] = deque()
         self._dispatching = False
-        self._published: Counter = Counter()
-        self._delivered: Counter = Counter()
-        self._failed: Counter = Counter()
+        #: Per-topic counters live in the metrics registry (the system's
+        #: registry when the bus belongs to an EnactmentSystem, a private
+        #: one otherwise) so `stats()` surfaces are views over instruments.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._published = self.metrics.counter(
+            "bus_published_total",
+            "Events published on the bus, by topic",
+            ("topic",),
+        )
+        self._delivered = self.metrics.counter(
+            "bus_delivered_total",
+            "Successful handler deliveries, by topic",
+            ("topic",),
+        )
+        self._failed = self.metrics.counter(
+            "bus_failed_total",
+            "Handler deliveries that raised under error isolation, by topic",
+            ("topic",),
+        )
         self._isolate_errors = isolate_errors
         #: (topic, exception) pairs collected under error isolation.
         self.handler_errors: List[Tuple[str, Exception]] = []
+        #: Shared per-topic attribute dicts for ``bus.dispatch`` spans.
+        self._span_attrs: Dict[str, Dict[str, object]] = {}
 
     # -- subscription ----------------------------------------------------------
 
@@ -261,10 +285,35 @@ class EventBus:
 
     def _dispatch(self, event: Event) -> None:
         topic = event.type_name
-        self._published[topic] += 1
+        self._published.inc(1, (topic,))
         entry = self._topics.get(topic)
         if entry is None:
             return
+        if _OBS.enabled:
+            tracer = _OBS.tracer
+            if tracer._light_depth:
+                # Sampler skipped this trace: depth bookkeeping in place
+                # (see Tracer._light_depth) instead of two method calls.
+                tracer._light_depth += 1
+                span = None
+            else:
+                attrs = self._span_attrs.get(topic)
+                if attrs is None:
+                    attrs = self._span_attrs[topic] = {"topic": topic}
+                span = tracer.begin(
+                    "bus.dispatch", event._params["time"], attrs
+                )
+            try:
+                self._dispatch_entry(entry, topic, event)
+            finally:
+                if span is None:
+                    tracer._light_depth -= 1
+                else:
+                    tracer.end(span)
+        else:
+            self._dispatch_entry(entry, topic, event)
+
+    def _dispatch_entry(self, entry: _Topic, topic: str, event: Event) -> None:
         if entry._needs_reap:
             entry.reap()
         if entry.extractor is not None and entry.index:
@@ -287,28 +336,28 @@ class EventBus:
             except Exception as error:
                 if not self._isolate_errors:
                     raise
-                self._failed[topic] += 1
+                self._failed.inc(1, (topic,))
                 self.handler_errors.append((topic, error))
                 continue
-            self._delivered[topic] += 1
+            self._delivered.inc(1, (topic,))
 
     # -- statistics ------------------------------------------------------------------
 
     def published_count(self, topic: Optional[str] = None) -> int:
         if topic is None:
-            return sum(self._published.values())
-        return self._published[topic]
+            return int(self._published.total())
+        return int(self._published.value((topic,)))
 
     def delivered_count(self, topic: Optional[str] = None) -> int:
         if topic is None:
-            return sum(self._delivered.values())
-        return self._delivered[topic]
+            return int(self._delivered.total())
+        return int(self._delivered.value((topic,)))
 
     def failed_count(self, topic: Optional[str] = None) -> int:
         """Deliveries that raised under ``isolate_errors=True``."""
         if topic is None:
-            return sum(self._failed.values())
-        return self._failed[topic]
+            return int(self._failed.total())
+        return int(self._failed.value((topic,)))
 
     def topics(self) -> Tuple[str, ...]:
         return tuple(self._topics)

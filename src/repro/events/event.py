@@ -149,9 +149,18 @@ class Event:
     Construction validates the parameters against the event type.  The
     parameter mapping is exposed read-only; ``event["time"]`` and
     ``event.get("intInfo")`` give dict-like access.
+
+    ``provenance`` is the one instrumentation channel: while pipeline
+    instrumentation is enabled (:mod:`repro.observability`) producers and
+    operators stamp each event with the
+    :class:`~repro.observability.provenance.ProvenanceNode` that explains
+    where it came from.  The slot is always initialised to ``None`` (a
+    plain attribute load is cheaper for the instrumented paths than a
+    ``getattr`` default on an unset slot); the event's *parameters*
+    remain immutable either way.
     """
 
-    __slots__ = ("_event_type", "_params")
+    __slots__ = ("_event_type", "_params", "provenance")
 
     def __init__(self, event_type: EventType, params: Mapping[str, Any]) -> None:
         merged = dict(params)
@@ -159,6 +168,7 @@ class Event:
         event_type.conforms(merged)
         self._event_type = event_type
         self._params = MappingProxyType(merged)
+        self.provenance = None
 
     @classmethod
     def trusted(cls, event_type: EventType, params: Dict[str, Any]) -> "Event":
@@ -175,6 +185,7 @@ class Event:
         params.setdefault("type", event_type.name)
         self._event_type = event_type
         self._params = MappingProxyType(params)
+        self.provenance = None
         return self
 
     @property

@@ -24,6 +24,8 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..core.context import ContextChange
 from ..core.instances import ActivityStateChange
+from ..observability import INSTRUMENTATION as _OBS
+from ..observability import MetricsRegistry
 from .bus import EventBus
 from .event import Event, EventType, ParameterSpec, base_parameters
 
@@ -82,7 +84,12 @@ class EventProducer:
     uses this to measure the index win.
     """
 
-    def __init__(self, producer_id: str, output_type: EventType) -> None:
+    def __init__(
+        self,
+        producer_id: str,
+        output_type: EventType,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.producer_id = producer_id
         self.output_type = output_type
         self._bus: Optional[EventBus] = None
@@ -93,7 +100,25 @@ class EventProducer:
         self._key_extractor: Optional[Callable[[Event], Hashable]] = None
         #: Set False to force the linear scan over all consumers.
         self.indexed = True
-        self.emitted = 0
+        #: Emission totals live in the registry (the system registry when
+        #: wired by a source agent, a private one otherwise); ``emitted``
+        #: stays available as a read-only view.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._emitted = self.metrics.counter(
+            "producer_emitted_total",
+            "Primitive events emitted, by producer",
+            ("producer",),
+        ).child((producer_id,))
+        #: Shared attribute dict for this producer's ``source.emit`` spans.
+        self._span_attrs = {
+            "producer": producer_id,
+            "type": output_type.name,
+        }
+
+    @property
+    def emitted(self) -> int:
+        """Events emitted so far (a view over the registry counter)."""
+        return int(self._emitted.value())
 
     def attach(self, bus: EventBus) -> None:
         self._bus = bus
@@ -154,7 +179,20 @@ class EventProducer:
         return len(self._index)
 
     def emit(self, event: Event) -> Event:
-        self.emitted += 1
+        self._emitted.inc()
+        if _OBS.enabled:
+            _OBS.provenance.record_primitive(event, self.producer_id)
+            tracer = _OBS.tracer
+            span = tracer.begin(
+                "source.emit", event._params["time"], self._span_attrs
+            )
+            try:
+                self._dispatch(event)
+                if self._bus is not None:
+                    self._bus.publish(event)
+            finally:
+                tracer.end(span)
+            return event
         self._dispatch(event)
         if self._bus is not None:
             self._bus.publish(event)
@@ -162,9 +200,22 @@ class EventProducer:
 
     def emit_batch(self, events: List[Event]) -> List[Event]:
         """Emit several events, publishing to the bus as one batch."""
-        self.emitted += len(events)
-        for event in events:
-            self._dispatch(event)
+        self._emitted.inc(len(events))
+        if _OBS.enabled:
+            tracker = _OBS.provenance
+            tracer = _OBS.tracer
+            producer_id = self.producer_id
+            attrs = self._span_attrs
+            for event in events:
+                tracker.record_primitive(event, producer_id)
+                span = tracer.begin("source.emit", event._params["time"], attrs)
+                try:
+                    self._dispatch(event)
+                finally:
+                    tracer.end(span)
+        else:
+            for event in events:
+                self._dispatch(event)
         if self._bus is not None:
             self._bus.publish_batch(events)
         return events
@@ -202,8 +253,12 @@ def context_routing_key(event: Event) -> Hashable:
 class ActivityEventProducer(EventProducer):
     """``E_activity`` — the single source of activity state change events."""
 
-    def __init__(self, producer_id: str = "E_activity") -> None:
-        super().__init__(producer_id, ACTIVITY_EVENT_TYPE)
+    def __init__(
+        self,
+        producer_id: str = "E_activity",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(producer_id, ACTIVITY_EVENT_TYPE, metrics)
         self.set_key_extractor(activity_routing_key)
 
     def produce(self, change: ActivityStateChange) -> Event:
@@ -229,8 +284,12 @@ class ActivityEventProducer(EventProducer):
 class ContextEventProducer(EventProducer):
     """``E_context`` — the single source of context field change events."""
 
-    def __init__(self, producer_id: str = "E_context") -> None:
-        super().__init__(producer_id, CONTEXT_EVENT_TYPE)
+    def __init__(
+        self,
+        producer_id: str = "E_context",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(producer_id, CONTEXT_EVENT_TYPE, metrics)
         self.set_key_extractor(context_routing_key)
 
     def _translate(self, change: ContextChange) -> Event:

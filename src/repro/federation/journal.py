@@ -22,8 +22,11 @@ same ids, and journaled references resolve exactly.
 Journal records are JSON-able dicts; :class:`Journal` keeps them in memory
 and can persist to/load from a JSON-lines file.  Scoped-role *membership
 changes after creation* go through :meth:`CoreEngine.create_scoped_role`'s
-returned object and are outside the journaled surface — use engine APIs
-for anything that must survive recovery.
+returned object and are outside the recoverable surface: the journal
+records them (``scoped_role_membership``) so the audit trail is complete,
+and :func:`recover_core` **refuses** a journal containing them — a clear
+:class:`RecoveryError` instead of a silently diverging recovery — use
+engine APIs for anything that must survive recovery.
 """
 
 from __future__ import annotations
@@ -253,9 +256,45 @@ def attach_journal(
                 "members": [p.participant_id for p in members],
             }
         )
+        _journal_scoped_membership(role, ref.context_id, field_name)
         return role
 
     core.create_scoped_role = create_scoped_role  # type: ignore[method-assign]
+
+    def _journal_scoped_membership(role, context_id, field_name):
+        # Membership changes after creation are recorded so the audit
+        # trail is complete, but they are not replayable state (see the
+        # module docstring): recover_core refuses a journal containing
+        # them rather than silently recovering without the change.
+        original_add = role.add_member
+        original_remove = role.remove_member
+
+        def add_member(participant):
+            original_add(participant)
+            journal.append(
+                {
+                    "op": "scoped_role_membership",
+                    "action": "add",
+                    "context_id": context_id,
+                    "field": field_name,
+                    "participant": participant.participant_id,
+                }
+            )
+
+        def remove_member(participant):
+            original_remove(participant)
+            journal.append(
+                {
+                    "op": "scoped_role_membership",
+                    "action": "remove",
+                    "context_id": context_id,
+                    "field": field_name,
+                    "participant": participant.participant_id,
+                }
+            )
+
+        role.add_member = add_member
+        role.remove_member = remove_member
 
     # Context field assignments: observe the change stream, skipping the
     # role-valued writes that create_scoped_role journals itself.
@@ -391,6 +430,19 @@ def recover_core(
                 )
                 core.create_scoped_role(
                     ref_for(record["context_id"]), record["field"], members
+                )
+            elif op == "scoped_role_membership":
+                # Audit-only record (see the module docstring): replaying
+                # it cannot reproduce the engine's state, so fail loudly
+                # instead of recovering something that silently diverges.
+                raise RecoveryError(
+                    "journal contains a post-creation scoped-role "
+                    f"membership change ({record.get('action')!r} "
+                    f"{record.get('participant')!r} on "
+                    f"{record.get('context_id')}.{record.get('field')}); "
+                    "such changes are outside the recoverable surface — "
+                    "set the membership via CoreEngine.create_scoped_role "
+                    "so it survives recovery"
                 )
             else:
                 raise RecoveryError(f"unknown journal op {op!r}")

@@ -23,6 +23,7 @@ from ..core.roles import Participant
 from ..events.bus import EventBus
 from ..events.queues import DeliveryQueue, MemoryDeliveryQueue
 from ..awareness.engine import AwarenessEngine
+from ..observability import MetricsRegistry
 from ..service.engine import ServiceEngine
 from .clients import DesignerClient, ParticipantClient
 from .monitor import ProcessMonitor
@@ -39,7 +40,12 @@ class EnactmentSystem:
         isolate_errors: bool = False,
     ) -> None:
         self.clock = clock or LogicalClock()
-        self.bus = EventBus(isolate_errors=isolate_errors)
+        #: One registry per system: every Figure 5 agent it owns registers
+        #: its instruments here, and :meth:`stats` is a view over them.
+        #: Per-system (not process-wide) so concurrent systems in one
+        #: process — the norm in tests — never share counters.
+        self.metrics = MetricsRegistry()
+        self.bus = EventBus(isolate_errors=isolate_errors, metrics=self.metrics)
         self.core = CoreEngine(self.clock)
         self.journal = journal
         if journal is not None:
@@ -52,9 +58,25 @@ class EnactmentSystem:
             self.core,
             bus=self.bus,
             queue=queue if queue is not None else MemoryDeliveryQueue(),
+            metrics=self.metrics,
         )
         self.monitor = ProcessMonitor(self.core)
         self._participant_clients: Dict[str, ParticipantClient] = {}
+        self.metrics.callback_gauge(
+            "processes_started",
+            lambda: len(self.core.top_level_processes()),
+            "Top-level process instances started on the CORE engine",
+        )
+        self.metrics.callback_gauge(
+            "instances_total",
+            lambda: len(self.core.instances()),
+            "Process instances (all nesting levels) on the CORE engine",
+        )
+        self.metrics.callback_gauge(
+            "work_items_total",
+            lambda: len(self.coordination.worklists.all_items()),
+            "Work items created across all worklists",
+        )
 
     # -- client attach -------------------------------------------------------------
 
@@ -76,16 +98,21 @@ class EnactmentSystem:
         return self.core.roles.register_participant(participant)
 
     def stats(self) -> Dict[str, int]:
-        """System-wide counters for the FIG5 architecture benchmark."""
+        """System-wide counters for the FIG5 architecture benchmark.
+
+        A thin view over :attr:`metrics`: every value reads a registry
+        instrument (counters the agents increment on the hot path, plus
+        the collection-time gauges registered above).
+        """
         stats = dict(self.awareness.stats())
         stats.update(
             {
                 "bus_events_published": self.bus.published_count(),
                 "bus_events_delivered": self.bus.delivered_count(),
                 "bus_events_failed": self.bus.failed_count(),
-                "processes_started": len(self.core.top_level_processes()),
-                "instances_total": len(self.core.instances()),
-                "work_items_total": len(self.coordination.worklists.all_items()),
+                "processes_started": int(self.metrics.value("processes_started")),
+                "instances_total": int(self.metrics.value("instances_total")),
+                "work_items_total": int(self.metrics.value("work_items_total")),
             }
         )
         return stats

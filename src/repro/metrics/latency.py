@@ -15,6 +15,27 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Tuple
 
+#: Shared per-stage latency bucket edges, in microseconds.  The pipeline
+#: reports costs as us/event (see :class:`LatencySummary.per_event_us`);
+#: the observability tracer's stage histograms reuse the same convention
+#: so QE4 rows and `pipeline_stage_us` series read on one scale.
+STAGE_LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    50_000.0,
+)
+
 
 @dataclass(frozen=True)
 class LatencySummary:

@@ -1,0 +1,311 @@
+"""End-to-end pipeline tracing: spans, context propagation, ring buffer.
+
+The Figure 5 pipeline is synchronous — a primitive event flows from the
+event source agent through the detector agents' operator DAGs to the
+delivery agent and the participant queues inside one call stack.  The
+tracer exploits that: a *span* opened while another span is active becomes
+its child, so the natural call nesting reconstructs the pipeline hops
+without any thread-local or async context plumbing.
+
+Spans are logical-clock-aware: each records the event's logical ``time``
+alongside its wall-clock duration, so a trace answers both "which hops did
+this event take" (structure) and "what did each hop cost" (latency).  On
+close, every span feeds a per-stage latency histogram
+(``pipeline_stage_us``, with the bucket conventions of
+:mod:`repro.metrics.latency`), and completed *root* spans join a bounded
+ring buffer (:meth:`Tracer.recent`) exportable as JSON — the flight
+recorder read by the ``repro trace`` CLI.
+
+Everything here is allocation-light by design: a span is one ``__slots__``
+object, two ``perf_counter`` reads, and one histogram observation; the
+tracer holds no global state beyond its stack and ring buffer.
+
+**Head-based sampling.**  Recording every span of every trace would put a
+fixed per-stage tax on the hot path, so the tracer samples at the *trace*
+root: one in :attr:`Tracer.sample_every` traces is recorded in full
+(span tree, histograms, ring buffer); the rest cost only two integer
+depth updates per stage.  The sampling decision is made once when the
+root span opens and applies to the whole trace, so recorded trees are
+never partial.  Set ``sample_every=1`` to record everything (tests do).
+Provenance is *not* sampled — recognition chains stay complete.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+from typing import Deque, Dict, List, Optional, Tuple, cast
+
+from ..metrics.latency import STAGE_LATENCY_BUCKETS_US
+from .registry import BoundHistogram, Histogram, MetricsRegistry
+
+#: Default capacity of the recent-trace ring buffer.
+DEFAULT_MAX_TRACES = 256
+
+#: Default trace sampling period: record one in this many traces fully.
+DEFAULT_SAMPLE_EVERY = 16
+
+JsonSpan = Dict[str, object]
+
+
+class _LightSpan:
+    """Singleton token for stages of a trace the sampler skipped."""
+
+    __slots__ = ()
+
+
+_LIGHT = _LightSpan()
+#: The token under its public type; a zero-cost alias for annotations.
+_LIGHT_AS_SPAN = cast("Span", _LIGHT)
+
+
+class Span:
+    """One timed pipeline stage; a context manager that nests naturally."""
+
+    __slots__ = (
+        "name",
+        "logical_time",
+        "attributes",
+        "start",
+        "duration",
+        "children",
+        "light",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        logical_time: Optional[int],
+        attributes: Optional[Dict[str, object]],
+    ) -> None:
+        self.name = name
+        self.logical_time = logical_time
+        self.attributes = attributes
+        self.start = 0.0
+        self.duration = 0.0
+        self.children: List[Span] = []
+        self.light = False
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter_span(self)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self._tracer._exit_span(self)
+
+    @property
+    def duration_us(self) -> float:
+        return self.duration * 1e6
+
+    def to_dict(self) -> JsonSpan:
+        """A JSON-able rendering of this span and its subtree."""
+        out: JsonSpan = {
+            "name": self.name,
+            "duration_us": round(self.duration_us, 3),
+        }
+        if self.logical_time is not None:
+            out["logical_time"] = self.logical_time
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """An indented one-span-per-line tree rendering."""
+        attrs = ""
+        if self.attributes:
+            attrs = " " + " ".join(
+                f"{key}={value}" for key, value in self.attributes.items()
+            )
+        time_part = (
+            f" t={self.logical_time}" if self.logical_time is not None else ""
+        )
+        lines = [
+            f"{'  ' * indent}{self.name}{time_part} "
+            f"({self.duration_us:.1f}us){attrs}"
+        ]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Span recorder for the synchronous pipeline.
+
+    One tracer is single-threaded by construction (the pipeline it
+    instruments is synchronous); traces from concurrent federations should
+    use separate tracers.
+    """
+
+    def __init__(
+        self,
+        max_traces: int = DEFAULT_MAX_TRACES,
+        registry: Optional[MetricsRegistry] = None,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+    ) -> None:
+        self._stack: List[Span] = []
+        self._traces: Deque[Span] = deque(maxlen=max_traces)
+        self.max_traces = max_traces
+        self.completed_spans = 0
+        #: Record one in this many traces fully; mutable at any trace
+        #: boundary (1 = record everything).
+        self.sample_every = max(1, sample_every)
+        self._trace_count = 0
+        #: Nesting depth inside a trace the sampler skipped.  Part of the
+        #: hot-path contract: instrumented pipeline stages may check and
+        #: bump this *in place* (`if tracer._light_depth: ... += 1` /
+        #: `... -= 1`) instead of calling begin/end, so an unsampled
+        #: nested stage costs integer arithmetic, not method dispatch.
+        self._light_depth = 0
+        self._histogram: Optional[Histogram] = None
+        self._stage_children: Dict[str, BoundHistogram] = {}
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry: MetricsRegistry) -> None:
+        """Record per-stage latency into *registry* (``pipeline_stage_us``)."""
+        self._histogram = registry.histogram(
+            "pipeline_stage_us",
+            buckets=STAGE_LATENCY_BUCKETS_US,
+            description="Wall-clock cost of one pipeline stage (microseconds)",
+            label_names=("stage",),
+        )
+        self._stage_children.clear()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        logical_time: Optional[int] = None,
+        **attributes: object,
+    ) -> Span:
+        """Open a span; use as a context manager around the stage's work."""
+        return Span(self, name, logical_time, attributes or None)
+
+    def begin(
+        self,
+        name: str,
+        logical_time: Optional[int] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        """Open and start a span in one call — the hot-path twin of
+        :meth:`span`.
+
+        Callers pass a *pre-built* (and freely shared — spans never mutate
+        it) attributes dict and must close with :meth:`end`, normally from
+        a ``finally`` block.  This skips the context-manager protocol, the
+        kwargs packing, and one method hop per span, which matters at
+        hundreds of thousands of spans per second.  When the sampler
+        skips the current trace, the return value is a shared token and
+        the stage costs two integer updates.
+        """
+        # Sampling logic duplicated in _enter_span: this path must not
+        # allocate anything for unsampled traces.
+        if self._light_depth:
+            self._light_depth += 1
+            return _LIGHT_AS_SPAN
+        if not self._stack:
+            self._trace_count += 1
+            if self._trace_count % self.sample_every:
+                self._light_depth = 1
+                return _LIGHT_AS_SPAN
+        span = Span(self, name, logical_time, attributes)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        span.start = perf_counter()
+        return span
+
+    def end(self, span: Span) -> None:
+        """Close a span opened with :meth:`begin`."""
+        if span is _LIGHT_AS_SPAN:
+            self._light_depth -= 1
+            return
+        span.duration = perf_counter() - span.start
+        self._finish(span)
+
+    def _enter_span(self, span: Span) -> None:
+        """Context-manager entry (`with tracer.span(...)`): same sampling
+        decision as :meth:`begin`, recorded on the span's ``light`` flag."""
+        if self._light_depth:
+            self._light_depth += 1
+            span.light = True
+            return
+        if not self._stack:
+            self._trace_count += 1
+            if self._trace_count % self.sample_every:
+                self._light_depth = 1
+                span.light = True
+                return
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        span.start = perf_counter()
+
+    def _exit_span(self, span: Span) -> None:
+        if span.light:
+            self._light_depth -= 1
+            return
+        span.duration = perf_counter() - span.start
+        self._finish(span)
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack
+        # The synchronous pipeline closes spans LIFO; tolerate a mismatch
+        # (e.g. an exception unwinding several stages) by popping to *span*.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if not stack:
+            self._traces.append(span)
+        self.completed_spans += 1
+        histogram = self._histogram
+        if histogram is not None:
+            child = self._stage_children.get(span.name)
+            if child is None:
+                child = self._stage_children[span.name] = histogram.child(
+                    (span.name,)
+                )
+            # The tracer is single-threaded by construction (see the class
+            # docstring), so the relaxed observe is safe here.
+            child.observe_relaxed(span.duration * 1e6)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def active_depth(self) -> int:
+        return len(self._stack)
+
+    def recent(self) -> Tuple[Span, ...]:
+        """The ring buffer of completed root spans, oldest first."""
+        return tuple(self._traces)
+
+    def export_json(self) -> List[JsonSpan]:
+        """The ring buffer as JSON-able dicts (for files and the CLI)."""
+        return [span.to_dict() for span in self._traces]
+
+    def stage_summary(self) -> Dict[str, Tuple[int, float]]:
+        """Per-stage ``(count, mean_us)`` from the bound histogram."""
+        histogram = self._histogram
+        if histogram is None:
+            return {}
+        out: Dict[str, Tuple[int, float]] = {}
+        for labels in histogram.series_labels():
+            __, total, count = histogram.snapshot(labels)
+            mean = total / count if count else 0.0
+            out[labels[0]] = (count, mean)
+        return out
+
+    def clear(self) -> None:
+        """Drop recorded traces (the stack is left to unwind naturally)."""
+        self._traces.clear()
+        self.completed_spans = 0
+        self._trace_count = 0

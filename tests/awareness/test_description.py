@@ -5,7 +5,6 @@ import pytest
 from repro.awareness.description import AwarenessDescription, EventGraph
 from repro.awareness.operators import And, ContextFilter, Count, Or
 from repro.errors import DagValidationError, SlotError
-from repro.events.canonical import canonical_event
 from repro.events.producers import ContextEventProducer
 
 

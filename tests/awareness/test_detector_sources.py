@@ -146,7 +146,7 @@ class TestCustomOperatorExtension:
     """AM is open: applications add their own operator families (§5.1)."""
 
     def test_register_and_use_custom_operator(self):
-        from typing import Any, List
+        from typing import List
 
         from repro.awareness.operators.base import (
             EventOperator,

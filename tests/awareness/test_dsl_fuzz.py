@@ -1,6 +1,5 @@
 """Fuzz tests for the DSL: generated specs always round-trip cleanly."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -40,7 +39,8 @@ def random_specs(draw):
         kind = draw(st.sampled_from(["And", "Seq", "Or", "Count", "Compare1", "Compare2"]))
         name = f"n{layer}"
         if kind in ("And", "Seq", "Or"):
-            arity = draw(st.integers(min_value=2, max_value=min(3, len(nodes)) if len(nodes) >= 2 else 2))
+            upper = min(3, len(nodes)) if len(nodes) >= 2 else 2
+            arity = draw(st.integers(min_value=2, max_value=upper))
             if len(nodes) < 2:
                 continue
             inputs = draw(

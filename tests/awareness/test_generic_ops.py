@@ -1,6 +1,5 @@
 """Tests for And/Seq/Or semantics, including property-based interleavings."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,6 @@ import pytest
 from repro.awareness.operators import And, Count
 from repro.errors import ParameterError, SlotError
 from repro.events.canonical import canonical_event, canonical_type
-from repro.events.event import Event
 
 
 def cp(instance_id, time=1, int_info=None, schema="P"):

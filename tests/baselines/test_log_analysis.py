@@ -1,7 +1,5 @@
 """Tests for the log-analysis baseline (the Section 2 DIY option)."""
 
-import pytest
-
 from repro.baselines import LogAnalysisAwareness
 from repro.core import CoreEngine, Participant
 from repro.core.context import ContextChange

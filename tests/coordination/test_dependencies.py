@@ -1,7 +1,5 @@
 """Tests for dependency evaluation (SEQUENCE/CONDITION/AND/OR joins)."""
 
-import pytest
-
 from repro.coordination.dependencies import DependencyEvaluator
 from repro.core import (
     ActivityVariable,

@@ -1,6 +1,5 @@
 """Property tests: random substate forests survive interchange exactly."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Tests for the canonical event type C_P (Section 5.1.2)."""
 
-import pytest
-
 from repro.events.canonical import (
     canonical_event,
     canonical_type,

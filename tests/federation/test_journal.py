@@ -165,6 +165,78 @@ class TestRecovery:
             recover_core(journal)
 
 
+def find_live_scoped_role(core: CoreEngine):
+    """The first alive scoped role stored in any live context field."""
+    for instance in core.instances():
+        for ref in getattr(instance, "context_refs", {}).values():
+            resource = ref._resource
+            if resource.destroyed:
+                continue
+            for field_name in resource.schema.field_names():
+                if resource._is_set(field_name):
+                    value = resource._get(field_name)
+                    if hasattr(value, "add_member") and value.alive:
+                        return value
+    return None
+
+
+class TestScopedRoleMembership:
+    """Post-creation membership changes: audited, but refused on recovery."""
+
+    def test_membership_change_is_journaled(self):
+        system, journal = run_scenario()
+        role = find_live_scoped_role(system.core)
+        assert role is not None, "scenario should leave a live scoped role"
+        extra = system.register_participant(Participant("u-extra", "extra"))
+        role.add_member(extra)
+        role.remove_member(extra)
+        records = [
+            record
+            for record in journal.records()
+            if record["op"] == "scoped_role_membership"
+        ]
+        assert [r["action"] for r in records] == ["add", "remove"]
+        assert all(r["participant"] == "u-extra" for r in records)
+
+    def test_recovery_refuses_membership_change_records(self):
+        system, journal = run_scenario()
+        role = find_live_scoped_role(system.core)
+        extra = system.register_participant(Participant("u-extra", "extra"))
+        role.add_member(extra)
+        with pytest.raises(
+            RecoveryError, match="scoped-role\\s+membership change"
+        ):
+            recover_core(journal)
+
+    def test_initial_members_do_not_trip_the_refusal(self):
+        """create_scoped_role's initial member set replays fine; only
+        *post-creation* mutations are refused."""
+        system, journal = run_scenario()
+        ops = [record["op"] for record in journal.records()]
+        assert "create_scoped_role" in ops
+        assert "scoped_role_membership" not in ops
+        recovered = recover_core(journal)
+        assert snapshot(recovered) == snapshot(system.core)
+
+    def test_failed_membership_change_not_journaled(self):
+        """A membership change that raises (dead context) leaves no record."""
+        system, journal = run_scenario()
+        role = find_live_scoped_role(system.core)
+        assert role is not None
+        ref = next(
+            ref
+            for instance in system.core.instances()
+            for ref in getattr(instance, "context_refs", {}).values()
+            if ref._resource is role.context
+        )
+        system.core.destroy_context(ref)
+        extra = system.register_participant(Participant("u-extra", "extra"))
+        before = len(journal)
+        with pytest.raises(Exception):
+            role.add_member(extra)
+        assert len(journal) == before
+
+
 class TestRecoveryProperties:
     @given(
         n_forces=st.integers(min_value=1, max_value=3),

@@ -4,7 +4,6 @@ These tests exercise whole paper scenarios through the public federation
 API — the same paths the examples and benchmarks use.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -138,7 +137,9 @@ class TestEpidemicIntegration:
         system = EnactmentSystem()
         EpidemicScenario(system, seed=9).run()
         stats = system.stats()
-        assert stats["activity_events_gathered"] == stats["bus_events_published"] - stats["context_events_gathered"]
+        assert stats["activity_events_gathered"] == (
+            stats["bus_events_published"] - stats["context_events_gathered"]
+        )
         assert stats["instances_total"] > 10
 
 

@@ -1,7 +1,5 @@
 """Journaling and awareness coexist: recovery + re-deployment story."""
 
-import pytest
-
 from repro import EnactmentSystem, Participant
 from repro.awareness.dsl import compile_specification, window_to_dsl
 from repro.coordination import CoordinationEngine

@@ -1,0 +1,232 @@
+"""Tests for the metrics registry (counters, gauges, histograms, labels)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_value_total(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "events", ("topic",))
+        counter.inc(1, ("a",))
+        counter.inc(2, ("a",))
+        counter.inc(5, ("b",))
+        assert counter.value(("a",)) == 3
+        assert counter.value(("b",)) == 5
+        assert counter.total() == 8
+
+    def test_counter_cannot_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_label_arity_mismatch_rejected(self):
+        counter = MetricsRegistry().counter("c", label_names=("topic",))
+        with pytest.raises(MetricsError, match="declares labels"):
+            counter.inc(1, ())
+        with pytest.raises(MetricsError, match="declares labels"):
+            counter.inc(1, ("a", "b"))
+
+    def test_bound_child_shares_the_series(self):
+        counter = MetricsRegistry().counter("c", label_names=("topic",))
+        child = counter.child(("a",))
+        child.inc()
+        child.inc(4)
+        counter.inc(1, ("a",))
+        assert child.value() == 6
+        assert counter.value(("a",)) == 6
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        with pytest.raises(MetricsError, match="not a gauge"):
+            registry.gauge("c")
+
+    def test_label_redeclaration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label_names=("topic",))
+        with pytest.raises(MetricsError, match="registered with labels"):
+            registry.counter("c", label_names=("queue",))
+
+
+class TestLabelCardinality:
+    def test_series_bound_enforced(self):
+        registry = MetricsRegistry(max_series=3)
+        counter = registry.counter("c", label_names=("key",))
+        for index in range(3):
+            counter.inc(1, (f"k{index}",))
+        with pytest.raises(MetricsError, match="cardinality"):
+            counter.inc(1, ("one-too-many",))
+        # Existing series still work after the rejection.
+        counter.inc(1, ("k0",))
+        assert counter.value(("k0",)) == 2
+
+    def test_child_creation_respects_the_bound(self):
+        registry = MetricsRegistry(max_series=1)
+        histogram = registry.histogram(
+            "h", buckets=(1.0,), label_names=("stage",)
+        )
+        histogram.child(("a",))
+        with pytest.raises(MetricsError, match="cardinality"):
+            histogram.child(("b",))
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_callback_gauge_evaluates_at_collection(self):
+        registry = MetricsRegistry()
+        holder = {"value": 1}
+        registry.callback_gauge("g", lambda: holder["value"])
+        assert registry.value("g") == 1
+        holder["value"] = 7
+        assert registry.value("g") == 7
+
+    def test_registry_value_of_unknown_instrument_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0.0
+
+
+class TestHistogramBuckets:
+    def test_observation_on_the_edge_lands_in_that_bucket(self):
+        """`le` semantics: v <= edge counts toward the edge's bucket."""
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 5.0, 10.0))
+        histogram.observe(1.0)  # exactly the first edge
+        histogram.observe(0.5)  # below the first edge
+        histogram.observe(5.0)  # exactly the second edge
+        histogram.observe(5.1)  # just above the second edge
+        histogram.observe(99.0)  # above the last edge -> overflow
+        counts, total, count = histogram.snapshot()
+        assert counts == (2, 1, 1, 1)
+        assert count == 5
+        assert total == pytest.approx(110.6)
+
+    def test_bucket_placement_exhaustive(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (1.0, 0.5):
+            histogram.observe(value)
+        assert histogram.snapshot()[0] == (2, 0, 0, 0)
+        histogram.observe(5.0)
+        assert histogram.snapshot()[0] == (2, 1, 0, 0)
+        histogram.observe(5.1)
+        assert histogram.snapshot()[0] == (2, 1, 1, 0)
+        histogram.observe(10.0)
+        assert histogram.snapshot()[0] == (2, 1, 2, 0)
+        histogram.observe(10.0001)
+        assert histogram.snapshot()[0] == (2, 1, 2, 1)
+
+    def test_cumulative_counts(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0, 0.1):
+            histogram.observe(value)
+        assert histogram.cumulative() == (2, 3, 4)
+
+    def test_edges_must_ascend(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError, match="ascending"):
+            registry.histogram("h", buckets=(5.0, 1.0))
+        with pytest.raises(MetricsError, match="ascending"):
+            registry.histogram("h2", buckets=(1.0, 1.0))
+        with pytest.raises(MetricsError, match="at least one bucket"):
+            registry.histogram("h3", buckets=())
+
+    def test_relaxed_observe_matches_locked(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 2.0), label_names=("s",)
+        )
+        locked = histogram.child(("locked",))
+        relaxed = histogram.child(("relaxed",))
+        for value in (0.5, 1.5, 9.0):
+            locked.observe(value)
+            relaxed.observe_relaxed(value)
+        assert histogram.snapshot(("locked",)) == histogram.snapshot(
+            ("relaxed",)
+        )
+
+
+class TestConcurrency:
+    def test_concurrent_increments_are_exact(self):
+        counter = MetricsRegistry().counter("c", label_names=("t",))
+        child = counter.child(("x",))
+        n_threads, per_thread = 8, 5_000
+
+        def work():
+            for __ in range(per_thread):
+                child.inc()
+                counter.inc(1, ("x",))
+
+        threads = [threading.Thread(target=work) for __ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(("x",)) == n_threads * per_thread * 2
+
+    def test_concurrent_histogram_observes_are_exact(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.5,))
+        child = histogram.child()
+        n_threads, per_thread = 8, 2_000
+
+        def work():
+            for __ in range(per_thread):
+                child.observe(1.0)
+
+        threads = [threading.Thread(target=work) for __ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counts, __, count = histogram.snapshot()
+        assert count == n_threads * per_thread
+        assert counts[-1] == n_threads * per_thread
+
+
+class TestRendering:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "all events", ("topic",)).inc(
+            3, ("t1",)
+        )
+        registry.gauge("depth").set(2)
+        registry.histogram("lat_us", buckets=(1.0, 10.0)).observe(5.0)
+        return registry
+
+    def test_text_exposition(self):
+        text = self.make_registry().render_text()
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{topic="t1"} 3' in text
+        assert "# HELP events_total all events" in text
+        assert "depth 2" in text
+        assert 'lat_us_bucket{le="10"} 1' in text
+        assert 'lat_us_bucket{le="+Inf"} 1' in text
+        assert "lat_us_count 1" in text
+
+    def test_json_round_trips(self):
+        payload = json.loads(self.make_registry().render_json())
+        assert payload["events_total"]["kind"] == "counter"
+        assert payload["events_total"]["series"][0]["labels"] == {
+            "topic": "t1"
+        }
+        assert payload["lat_us"]["series"][0]["count"] == 1
+
+    def test_reset_and_unregister(self):
+        registry = self.make_registry()
+        registry.unregister("depth")
+        assert registry.get("depth") is None
+        registry.reset()
+        assert registry.names() == ()
