@@ -30,6 +30,7 @@ from ..events.queues import DeliveryQueue, MemoryDeliveryQueue, Notification
 from ..ids import IdFactory
 from ..observability import INSTRUMENTATION as _OBS
 from ..observability import MetricsRegistry
+from ..observability import STRUCTURED_LOG as _SLOG
 from .assignment import AssignmentRegistry
 
 
@@ -127,6 +128,16 @@ class DeliveryAgent:
                     reason=str(exc),
                 )
             )
+            if _SLOG.enabled:
+                _SLOG.emit(
+                    "delivery",
+                    "undeliverable",
+                    level="warning",
+                    tick=event.time,
+                    schema=event["schemaName"],
+                    role=str(role_ref),
+                    reason=str(exc),
+                )
             return None
         assignment = self.assignments.lookup(event["assignment"])
         return assignment(candidates)

@@ -35,10 +35,16 @@ Parameter conventions per built-in family (the window supplies ``P``):
 * ``Filter_context[context_name, field_name]``
 * ``Filter_activity[activity_variable, old_states, new_states]`` — each
   state set is ``{A, B}`` or ``*`` for "any"
+* ``Filter_system[metric]`` / ``Filter_system[metric, series_label]`` —
+  telemetry samples of one metric; no label means the unlabelled total
+  series, ``*`` means any series.  Derived metric names contain brackets
+  (``rate[m/w]``), so quote them: ``Filter_system["rate[m/5]"]``
 * ``And[copy]`` / ``Seq[copy]`` — optional 1-based copy parameter
   (default 1); the arity is inferred from the input list
 * ``Or[]`` / ``Count[]`` — no parameters
 * ``Compare1[op, value]`` — e.g. ``Compare1[==, 1]``
+* ``Edge[op, value]`` — rising-edge ``Compare1``: passes only when the
+  test starts holding, e.g. ``Edge[>, 50]``
 * ``Compare2[op]`` — e.g. ``Compare2[<=]``
 * ``Translate[invoked_schema, activity_variable]`` — the invoking schema
   is the window's
@@ -362,6 +368,25 @@ def _build_operator(
         return window.place(
             family, params[0], params[1], instance_name=statement.name
         )
+    if family == "Filter_system":
+        if not params or len(params) > 2 or not isinstance(params[0], str):
+            raise fail(
+                "Filter_system takes [metric] or [metric, series_label] "
+                "(series label * matches any series)"
+            )
+        from .operators.filters import SystemFilter
+
+        label: Optional[str] = None
+        if len(params) == 2:
+            if params[1] is None:
+                label = SystemFilter.ANY_SERIES
+            elif isinstance(params[1], str):
+                label = params[1]
+            else:
+                raise fail("Filter_system series label must be a name or *")
+        return window.place(
+            family, params[0], label, instance_name=statement.name
+        )
     if family == "Filter_activity":
         if len(params) == 4:
             from .operators.filters import ActivityFilter
@@ -402,12 +427,12 @@ def _build_operator(
         if params:
             raise fail("Count takes no parameters")
         return window.place(family, instance_name=statement.name)
-    if family == "Compare1":
+    if family in ("Compare1", "Edge"):
         if len(params) != 2 or params[0] not in NAMED_BOOL_FUNCS_2:
-            raise fail("Compare1 takes [comparison, integer], e.g. [==, 1]")
+            raise fail(f"{family} takes [comparison, integer], e.g. [==, 1]")
         threshold = params[1]
         if not isinstance(threshold, int):
-            raise fail("Compare1 threshold must be an integer")
+            raise fail(f"{family} threshold must be an integer")
         comparison = named_bool_func_2(params[0])
         operator = window.place(
             family,
@@ -415,7 +440,7 @@ def _build_operator(
             instance_name=statement.name,
         )
         # Stash the textual form so window_to_dsl can decompile it.
-        operator._dsl_rendering = f"Compare1[{params[0]}, {threshold}]"
+        operator._dsl_rendering = f"{family}[{params[0]}, {threshold}]"
         return operator
     if family == "Compare2":
         if len(params) != 1 or params[0] not in NAMED_BOOL_FUNCS_2:
@@ -498,15 +523,33 @@ def _render_state_set(states) -> str:
     return "{" + ", ".join(sorted(states)) + "}"
 
 
+_IDENTIFIER = re.compile(r"[A-Za-z_][\w.\-]*\Z")
+
+
+def _render_system_param(value: str) -> str:
+    """Quote metric/series names the tokenizer cannot read bare (e.g.
+    derived names like ``rate[m/5]``)."""
+    if _IDENTIFIER.match(value):
+        return value
+    return f'"{value}"'
+
+
 def _render_operator(operator, window: SpecificationWindow) -> str:
     """Render one operator statement in the paper's bracket notation."""
     from .operators.compare import NAMED_BOOL_FUNCS_2
     from .operators.count import Count
-    from .operators.compare import Compare1, Compare2
-    from .operators.filters import ActivityFilter, ContextFilter
+    from .operators.compare import Compare1, Compare2, Edge
+    from .operators.filters import ActivityFilter, ContextFilter, SystemFilter
     from .operators.generic import And, Or, Seq
     from .operators.translate import Translate
 
+    if isinstance(operator, SystemFilter):
+        params = [_render_system_param(operator.metric)]
+        if operator.series_label == SystemFilter.ANY_SERIES:
+            params.append("*")
+        elif operator.series_label is not None:
+            params.append(_render_system_param(operator.series_label))
+        return f"Filter_system[{', '.join(params)}]"
     if isinstance(operator, ContextFilter):
         params = [operator.context_name, operator.field_name]
         if operator.process_schema_id != window.process_schema_id:
@@ -538,12 +581,12 @@ def _render_operator(operator, window: SpecificationWindow) -> str:
                 f"comparison; only named comparisons decompile to DSL"
             )
         return f"Compare2[{symbol}]"
-    if isinstance(operator, Compare1):
+    if isinstance(operator, (Compare1, Edge)):
         rendering = getattr(operator, "_dsl_rendering", None)
         if rendering is None:
             raise SpecificationError(
                 f"operator {operator.instance_name!r} carries an arbitrary "
-                f"boolFunc1; only DSL-authored Compare1 decompiles"
+                f"boolFunc1; only DSL-authored {operator.family} decompiles"
             )
         return rendering
     if isinstance(operator, Translate):

@@ -28,6 +28,7 @@ from ..events.bus import EventBus
 from ..events.producers import EventProducer
 from ..events.queues import DeliveryQueue, MemoryDeliveryQueue
 from ..observability import MetricsRegistry
+from ..observability import STRUCTURED_LOG as _SLOG
 from .assignment import AssignmentRegistry
 from .delivery import DeliveryAgent
 from .detector import DetectorAgent
@@ -40,6 +41,12 @@ from .viewer import AwarenessViewer
 #: the "Activity Event" and "Context Event" diamonds).
 ACTIVITY_SOURCE = "ActivityEvent"
 CONTEXT_SOURCE = "ContextEvent"
+
+#: Conventional diamond name of the ``T_system`` telemetry source.  Not
+#: reserved: self-awareness attaches it through
+#: :meth:`AwarenessEngine.register_external_source` like any Section
+#: 5.1.1 application-specific source.
+SYSTEM_SOURCE = "SystemEvent"
 
 
 class AwarenessEngine:
@@ -98,6 +105,14 @@ class AwarenessEngine:
             raise SpecificationError(f"external source {name!r} already exists")
         producer.attach(self.bus)
         self._external_sources[name] = producer
+        if _SLOG.enabled:
+            _SLOG.emit(
+                "awareness",
+                "external_source_registered",
+                tick=self.core.clock.now(),
+                source=name,
+                producer=producer.producer_id,
+            )
         return producer
 
     # -- designer side --------------------------------------------------------------
@@ -126,6 +141,14 @@ class AwarenessEngine:
         window.graph.attach_producers()
         detector = DetectorAgent(window, sink=self.delivery.deliver)
         self._detectors.append(detector)
+        if _SLOG.enabled:
+            _SLOG.emit(
+                "awareness",
+                "window_deployed",
+                tick=self.core.clock.now(),
+                process=window.process_schema_id,
+                schemas=[schema.name for schema in window.schemas()],
+            )
         return detector
 
     def undeploy(self, detector: DetectorAgent) -> None:
@@ -138,6 +161,13 @@ class AwarenessEngine:
         detector.detach()
         if detector in self._detectors:
             self._detectors.remove(detector)
+        if _SLOG.enabled:
+            _SLOG.emit(
+                "awareness",
+                "window_undeployed",
+                tick=self.core.clock.now(),
+                process=detector.window.process_schema_id,
+            )
 
     # -- participant side ---------------------------------------------------------------
 

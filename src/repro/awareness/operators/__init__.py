@@ -16,9 +16,15 @@ process invocation operators — maps to the modules of this package.
 """
 
 from .base import EventOperator, OperatorSignature
-from .compare import Compare1, Compare2
+from .compare import Compare1, Compare2, Edge
 from .count import Count
-from .filters import ActivityFilter, ContextFilter, ExternalFilter, QueryCorrelationFilter
+from .filters import (
+    ActivityFilter,
+    ContextFilter,
+    ExternalFilter,
+    QueryCorrelationFilter,
+    SystemFilter,
+)
 from .generic import And, Or, Seq
 from .output import DELIVERY_EVENT_TYPE, Output
 from .registry import OperatorRegistry, default_registry
@@ -32,6 +38,7 @@ __all__ = [
     "ContextFilter",
     "Count",
     "DELIVERY_EVENT_TYPE",
+    "Edge",
     "EventOperator",
     "ExternalFilter",
     "OperatorRegistry",
@@ -40,6 +47,7 @@ __all__ = [
     "Output",
     "QueryCorrelationFilter",
     "Seq",
+    "SystemFilter",
     "Translate",
     "default_registry",
 ]

@@ -91,6 +91,58 @@ class Compare1(EventOperator):
         return f"Compare1[{self.process_schema_id}, {self.bool_func!r}]"
 
 
+class Edge(EventOperator):
+    """Rising-edge comparison: pass an event only when the test *starts*
+    holding.
+
+    ``Edge[P, boolFunc1](C_P) -> C_P`` is :class:`Compare1` with
+    hysteresis, replicated per process instance: the first event whose
+    ``intInfo`` satisfies the test after one that did not (or after
+    instantiation) passes; further satisfying events are swallowed until
+    a non-satisfying event re-arms the edge.  This is the
+    alert-transition primitive — a persistently-breached SLO notifies
+    once per breach episode instead of once per telemetry sample, and a
+    notification loop (the alert itself moving the metric it watches)
+    cannot storm.
+    """
+
+    family = "Edge"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        bool_func: BoolFunc1,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if not callable(bool_func):
+            raise ParameterError("Edge requires a callable boolFunc1")
+        ctype = canonical_type(process_schema_id)
+        super().__init__(
+            process_schema_id,
+            OperatorSignature((ctype,), ctype),
+            instance_name,
+        )
+        self.bool_func = bool_func
+
+    def new_state(self) -> List[bool]:
+        # One cell: did the last event satisfy the test?
+        return [False]
+
+    def _apply(self, slot: int, event: Event, state: List[bool]) -> List[Event]:
+        value = event.get("intInfo")
+        if value is None:
+            return []
+        satisfied = bool(self.bool_func(value))
+        armed = not state[0]
+        state[0] = satisfied
+        if not (satisfied and armed):
+            return []
+        return [event.derive(source=self.instance_name)]
+
+    def describe(self) -> str:
+        return f"Edge[{self.process_schema_id}, {self.bool_func!r}]"
+
+
 class Compare2(EventOperator):
     """Double-input comparison over the latest values of two streams."""
 

@@ -26,7 +26,11 @@ from ...errors import ParameterError
 from ...events.canonical import canonical_event, canonical_type
 from ...events.event import Event, EventType
 from ...events.external import NEWS_EVENT_TYPE
-from ...events.producers import ACTIVITY_EVENT_TYPE, CONTEXT_EVENT_TYPE
+from ...events.producers import (
+    ACTIVITY_EVENT_TYPE,
+    CONTEXT_EVENT_TYPE,
+    SYSTEM_EVENT_TYPE,
+)
 from .base import EventOperator, OperatorSignature
 
 
@@ -195,6 +199,84 @@ class ContextFilter(EventOperator):
         return (
             f"Filter_context[{self.process_schema_id}, "
             f"{self.context_name}, {self.field_name}]"
+        )
+
+
+class SystemFilter(EventOperator):
+    """Pass telemetry samples of one metric (optionally one series).
+
+    The ``T_system`` analogue of :class:`ContextFilter`: a sample of
+    *metric* becomes a canonical event whose ``intInfo`` carries the
+    sampled value, ready for the :class:`~.compare.Compare1` health
+    predicates downstream.  ``series_label`` selects one labelled series
+    (e.g. one participant's queue); ``None`` matches only the unlabelled
+    total series and ``"*"`` matches every series of the metric.
+
+    The canonical ``processInstanceId`` is the reporting system's id, so
+    per-instance replication partitions health state per system when
+    federated telemetry shares one bus.
+    """
+
+    family = "Filter_system"
+
+    #: ``series_label`` wildcard: pass every series of the metric.
+    ANY_SERIES = "*"
+
+    def __init__(
+        self,
+        process_schema_id: str,
+        metric: str,
+        series_label: Optional[str] = None,
+        instance_name: Optional[str] = None,
+    ) -> None:
+        if not metric:
+            raise ParameterError("Filter_system requires a metric name")
+        super().__init__(
+            process_schema_id,
+            OperatorSignature(
+                (SYSTEM_EVENT_TYPE,), canonical_type(process_schema_id)
+            ),
+            instance_name,
+        )
+        self.metric = metric
+        self.series_label = series_label
+
+    def partition_key(self, slot: int, event: Event) -> Any:
+        return None
+
+    def routing_keys(self, slot: int) -> List[Any]:
+        """Static match key: only samples of ``metric`` can pass."""
+        self._check_slot(slot)
+        return [self.metric]
+
+    def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
+        params = event.params
+        if params["metric"] != self.metric:
+            return []
+        label = params["seriesLabel"]
+        if self.series_label != self.ANY_SERIES and label != self.series_label:
+            return []
+        series = f"{self.metric}[{label}]" if label is not None else self.metric
+        return [
+            canonical_event(
+                self.process_schema_id,
+                params["systemId"],
+                time=params["time"],
+                source=self.instance_name,
+                int_info=params["value"],
+                str_info=label,
+                description=f"system metric {series} = {params['value']}",
+                source_event=params,
+                event_type=self.output_type,
+            )
+        ]
+
+    def describe(self) -> str:
+        if self.series_label is None:
+            return f"Filter_system[{self.process_schema_id}, {self.metric}]"
+        return (
+            f"Filter_system[{self.process_schema_id}, "
+            f"{self.metric}, {self.series_label}]"
         )
 
 

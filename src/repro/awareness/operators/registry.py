@@ -20,9 +20,14 @@ from typing import Dict, Tuple, Type
 
 from ...errors import SpecificationError
 from .base import EventOperator
-from .compare import Compare1, Compare2
+from .compare import Compare1, Compare2, Edge
 from .count import Count
-from .filters import ActivityFilter, ContextFilter, QueryCorrelationFilter
+from .filters import (
+    ActivityFilter,
+    ContextFilter,
+    QueryCorrelationFilter,
+    SystemFilter,
+)
 from .generic import And, Or, Seq
 from .output import Output
 from .translate import Translate
@@ -64,11 +69,13 @@ def default_registry() -> OperatorRegistry:
     registry.register("Filter_activity", ActivityFilter)
     registry.register("Filter_context", ContextFilter)
     registry.register("Filter_news", QueryCorrelationFilter)
+    registry.register("Filter_system", SystemFilter)
     registry.register("And", And)
     registry.register("Seq", Seq)
     registry.register("Or", Or)
     registry.register("Count", Count)
     registry.register("Compare1", Compare1)
+    registry.register("Edge", Edge)
     registry.register("Compare2", Compare2)
     registry.register("Translate", Translate)
     registry.register("Output", Output)

@@ -9,6 +9,11 @@
 * ``trace`` — the demonstration run under pipeline instrumentation:
   recognition provenance chains for delivered notifications plus the
   per-stage latency summary;
+* ``health`` — the demonstration run with self-awareness attached: the
+  per-system SLO rule states and the federation rollup (exit code 0 =
+  ok, 1 = degraded, 2 = failing);
+* ``top`` — a live federation dashboard driven by CMI's own awareness
+  pipeline: queues, delivery lag, firing alerts, hottest detectors;
 * ``check-spec`` — parse and validate an awareness specification written
   in the DSL, printing the resulting window (a designer's lint step).
 """
@@ -139,6 +144,158 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_limit_overrides(pairs: List[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ReproError(
+                f"--limit takes rule=value pairs, got {pair!r}"
+            )
+        try:
+            overrides[name] = int(value)
+        except ValueError:
+            raise ReproError(
+                f"--limit value for {name!r} must be an integer, "
+                f"got {value!r}"
+            ) from None
+    return overrides
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from .observability import instrumented
+    from .observability.health import default_rules
+    from .observability.selfawareness import (
+        FederationHealthView,
+        SelfAwareness,
+    )
+    from .workloads.demonstration import build_demonstration
+
+    overrides = _parse_limit_overrides(args.limit)
+    rules = []
+    for rule in default_rules():
+        if rule.name in overrides:
+            rule = dataclasses.replace(rule, limit=overrides.pop(rule.name))
+        rules.append(rule)
+    if overrides:
+        known = ", ".join(r.name for r in default_rules())
+        raise ReproError(
+            f"unknown rule(s) in --limit: {sorted(overrides)}; "
+            f"default rules: {known}"
+        )
+
+    with instrumented():
+        builder = build_demonstration(seed=args.seed)
+        awareness = SelfAwareness(
+            builder.system, rules=tuple(rules), interval=args.interval
+        )
+        builder.run()
+        awareness.sample_now()
+        view = FederationHealthView([awareness])
+        rollup = view.rollup()
+        alerts = awareness.alerts()
+        if args.json:
+            payload = view.as_dict()
+            payload["alerts"] = [
+                {
+                    "participant": alert.participant_id,
+                    "time": alert.time,
+                    "schema": alert.schema_name,
+                    "description": alert.description,
+                    "provenance": alert.parameters.get("provenance"),
+                }
+                for alert in alerts
+            ]
+            print(json.dumps(payload, indent=2, default=str))
+        else:
+            print(view.render())
+            if alerts:
+                print(f"\n{len(alerts)} alert notification(s):")
+                for alert in alerts:
+                    print(f"  t={alert.time} [{alert.schema_name}] "
+                          f"{alert.description}")
+    return rollup.exit_code
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .observability.selfawareness import (
+        FederationHealthView,
+        SelfAwareness,
+    )
+    from .workloads.taskforce import TaskForceApplication
+
+    view = FederationHealthView()
+    drivers = []
+    for index in range(1, args.systems + 1):
+        system = EnactmentSystem(name=f"cmi-{index}")
+        lead = system.register_participant(
+            Participant(f"lead-{index}", f"lead-{index}")
+        )
+        aide = system.register_participant(
+            Participant(f"aide-{index}", f"aide-{index}")
+        )
+        role = system.core.roles.define_role("epidemiologist")
+        role.add_member(lead)
+        role.add_member(aide)
+        app = TaskForceApplication(system)
+        app.install_awareness()
+        awareness = SelfAwareness(system, interval=args.interval)
+        view.add(awareness)
+        drivers.append((system, app, lead, aide, awareness))
+
+    def drive() -> None:
+        """One round of load: a task force whose deadline move violates
+        an open request deadline, then completion."""
+        for system, app, lead, aide, __ in drivers:
+            now = system.clock.now()
+            task_force = app.create_task_force(
+                lead, [lead, aide], deadline=now + 80
+            )
+            request = app.request_information(
+                task_force, aide, deadline=now + 60
+            )
+            app.change_task_force_deadline(task_force, now + 40)
+            app.complete_request(request)
+            system.clock.advance(args.interval)
+
+    def render() -> str:
+        lines = [view.render(), "", "hottest detectors:"]
+        for system, __, ___, ____, _____ in drivers:
+            detectors = sorted(
+                system.awareness.detectors(),
+                key=lambda d: d.recognized,
+                reverse=True,
+            )[:3]
+            for detector in detectors:
+                names = ", ".join(
+                    schema.name for schema in detector.window.schemas()
+                )
+                lines.append(
+                    f"  {system.name:<12} {detector.recognized:>5}  {names}"
+                )
+        return "\n".join(lines)
+
+    iteration = 0
+    try:
+        while args.iterations == 0 or iteration < args.iterations:
+            iteration += 1
+            drive()
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(f"repro top — iteration {iteration}")
+            print(render())
+            if args.refresh > 0:
+                time.sleep(args.refresh)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
 def _cmd_check_spec(args: argparse.Namespace) -> int:
     from .awareness.dsl import compile_specification
     from .awareness.specification import SpecificationWindow
@@ -206,6 +363,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit deliveries, stage summary, and raw traces as JSON",
     )
     trace.set_defaults(handler=_cmd_trace)
+
+    health = commands.add_parser(
+        "health",
+        help="demonstration run with self-awareness: SLO states + rollup",
+    )
+    health.add_argument("--seed", type=int, default=3)
+    health.add_argument(
+        "--interval",
+        type=int,
+        default=5,
+        help="telemetry sampling interval in clock ticks",
+    )
+    health.add_argument(
+        "--limit",
+        action="append",
+        default=[],
+        metavar="RULE=VALUE",
+        help="override a default rule's limit (repeatable), e.g. "
+        "--limit queue-depth=10",
+    )
+    health.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the per-system states, rollup, and alerts as JSON",
+    )
+    health.set_defaults(handler=_cmd_health)
+
+    top = commands.add_parser(
+        "top", help="live federation dashboard over the awareness pipeline"
+    )
+    top.add_argument(
+        "--systems", type=int, default=2, help="federation size"
+    )
+    top.add_argument(
+        "--interval",
+        type=int,
+        default=5,
+        help="telemetry sampling interval in clock ticks",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="dashboard redraws before exiting (0 = until interrupted)",
+    )
+    top.add_argument(
+        "--refresh",
+        type=float,
+        default=1.0,
+        help="seconds between redraws",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append dashboards instead of clearing the screen",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     check = commands.add_parser(
         "check-spec", help="validate a DSL awareness specification"

@@ -77,6 +77,9 @@ class WorklistManager:
     def __init__(self) -> None:
         self._items: Dict[str, WorkItem] = {}
         self._by_activity: Dict[str, str] = {}
+        #: Open-item index: :meth:`offer` adds, :meth:`finish` removes, so
+        #: :meth:`open_items` never scans the (ever-growing) full pool.
+        self._open: Dict[str, WorkItem] = {}
         self._next = 0
 
     def offer(
@@ -97,6 +100,7 @@ class WorklistManager:
             offered_at=time,
         )
         self._items[item.item_id] = item
+        self._open[item.item_id] = item
         self._by_activity[activity.instance_id] = item.item_id
         return item
 
@@ -120,6 +124,7 @@ class WorklistManager:
         if item.completed:
             raise WorklistError(f"work item {item.item_id!r} is already completed")
         item.completed = True
+        self._open.pop(item.item_id, None)
         if item.claimed_by is not None:
             item.claimed_by.load = max(0, item.claimed_by.load - 1)
 
@@ -128,7 +133,7 @@ class WorklistManager:
         return self._items.get(item_id) if item_id else None
 
     def open_items(self) -> Tuple[WorkItem, ...]:
-        return tuple(item for item in self._items.values() if item.open)
+        return tuple(self._open.values())
 
     def all_items(self) -> Tuple[WorkItem, ...]:
         return tuple(self._items.values())

@@ -39,6 +39,7 @@ from typing import (
 
 from ..observability import INSTRUMENTATION as _OBS
 from ..observability import MetricsRegistry
+from ..observability import STRUCTURED_LOG as _SLOG
 from .event import Event
 
 Handler = Callable[[Event], None]
@@ -338,6 +339,15 @@ class EventBus:
                     raise
                 self._failed.inc(1, (topic,))
                 self.handler_errors.append((topic, error))
+                if _SLOG.enabled:
+                    _SLOG.emit(
+                        "bus",
+                        "handler_error",
+                        level="error",
+                        tick=event.time,
+                        topic=topic,
+                        error=repr(error),
+                    )
                 continue
             self._delivered.inc(1, (topic,))
 

@@ -35,6 +35,9 @@ ACTIVITY_EVENT_TYPE_NAME = "T_activity"
 #: Type name of context field change events (``T_context``).
 CONTEXT_EVENT_TYPE_NAME = "T_context"
 
+#: Type name of system telemetry sample events (``T_system``).
+SYSTEM_EVENT_TYPE_NAME = "T_system"
+
 ACTIVITY_EVENT_TYPE = EventType(
     ACTIVITY_EVENT_TYPE_NAME,
     (
@@ -61,6 +64,25 @@ CONTEXT_EVENT_TYPE = EventType(
         ParameterSpec("fieldName", "str", nullable=False),
         ParameterSpec("oldFieldValue", "any"),
         ParameterSpec("newFieldValue", "any"),
+    ),
+)
+
+#: ``T_system`` — one telemetry sample of one metric series, published by
+#: the system telemetry source agent when it reads the per-system
+#: :class:`~repro.observability.registry.MetricsRegistry` on clock
+#: advance.  ``metric`` names the sampled series (possibly a derived
+#: ``rate[...]``/``stale[...]`` series), ``seriesLabel`` its label value
+#: (``None`` for unlabelled / total series), and ``value`` the sampled
+#: integer.  The events are self-contained like every primitive type:
+#: SLO filters canonicalize them for the ordinary operator algebra.
+SYSTEM_EVENT_TYPE = EventType(
+    SYSTEM_EVENT_TYPE_NAME,
+    (
+        *base_parameters(),
+        ParameterSpec("systemId", "str", nullable=False),
+        ParameterSpec("metric", "str", nullable=False),
+        ParameterSpec("seriesLabel", "str"),
+        ParameterSpec("value", "int", nullable=False),
     ),
 )
 
@@ -250,6 +272,14 @@ def context_routing_key(event: Event) -> Hashable:
     return (params["contextName"], params["fieldName"])
 
 
+def system_routing_key(event: Event) -> Hashable:
+    """Routing key of a ``T_system`` event: which metric series was
+    sampled.  SLO filters key on the metric name alone (the series label
+    is checked in the filter predicate), so one sampling pass dispatches
+    each sample only to the rules that watch its metric."""
+    return event.params["metric"]
+
+
 class ActivityEventProducer(EventProducer):
     """``E_activity`` — the single source of activity state change events."""
 
@@ -318,3 +348,58 @@ class ContextEventProducer(EventProducer):
         call; direct consumers are dispatched per event as usual.
         """
         return self.emit_batch([self._translate(change) for change in changes])
+
+
+class SystemEventProducer(EventProducer):
+    """``E_system`` — the source of system telemetry sample events.
+
+    The engine-side half of the system telemetry source agent
+    (:class:`~repro.awareness.sources.SystemTelemetrySource`): the agent
+    reads the metrics registry and hands each sample here to become a
+    self-contained ``T_system`` event, batched per sampling pass.
+    """
+
+    def __init__(
+        self,
+        producer_id: str = "E_system",
+        system_id: str = "cmi",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(producer_id, SYSTEM_EVENT_TYPE, metrics)
+        self.system_id = system_id
+        self.set_key_extractor(system_routing_key)
+
+    def _translate(
+        self, time: int, metric: str, label: Optional[str], value: int
+    ) -> Event:
+        return Event.trusted(
+            SYSTEM_EVENT_TYPE,
+            {
+                "time": time,
+                "source": self.producer_id,
+                "systemId": self.system_id,
+                "metric": metric,
+                "seriesLabel": label,
+                "value": value,
+            },
+        )
+
+    def produce(
+        self, time: int, metric: str, label: Optional[str], value: int
+    ) -> Event:
+        """Emit one telemetry sample as a ``T_system`` event."""
+        return self.emit(self._translate(time, metric, label, value))
+
+    def produce_batch(
+        self,
+        time: int,
+        samples: Iterable[Tuple[str, Optional[str], int]],
+    ) -> List[Event]:
+        """Emit one sampling pass — ``(metric, label, value)`` triples —
+        as a single bus batch."""
+        return self.emit_batch(
+            [
+                self._translate(time, metric, label, value)
+                for metric, label, value in samples
+            ]
+        )

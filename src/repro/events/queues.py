@@ -77,7 +77,12 @@ def _jsonable(value: Any) -> Any:
 
 
 class DeliveryQueue:
-    """Interface of a per-participant notification queue."""
+    """Interface of a per-participant notification queue.
+
+    Queues are context managers: ``with SqliteDeliveryQueue(path) as q:``
+    guarantees :meth:`close` on exit, which matters for the durable
+    backend (the memory queue's close is a no-op).
+    """
 
     def enqueue(self, notification: Notification) -> None:
         raise NotImplementedError
@@ -93,8 +98,31 @@ class DeliveryQueue:
     def pending_count(self, participant_id: Optional[str] = None) -> int:
         raise NotImplementedError
 
+    def pending_by_participant(self) -> Dict[str, int]:
+        """Pending notification counts keyed by participant id.
+
+        The telemetry sampler's view: one call yields every queue's depth
+        (participants with nothing pending are omitted).
+        """
+        raise NotImplementedError
+
+    def oldest_pending_time(self) -> Optional[int]:
+        """Logical time of the oldest pending notification (None if empty).
+
+        Enqueue order follows the logical clock (the delivery agent is
+        the single writer), so this is the enqueue tick of the longest-
+        waiting notification — the basis of the delivery-lag gauge.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release resources (no-op for the memory queue)."""
+
+    def __enter__(self) -> "DeliveryQueue":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
 
 class MemoryDeliveryQueue(DeliveryQueue):
@@ -119,6 +147,13 @@ class MemoryDeliveryQueue(DeliveryQueue):
         if participant_id is not None:
             return len(self._queues.get(participant_id, ()))
         return sum(len(q) for q in self._queues.values())
+
+    def pending_by_participant(self) -> Dict[str, int]:
+        return {pid: len(q) for pid, q in self._queues.items() if q}
+
+    def oldest_pending_time(self) -> Optional[int]:
+        times = [q[0].time for q in self._queues.values() if q]
+        return min(times) if times else None
 
 
 class SqliteDeliveryQueue(DeliveryQueue):
@@ -189,6 +224,25 @@ class SqliteDeliveryQueue(DeliveryQueue):
                 "SELECT COUNT(*) FROM notifications"
             ).fetchone()
         return int(row[0])
+
+    def pending_by_participant(self) -> Dict[str, int]:
+        self._check_open()
+        rows = self._conn.execute(
+            "SELECT participant_id, COUNT(*) FROM notifications "
+            "GROUP BY participant_id"
+        ).fetchall()
+        return {row[0]: int(row[1]) for row in rows}
+
+    def oldest_pending_time(self) -> Optional[int]:
+        # Enqueue ticks are monotonic with seq (single writer over one
+        # logical clock), so the lowest seq is the oldest notification.
+        self._check_open()
+        row = self._conn.execute(
+            "SELECT payload FROM notifications ORDER BY seq LIMIT 1"
+        ).fetchone()
+        if row is None:
+            return None
+        return Notification.from_json(row[0]).time
 
     def close(self) -> None:
         if self._conn is not None:

@@ -61,6 +61,20 @@ class Journal:
     def records(self) -> Tuple[Dict[str, Any], ...]:
         return tuple(self._records)
 
+    def audit_only_count(self) -> int:
+        """Records outside the recoverable surface (see module docstring).
+
+        Currently the post-creation ``scoped_role_membership`` changes:
+        they complete the audit trail but :func:`recover_core` refuses
+        them, so a non-zero count means this journal can no longer be
+        replayed — the basis of the ``journal_divergence`` health metric.
+        """
+        return sum(
+            1
+            for record in self._records
+            if record.get("op") == "scoped_role_membership"
+        )
+
     def __len__(self) -> int:
         return len(self._records)
 

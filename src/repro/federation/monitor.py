@@ -9,7 +9,8 @@ tree, plus the full state-change history — which also makes it the
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Tuple
 
 from ..core.context import ContextChange
 from ..core.engine import CoreEngine
@@ -17,14 +18,33 @@ from ..core.instances import ActivityInstance, ActivityStateChange, ProcessInsta
 
 
 class ProcessMonitor:
-    """Observes every activity state change and context field change."""
+    """Observes every activity state change and context field change.
+
+    The activity log is indexed as it grows: a parallel tick list keyed
+    for :func:`bisect` bounds the time-window queries, and a per-instance
+    index makes the process-subtree view proportional to its own history
+    instead of the whole audit trail.
+    """
 
     def __init__(self, core: CoreEngine) -> None:
         self.core = core
         self._log: List[ActivityStateChange] = []
+        #: Tick of each log entry; monotone non-decreasing (the clock only
+        #: moves forward), so time bounds are binary-searchable.
+        self._times: List[int] = []
+        #: Log positions per activity instance id.
+        self._by_instance: Dict[str, List[int]] = {}
         self._context_log: List["ContextChange"] = []
-        core.on_activity_change(self._log.append)
+        core.on_activity_change(self._observe)
         core.on_context_change(self._context_log.append)
+
+    def _observe(self, change: ActivityStateChange) -> None:
+        index = len(self._log)
+        self._log.append(change)
+        self._times.append(change.time)
+        self._by_instance.setdefault(change.activity_instance_id, []).append(
+            index
+        )
 
     # -- log access ---------------------------------------------------------------
 
@@ -39,12 +59,19 @@ class ProcessMonitor:
     def log_for_process(
         self, process: ProcessInstance
     ) -> Tuple[ActivityStateChange, ...]:
-        """Changes of a process instance and all of its descendants."""
+        """Changes of a process instance and all of its descendants.
+
+        Cost is proportional to the subtree's own history: the changes are
+        gathered from the per-instance index and merged back into log
+        order, never scanning unrelated instances' entries.
+        """
         ids = {process.instance_id}
         ids.update(d.instance_id for d in process.descendants())
-        return tuple(
-            c for c in self._log if c.activity_instance_id in ids
-        )
+        indices: List[int] = []
+        for instance_id in ids:
+            indices.extend(self._by_instance.get(instance_id, ()))
+        indices.sort()
+        return tuple(self._log[i] for i in indices)
 
     def query(
         self,
@@ -58,16 +85,23 @@ class ProcessMonitor:
         All filters conjoin; ``since``/``until`` are inclusive tick bounds.
         This is exactly the interface the Section 2 "specialized awareness
         applications that analyze process monitoring logs" build on.
+
+        Time bounds are resolved by binary search over the tick-ordered
+        log, so a narrow window over a long audit trail only pays for the
+        entries inside the window.
         """
+        lo = bisect_left(self._times, since) if since is not None else 0
+        hi = (
+            bisect_right(self._times, until)
+            if until is not None
+            else len(self._log)
+        )
         results = []
-        for change in self._log:
+        for index in range(lo, hi):
+            change = self._log[index]
             if new_state is not None and change.new_state != new_state:
                 continue
             if user is not None and change.user != user:
-                continue
-            if since is not None and change.time < since:
-                continue
-            if until is not None and change.time > until:
                 continue
             results.append(change)
         return tuple(results)

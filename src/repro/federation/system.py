@@ -14,10 +14,11 @@ Clients attach via :meth:`participant_client` and :meth:`designer_client`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..clock import LogicalClock
 from ..coordination.engine import CoordinationEngine
+from ..coordination.timers import TimerService
 from ..core.engine import CoreEngine
 from ..core.roles import Participant
 from ..events.bus import EventBus
@@ -38,7 +39,11 @@ class EnactmentSystem:
         queue: Optional[DeliveryQueue] = None,
         journal: Optional["Journal"] = None,
         isolate_errors: bool = False,
+        name: str = "cmi",
     ) -> None:
+        #: The system's federation-wide identity: telemetry events carry
+        #: it as ``systemId`` and the federation health view keys on it.
+        self.name = name
         self.clock = clock or LogicalClock()
         #: One registry per system: every Figure 5 agent it owns registers
         #: its instruments here, and :meth:`stats` is a view over them.
@@ -61,7 +66,11 @@ class EnactmentSystem:
             metrics=self.metrics,
         )
         self.monitor = ProcessMonitor(self.core)
+        #: The system-wide timer service (deadline monitors and awareness
+        #: samplers share it; standalone TimerService instances still work).
+        self.timers = TimerService(self.clock)
         self._participant_clients: Dict[str, ParticipantClient] = {}
+        self._designer_clients: Dict[str, DesignerClient] = {}
         self.metrics.callback_gauge(
             "processes_started",
             lambda: len(self.core.top_level_processes()),
@@ -77,6 +86,57 @@ class EnactmentSystem:
             lambda: len(self.coordination.worklists.all_items()),
             "Work items created across all worklists",
         )
+        self.metrics.callback_gauge(
+            "timer_backlog",
+            self.timers.pending_count,
+            "Timers scheduled on the system timer service, not yet fired",
+        )
+        self.metrics.multi_callback_gauge(
+            "work_items_open",
+            self._open_items_by_participant,
+            "Open work items offered to / claimed by each participant",
+            ("participant",),
+        )
+        self.metrics.multi_callback_gauge(
+            "queue_depth",
+            self._queue_depth_by_participant,
+            "Pending awareness notifications per participant queue",
+            ("participant",),
+        )
+        self.metrics.callback_gauge(
+            "delivery_lag",
+            self._delivery_lag,
+            "Ticks the oldest pending notification has waited undelivered",
+        )
+        self.metrics.callback_gauge(
+            "journal_divergence",
+            lambda: float(journal.audit_only_count()) if journal else 0.0,
+            "Journal records recovery would refuse (audit-only surface)",
+        )
+
+    # -- collection-time gauge callbacks ---------------------------------------------
+
+    def _open_items_by_participant(self) -> Dict[Tuple[str, ...], float]:
+        out: Dict[Tuple[str, ...], float] = {}
+        for item in self.coordination.worklists.open_items():
+            if item.claimed_by is not None:
+                holders = (item.claimed_by,)
+            else:
+                holders = tuple(item.candidates)
+            for participant in holders:
+                key = (participant.participant_id,)
+                out[key] = out.get(key, 0.0) + 1.0
+        return out
+
+    def _queue_depth_by_participant(self) -> Dict[Tuple[str, ...], float]:
+        counts = self.awareness.delivery.queue.pending_by_participant()
+        return {(pid,): float(count) for pid, count in counts.items()}
+
+    def _delivery_lag(self) -> float:
+        oldest = self.awareness.delivery.queue.oldest_pending_time()
+        if oldest is None:
+            return 0.0
+        return float(max(0, self.clock.now() - oldest))
 
     # -- client attach -------------------------------------------------------------
 
@@ -89,8 +149,16 @@ class EnactmentSystem:
         return client
 
     def designer_client(self, designer_name: str = "designer") -> DesignerClient:
-        """A build-time client suite (process + awareness specification)."""
-        return DesignerClient(self, designer_name)
+        """A build-time client suite (process + awareness specification).
+
+        Cached per designer name, mirroring :meth:`participant_client`:
+        repeated attaches from the same designer share one client.
+        """
+        client = self._designer_clients.get(designer_name)
+        if client is None:
+            client = DesignerClient(self, designer_name)
+            self._designer_clients[designer_name] = client
+        return client
 
     # -- convenience ----------------------------------------------------------------
 
@@ -113,6 +181,9 @@ class EnactmentSystem:
                 "processes_started": int(self.metrics.value("processes_started")),
                 "instances_total": int(self.metrics.value("instances_total")),
                 "work_items_total": int(self.metrics.value("work_items_total")),
+                "timer_backlog": int(self.metrics.value("timer_backlog")),
+                "queue_depth": self.awareness.delivery.queue.pending_count(),
+                "delivery_lag": int(self.metrics.value("delivery_lag")),
             }
         )
         return stats

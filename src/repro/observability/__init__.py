@@ -33,6 +33,15 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from .logging import (
+    DEFAULT_MAX_RECORDS,
+    STRUCTURED_LOG,
+    StructuredLog,
+    disable_structured_logging,
+    enable_structured_logging,
+    logging_enabled,
+    structured_log,
+)
 from .provenance import (
     DEFAULT_MAX_DELIVERIES,
     DeliveryProvenance,
@@ -49,6 +58,7 @@ from .registry import (
     Histogram,
     MetricsError,
     MetricsRegistry,
+    MultiCallbackGauge,
     default_registry,
     set_default_registry,
 )
@@ -60,6 +70,7 @@ __all__ = [
     "CallbackGauge",
     "Counter",
     "DEFAULT_MAX_DELIVERIES",
+    "DEFAULT_MAX_RECORDS",
     "DEFAULT_MAX_SERIES",
     "DEFAULT_MAX_TRACES",
     "DEFAULT_SAMPLE_EVERY",
@@ -70,15 +81,22 @@ __all__ = [
     "Instrumentation",
     "MetricsError",
     "MetricsRegistry",
+    "MultiCallbackGauge",
     "ProvenanceNode",
     "ProvenanceTracker",
+    "STRUCTURED_LOG",
     "Span",
+    "StructuredLog",
     "Tracer",
     "default_registry",
     "disable_instrumentation",
+    "disable_structured_logging",
     "enable_instrumentation",
+    "enable_structured_logging",
     "instrumented",
+    "logging_enabled",
     "set_default_registry",
+    "structured_log",
 ]
 
 
@@ -120,6 +138,10 @@ class Instrumentation:
 
 #: The process-wide instrumentation plane; disabled until enabled.
 INSTRUMENTATION = Instrumentation()
+
+# The structured log joins its records to the instrumentation plane's
+# in-flight traces (the `trace`/`span` fields of each record).
+STRUCTURED_LOG.bind_tracer(INSTRUMENTATION.tracer)
 
 
 def enable_instrumentation() -> Instrumentation:

@@ -1,0 +1,204 @@
+"""Structured logging plane: JSON-lines records from the pipeline.
+
+The metrics registry answers "how much"; traces answer "how long"; this
+module answers "what happened" — discrete, machine-parseable records from
+the bus/engine/delivery error paths and the health-alert paths, each
+correlated with the component that emitted it, the owning system, the
+logical clock tick, and (when tracing is on) the in-flight trace id.
+
+The plane follows the same zero-cost-when-disabled contract as the
+:class:`~repro.observability.trace.Tracer`: hot paths hold a reference to
+the process-wide :data:`STRUCTURED_LOG` and guard every emission with
+``if _LOG.enabled:``, so the disabled cost is one attribute load and a
+branch.  When enabled, records land in a bounded in-memory ring (the
+flight recorder read by tests and the CLI) and, optionally, in a *sink* —
+any ``callable(str)`` or writable text stream — as one JSON object per
+line, the standard shape log shippers ingest.
+
+Typical usage::
+
+    from repro.observability.logging import logging_enabled, structured_log
+
+    with logging_enabled(sys.stderr):
+        ...drive the pipeline...
+    for record in structured_log().records(component="bus"):
+        print(record["event"], record.get("error"))
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    Iterator,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from .trace import Tracer
+
+#: Default capacity of the in-memory record ring buffer.
+DEFAULT_MAX_RECORDS = 2048
+
+#: A sink accepts one rendered JSON line (without the trailing newline).
+Sink = Callable[[str], None]
+
+
+class StructuredLog:
+    """Process-wide JSON-lines logger with an in-memory ring buffer.
+
+    Mirrors the :class:`~repro.observability.Instrumentation` contract:
+    one ``enabled`` flag that callers check before building a record, so
+    the disabled hot-path cost is a single attribute load.
+    """
+
+    __slots__ = ("enabled", "max_records", "_records", "_sink", "_tracer")
+
+    def __init__(self, max_records: int = DEFAULT_MAX_RECORDS) -> None:
+        self.enabled = False
+        self.max_records = max_records
+        self._records: Deque[Dict[str, Any]] = deque(maxlen=max_records)
+        self._sink: Optional[Sink] = None
+        self._tracer: Optional[Tracer] = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Correlate records with *tracer*'s in-flight trace ids."""
+        self._tracer = tracer
+
+    def set_sink(self, sink: Union[Sink, IO[str], None]) -> None:
+        """Mirror records to *sink*: a ``callable(line)``, a writable text
+        stream (each record becomes one line), or ``None`` to detach."""
+        if sink is None or callable(sink):
+            self._sink = sink
+        else:
+            stream: IO[str] = sink
+            self._sink = lambda line: stream.write(line + "\n")
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(
+        self,
+        component: str,
+        event: str,
+        level: str = "info",
+        system: Optional[str] = None,
+        tick: Optional[int] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Record one structured event; returns the record dict.
+
+        Callers must guard with ``if log.enabled:`` — this method always
+        records.  ``component`` names the emitting pipeline agent (``bus``,
+        ``delivery``, ``health``...), ``event`` is a stable snake_case
+        event name, and arbitrary keyword fields carry the payload
+        (non-JSON-able values are stringified at render time).
+        """
+        record: Dict[str, Any] = {
+            "level": level,
+            "component": component,
+            "event": event,
+        }
+        if system is not None:
+            record["system"] = system
+        if tick is not None:
+            record["tick"] = tick
+        tracer = self._tracer
+        if tracer is not None:
+            trace_id = tracer.current_trace_id
+            if trace_id is not None:
+                record["trace"] = trace_id
+                record["span"] = tracer.active_depth
+        if fields:
+            record.update(fields)
+        self._records.append(record)
+        sink = self._sink
+        if sink is not None:
+            sink(render_record(record))
+        return record
+
+    # -- inspection --------------------------------------------------------
+
+    def records(
+        self,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> Tuple[Dict[str, Any], ...]:
+        """Recorded events, oldest first, optionally filtered."""
+        out = []
+        for record in self._records:
+            if component is not None and record["component"] != component:
+                continue
+            if event is not None and record["event"] != event:
+                continue
+            out.append(record)
+        return tuple(out)
+
+    def render_lines(self) -> str:
+        """Every buffered record as JSON lines (the sink format)."""
+        return "\n".join(render_record(record) for record in self._records)
+
+    def clear(self) -> None:
+        """Drop buffered records (flag and sink unchanged)."""
+        self._records.clear()
+
+
+def render_record(record: Dict[str, Any]) -> str:
+    """One record as a canonical JSON line (sorted keys, repr fallback)."""
+    return json.dumps(record, sort_keys=True, default=repr)
+
+
+#: The process-wide structured log; disabled until enabled.
+STRUCTURED_LOG = StructuredLog()
+
+
+def structured_log() -> StructuredLog:
+    """The process-wide :class:`StructuredLog`."""
+    return STRUCTURED_LOG
+
+
+def enable_structured_logging(
+    sink: Union[Sink, IO[str], None] = None,
+) -> StructuredLog:
+    """Turn on structured logging, optionally mirroring to *sink*."""
+    if sink is not None:
+        STRUCTURED_LOG.set_sink(sink)
+    STRUCTURED_LOG.enabled = True
+    return STRUCTURED_LOG
+
+
+def disable_structured_logging() -> StructuredLog:
+    """Turn structured logging back off (buffered records are kept)."""
+    STRUCTURED_LOG.enabled = False
+    return STRUCTURED_LOG
+
+
+@contextmanager
+def logging_enabled(
+    sink: Union[Sink, IO[str], None] = None,
+    clear: bool = True,
+) -> Iterator[StructuredLog]:
+    """Enable structured logging for a scope; restores the previous state.
+
+    With ``clear`` (the default) previously buffered records are dropped
+    on entry so the scope observes only itself.  The sink installed for
+    the scope is detached on exit.
+    """
+    previous = STRUCTURED_LOG.enabled
+    previous_sink = STRUCTURED_LOG._sink
+    if clear:
+        STRUCTURED_LOG.clear()
+    enable_structured_logging(sink)
+    try:
+        yield STRUCTURED_LOG
+    finally:
+        STRUCTURED_LOG.enabled = previous
+        STRUCTURED_LOG._sink = previous_sink

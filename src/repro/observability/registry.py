@@ -223,6 +223,43 @@ class CallbackGauge(Instrument):
         return {(): self.value()}
 
 
+class MultiCallbackGauge(Instrument):
+    """A labelled gauge whose series are computed by one callable.
+
+    The callback returns ``{label_values: value}`` for every live series
+    at collection time — how per-participant worklist depths are exposed
+    without a registry write on every offer/claim/complete.  The declared
+    ``max_series`` bound applies to the callback's result.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        callback: Callable[[], Mapping[LabelValues, float]],
+        description: str = "",
+        label_names: Sequence[str] = (),
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> None:
+        super().__init__(name, description, label_names, max_series)
+        self._callback = callback
+
+    def value(self, labels: LabelValues = ()) -> float:
+        _check_labels(self.name, self.label_names, labels)
+        return float(self.series().get(labels, 0.0))
+
+    def series(self) -> Dict[LabelValues, float]:
+        computed = dict(self._callback())
+        if len(computed) > self.max_series:
+            raise MetricsError(
+                f"multi-callback gauge {self.name!r} computed "
+                f"{len(computed)} series, exceeding its cardinality bound "
+                f"({self.max_series})"
+            )
+        return {labels: float(value) for labels, value in computed.items()}
+
+
 class HistogramSeries:
     """Bucket counts, sum, and count for one label-value tuple."""
 
@@ -420,6 +457,29 @@ class MetricsRegistry:
             self._instruments[name] = instrument
             return instrument
 
+    def multi_callback_gauge(
+        self,
+        name: str,
+        callback: Callable[[], Mapping[LabelValues, float]],
+        description: str = "",
+        label_names: Sequence[str] = (),
+    ) -> MultiCallbackGauge:
+        """Register (or replace) a labelled collection-time computed gauge."""
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None and not isinstance(
+                existing, MultiCallbackGauge
+            ):
+                raise MetricsError(
+                    f"instrument {name!r} is a {existing.kind}, not a "
+                    f"multi-callback gauge"
+                )
+            instrument = MultiCallbackGauge(
+                name, callback, description, label_names, self._max_series
+            )
+            self._instruments[name] = instrument
+            return instrument
+
     def histogram(
         self,
         name: str,
@@ -454,7 +514,9 @@ class MetricsRegistry:
         instrument = self.get(name)
         if instrument is None:
             return 0.0
-        if isinstance(instrument, (Counter, Gauge, CallbackGauge)):
+        if isinstance(
+            instrument, (Counter, Gauge, CallbackGauge, MultiCallbackGauge)
+        ):
             return instrument.value(labels)
         raise MetricsError(
             f"instrument {name!r} is a {instrument.kind}; use as_dict() "
@@ -500,7 +562,8 @@ class MetricsRegistry:
                     "series": series_out,
                 }
             elif isinstance(
-                instrument, (Counter, Gauge, CallbackGauge)
+                instrument,
+                (Counter, Gauge, CallbackGauge, MultiCallbackGauge),
             ):
                 out[name] = {
                     "kind": instrument.kind,
@@ -552,7 +615,8 @@ class MetricsRegistry:
                     lines.append(f"{name}_sum{base} {total:g}")
                     lines.append(f"{name}_count{base} {count}")
             elif isinstance(
-                instrument, (Counter, Gauge, CallbackGauge)
+                instrument,
+                (Counter, Gauge, CallbackGauge, MultiCallbackGauge),
             ):
                 for labels, value in sorted(instrument.series().items()):
                     rendered = _render_labels(instrument.label_names, labels)

@@ -284,6 +284,20 @@ class Tracer:
     def active_depth(self) -> int:
         return len(self._stack)
 
+    @property
+    def current_trace_id(self) -> Optional[int]:
+        """Sequence number of the in-flight *sampled* trace, else ``None``.
+
+        Trace ids count root spans since the last :meth:`clear`; the
+        structured log stamps records with this id so a log line can be
+        joined to the span tree that was active when it was emitted.
+        Unsampled (light) traces report ``None`` — there is no recorded
+        tree to join against.
+        """
+        if self._stack:
+            return self._trace_count
+        return None
+
     def recent(self) -> Tuple[Span, ...]:
         """The ring buffer of completed root spans, oldest first."""
         return tuple(self._traces)

@@ -145,3 +145,44 @@ class TestQueueRegistry:
         registry.close()
         with pytest.raises(QueueError):
             registry.queue.enqueue(note())
+
+
+@pytest.mark.parametrize("factory", QUEUE_FACTORIES)
+class TestQueueTelemetry:
+    """The gauges the self-awareness plane samples (queue depth, lag)."""
+
+    def test_pending_by_participant(self, factory):
+        queue = factory()
+        queue.enqueue(note("n1", "alice"))
+        queue.enqueue(note("n2", "alice", time=2))
+        queue.enqueue(note("n3", "bob", time=3))
+        assert queue.pending_by_participant() == {"alice": 2, "bob": 1}
+        queue.retrieve("alice")
+        assert queue.pending_by_participant() == {"bob": 1}
+
+    def test_oldest_pending_time(self, factory):
+        queue = factory()
+        assert queue.oldest_pending_time() is None
+        queue.enqueue(note("n1", "alice", time=5))
+        queue.enqueue(note("n2", "bob", time=9))
+        assert queue.oldest_pending_time() == 5
+        queue.retrieve("alice")
+        assert queue.oldest_pending_time() == 9
+        queue.retrieve("bob")
+        assert queue.oldest_pending_time() is None
+
+
+class TestQueueContextManager:
+    def test_memory_queue_enter_returns_self(self):
+        with MemoryDeliveryQueue() as queue:
+            queue.enqueue(note())
+            assert queue.pending_count("alice") == 1
+        # close() is a no-op for the in-memory queue.
+        assert queue.pending_count("alice") == 1
+
+    def test_sqlite_queue_closed_on_exit(self):
+        with SqliteDeliveryQueue() as queue:
+            queue.enqueue(note())
+            assert queue.pending_count("alice") == 1
+        with pytest.raises(QueueError):
+            queue.enqueue(note("n2"))

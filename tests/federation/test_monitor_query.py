@@ -43,3 +43,78 @@ class TestQuery:
         monitor, __ = loaded_monitor
         assert monitor.query(new_state="Suspended") == ()
         assert monitor.query(user="nobody") == ()
+
+
+class TestIndexedLogRegression:
+    """The indexed audit trail must agree with a brute-force scan.
+
+    Regression cover for the bisect/per-instance indexing: 10k synthetic
+    changes are fed straight into the observation hook, then every query
+    shape is checked against a naive filter over the full log.
+    """
+
+    STATES = ("Ready", "Running", "Suspended", "Completed")
+    USERS = (None, "alice", "bob", "carol")
+
+    @pytest.fixture
+    def synthetic_monitor(self, system):
+        from repro.core.instances import ActivityStateChange
+
+        monitor = system.monitor
+        for index in range(10_000):
+            monitor._observe(
+                ActivityStateChange(
+                    time=index // 4,
+                    activity_instance_id=f"act-{index % 97}",
+                    parent_process_schema_id="P-Synthetic",
+                    parent_process_instance_id=f"proc-{index % 11}",
+                    user=self.USERS[index % len(self.USERS)],
+                    activity_variable_id=f"step{index % 5}",
+                    activity_process_schema_id=None,
+                    old_state=self.STATES[index % 3],
+                    new_state=self.STATES[(index % 3) + 1],
+                )
+            )
+        return monitor
+
+    def brute_force(self, monitor, new_state=None, user=None,
+                    since=None, until=None):
+        return tuple(
+            change
+            for change in monitor.log()
+            if (new_state is None or change.new_state == new_state)
+            and (user is None or change.user == user)
+            and (since is None or change.time >= since)
+            and (until is None or change.time <= until)
+        )
+
+    def test_queries_match_brute_force_over_10k_changes(
+        self, synthetic_monitor
+    ):
+        monitor = synthetic_monitor
+        assert len(monitor.log()) == 10_000
+        cases = [
+            {},
+            {"new_state": "Completed"},
+            {"user": "bob"},
+            {"since": 100, "until": 200},
+            {"since": 2499},            # last tick only
+            {"until": 0},               # first tick only
+            {"since": 5000},            # past the end: empty
+            {"new_state": "Running", "user": "alice",
+             "since": 17, "until": 1203},
+        ]
+        for kwargs in cases:
+            assert monitor.query(**kwargs) == self.brute_force(
+                monitor, **kwargs
+            ), kwargs
+
+    def test_subtree_log_matches_manual_filter(self, synthetic_monitor):
+        monitor = synthetic_monitor
+        indexed = monitor._by_instance["act-13"]
+        expected = [
+            change
+            for change in monitor.log()
+            if change.activity_instance_id == "act-13"
+        ]
+        assert [monitor.log()[i] for i in indexed] == expected

@@ -230,3 +230,53 @@ class TestRendering:
         assert registry.get("depth") is None
         registry.reset()
         assert registry.names() == ()
+
+
+class TestMultiCallbackGauge:
+    def make(self, registry=None, max_series=None):
+        if registry is None:
+            registry = (
+                MetricsRegistry()
+                if max_series is None
+                else MetricsRegistry(max_series=max_series)
+            )
+        self.depths = {("alice",): 3, ("bob",): 1}
+        return registry.multi_callback_gauge(
+            "queue_depth",
+            lambda: self.depths,
+            "pending notifications per participant",
+            ("participant",),
+        )
+
+    def test_series_computed_at_collection_time(self):
+        gauge = self.make()
+        assert gauge.series() == {("alice",): 3.0, ("bob",): 1.0}
+        self.depths[("carol",)] = 7
+        assert gauge.value(("carol",)) == 7.0
+
+    def test_missing_series_reads_zero(self):
+        gauge = self.make()
+        assert gauge.value(("nobody",)) == 0.0
+
+    def test_cardinality_bound_enforced(self):
+        gauge = self.make(max_series=1)
+        with pytest.raises(MetricsError, match="cardinality bound"):
+            gauge.series()
+
+    def test_replacing_a_non_gauge_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("queue_depth")
+        with pytest.raises(MetricsError, match="not a multi-callback gauge"):
+            registry.multi_callback_gauge("queue_depth", dict)
+
+    def test_rendered_in_text_and_json(self):
+        registry = MetricsRegistry()
+        self.make(registry)
+        text = registry.render_text()
+        assert 'queue_depth{participant="alice"} 3' in text
+        payload = json.loads(registry.render_json())
+        series = {
+            entry["labels"]["participant"]: entry["value"]
+            for entry in payload["queue_depth"]["series"]
+        }
+        assert series == {"alice": 3.0, "bob": 1.0}

@@ -70,3 +70,59 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestHealth:
+    def test_health_json_reports_rules_and_matches_exit_code(self, capsys):
+        import json
+
+        code = main(["health", "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert {"federation", "systems", "alerts"} <= set(payload)
+        # Demonstration queues are never drained, so the backlog rules
+        # honestly report a degraded system.
+        assert payload["federation"] == "degraded"
+        assert code == 1
+        (system,) = payload["systems"]
+        assert len(system["rules"]) >= 4
+        assert {"queue-depth", "delivery-lag", "failure-rate",
+                "timer-backlog"} <= set(system["rules"])
+        assert payload["alerts"]
+        assert all("provenance" in alert for alert in payload["alerts"])
+
+    def test_health_exit_zero_with_raised_limits(self, capsys):
+        code = main([
+            "health",
+            "--limit", "queue-depth=100000",
+            "--limit", "delivery-lag=100000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "federation: ok" in out
+
+    def test_health_exit_two_on_failing_rule(self, capsys):
+        # limit=-1 makes failure-rate (severity: failing) breach at rate 0.
+        code = main(["health", "--limit", "failure-rate=-1"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "federation: failing" in out
+
+    def test_bad_limit_format_is_a_usage_error(self, capsys):
+        assert main(["health", "--limit", "queue-depth"]) == 1
+        assert "rule=value" in capsys.readouterr().err
+
+    def test_unknown_rule_rejected(self, capsys):
+        assert main(["health", "--limit", "no-such-rule=1"]) == 1
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_top_renders_the_federation_table(self, capsys):
+        code = main([
+            "top", "--iterations", "2", "--refresh", "0", "--no-clear",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "federation:" in out
+        assert "cmi-1" in out
