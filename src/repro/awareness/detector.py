@@ -34,9 +34,14 @@ class DetectorAgent:
         window: SpecificationWindow,
         sink: Optional[Sink] = None,
         bus: Optional[EventBus] = None,
+        detach_hook: Optional[Callable[[], None]] = None,
     ) -> None:
         window.validate()
         self.window = window
+        #: When the engine deployed the window through the plan cache the
+        #: live wiring belongs to the shared plan, not to this window's
+        #: graph; detach then releases the plan instead of the leaves.
+        self._detach_hook = detach_hook
         self._sinks: List[Sink] = []
         self._sink_snapshot: Tuple[Sink, ...] = ()
         if sink is not None:
@@ -66,7 +71,10 @@ class DetectorAgent:
         unregistered too, so a later redeploy of the same window does not
         double-deliver through this retired agent.
         """
-        self.window.graph.detach_producers()
+        if self._detach_hook is not None:
+            self._detach_hook()
+        else:
+            self.window.graph.detach_producers()
         for schema in self.window.schemas():
             schema.description.remove_listener(self._forward)
 

@@ -621,7 +621,12 @@ def window_to_dsl(window: SpecificationWindow) -> str:
 
     # Emit operators in wiring (dependency) order; edges were added in
     # topological order by construction, but operators may have been
-    # placed early — order by "all inputs already named".
+    # placed early — order by "all inputs already named".  Within each
+    # wave, operators are sorted by instance name (then family), so the
+    # decompiled text is a *canonical* ordering: two windows that are
+    # structurally equal decompile identically regardless of placement
+    # order, and plan-cache keys computed over re-authored windows
+    # reproduce.
     operator_names: Dict[int, str] = {}
     lines: List[str] = []
     pending = [
@@ -629,17 +634,23 @@ def window_to_dsl(window: SpecificationWindow) -> str:
     ]
     used_names = set()
     while pending:
-        progressed = False
-        remaining = []
-        for operator in pending:
-            upstream = graph.upstream(operator)
-            ready = all(
+        ready = [
+            operator
+            for operator in pending
+            if all(
                 id(source) in source_names or id(source) in operator_names
-                for source, __ in upstream
+                for source, __ in graph.upstream(operator)
             )
-            if not ready:
-                remaining.append(operator)
-                continue
+        ]
+        if not ready:
+            raise SpecificationError(
+                "window contains operators with unwired inputs; validate() "
+                "it before decompiling"
+            )
+        ready.sort(key=lambda op: (op.instance_name, op.family))
+        ready_ids = {id(operator) for operator in ready}
+        for operator in ready:
+            upstream = graph.upstream(operator)
             name = operator.instance_name
             if not re.fullmatch(r"[A-Za-z_][\w.\-]*", name) or name in used_names:
                 name = f"node{len(operator_names) + 1}"
@@ -655,13 +666,9 @@ def window_to_dsl(window: SpecificationWindow) -> str:
                 f"{name} = {_render_operator(operator, window)}"
                 f"({', '.join(inputs)})"
             )
-            progressed = True
-        if not progressed:
-            raise SpecificationError(
-                "window contains operators with unwired inputs; validate() "
-                "it before decompiling"
-            )
-        pending = remaining
+        pending = [
+            operator for operator in pending if id(operator) not in ready_ids
+        ]
 
     for schema in window.schemas():
         root = schema.description.root

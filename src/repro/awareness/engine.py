@@ -33,6 +33,7 @@ from .assignment import AssignmentRegistry
 from .delivery import DeliveryAgent
 from .detector import DetectorAgent
 from .operators.registry import OperatorRegistry, default_registry
+from .planner import PlanCache
 from .sources import ActivitySourceAgent, ContextSourceAgent
 from .specification import SpecificationWindow
 from .viewer import AwarenessViewer
@@ -61,6 +62,7 @@ class AwarenessEngine:
         assignments: Optional[AssignmentRegistry] = None,
         delivery_agent: Optional[DeliveryAgent] = None,
         metrics: Optional[MetricsRegistry] = None,
+        share_plans: bool = True,
     ) -> None:
         self.core = core
         #: All Figure 5 agents owned by this engine register their counters
@@ -81,12 +83,38 @@ class AwarenessEngine:
             metrics=self.metrics,
         )
         self._detectors: List[DetectorAgent] = []
+        #: Live detector per deployed window (keyed by window identity),
+        #: making :meth:`deploy` idempotent.
+        self._deployed: Dict[int, DetectorAgent] = {}
+        #: Recognitions carried by detectors that have since been retired;
+        #: keeps the ``composites_recognized`` gauge monotonic across
+        #: undeploys.
+        self._recognized_retired = 0
+        #: The multi-query optimizer: windows deployed through the cache
+        #: share equal operator sub-DAGs.  ``None`` disables sharing (each
+        #: window keeps its private chain — the pre-cache behavior, used
+        #: as the differential/benchmark baseline).
+        self.planner: Optional[PlanCache] = PlanCache() if share_plans else None
         self._external_sources: Dict[str, EventProducer] = {}
         self.metrics.callback_gauge(
             "composites_recognized",
-            lambda: sum(d.recognized for d in self._detectors),
-            "Composite events recognized across deployed detector agents",
+            lambda: self._recognized_retired
+            + sum(d.recognized for d in self._detectors),
+            "Composite events recognized across detector agents, including "
+            "detectors since retired",
         )
+        if self.planner is not None:
+            planner = self.planner
+            self.metrics.callback_gauge(
+                "plan_nodes_live",
+                lambda: planner.live_node_count(),
+                "Interned operator nodes live in the shared plan cache",
+            )
+            self.metrics.callback_gauge(
+                "plan_operators_deduped",
+                lambda: planner.operators_deduped,
+                "Deployed operators resolved to an already-interned node",
+            )
         self.metrics.callback_gauge(
             "undeliverable_events",
             lambda: len(self.delivery.undeliverable),
@@ -131,16 +159,36 @@ class AwarenessEngine:
     def deploy(self, window: SpecificationWindow) -> DetectorAgent:
         """Compile a window into a detector agent feeding delivery.
 
-        The window's leaf edges were installed against the engine's shared
-        event source producers at authoring time, keyed by each operator's
-        :meth:`~repro.awareness.operators.base.EventOperator.routing_keys`,
-        so a deployed detector only costs dispatch time for events its
-        filters can actually match.  Redeploying a window that was
-        previously retired with :meth:`undeploy` rewires those leaves.
+        With plan sharing (the default) the window is resolved against
+        the engine's :class:`~repro.awareness.planner.PlanCache`:
+        sub-DAGs structurally equal to an already-deployed window's are
+        not instantiated again — the existing shared nodes fan out to
+        this window's output operators, so recognition cost grows with
+        *unique* operators, not deployed windows.  Without sharing the
+        window's authoring-time leaf links (keyed by each operator's
+        :meth:`~repro.awareness.operators.base.EventOperator.routing_keys`)
+        are attached as before.
+
+        Deploying a window that is already deployed is idempotent: the
+        live detector is returned, and nothing is re-attached (a double
+        deploy used to double-wire the leaves and double-count
+        recognitions).  Redeploying a window retired with
+        :meth:`undeploy` rewires it freshly.
         """
-        window.graph.attach_producers()
-        detector = DetectorAgent(window, sink=self.delivery.deliver)
+        existing = self._deployed.get(id(window))
+        if existing is not None:
+            return existing
+        if self.planner is not None:
+            window.validate()
+            plan = self.planner.deploy(window)
+            detector = DetectorAgent(
+                window, sink=self.delivery.deliver, detach_hook=plan.detach
+            )
+        else:
+            window.graph.attach_producers()
+            detector = DetectorAgent(window, sink=self.delivery.deliver)
         self._detectors.append(detector)
+        self._deployed[id(window)] = detector
         if _SLOG.enabled:
             _SLOG.emit(
                 "awareness",
@@ -148,19 +196,28 @@ class AwarenessEngine:
                 tick=self.core.clock.now(),
                 process=window.process_schema_id,
                 schemas=[schema.name for schema in window.schemas()],
+                shared_operators=(
+                    plan.shared_hits if self.planner is not None else 0
+                ),
             )
         return detector
 
     def undeploy(self, detector: DetectorAgent) -> None:
-        """Retire a detector: detach its leaves and drop it from the engine.
+        """Retire a detector: detach its wiring and drop it from the engine.
 
         Detaching removes the detector's entries from the producers'
-        routing indexes (and wildcard buckets), so no further events are
-        dispatched to the retired window's operators.
+        routing indexes (and wildcard buckets) — or, under plan sharing,
+        releases its hold on the shared plan, unwiring only the nodes no
+        surviving window references — so no further events are dispatched
+        to the retired window's operators.  The detector's recognition
+        count is folded into the engine baseline first, keeping the
+        ``composites_recognized`` gauge monotonic.
         """
         detector.detach()
         if detector in self._detectors:
+            self._recognized_retired += detector.recognized
             self._detectors.remove(detector)
+            self._deployed.pop(id(detector.window), None)
         if _SLOG.enabled:
             _SLOG.emit(
                 "awareness",
@@ -187,7 +244,7 @@ class AwarenessEngine:
         undeliverable counts read the collection-time gauges registered in
         :attr:`metrics`.
         """
-        return {
+        out = {
             "activity_events_gathered": self.activity_source.gathered,
             "context_events_gathered": self.context_source.gathered,
             "composites_recognized": int(
@@ -198,3 +255,8 @@ class AwarenessEngine:
                 self.metrics.value("undeliverable_events")
             ),
         }
+        if self.planner is not None:
+            plan_stats = self.planner.stats()
+            out["plan_nodes_live"] = plan_stats["nodes_live"]
+            out["plan_operators_deduped"] = plan_stats["operators_deduped"]
+        return out

@@ -54,6 +54,12 @@ class EventOperator:
     #: Human-readable operator family name ("And", "Filter_activity", ...).
     family: str = "operator"
 
+    #: True for operator families whose output stream does not depend on
+    #: which input slot an event arrives on (only ``Or``): the plan
+    #: canonicalizer may then order-normalize the input keys so mirrored
+    #: wirings of the same streams intern to one shared node.
+    plan_commutative: bool = False
+
     def __init__(
         self,
         process_schema_id: str,
@@ -71,6 +77,11 @@ class EventOperator:
         #: Downstream consumers: (callable, slot_index) pairs wired by the
         #: awareness description / detector.
         self._consumers: List[Tuple[Callable[[int, Event], None], int]] = []
+        #: Parallel batch partners for :meth:`consume_batch`, one per
+        #: `_consumers` record (see :meth:`add_consumer`).
+        self._batch_consumers: List[
+            Tuple[Callable[[int, Sequence[Event]], object], int]
+        ] = []
         self.consumed = 0
         self.produced = 0
         #: Transient provenance hand-off: multi-input subclasses (And, Seq)
@@ -100,6 +111,66 @@ class EventOperator:
     ) -> None:
         """Wire this operator's output into *slot* of a downstream consumer."""
         self._consumers.append((consumer, slot))
+        # Batch partner, kept in a parallel list so `consume` never pays a
+        # lookup: when the consumer is another operator's bound `consume`,
+        # a batch of outputs is handed to its `consume_batch` in one call;
+        # anything else (detection collectors, test callables) gets a
+        # per-event unroll wrapper.
+        owner = getattr(consumer, "__self__", None)
+        if (
+            isinstance(owner, EventOperator)
+            and getattr(consumer, "__func__", None) is EventOperator.consume
+        ):
+            batch: Callable[[int, Sequence[Event]], object] = owner.consume_batch
+        else:
+
+            def batch(
+                batch_slot: int,
+                events: Sequence[Event],
+                _consumer: Callable[[int, Event], None] = consumer,
+            ) -> None:
+                for event in events:
+                    _consumer(batch_slot, event)
+
+        self._batch_consumers.append((batch, slot))
+
+    def remove_consumer(
+        self, consumer: Callable[[int, Event], None], slot: Optional[int] = None
+    ) -> None:
+        """Unwire the first consumer equal to *consumer* (on *slot*, if given).
+
+        Bound-method equality makes ``remove_consumer(op.consume, 2)``
+        match the record installed by ``add_consumer(op.consume, 2)``; a
+        no-op when nothing matches, so plan detach is idempotent.
+        """
+        for index, (existing, existing_slot) in enumerate(self._consumers):
+            if existing == consumer and (slot is None or existing_slot == slot):
+                del self._consumers[index]
+                del self._batch_consumers[index]
+                return
+
+    def reset_consumers(self) -> None:
+        """Drop every wired consumer.
+
+        The plan cache calls this when it interns an operator: the
+        authoring-time wiring of the window the instance came from is
+        replaced by the shared plan's fan-out, installed edge by edge.
+        """
+        self._consumers.clear()
+        self._batch_consumers.clear()
+
+    def plan_params(self) -> Optional[Tuple[Any, ...]]:
+        """Hashable design-time parameters for plan sharing, or ``None``.
+
+        ``None`` — the default — marks the operator *non-shareable*: the
+        plan cache always deploys it (and everything downstream of it) as
+        a private per-window node.  Families whose behavior is fully
+        determined by their constructor parameters override this to
+        return those parameters as a hashable tuple; two instances with
+        equal family, instance name, parameters, and input plans then
+        intern to one shared node across deployed windows.
+        """
+        return None
 
     def routing_keys(self, slot: int) -> Optional[Sequence[Any]]:
         """Static routing keys this operator can match on input *slot*.
@@ -192,6 +263,98 @@ class EventOperator:
                 tracer._light_depth -= 1
             else:
                 tracer.end(span)
+        return outputs
+
+    def consume_batch(self, slot: int, events: Sequence[Event]) -> List[Event]:
+        """Feed a run of events into *slot*; forward outputs as one batch.
+
+        Event-for-event equivalent to calling :meth:`consume` on each
+        element (same type checks, same partition handling, same
+        provenance stamps, outputs concatenated in order) — but the
+        downstream fan-out list is traversed once per batch instead of
+        once per output, and operator consumers receive the outputs via
+        their own ``consume_batch``, so a shared prefix amortizes its
+        per-consumer dispatch over the whole run.  The one observable
+        difference is interleaving: all outputs reach the first consumer
+        before any reaches the second, where ``consume`` alternates
+        per output (the relative order seen by each consumer is
+        identical).
+        """
+        if not events:
+            return []
+        input_types = self.signature.input_types
+        if not 0 <= slot < len(input_types):
+            self._check_slot(slot)
+        expected = input_types[slot]
+        partitions = self._partitions
+        outputs: List[Event] = []
+        instrumented = _OBS.enabled
+        span = None
+        tracer = None
+        if instrumented:
+            # One span covers the whole run; provenance is still stamped
+            # per output, exactly as consume does.
+            tracer = _OBS.tracer
+            if tracer._light_depth:
+                tracer._light_depth += 1
+            else:
+                attrs = self._span_attrs
+                if attrs is None:
+                    attrs = self._span_attrs = {
+                        "node": self.instance_name,
+                        "op": self.family,
+                    }
+                span = tracer.begin(
+                    "operator.consume", events[0]._params["time"], attrs
+                )
+        try:
+            for event in events:
+                received = event.event_type
+                if received is not expected and received.name != expected.name:
+                    raise SlotError(
+                        f"operator {self.instance_name!r} slot {slot} expects "
+                        f"{expected.name!r}, got event of type "
+                        f"{event.type_name!r}"
+                    )
+                self.consumed += 1
+                key = self.partition_key(slot, event)
+                state = partitions.get(key)
+                if state is None:
+                    state = self.new_state()
+                    partitions[key] = state
+                if instrumented:
+                    self._constituents = None
+                    produced = self._apply(slot, event, state)
+                    if produced:
+                        constituents = self._constituents
+                        if constituents is None:
+                            constituents = (event,)
+                        else:
+                            self._constituents = None
+                        tracker = _OBS.provenance
+                        for output in produced:
+                            if output.provenance is None:
+                                tracker.record_operator(
+                                    output,
+                                    self.instance_name,
+                                    self.family,
+                                    constituents,
+                                )
+                        outputs.extend(produced)
+                else:
+                    produced = self._apply(slot, event, state)
+                    if produced:
+                        outputs.extend(produced)
+        finally:
+            if instrumented:
+                if span is None:
+                    tracer._light_depth -= 1  # type: ignore[union-attr]
+                else:
+                    tracer.end(span)  # type: ignore[union-attr]
+        if outputs:
+            self.produced += len(outputs)
+            for batch_consumer, consumer_slot in self._batch_consumers:
+                batch_consumer(consumer_slot, outputs)
         return outputs
 
     # -- subclass hooks ---------------------------------------------------------------

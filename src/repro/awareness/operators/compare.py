@@ -55,6 +55,21 @@ def named_bool_func_2(symbol: str) -> BoolFunc2:
         ) from None
 
 
+def _bool_func_1_key(operator: "EventOperator") -> object:
+    """Plan-key identity of a one-argument predicate.
+
+    DSL-authored predicates carry a ``_dsl_rendering`` — a textual form
+    like ``Compare1[==, 3]`` — so structurally equal specifications share
+    even though each compilation builds a fresh lambda.  Hand-wired
+    predicates fall back to the callable object itself: identity-based,
+    so only windows literally passing the same function object share.
+    """
+    rendering = getattr(operator, "_dsl_rendering", None)
+    if rendering is not None:
+        return rendering
+    return operator.bool_func  # type: ignore[attr-defined]
+
+
 class Compare1(EventOperator):
     """Single-input comparison: pass events whose intInfo satisfies a test."""
 
@@ -78,6 +93,9 @@ class Compare1(EventOperator):
 
     def partition_key(self, slot: int, event: Event) -> Any:
         return None  # stateless
+
+    def plan_params(self) -> tuple:
+        return (self.process_schema_id, _bool_func_1_key(self))
 
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
         value = event.get("intInfo")
@@ -128,6 +146,9 @@ class Edge(EventOperator):
         # One cell: did the last event satisfy the test?
         return [False]
 
+    def plan_params(self) -> tuple:
+        return (self.process_schema_id, _bool_func_1_key(self))
+
     def _apply(self, slot: int, event: Event, state: List[bool]) -> List[Event]:
         value = event.get("intInfo")
         if value is None:
@@ -168,6 +189,20 @@ class Compare2(EventOperator):
 
     def new_state(self) -> Dict[int, int]:
         return {}
+
+    def plan_params(self) -> tuple:
+        # Named comparisons key on their symbol; arbitrary callables on
+        # object identity.  Compare2 is slot-order-sensitive, so the
+        # default non-commutative input keying stays (``a <= b`` must not
+        # merge with ``b <= a``).
+        symbol = next(
+            (s for s, f in NAMED_BOOL_FUNCS_2.items() if f is self.bool_func),
+            None,
+        )
+        return (
+            self.process_schema_id,
+            symbol if symbol is not None else self.bool_func,
+        )
 
     def _apply(self, slot: int, event: Event, state: Dict[int, int]) -> List[Event]:
         value = event.get("intInfo")

@@ -39,6 +39,9 @@ class Count(EventOperator):
     def new_state(self) -> Dict[str, int]:
         return {"count": 0}
 
+    def plan_params(self) -> tuple:
+        return (self.process_schema_id,)
+
     def _apply(self, slot: int, event: Event, state: Dict[str, int]) -> List[Event]:
         state["count"] += 1
         return [

@@ -80,6 +80,11 @@ class ActivityFilter(EventOperator):
         self._check_slot(slot)
         return [(self.process_schema_id, self.activity_variable)]
 
+    def plan_params(self) -> tuple:
+        old = tuple(sorted(self.states_old)) if self.states_old is not None else None
+        new = tuple(sorted(self.states_new)) if self.states_new is not None else None
+        return (self.process_schema_id, self.activity_variable, old, new)
+
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
         params = event.params
         if params["parentProcessSchemaId"] != self.process_schema_id:
@@ -158,6 +163,9 @@ class ContextFilter(EventOperator):
         """Static match key: only ``(Cname, Fname)`` context events can pass."""
         self._check_slot(slot)
         return [(self.context_name, self.field_name)]
+
+    def plan_params(self) -> tuple:
+        return (self.process_schema_id, self.context_name, self.field_name)
 
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
         params = event.params
@@ -249,6 +257,9 @@ class SystemFilter(EventOperator):
         self._check_slot(slot)
         return [self.metric]
 
+    def plan_params(self) -> tuple:
+        return (self.process_schema_id, self.metric, self.series_label)
+
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
         params = event.params
         if params["metric"] != self.metric:
@@ -309,6 +320,9 @@ class ExternalFilter(EventOperator):
     # routing_keys stays the base-class None: the match predicate is a
     # method (often over run-time state, e.g. bound queries), so external
     # filters ride the wildcard bucket and inspect every source event.
+    # plan_params likewise stays None — the predicate and instance mapping
+    # are run-time mutable (bind_query), so sharing across windows could
+    # leak one window's bindings into another's recognitions.
 
     def matches(self, event: Event) -> bool:
         raise NotImplementedError

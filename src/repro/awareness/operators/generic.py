@@ -60,6 +60,9 @@ class And(EventOperator):
         )
         self.copy = copy
 
+    def plan_params(self) -> tuple:
+        return (self.process_schema_id, self.copy, self.arity)
+
     def new_state(self) -> Dict[int, Event]:
         return {}
 
@@ -100,6 +103,9 @@ class Seq(EventOperator):
         )
         self.copy = copy
 
+    def plan_params(self) -> tuple:
+        return (self.process_schema_id, self.copy, self.arity)
+
     def new_state(self) -> Dict[str, Any]:
         return {"pointer": 0, "seen": []}
 
@@ -127,6 +133,11 @@ class Or(EventOperator):
 
     family = "Or"
 
+    #: A merge is insensitive to which slot a stream enters on, so the
+    #: planner order-normalizes the input keys: Or(a, b) and Or(b, a)
+    #: intern to one shared node.
+    plan_commutative = True
+
     def __init__(
         self,
         process_schema_id: str,
@@ -143,6 +154,9 @@ class Or(EventOperator):
 
     def partition_key(self, slot: int, event: Event) -> Any:
         return None  # stateless
+
+    def plan_params(self) -> tuple:
+        return (self.process_schema_id, self.arity)
 
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
         return [event.derive(source=self.instance_name)]

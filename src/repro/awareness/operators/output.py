@@ -89,6 +89,12 @@ class Output(EventOperator):
     def partition_key(self, slot: int, event: Event) -> Any:
         return None  # stateless decoration
 
+    # plan_params stays the base-class None by design: the output operator
+    # *is* the window's delivery identity (role, assignment, description,
+    # schema name), so the plan cache always keeps one per window — the
+    # paper's per-participant customization survives any amount of
+    # upstream sharing.
+
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
         # Decorating an already-validated canonical event; the trusted
         # constructor skips a third per-event conformance pass.

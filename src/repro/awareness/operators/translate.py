@@ -70,6 +70,18 @@ class Translate(EventOperator):
     def partition_key(self, slot: int, event: Event) -> Any:
         return None
 
+    def plan_params(self) -> tuple:
+        # The invocation mapping is learned deterministically from the
+        # activity stream on slot 0, which shared deployments also share —
+        # so equal-parameter Translates converge on the same mapping and
+        # may intern.  (A late-deployed window adopts invocations learned
+        # before it arrived, same as every partitioned stateful operator.)
+        return (
+            self.process_schema_id,
+            self.invoked_schema_id,
+            self.activity_variable,
+        )
+
     def _apply(self, slot: int, event: Event, state: Any) -> List[Event]:
         if slot == self.SLOT_ACTIVITY:
             self._learn(event)

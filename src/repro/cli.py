@@ -14,6 +14,8 @@
   ok, 1 = degraded, 2 = failing);
 * ``top`` — a live federation dashboard driven by CMI's own awareness
   pipeline: queues, delivery lag, firing alerts, hottest detectors;
+* ``plans`` — deploy a fleet of per-participant copies of one awareness
+  specification and show how the plan cache shares their operator nodes;
 * ``check-spec`` — parse and validate an awareness specification written
   in the DSL, printing the resulting window (a designer's lint step).
 """
@@ -296,6 +298,65 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The fleet template used by ``repro plans``: every window shares the
+#: same three-operator recognition chain; only the delivery role (and the
+#: schema name) is customized per participant.
+_FLEET_SPEC_TEMPLATE = """
+spike = Filter_context[CrisisContext, CaseCount](ContextEvent)
+surge = Count[](spike)
+breach = Compare1[>=, 3](surge)
+deliver breach to analysts-{index} using identity \\
+    as "case count surged" named AS_Surge_{index}
+"""
+
+
+def _cmd_plans(args: argparse.Namespace) -> int:
+    import json
+
+    from .awareness.dsl import compile_specification
+    from .metrics.report import render_table
+
+    system = EnactmentSystem()
+    planner = system.awareness.planner
+    assert planner is not None  # EnactmentSystem defaults to share_plans=True
+    for index in range(args.windows):
+        analyst = system.register_participant(
+            Participant(f"u-{index}", f"analyst-{index}")
+        )
+        role = system.core.roles.define_role(f"analysts-{index}")
+        role.add_member(analyst)
+        window = system.awareness.create_window("P-Fleet")
+        compile_specification(window, _FLEET_SPEC_TEMPLATE.format(index=index))
+        system.awareness.deploy(window)
+    stats = planner.stats()
+    nodes = planner.describe()
+    if args.json:
+        print(json.dumps({"stats": stats, "nodes": nodes}, indent=2))
+        return 0
+    print(
+        f"{stats['windows_deployed']} windows deployed; "
+        f"{stats['operators_resolved']} operators resolved, "
+        f"{stats['operators_deduped']} shared "
+        f"({stats['nodes_live']} live plan nodes):\n"
+    )
+    rows = [
+        (
+            row["node_id"],
+            row["instance"],
+            row["operator"],
+            row["refs"],
+            row["consumers"],
+        )
+        for row in nodes
+    ]
+    print(
+        render_table(
+            ("node", "instance", "operator", "refs", "consumers"), rows
+        )
+    )
+    return 0
+
+
 def _cmd_check_spec(args: argparse.Namespace) -> int:
     from .awareness.dsl import compile_specification
     from .awareness.specification import SpecificationWindow
@@ -420,6 +481,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="append dashboards instead of clearing the screen",
     )
     top.set_defaults(handler=_cmd_top)
+
+    plans = commands.add_parser(
+        "plans",
+        help="deploy a fleet of customized windows and show plan sharing",
+    )
+    plans.add_argument(
+        "--windows",
+        type=int,
+        default=16,
+        help="how many per-participant copies of the template to deploy",
+    )
+    plans.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the sharing stats and live plan nodes as JSON",
+    )
+    plans.set_defaults(handler=_cmd_plans)
 
     check = commands.add_parser(
         "check-spec", help="validate a DSL awareness specification"

@@ -278,18 +278,34 @@ class EventBus:
 
     def _drain(self) -> None:
         self._dispatching = True
+        queue = self._queue
         try:
-            while self._queue:
-                self._dispatch(self._queue.popleft())
+            while queue:
+                # Batch hand-off: a run of consecutive same-topic events
+                # (the common shape after publish_batch) shares one topic
+                # resolution and one counter update.  Handlers still see
+                # one call per event in FIFO order.
+                event = queue.popleft()
+                topic = event.type_name
+                run: Optional[List[Event]] = None
+                while queue and queue[0].type_name == topic:
+                    if run is None:
+                        run = [event]
+                    run.append(queue.popleft())
+                entry = self._topics.get(topic)
+                if run is None:
+                    self._published.inc(1, (topic,))
+                    if entry is not None:
+                        self._dispatch(entry, topic, event)
+                else:
+                    self._published.inc(len(run), (topic,))
+                    if entry is not None:
+                        for event in run:
+                            self._dispatch(entry, topic, event)
         finally:
             self._dispatching = False
 
-    def _dispatch(self, event: Event) -> None:
-        topic = event.type_name
-        self._published.inc(1, (topic,))
-        entry = self._topics.get(topic)
-        if entry is None:
-            return
+    def _dispatch(self, entry: _Topic, topic: str, event: Event) -> None:
         if _OBS.enabled:
             tracer = _OBS.tracer
             if tracer._light_depth:

@@ -107,6 +107,26 @@ class ProvenanceNode:
             out.extend(node.operator_nodes())
         return tuple(out)
 
+    def signature(self) -> Tuple[object, ...]:
+        """Structural identity of the chain, excluding event ids.
+
+        Event ids are allocation-order sequence numbers, so two engines
+        recognizing the same composites through different plumbing (e.g.
+        a plan-sharing engine mints one canonical event where an unshared
+        engine mints one per window) assign different ids to equal
+        chains.  The signature keeps everything else — node names, kinds,
+        types, logical times, summaries, and the recursive input
+        structure — and is what equivalence suites compare.
+        """
+        return (
+            self.node,
+            self.kind,
+            self.event_type,
+            self.logical_time,
+            self.summary_text(),
+            tuple(node.signature() for node in self.inputs),
+        )
+
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
             "event_id": f"ev-{self.event_id}",
@@ -180,6 +200,16 @@ class DeliveryProvenance:
         if self.chain is None:
             return header + "\n  (no recorded chain)"
         return header + "\n" + self.chain.render(indent=1)
+
+    def signature(self) -> Tuple[object, ...]:
+        """Id-free identity of one delivery plus its full chain."""
+        return (
+            self.participant_id,
+            self.schema_name,
+            self.description,
+            self.logical_time,
+            self.chain.signature() if self.chain is not None else None,
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -1,0 +1,284 @@
+"""Shared detector plans: interning, refcounts, and batch dispatch.
+
+The plan cache must make N structurally-identical windows cost one shared
+operator chain plus a per-window output layer — without changing what any
+single window recognizes, and without leaking events into retired
+windows.
+"""
+
+import pytest
+
+from repro import (
+    ActivityVariable,
+    BasicActivitySchema,
+    ContextFieldSpec,
+    ContextSchema,
+    EnactmentSystem,
+    Participant,
+    ProcessActivitySchema,
+)
+from repro.awareness.dsl import compile_specification
+from repro.awareness.operators.count import Count
+from repro.events.canonical import canonical_event
+
+
+def build_system(fields=("alpha", "beta"), share_plans=True):
+    system = EnactmentSystem(share_plans=share_plans)
+    watcher = system.register_participant(Participant("u-w", "watcher"))
+    system.core.roles.define_role("watchers").add_member(watcher)
+    process = ProcessActivitySchema("P-X", "watched")
+    process.add_context_schema(
+        ContextSchema("Ctx", [ContextFieldSpec(f, "int") for f in fields])
+    )
+    process.add_activity_variable(
+        ActivityVariable("w", BasicActivitySchema("b-w", "w"))
+    )
+    process.mark_entry("w")
+    system.core.register_schema(process)
+    return system, process
+
+
+TEMPLATE = """
+hits = Filter_context[Ctx, alpha](ContextEvent)
+total = Count[](hits)
+ready = Compare1[>=, 2](total)
+deliver ready to watchers as "alpha moved twice" named AS_T_{index}
+"""
+
+
+def deploy_template(system, index):
+    window = system.awareness.create_window("P-X")
+    compile_specification(window, TEMPLATE.format(index=index))
+    return window, system.awareness.deploy(window)
+
+
+class TestInterning:
+    def test_identical_windows_share_every_non_output_node(self):
+        system, __ = build_system()
+        for index in range(4):
+            deploy_template(system, index)
+        stats = system.awareness.planner.stats()
+        assert stats["windows_deployed"] == 4
+        assert stats["nodes_live"] == 3  # hits, total, ready — shared
+        assert stats["operators_resolved"] == 12
+        assert stats["operators_deduped"] == 9
+
+    def test_shared_chain_runs_once_and_fans_out(self):
+        """Each event traverses the shared prefix once; every window's
+        output operator still receives (and delivers) its own copy."""
+        system, process = build_system()
+        detectors = [deploy_template(system, i)[1] for i in range(4)]
+        ref = system.coordination.start_process(process).context("Ctx")
+        ref.set("alpha", 1)
+        ref.set("alpha", 2)
+
+        for detector in detectors:
+            assert detector.recognized == 1  # Count reached 2 exactly once
+        rows = {row["instance"]: row for row in system.awareness.planner.describe()}
+        assert rows["hits"]["consumed"] == 2  # not 2 * windows
+        assert rows["ready"]["consumers"] == 4  # per-window Output fan-out
+
+    def test_different_parameters_do_not_share(self):
+        system, __ = build_system()
+        window_a = system.awareness.create_window("P-X")
+        compile_specification(
+            window_a,
+            "f = Filter_context[Ctx, alpha](ContextEvent)\n"
+            'deliver f to watchers as "a" named AS_A\n',
+        )
+        window_b = system.awareness.create_window("P-X")
+        compile_specification(
+            window_b,
+            "f = Filter_context[Ctx, beta](ContextEvent)\n"
+            'deliver f to watchers as "b" named AS_B\n',
+        )
+        system.awareness.deploy(window_a)
+        system.awareness.deploy(window_b)
+        assert system.awareness.planner.stats()["nodes_live"] == 2
+
+    def test_different_instance_names_do_not_share(self):
+        """The instance name is part of the structural key: provenance
+        chains must read identically with and without sharing."""
+        system, __ = build_system()
+        for name in ("f1", "f2"):
+            window = system.awareness.create_window("P-X")
+            compile_specification(
+                window,
+                f"{name} = Filter_context[Ctx, alpha](ContextEvent)\n"
+                f'deliver {name} to watchers as "x" named AS_{name}\n',
+            )
+            system.awareness.deploy(window)
+        assert system.awareness.planner.stats()["operators_deduped"] == 0
+
+    def test_or_is_commutative_in_the_plan_key(self):
+        system, __ = build_system()
+        for inputs in ("fa, fb", "fb, fa"):
+            window = system.awareness.create_window("P-X")
+            compile_specification(
+                window,
+                "fa = Filter_context[Ctx, alpha](ContextEvent)\n"
+                "fb = Filter_context[Ctx, beta](ContextEvent)\n"
+                f"any = Or[]({inputs})\n"
+                'deliver any to watchers as "either" named AS_O\n',
+            )
+            system.awareness.deploy(window)
+        # fa, fb, and the mirrored Or all intern to one node each.
+        assert system.awareness.planner.stats()["nodes_live"] == 3
+
+    def test_and_is_not_commutative_in_the_plan_key(self):
+        """And's copy parameter is slot-positional, so mirrored wirings
+        must stay separate nodes."""
+        system, __ = build_system()
+        for inputs in ("fa, fb", "fb, fa"):
+            window = system.awareness.create_window("P-X")
+            compile_specification(
+                window,
+                "fa = Filter_context[Ctx, alpha](ContextEvent)\n"
+                "fb = Filter_context[Ctx, beta](ContextEvent)\n"
+                f"both = And[]({inputs})\n"
+                'deliver both to watchers as "both" named AS_A2\n',
+            )
+            system.awareness.deploy(window)
+        assert system.awareness.planner.stats()["nodes_live"] == 4  # fa, fb, 2x And
+
+
+class TestLifecycle:
+    def test_undeploy_keeps_shared_nodes_while_referenced(self):
+        system, process = build_system()
+        __, det_a = deploy_template(system, 0)
+        __, det_b = deploy_template(system, 1)
+        system.awareness.undeploy(det_a)
+
+        ref = system.coordination.start_process(process).context("Ctx")
+        ref.set("alpha", 1)
+        ref.set("alpha", 2)
+        assert det_b.recognized == 1
+        assert det_a.recognized == 0
+        assert system.awareness.planner.stats()["nodes_live"] == 3
+
+    def test_undeploying_the_last_window_unwires_the_producers(self):
+        system, __ = build_system()
+        producer = system.awareness.context_source.producer
+        baseline = producer.consumer_count()
+        __, det_a = deploy_template(system, 0)
+        __, det_b = deploy_template(system, 1)
+        system.awareness.undeploy(det_a)
+        assert producer.consumer_count() > baseline
+        system.awareness.undeploy(det_b)
+        assert producer.consumer_count() == baseline
+        assert system.awareness.planner.stats()["nodes_live"] == 0
+
+    def test_redeploy_after_undeploy_recognizes_again(self):
+        system, process = build_system()
+        window, detector = deploy_template(system, 0)
+        system.awareness.undeploy(detector)
+        redeployed = system.awareness.deploy(window)
+        assert redeployed is not detector
+
+        ref = system.coordination.start_process(process).context("Ctx")
+        ref.set("alpha", 1)
+        ref.set("alpha", 2)
+        assert redeployed.recognized == 1
+        assert detector.recognized == 0
+
+    def test_deploy_is_idempotent_for_a_live_window(self):
+        system, process = build_system()
+        window, detector = deploy_template(system, 0)
+        again = system.awareness.deploy(window)
+        assert again is detector
+
+        ref = system.coordination.start_process(process).context("Ctx")
+        ref.set("alpha", 1)
+        ref.set("alpha", 2)
+        assert detector.recognized == 1  # no double wiring, no double count
+
+    def test_deploy_is_idempotent_without_sharing_too(self):
+        system, process = build_system(share_plans=False)
+        window = system.awareness.create_window("P-X")
+        compile_specification(window, TEMPLATE.format(index=0))
+        detector = system.awareness.deploy(window)
+        assert system.awareness.deploy(window) is detector
+
+        ref = system.coordination.start_process(process).context("Ctx")
+        ref.set("alpha", 1)
+        ref.set("alpha", 2)
+        assert detector.recognized == 1
+
+    def test_composites_recognized_is_monotonic_across_undeploy(self):
+        system, process = build_system()
+        __, detector = deploy_template(system, 0)
+        ref = system.coordination.start_process(process).context("Ctx")
+        ref.set("alpha", 1)
+        ref.set("alpha", 2)
+        before = system.awareness.stats()["composites_recognized"]
+        assert before == 1
+        system.awareness.undeploy(detector)
+        assert system.awareness.stats()["composites_recognized"] == before
+        system.awareness.undeploy(detector)  # idempotent: no double fold
+        assert system.awareness.stats()["composites_recognized"] == before
+
+
+class TestBatchPath:
+    def _events(self, count, instance="i-1"):
+        return [
+            canonical_event(
+                "P-X", instance, time=t, source="test", int_info=t
+            )
+            for t in range(count)
+        ]
+
+    def test_consume_batch_equals_per_event_consume(self):
+        batched, unbatched = Count("P-X", "c"), Count("P-X", "c")
+        out_batch = batched.consume_batch(0, self._events(5))
+        out_single = []
+        for event in self._events(5):
+            out_single.extend(unbatched.consume(0, event))
+        assert [e.get("intInfo") for e in out_batch] == [1, 2, 3, 4, 5]
+        assert [e.params for e in out_batch] == [e.params for e in out_single]
+        assert batched.consumed == unbatched.consumed == 5
+        assert batched.produced == unbatched.produced == 5
+
+    def test_consume_batch_forwards_downstream_as_batch(self):
+        upstream, downstream = Count("P-X"), Count("P-X")
+        upstream.add_consumer(downstream.consume, 0)
+        upstream.consume_batch(0, self._events(3))
+        assert downstream.consumed == 3
+        assert downstream.current_count("i-1") == 3
+
+    def test_consume_batch_type_checks_like_consume(self):
+        from repro.errors import SlotError
+
+        operator = Count("P-X")
+        wrong = canonical_event("P-Y", "i-1", time=0, source="test")
+        with pytest.raises(SlotError):
+            operator.consume_batch(0, [wrong])
+
+    def test_producer_batch_runs_reach_shared_chain_once(self):
+        """A same-key run in a produced batch enters the shared chain as
+        one consume_batch call; recognition output is unchanged."""
+        from repro.core.context import ContextChange
+
+        system, process = build_system()
+        __, detector = deploy_template(system, 0)
+        instance = system.coordination.start_process(process)
+        ref = instance.context("Ctx")
+        changes = [
+            ContextChange(
+                time=v,
+                context_id=ref.context_id,
+                context_name="Ctx",
+                associations=frozenset({("P-X", instance.instance_id)}),
+                field_name="alpha",
+                old_value=v,
+                new_value=v + 1,
+            )
+            for v in range(3)
+        ]
+        system.awareness.context_source.gather_batch(changes)
+        hits = next(
+            row
+            for row in system.awareness.planner.describe()
+            if row["instance"] == "hits"
+        )
+        assert hits["consumed"] == 3
+        assert detector.recognized == 2  # counts 2 and 3 pass the >= gate
