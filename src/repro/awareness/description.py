@@ -123,13 +123,27 @@ class EventGraph:
 
         Redeploying a previously undeployed window must rewire its leaves
         against the shared producers; a no-op while the links from
-        :meth:`connect` are still installed.
+        :meth:`connect` are still installed.  Registrations are grouped
+        per producer and installed through one bulk ``add_consumers``
+        call each, so a redeploy invalidates each routing bucket once
+        instead of once per leaf edge.
         """
         if self._producer_links:
             return
+        grouped: Dict[int, Tuple[EventProducer, List[Tuple]]] = {}
         for source, target, slot in self._edges:
             if not isinstance(source, EventOperator):
-                self._install_producer_link(source, target, slot)
+                __, records = grouped.setdefault(id(source), (source, []))
+                records.append(
+                    (
+                        lambda event, t=target, s=slot: t.consume(s, event),
+                        target.routing_keys(slot),
+                        None,
+                    )
+                )
+        for producer, records in grouped.values():
+            for handle in producer.add_consumers(records):
+                self._producer_links.append((producer, handle))
 
     def detach_producers(self) -> None:
         """Remove this graph's consumer links from the shared producers.

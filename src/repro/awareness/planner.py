@@ -185,7 +185,19 @@ class PlanCache:
         # Re-wire following the authoring edge order, so a canonical
         # window's consumer lists come out byte-for-byte as connect()
         # built them — detection order is invariant under sharing.
+        # Producer-leaf attaches are deferred and flushed through one
+        # bulk `add_consumers` call per producer (grouping is stable, so
+        # each producer still sees its attaches in edge order).
         output_links: List[Tuple[str, Any, Any, Optional[int]]] = []
+        deferred_leaves: Dict[int, Tuple[Any, List[Tuple[Any, ...]]]] = {}
+
+        def defer_leaf(producer: Any, consumer: Any, keys: Any, batch: Any,
+                       on_handle: Any) -> None:
+            bucket = deferred_leaves.get(id(producer))
+            if bucket is None:
+                bucket = deferred_leaves[id(producer)] = (producer, [])
+            bucket[1].append((consumer, keys, batch, on_handle))
+
         for source, target, slot in graph.edges():
             if id(target) in output_ids:
                 # The per-window delivery root: always a fresh fan-out
@@ -197,11 +209,15 @@ class PlanCache:
                         (_LINK_OPERATOR, upstream, target.consume, slot)
                     )
                 else:
-                    handle = source.add_consumer(
+                    defer_leaf(
+                        source,
                         lambda event, t=target, s=slot: t.consume(s, event),
-                        keys=target.routing_keys(slot),
+                        target.routing_keys(slot),
+                        None,
+                        lambda handle, s=source: output_links.append(
+                            (_LINK_PRODUCER, s, handle, None)
+                        ),
                     )
-                    output_links.append((_LINK_PRODUCER, source, handle, None))
                 continue
             entry = fresh.get(id(target))
             if entry is None:
@@ -215,14 +231,24 @@ class PlanCache:
                 entry.upstream_links.append((upstream, consumer, slot))
             else:
                 operator = entry.operator
-                handle = source.add_consumer(
+                defer_leaf(
+                    source,
                     lambda event, t=operator, s=slot: t.consume(s, event),
-                    keys=operator.routing_keys(slot),
-                    batch=lambda events, t=operator, s=slot: t.consume_batch(
+                    operator.routing_keys(slot),
+                    lambda events, t=operator, s=slot: t.consume_batch(
                         s, events
                     ),
+                    lambda handle, s=source, e=entry: e.leaf_links.append(
+                        (s, handle)
+                    ),
                 )
-                entry.leaf_links.append((source, handle))
+
+        for producer, records in deferred_leaves.values():
+            handles = producer.add_consumers(
+                [(consumer, keys, batch) for consumer, keys, batch, __ in records]
+            )
+            for handle, (__, ___, ____, on_handle) in zip(handles, records):
+                on_handle(handle)
 
         self.operators_resolved += len(entries)
         self.operators_deduped += shared_hits

@@ -222,6 +222,76 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return rollup.exit_code
 
 
+def _cmd_shards(args: argparse.Namespace) -> int:
+    import json
+
+    from .metrics.report import render_table
+    from .parallel import ShardConfig, ShardedFederation
+    from .workloads.generator import ShardStreamConfig, ShardStreamWorkload
+
+    workload = ShardStreamWorkload(
+        ShardStreamConfig(
+            forces=args.forces,
+            windows_per_force=args.windows,
+            events_per_force=args.events,
+            seed=args.seed,
+        )
+    )
+    config = ShardConfig(shards=args.shards, backend=args.backend)
+    with ShardedFederation(workload.blueprint(), config) as federation:
+        federation.ingest(workload.events())
+        notifications = federation.drain()
+        rows = federation.shard_stats()
+        totals = federation.stats()
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "config": {
+                        "shards": args.shards,
+                        "backend": args.backend,
+                        "forces": args.forces,
+                        "windows_per_force": args.windows,
+                        "events_per_force": args.events,
+                        "seed": args.seed,
+                    },
+                    "shards": rows,
+                    "totals": totals,
+                    "notifications_merged": len(notifications),
+                },
+                indent=2,
+            )
+        )
+        return 0
+
+    print(
+        f"{args.shards} shard(s), {args.backend} backend — "
+        f"{totals['events_ingested']} events over {args.forces} task "
+        f"forces, {len(notifications)} notifications merged\n"
+    )
+    print(
+        render_table(
+            ("shard", "alive", "events", "queue", "recognized", "notifs"),
+            [
+                (
+                    row["shard"],
+                    "yes" if row["alive"] else "NO",
+                    row.get("events_ingested", 0),
+                    row.get("queue_depth", 0),
+                    row.get("composites_recognized", 0),
+                    row.get("notifications", 0),
+                )
+                for row in rows
+            ],
+            title="per-shard gauges",
+        )
+    )
+    if not all(row["alive"] for row in rows):
+        return 1
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     import time
 
@@ -250,9 +320,29 @@ def _cmd_top(args: argparse.Namespace) -> int:
         view.add(awareness)
         drivers.append((system, app, lead, aide, awareness))
 
+    # When sharding is active the dashboard also drives a sharded
+    # federation (serial backend — the gauges, not the speedup, are the
+    # point here) and shows its per-shard column block.
+    shard_federation = None
+    shard_events: list = []
+    shard_cursor = 0
+    if args.shards > 1:
+        from .parallel import ShardConfig, ShardedFederation
+        from .workloads.generator import ShardStreamConfig, ShardStreamWorkload
+
+        shard_workload = ShardStreamWorkload(
+            ShardStreamConfig(forces=max(4, args.shards * 2))
+        )
+        shard_federation = ShardedFederation(
+            shard_workload.blueprint(),
+            ShardConfig(shards=args.shards, backend="serial"),
+        )
+        shard_events = shard_workload.events()
+
     def drive() -> None:
         """One round of load: a task force whose deadline move violates
         an open request deadline, then completion."""
+        nonlocal shard_cursor
         for system, app, lead, aide, __ in drivers:
             now = system.clock.now()
             task_force = app.create_task_force(
@@ -264,6 +354,12 @@ def _cmd_top(args: argparse.Namespace) -> int:
             app.change_task_force_deadline(task_force, now + 40)
             app.complete_request(request)
             system.clock.advance(args.interval)
+        if shard_federation is not None and shard_cursor < len(shard_events):
+            step = max(1, len(shard_events) // 16)
+            chunk = shard_events[shard_cursor:shard_cursor + step]
+            shard_cursor += step
+            shard_federation.ingest(chunk)
+            shard_federation.drain()
 
     def render() -> str:
         lines = [view.render(), "", "hottest detectors:"]
@@ -280,6 +376,24 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 lines.append(
                     f"  {system.name:<12} {detector.recognized:>5}  {names}"
                 )
+        if shard_federation is not None:
+            lines.append("")
+            lines.append(
+                f"shards ({shard_cursor}/{len(shard_events)} events fed):"
+            )
+            lines.append(
+                f"  {'shard':>5} {'alive':>5} {'events':>7} {'queue':>6} "
+                f"{'recognized':>10} {'notifs':>7}"
+            )
+            for row in shard_federation.shard_stats():
+                lines.append(
+                    f"  {row['shard']:>5} "
+                    f"{'yes' if row['alive'] else 'NO':>5} "
+                    f"{row.get('events_ingested', 0):>7} "
+                    f"{row.get('queue_depth', 0):>6} "
+                    f"{row.get('composites_recognized', 0):>10} "
+                    f"{row.get('notifications', 0):>7}"
+                )
         return "\n".join(lines)
 
     iteration = 0
@@ -295,6 +409,9 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 time.sleep(args.refresh)
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
+    finally:
+        if shard_federation is not None:
+            shard_federation.close()
     return 0
 
 
@@ -480,7 +597,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append dashboards instead of clearing the screen",
     )
+    top.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="also drive a sharded federation and show per-shard gauges "
+        "(>1 activates the shard column block)",
+    )
     top.set_defaults(handler=_cmd_top)
+
+    shards = commands.add_parser(
+        "shards",
+        help="run the seeded shard workload and show per-shard gauges",
+    )
+    shards.add_argument(
+        "--shards", type=int, default=2, help="how many shards to run"
+    )
+    shards.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="serial = in-process loop; process = forked workers",
+    )
+    shards.add_argument(
+        "--forces", type=int, default=8, help="task forces in the workload"
+    )
+    shards.add_argument(
+        "--windows",
+        type=int,
+        default=4,
+        help="awareness windows (detector chains) per force",
+    )
+    shards.add_argument(
+        "--events", type=int, default=200, help="context events per force"
+    )
+    shards.add_argument("--seed", type=int, default=23)
+    shards.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-shard gauges, totals, and the config as JSON",
+    )
+    shards.set_defaults(handler=_cmd_shards)
 
     plans = commands.add_parser(
         "plans",

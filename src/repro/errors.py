@@ -128,6 +128,23 @@ class ServiceError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Parallel / sharded enactment errors
+# ---------------------------------------------------------------------------
+
+
+class ParallelError(ReproError):
+    """The sharded execution layer was misused or misconfigured."""
+
+
+class WireError(ParallelError):
+    """A wire-protocol frame was malformed or truncated."""
+
+
+class ShardCrashError(ParallelError):
+    """A shard worker process died; its channel is unusable."""
+
+
+# ---------------------------------------------------------------------------
 # Workload / benchmark errors
 # ---------------------------------------------------------------------------
 

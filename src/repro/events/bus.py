@@ -230,6 +230,50 @@ class EventBus:
         self._topics.setdefault(topic, _Topic()).add(subscription)
         return subscription
 
+    def subscribe_many(
+        self,
+        topic: str,
+        registrations: Iterable[
+            Tuple[Handler, Optional[Iterable[Hashable]]]
+        ],
+    ) -> List[Subscription]:
+        """Register a batch of ``(handler, keys)`` pairs on one topic.
+
+        Spec fan-out at shard startup registers hundreds of keyed
+        subscribers in one burst; per-call :meth:`subscribe` pays a topic
+        lookup and a snapshot invalidation for every registration.  This
+        path resolves the topic once, extends each key bucket once, and
+        invalidates each touched snapshot once, so a cold start is
+        O(subscribers + touched keys).  Registration order — the order
+        dispatch visits equal-key subscribers — is exactly the order of
+        *registrations*, as if :meth:`subscribe` had been called in a
+        loop.
+        """
+        entry = self._topics.setdefault(topic, _Topic())
+        index = entry.index
+        out: List[Subscription] = []
+        touched_keys = set()
+        touched_wildcard = False
+        for handler, keys in registrations:
+            subscription = Subscription(
+                topic=topic,
+                handler=handler,
+                keys=tuple(keys) if keys is not None else None,
+            )
+            if subscription.keys is None:
+                entry.wildcard.append(subscription)
+                touched_wildcard = True
+            else:
+                for key in subscription.keys:
+                    index.setdefault(key, []).append(subscription)
+                    touched_keys.add(key)
+            out.append(subscription)
+        if touched_wildcard:
+            entry._wildcard_snap = None
+        for key in touched_keys:
+            entry._index_snap.pop(key, None)
+        return out
+
     def unsubscribe(self, subscription: Subscription) -> None:
         """Deactivate and remove *subscription*.
 

@@ -192,6 +192,40 @@ class EventProducer:
                 self._index.setdefault(key, []).append(consumer)
         return consumer
 
+    def add_consumers(
+        self,
+        registrations: Iterable[
+            Tuple[
+                Callable[[Event], None],
+                Optional[Iterable[Hashable]],
+                Optional[Callable[[List[Event]], object]],
+            ]
+        ],
+    ) -> List[Callable[[Event], None]]:
+        """Register a batch of ``(consumer, keys, batch)`` records at once.
+
+        The bulk half of :meth:`add_consumer`, used by the plan cache when
+        a deploy attaches many operator leaves to one producer (shard
+        startup fans a whole federation blueprint out this way).  Each
+        index bucket is extended in registration order, so dispatch order
+        is identical to a loop of single registrations; the returned
+        handles line up with *registrations*.
+        """
+        index = self._index
+        handles: List[Callable[[Event], None]] = []
+        for consumer, keys, batch in registrations:
+            key_tuple = tuple(keys) if keys is not None else None
+            self._consumers.append((consumer, key_tuple))
+            if batch is not None:
+                self._batch_partners[consumer] = batch
+            if key_tuple is None:
+                self._wildcard.append(consumer)
+            else:
+                for key in key_tuple:
+                    index.setdefault(key, []).append(consumer)
+            handles.append(consumer)
+        return handles
+
     def remove_consumer(self, consumer: Callable[[Event], None]) -> None:
         """Remove *consumer* from the wildcard bucket and the key index."""
         for record in list(self._consumers):

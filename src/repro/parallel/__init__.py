@@ -1,0 +1,54 @@
+"""Sharded multi-core enactment (the scale-out layer).
+
+The paper's Enactment System is "a collection of communicating agents
+acting as a single server" (Section 6.1) — a logical architecture that
+never required a single interpreter.  This package partitions one
+federation's work across N shards by *affinity key* (the process
+instance id for activity/canonical planes, the context name for
+``T_context``, the correlation id for external planes), each shard
+hosting a full producers → bus → detectors → delivery pipeline, with a
+facade that keeps the single-system API and merges the notification
+streams deterministically.
+
+Entry points:
+
+* :class:`~repro.parallel.federation.ShardedFederation` — the facade;
+* :class:`~repro.parallel.federation.ShardConfig` — shard count and the
+  ``serial`` / ``process`` backend switch;
+* :class:`~repro.parallel.host.FederationBlueprint` /
+  :class:`~repro.parallel.host.ShardSpec` — the data-only bootstrap;
+* :class:`~repro.parallel.router.ShardRouter` — affinity routing.
+"""
+
+from .federation import (
+    BACKENDS,
+    ShardConfig,
+    ShardedFederation,
+    ShardNotification,
+)
+from .host import FederationBlueprint, RecordingDeliveryQueue, ShardHost, ShardSpec
+from .router import ShardRouter
+from .wire import (
+    event_from_wire,
+    event_to_wire,
+    read_frame,
+    register_event_type,
+    write_frame,
+)
+
+__all__ = [
+    "BACKENDS",
+    "FederationBlueprint",
+    "RecordingDeliveryQueue",
+    "ShardConfig",
+    "ShardHost",
+    "ShardNotification",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardedFederation",
+    "event_from_wire",
+    "event_to_wire",
+    "read_frame",
+    "register_event_type",
+    "write_frame",
+]

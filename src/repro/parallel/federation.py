@@ -1,0 +1,533 @@
+"""Sharded multi-core enactment: the single-system facade.
+
+:class:`ShardedFederation` partitions one federation's event work across
+N shards while keeping the single-system API: events go in
+(:meth:`ShardedFederation.ingest`), specifications deploy and undeploy
+federation-wide, notifications come back as one deterministically merged
+stream, and ``stats()`` aggregates so the observability surfaces
+(``repro shards``, ``repro top``, health views) read one federation.
+
+Two backends, selected by :class:`ShardConfig`:
+
+* ``serial`` (default) — every shard is an in-process
+  :class:`~repro.parallel.host.ShardHost`; zero IPC, zero encoding.
+  Tier-1 tests and the differential suites run here: the routing, the
+  merge, and the facade logic are identical to the process backend, so
+  correctness is cheap to check.
+* ``process`` — each shard is a forked OS worker running
+  :func:`~repro.parallel.worker.worker_main`; events cross a
+  length-prefixed wire in routed batches, and recognition runs on as
+  many cores as there are shards.
+
+**Deterministic merge.**  Each shard reports its notifications with a
+per-shard sequence number (enqueue order).  The facade sorts the union
+by ``(logical time, shard id, sequence)`` — a total order that depends
+only on the event streams, never on worker scheduling.  Because every
+affinity key lives on exactly one shard, a process instance's
+notifications share a shard and their sequence numbers preserve
+recognition order: the merged stream is a deterministic reordering of
+the serial stream with per-instance order intact (QE11 asserts this).
+
+**Crash containment.**  A dead worker surfaces as a structured log entry
+plus :class:`~repro.errors.ShardCrashError` on the next interaction —
+never a hang: reads fail fast on EOF, and shutdown uses a poison pill
+with a join timeout before escalating to ``terminate()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+from ..errors import ParallelError, ShardCrashError
+from ..events.event import Event
+from ..observability import INSTRUMENTATION as _OBS
+from ..observability import STRUCTURED_LOG as _SLOG
+from .host import FederationBlueprint, ShardHost, ShardSpec
+from .router import ShardRouter
+from .wire import as_tuples, decode_value, read_frame, write_frame
+
+BACKENDS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs of the sharded execution layer."""
+
+    shards: int = 1
+    backend: str = "serial"
+    #: Events buffered per shard before a routed batch is sent.
+    batch_size: int = 128
+    #: Enable tracing/provenance inside each shard's pipeline (workers
+    #: flip their own process-global instrumentation plane).
+    instrument: bool = False
+    share_plans: bool = True
+    #: Seconds to wait for a worker to honor the poison pill before it
+    #: is terminated.
+    join_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ParallelError("a federation needs at least one shard")
+        if self.backend not in BACKENDS:
+            raise ParallelError(
+                f"unknown shard backend {self.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        if self.batch_size < 1:
+            raise ParallelError("batch_size must be positive")
+
+
+@dataclass(frozen=True)
+class ShardNotification:
+    """One merged notification with its provenance across the shard layer."""
+
+    shard: int
+    seq: int
+    time: int
+    participant_id: str
+    schema_name: str
+    description: str
+    process_instance_id: Optional[str]
+    #: Id-free delivery signature (present when shards run instrumented).
+    signature: Optional[Tuple[Any, ...]]
+    parameters: Dict[str, Any] = field(compare=False, default_factory=dict)
+
+    @property
+    def merge_key(self) -> Tuple[int, int, int]:
+        return (self.time, self.shard, self.seq)
+
+
+def _notification_from_record(
+    shard: int, record: Dict[str, Any]
+) -> ShardNotification:
+    signature = record.get("signature")
+    return ShardNotification(
+        shard=shard,
+        seq=record["seq"],
+        time=record["time"],
+        participant_id=record["participant"],
+        schema_name=record["schema"],
+        description=record["description"],
+        process_instance_id=record.get("instance"),
+        signature=as_tuples(decode_value(signature))
+        if signature is not None
+        else None,
+        parameters=decode_value(record.get("parameters") or {}),
+    )
+
+
+class SerialShard:
+    """An in-process shard: direct calls, no encoding, no IPC."""
+
+    backend = "serial"
+
+    def __init__(self, shard_id: int, config: ShardConfig) -> None:
+        self.shard_id = shard_id
+        self.alive = True
+        self.host = ShardHost(
+            shard_id, config.shards, share_plans=config.share_plans
+        )
+
+    def bootstrap(self, blueprint: FederationBlueprint) -> None:
+        self.host.apply_blueprint(blueprint)
+
+    def send_events(self, events: List[Event]) -> None:
+        self.host.ingest(events)
+
+    def deploy(self, spec: ShardSpec) -> None:
+        self.host.deploy_spec(spec)
+
+    def undeploy(self, spec_id: str) -> None:
+        self.host.undeploy_spec(spec_id)
+
+    def flush(self) -> List[Dict[str, Any]]:
+        return self.host.drain_results()
+
+    def stats(self) -> Dict[str, int]:
+        return self.host.stats()
+
+    def sync(self) -> None:
+        """Nothing buffered, nothing remote: always consistent."""
+
+    def close(self) -> None:
+        if self.alive:
+            self.alive = False
+            self.host.close()
+
+
+class ProcessShard:
+    """A forked worker behind two pipes (events in, results out)."""
+
+    backend = "process"
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: ShardConfig,
+        process: Any,
+        in_stream: IO[bytes],
+        out_stream: IO[bytes],
+    ) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.process = process
+        self._in = in_stream
+        self._out = out_stream
+        self.alive = True
+
+    # -- channel ----------------------------------------------------------
+
+    def _crashed(self, reason: str) -> ShardCrashError:
+        self.alive = False
+        exit_code = self.process.exitcode
+        _SLOG.emit(
+            "parallel",
+            "worker_crashed",
+            level="error",
+            shard=self.shard_id,
+            reason=reason,
+            exit_code=exit_code,
+        )
+        return ShardCrashError(
+            f"shard {self.shard_id} worker died ({reason}; "
+            f"exit code {exit_code})"
+        )
+
+    def _send(self, frame: Dict[str, Any]) -> None:
+        if not self.alive:
+            raise ShardCrashError(
+                f"shard {self.shard_id} worker is not running"
+            )
+        try:
+            write_frame(self._in, frame)
+        except (BrokenPipeError, OSError) as error:
+            raise self._crashed(f"send failed: {error}") from None
+
+    def _receive(self, expected: str) -> Dict[str, Any]:
+        try:
+            frame = read_frame(self._out)
+        except Exception as error:
+            raise self._crashed(f"receive failed: {error}") from None
+        if frame is None:
+            raise self._crashed("channel closed")
+        kind = frame.get("kind")
+        if kind == "error":
+            raise self._crashed(f"worker error: {frame.get('error')}")
+        if kind != expected:
+            raise self._crashed(
+                f"protocol violation: expected {expected!r} frame, "
+                f"got {kind!r}"
+            )
+        return frame
+
+    # -- shard surface ----------------------------------------------------
+
+    def send_events(self, events: List[Event]) -> None:
+        from .wire import event_to_wire
+
+        self._send(
+            {
+                "kind": "events",
+                "events": [event_to_wire(event) for event in events],
+            }
+        )
+
+    def deploy(self, spec: ShardSpec) -> None:
+        self._send({"kind": "deploy", "spec": spec.to_wire()})
+
+    def undeploy(self, spec_id: str) -> None:
+        self._send({"kind": "undeploy", "spec_id": spec_id})
+
+    def flush(self) -> List[Dict[str, Any]]:
+        self._send({"kind": "flush"})
+        return self._receive("results")["notifications"]
+
+    def stats(self) -> Dict[str, int]:
+        stats, errors = self._stats_round_trip()
+        if errors:
+            raise ParallelError(
+                f"shard {self.shard_id} reported errors: {errors}"
+            )
+        return stats
+
+    def sync(self) -> None:
+        """Round-trip the channel; surfaces deferred worker errors."""
+        __, errors = self._stats_round_trip()
+        if errors:
+            raise ParallelError(
+                f"shard {self.shard_id} reported errors: {errors}"
+            )
+
+    def _stats_round_trip(self) -> Tuple[Dict[str, int], List[str]]:
+        self._send({"kind": "stats"})
+        frame = self._receive("stats")
+        return frame["stats"], list(frame.get("errors", ()))
+
+    def close(self) -> None:
+        if not self.alive:
+            self._reap()
+            return
+        try:
+            self._send({"kind": "shutdown"})
+            self._receive("bye")
+        except (ShardCrashError, ParallelError):
+            pass  # already down is an acceptable way to shut down
+        self.alive = False
+        self._reap()
+        for stream in (self._in, self._out):
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _reap(self) -> None:
+        process = self.process
+        process.join(self.config.join_timeout)
+        if process.is_alive():  # pragma: no cover - timing-dependent
+            _SLOG.emit(
+                "parallel",
+                "worker_killed",
+                level="error",
+                shard=self.shard_id,
+                reason=f"join timeout ({self.config.join_timeout}s)",
+            )
+            process.terminate()
+            process.join(self.config.join_timeout)
+
+
+def _start_process_shards(
+    config: ShardConfig, blueprint: FederationBlueprint
+) -> List[ProcessShard]:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ParallelError(
+            "the process backend requires the fork start method "
+            "(POSIX only); use the serial backend here"
+        )
+    context = multiprocessing.get_context("fork")
+    options = {
+        "instrument": config.instrument,
+        "share_plans": config.share_plans,
+    }
+    blueprint_wire = blueprint.to_wire()
+    shards: List[ProcessShard] = []
+    parent_fds: List[int] = []
+    from .worker import worker_main
+
+    for shard_id in range(config.shards):
+        in_read, in_write = os.pipe()
+        out_read, out_write = os.pipe()
+        # Every parent-side fd opened so far — including this shard's —
+        # must be closed inside the child, or a crashed sibling's pipes
+        # stay half-open and EOF detection breaks (see worker_main).
+        parent_fds.extend((in_write, out_read))
+        process = context.Process(
+            target=worker_main,
+            args=(
+                shard_id,
+                config.shards,
+                in_read,
+                out_write,
+                list(parent_fds),
+                options,
+                blueprint_wire,
+            ),
+            daemon=True,
+            name=f"repro-shard-{shard_id}",
+        )
+        process.start()
+        os.close(in_read)
+        os.close(out_write)
+        shards.append(
+            ProcessShard(
+                shard_id,
+                config,
+                process,
+                os.fdopen(in_write, "wb"),
+                os.fdopen(out_read, "rb"),
+            )
+        )
+    return shards
+
+
+class ShardedFederation:
+    """N shards behind the single-system API."""
+
+    def __init__(
+        self,
+        blueprint: FederationBlueprint,
+        config: Optional[ShardConfig] = None,
+        router: Optional[ShardRouter] = None,
+    ) -> None:
+        self.config = config if config is not None else ShardConfig()
+        self.router = router if router is not None else ShardRouter()
+        self.blueprint = blueprint
+        self._closed = False
+        self._restore_instrumentation: Optional[bool] = None
+        if self.config.backend == "process":
+            self.shards: List[Any] = _start_process_shards(
+                self.config, blueprint
+            )
+        else:
+            if self.config.instrument and not _OBS.enabled:
+                # Workers own their instrumentation plane; serial shards
+                # share this process's, so flip it here and restore on
+                # close.
+                self._restore_instrumentation = _OBS.enabled
+                _OBS.reset()
+                _OBS.enable()
+            self.shards = [
+                SerialShard(shard_id, self.config)
+                for shard_id in range(self.config.shards)
+            ]
+            for shard in self.shards:
+                shard.bootstrap(blueprint)
+        self._buffers: List[List[Event]] = [
+            [] for __ in range(self.config.shards)
+        ]
+        #: Everything drained so far, in merged order.
+        self.delivered: List[ShardNotification] = []
+
+    # -- events ------------------------------------------------------------
+
+    def ingest(self, events: List[Event]) -> None:
+        """Route events to their shards; ships full batches eagerly."""
+        router = self.router
+        shard_count = self.config.shards
+        batch_size = self.config.batch_size
+        buffers = self._buffers
+        for event in events:
+            shard = router.shard_for(event, shard_count)
+            buffer = buffers[shard]
+            buffer.append(event)
+            if len(buffer) >= batch_size:
+                self.shards[shard].send_events(buffer)
+                buffers[shard] = []
+
+    def flush_buffers(self) -> None:
+        """Ship every partial batch (events keep per-shard order)."""
+        for shard, buffer in enumerate(self._buffers):
+            if buffer:
+                self.shards[shard].send_events(buffer)
+                self._buffers[shard] = []
+
+    # -- specification lifecycle ------------------------------------------
+
+    def deploy(self, spec: ShardSpec) -> None:
+        """Fan a specification out to every shard (plan sharing stays
+        per-shard: each pipeline interns its own copy)."""
+        self.flush_buffers()
+        for shard in self.shards:
+            shard.deploy(spec)
+        self._sync()
+        self.blueprint.specifications.append(spec)
+
+    def undeploy(self, spec_id: str) -> None:
+        self.flush_buffers()
+        for shard in self.shards:
+            shard.undeploy(spec_id)
+        self._sync()
+        self.blueprint.specifications = [
+            spec
+            for spec in self.blueprint.specifications
+            if spec.spec_id != spec_id
+        ]
+
+    def _sync(self) -> None:
+        # Round-trip every shard even when an early one reports errors:
+        # stopping at the first failure would leave later shards'
+        # deferred errors undrained, poisoning the *next* operation.
+        problems: List[str] = []
+        for shard in self.shards:
+            try:
+                shard.sync()
+            except ShardCrashError:
+                raise
+            except ParallelError as error:
+                problems.append(str(error))
+        if problems:
+            raise ParallelError("; ".join(problems))
+
+    # -- results -----------------------------------------------------------
+
+    def drain(self) -> List[ShardNotification]:
+        """Collect and deterministically merge new notifications.
+
+        The merge key is ``(logical time, shard id, sequence)``: a total
+        order independent of worker scheduling.  Per-shard sequence
+        numbers increase with enqueue order, so notifications of one
+        process instance (always co-sharded) keep their recognition
+        order in the merged stream.
+        """
+        self.flush_buffers()
+        merged: List[ShardNotification] = []
+        for shard in self.shards:
+            merged.extend(
+                _notification_from_record(shard.shard_id, record)
+                for record in shard.flush()
+            )
+        merged.sort(key=lambda n: n.merge_key)
+        self.delivered.extend(merged)
+        return merged
+
+    # -- observability ------------------------------------------------------
+
+    def shard_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard rows for ``repro shards`` and the dashboard."""
+        rows: List[Dict[str, Any]] = []
+        for shard in self.shards:
+            row: Dict[str, Any] = {
+                "shard": shard.shard_id,
+                "backend": shard.backend,
+                "alive": shard.alive,
+                "buffered": len(self._buffers[shard.shard_id]),
+            }
+            if shard.alive:
+                try:
+                    row.update(shard.stats())
+                except ShardCrashError:
+                    row["alive"] = False
+            rows.append(row)
+        return rows
+
+    def stats(self) -> Dict[str, Any]:
+        """The federation aggregate: counter sums across live shards."""
+        totals: Dict[str, int] = {}
+        alive = 0
+        for row in self.shard_stats():
+            if row["alive"]:
+                alive += 1
+            for key, value in row.items():
+                if key in ("shard", "backend", "alive"):
+                    continue
+                if isinstance(value, int):
+                    totals[key] = totals.get(key, 0) + value
+        totals["shards"] = self.config.shards
+        totals["shards_alive"] = alive
+        totals["notifications_merged"] = len(self.delivered)
+        return totals
+
+    def healthy(self) -> bool:
+        return all(shard.alive for shard in self.shards)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            try:
+                shard.close()
+            except ShardCrashError:  # pragma: no cover - already logged
+                pass
+        if self._restore_instrumentation is not None:
+            _OBS.enabled = self._restore_instrumentation
+
+    def __enter__(self) -> "ShardedFederation":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

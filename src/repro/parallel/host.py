@@ -1,0 +1,294 @@
+"""One shard's pipeline: a full Enactment System behind an ingest door.
+
+Each shard — whether it lives in the facade's process (serial backend)
+or in a forked worker (process backend) — hosts a complete Figure 5
+pipeline: event bus, detector DAGs, and delivery.  :class:`ShardHost`
+wraps the :class:`~repro.federation.system.EnactmentSystem` with exactly
+the surface the sharding layer needs:
+
+* **blueprint application** — participants, global roles, and awareness
+  specifications (as DSL text, the repository's spec interchange format)
+  are data, so a federation can be reconstructed in any process;
+* **event ingest** — routed primitive events enter through the engine's
+  own source-agent producers (``emit_batch``, so PR 4's run-grouping and
+  ``consume_batch`` amortization apply unchanged);
+* **result capture** — a recording delivery queue remembers global
+  enqueue order, giving every notification the per-shard sequence number
+  the deterministic merge sorts on.
+
+Delivery stays *per-shard* by design: the events of a process instance
+(and of every context routed with it) arrive on one shard, so the
+notifications they trigger are enqueued there in recognition order —
+merging streams is the facade's job, not the workers' (DESIGN note 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..awareness.dsl import compile_specification
+from ..core.roles import Participant
+from ..errors import ParallelError
+from ..events.event import Event
+from ..events.producers import EventProducer
+from ..events.queues import MemoryDeliveryQueue, Notification
+from ..federation.system import EnactmentSystem
+from ..observability import INSTRUMENTATION as _OBS
+from .wire import encode_value
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One awareness specification as shippable data."""
+
+    spec_id: str
+    process_schema_id: str
+    text: str
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "spec_id": self.spec_id,
+            "process_schema_id": self.process_schema_id,
+            "text": self.text,
+        }
+
+    @staticmethod
+    def from_wire(data: Dict[str, Any]) -> "ShardSpec":
+        return ShardSpec(
+            data["spec_id"], data["process_schema_id"], data["text"]
+        )
+
+
+@dataclass
+class FederationBlueprint:
+    """The data-only bootstrap every shard applies at startup.
+
+    ``participants`` is ``(participant_id, name)`` pairs; ``roles`` maps
+    a global role name to its member participant ids (ordered — delivery
+    fan-out order follows membership order).  Specifications deploy in
+    list order on every shard, so detector wiring is identical across
+    the federation.
+    """
+
+    participants: List[Tuple[str, str]] = field(default_factory=list)
+    roles: Dict[str, List[str]] = field(default_factory=dict)
+    specifications: List[ShardSpec] = field(default_factory=list)
+
+    def add_participant(self, participant_id: str, name: str) -> None:
+        self.participants.append((participant_id, name))
+
+    def add_role(self, role_name: str, member_ids: List[str]) -> None:
+        self.roles[role_name] = list(member_ids)
+
+    def add_specification(self, spec: ShardSpec) -> None:
+        self.specifications.append(spec)
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "participants": [list(pair) for pair in self.participants],
+            "roles": {name: list(ids) for name, ids in self.roles.items()},
+            "specifications": [
+                spec.to_wire() for spec in self.specifications
+            ],
+        }
+
+    @staticmethod
+    def from_wire(data: Dict[str, Any]) -> "FederationBlueprint":
+        return FederationBlueprint(
+            participants=[
+                (pid, name) for pid, name in data.get("participants", [])
+            ],
+            roles={
+                name: list(ids)
+                for name, ids in data.get("roles", {}).items()
+            },
+            specifications=[
+                ShardSpec.from_wire(spec)
+                for spec in data.get("specifications", [])
+            ],
+        )
+
+
+class RecordingDeliveryQueue(MemoryDeliveryQueue):
+    """A memory queue that also remembers global enqueue order.
+
+    The per-participant queues keep their normal semantics (``repro``
+    clients still retrieve from them); ``records`` is the shard's total
+    notification order, the source of per-shard sequence numbers.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: List[Notification] = []
+
+    def enqueue(self, notification: Notification) -> None:
+        self.records.append(notification)
+        super().enqueue(notification)
+
+
+class ShardHost:
+    """A full pipeline plus the shard-layer ingest/report surface."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        shard_count: int,
+        share_plans: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.shard_count = shard_count
+        self.queue = RecordingDeliveryQueue()
+        self.system = EnactmentSystem(
+            queue=self.queue,
+            name=name or f"shard-{shard_id}",
+            share_plans=share_plans,
+        )
+        awareness = self.system.awareness
+        #: Ingest door per event type name.
+        self._producers: Dict[str, EventProducer] = {
+            awareness.activity_source.producer.output_type.name:
+                awareness.activity_source.producer,
+            awareness.context_source.producer.output_type.name:
+                awareness.context_source.producer,
+        }
+        self._detectors: Dict[str, Any] = {}
+        self._ingested: int = 0
+        self._reported: int = 0
+
+    # -- sources -----------------------------------------------------------
+
+    def register_external_source(
+        self, name: str, producer: EventProducer
+    ) -> EventProducer:
+        """Add an application event source; its type becomes ingestable."""
+        self.system.awareness.register_external_source(name, producer)
+        self._producers[producer.output_type.name] = producer
+        return producer
+
+    # -- blueprint ---------------------------------------------------------
+
+    def apply_blueprint(self, blueprint: FederationBlueprint) -> None:
+        roles = self.system.core.roles
+        by_id: Dict[str, Participant] = {}
+        for participant_id, name in blueprint.participants:
+            participant = self.system.register_participant(
+                Participant(participant_id, name)
+            )
+            by_id[participant_id] = participant
+        for role_name, member_ids in blueprint.roles.items():
+            role = roles.define_role(role_name)
+            for member_id in member_ids:
+                member = by_id.get(member_id)
+                if member is None:
+                    raise ParallelError(
+                        f"role {role_name!r} references unknown "
+                        f"participant {member_id!r}"
+                    )
+                role.add_member(member)
+        for spec in blueprint.specifications:
+            self.deploy_spec(spec)
+
+    def deploy_spec(self, spec: ShardSpec) -> None:
+        if spec.spec_id in self._detectors:
+            raise ParallelError(
+                f"specification {spec.spec_id!r} is already deployed"
+            )
+        window = self.system.awareness.create_window(spec.process_schema_id)
+        compile_specification(window, spec.text)
+        self._detectors[spec.spec_id] = self.system.awareness.deploy(window)
+
+    def undeploy_spec(self, spec_id: str) -> None:
+        detector = self._detectors.pop(spec_id, None)
+        if detector is None:
+            raise ParallelError(f"specification {spec_id!r} is not deployed")
+        self.system.awareness.undeploy(detector)
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, events: List[Event]) -> None:
+        """Feed routed primitive events into the pipeline, in order.
+
+        Consecutive same-type runs enter as one ``emit_batch``, so the
+        producers' run-grouping (and the shared plans' ``consume_batch``)
+        see the same batch shapes an in-process engine would.
+        """
+        producers = self._producers
+        i, n = 0, len(events)
+        while i < n:
+            type_name = events[i].type_name
+            j = i + 1
+            while j < n and events[j].type_name == type_name:
+                j += 1
+            producer = producers.get(type_name)
+            if producer is None:
+                raise ParallelError(
+                    f"shard {self.shard_id} cannot ingest events of type "
+                    f"{type_name!r}; no source producer is registered"
+                )
+            producer.emit_batch(events[i:j])
+            self._ingested += j - i
+            i = j
+
+    # -- results -----------------------------------------------------------
+
+    def drain_results(self) -> List[Dict[str, Any]]:
+        """Notification records enqueued since the last drain.
+
+        Each record carries the shard-local sequence number (position in
+        global enqueue order) the deterministic merge needs, and — when
+        instrumentation is on — the id-free provenance ``signature()`` of
+        the delivery, computed *here* so the report is not capped by the
+        tracker's ring buffer.
+        """
+        records = self.queue.records
+        out: List[Dict[str, Any]] = []
+        for seq in range(self._reported, len(records)):
+            notification = records[seq]
+            parameters = dict(notification.parameters)
+            chain = parameters.pop("provenance", None)
+            signature: Any = None
+            if chain is not None:
+                signature = encode_value(
+                    (
+                        notification.participant_id,
+                        notification.schema_name,
+                        notification.description,
+                        notification.time,
+                        chain.signature(),
+                    )
+                )
+            out.append(
+                {
+                    "seq": seq,
+                    "id": notification.notification_id,
+                    "participant": notification.participant_id,
+                    "time": notification.time,
+                    "schema": notification.schema_name,
+                    "description": notification.description,
+                    "instance": parameters.get("processInstanceId"),
+                    "signature": signature,
+                    "parameters": encode_value(parameters),
+                }
+            )
+        self._reported = len(records)
+        return out
+
+    # -- inspection --------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """The shard's contribution to the federation aggregate."""
+        awareness = self.system.awareness.stats()
+        return {
+            "events_ingested": self._ingested,
+            "composites_recognized": awareness["composites_recognized"],
+            "notifications": len(self.queue.records),
+            "queue_depth": self.queue.pending_count(),
+            "specs_deployed": len(self._detectors),
+            "bus_published": self.system.bus.published_count(),
+            "instrumented": 1 if _OBS.enabled else 0,
+        }
+
+    def close(self) -> None:
+        self.queue.close()

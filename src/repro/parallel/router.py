@@ -1,0 +1,124 @@
+"""Affinity routing: which shard owns an event?
+
+QE2 established that operator state is partitioned per process instance
+(Section 5.1.2 "process instance replication"), so the natural shard
+affinity of the ``T_activity`` plane and of every canonical ``C[P]``
+plane is the *process instance id*: all the state an event can touch
+lives under that key, and co-locating the key co-locates the state.
+
+``T_context`` events route by **context name**, not instance id: a
+context resource can be associated with *several* process instances at
+once (Figure 3's task-force context is shared with its information
+request subprocesses), so an instance-keyed route would be ill-defined —
+the same event would belong to several shards.  Routing the whole named
+context to one shard keeps every observer of that context, whichever
+instance it watches, on the shard that sees the context's events (see
+DESIGN note 9).
+
+External planes (``T_external``) route by correlation id — the paper's
+news service stamps a ``queryId`` relating articles back to the
+registering task force — and anything unrecognized falls back to the
+event's ``source``, so routing is always total.  All defaults are
+replaceable per type name via :meth:`ShardRouter.register` (the same
+shape as ``EventOperator.routing_keys``: a callable from event to
+hashable key).
+
+Hashing is ``zlib.crc32`` over the key's string form: Python's ``hash``
+is salted per process, and the router must agree with itself across the
+facade and every worker.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, Hashable, Optional
+
+from ..events.canonical import is_canonical
+from ..events.event import Event
+from ..events.external import NEWS_EVENT_TYPE_NAME
+from ..events.producers import (
+    ACTIVITY_EVENT_TYPE_NAME,
+    CONTEXT_EVENT_TYPE_NAME,
+    SYSTEM_EVENT_TYPE_NAME,
+)
+
+KeyExtractor = Callable[[Event], Hashable]
+
+
+def activity_affinity(event: Event) -> Hashable:
+    """``T_activity``: the owning process instance (QE2's partition key)."""
+    params = event.params
+    return params.get("parentProcessInstanceId") or params["activityInstanceId"]
+
+
+def context_affinity(event: Event) -> Hashable:
+    """``T_context``: the context *name* (associations may span instances)."""
+    return event.params["contextName"]
+
+
+def system_affinity(event: Event) -> Hashable:
+    """``T_system``: the reporting system — its series are one state."""
+    return event.params["systemId"]
+
+
+def external_affinity(event: Event) -> Hashable:
+    """External planes: correlation id, with a total fallback chain."""
+    params = event.params
+    for name in ("correlationId", "queryId"):
+        value = params.get(name)
+        if value is not None:
+            return value
+    return params["source"]
+
+
+def canonical_affinity(event: Event) -> Hashable:
+    """``C[P]`` planes: the process instance the state is replicated on."""
+    return event.params["processInstanceId"]
+
+
+class ShardRouter:
+    """Deterministic event-to-shard assignment by affinity key."""
+
+    def __init__(self) -> None:
+        self._extractors: Dict[str, KeyExtractor] = {
+            ACTIVITY_EVENT_TYPE_NAME: activity_affinity,
+            CONTEXT_EVENT_TYPE_NAME: context_affinity,
+            SYSTEM_EVENT_TYPE_NAME: system_affinity,
+            NEWS_EVENT_TYPE_NAME: external_affinity,
+        }
+
+    def register(self, type_name: str, extractor: KeyExtractor) -> None:
+        """Install (or replace) the affinity extractor for *type_name*.
+
+        Applications with custom external event types register the
+        extractor that names their correlation parameter, exactly as
+        operators declare ``routing_keys``.
+        """
+        self._extractors[type_name] = extractor
+
+    def extractor_for(self, type_name: str) -> Optional[KeyExtractor]:
+        extractor = self._extractors.get(type_name)
+        if extractor is None and is_canonical(type_name):
+            return canonical_affinity
+        return extractor
+
+    def affinity_key(self, event: Event) -> Hashable:
+        """The hashable affinity key of *event* (total: always returns)."""
+        extractor = self.extractor_for(event.type_name)
+        if extractor is None:
+            extractor = external_affinity
+        return extractor(event)
+
+    def shard_for(self, event: Event, shard_count: int) -> int:
+        """The shard index in ``[0, shard_count)`` owning *event*."""
+        if shard_count <= 1:
+            return 0
+        return self.shard_for_key(self.affinity_key(event), shard_count)
+
+    @staticmethod
+    def shard_for_key(key: Hashable, shard_count: int) -> int:
+        """Hash an affinity key; stable across processes and runs."""
+        if shard_count <= 1:
+            return 0
+        digest = zlib.crc32(repr(key).encode("utf-8"))
+        return digest % shard_count

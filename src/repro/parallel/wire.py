@@ -1,0 +1,257 @@
+"""Wire protocol of the sharded execution layer.
+
+Workers and the :class:`~repro.parallel.federation.ShardedFederation`
+facade exchange *frames*: a 4-byte big-endian length prefix followed by a
+UTF-8 JSON document.  Framing keeps the channel self-synchronizing over a
+plain OS pipe; JSON keeps it debuggable (``strace`` a worker and read the
+traffic).
+
+Events cross the wire in the canonical self-contained encoding the rest
+of the repository already speaks: the event *type name* plus the flat
+parameter mapping (:mod:`repro.events.canonical` — the type name alone
+recovers the :class:`~repro.events.event.EventType`, including on-demand
+``C[P]`` canonical types), mirroring how
+:mod:`repro.core.serialization` ships process definitions as data.  Two
+parameter value shapes JSON cannot express natively are tagged:
+
+* ``frozenset`` (the ``processAssociations`` set of a ``T_context``
+  event) becomes ``{"$fs": [...]}``, members sorted for deterministic
+  bytes;
+* ``tuple`` (association pairs, digest tuples) becomes ``{"$t": [...]}``;
+* a mapping that itself contains a ``$``-prefixed key is wrapped as
+  ``{"$d": {...}}`` so the tags can never be forged by payload data.
+
+Recognition provenance travels as a parallel node tree so a worker's
+instrumented pipeline can report full chains without pickling.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, IO, List, Mapping, Optional
+
+from ..errors import WireError
+from ..events.canonical import CANONICAL_PREFIX, canonical_type, is_canonical
+from ..events.event import Event, EventType
+from ..events.external import NEWS_EVENT_TYPE
+from ..events.producers import (
+    ACTIVITY_EVENT_TYPE,
+    CONTEXT_EVENT_TYPE,
+    SYSTEM_EVENT_TYPE,
+)
+from ..observability.provenance import ProvenanceNode
+
+#: Non-canonical event types resolvable by name.  Applications with
+#: custom external event types extend this via :func:`register_event_type`
+#: (in every process that decodes their events).
+_TYPE_REGISTRY: Dict[str, EventType] = {}
+
+
+def register_event_type(event_type: EventType) -> None:
+    """Make *event_type* resolvable by name when decoding wire events."""
+    _TYPE_REGISTRY[event_type.name] = event_type
+
+
+def _register_builtins() -> None:
+    from ..awareness.operators.output import DELIVERY_EVENT_TYPE
+
+    for event_type in (
+        ACTIVITY_EVENT_TYPE,
+        CONTEXT_EVENT_TYPE,
+        SYSTEM_EVENT_TYPE,
+        NEWS_EVENT_TYPE,
+        DELIVERY_EVENT_TYPE,
+    ):
+        register_event_type(event_type)
+
+
+def resolve_event_type(type_name: str) -> EventType:
+    """Recover the :class:`EventType` named *type_name*.
+
+    Canonical ``C[P]`` types are minted (and cached) from the embedded
+    process schema id; primitive planes and ``T_delivery`` come from the
+    registry.
+    """
+    if is_canonical(type_name):
+        return canonical_type(type_name[len(CANONICAL_PREFIX):-1])
+    event_type = _TYPE_REGISTRY.get(type_name)
+    if event_type is None:
+        raise WireError(f"cannot resolve wire event type {type_name!r}")
+    return event_type
+
+
+# ---------------------------------------------------------------------------
+# Parameter value encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-safe encoding of one event parameter value."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, frozenset):
+        members = sorted((encode_value(member) for member in value), key=repr)
+        return {"$fs": members}
+    if isinstance(value, tuple):
+        return {"$t": [encode_value(member) for member in value]}
+    if isinstance(value, list):
+        return [encode_value(member) for member in value]
+    if isinstance(value, Mapping):
+        encoded = {key: encode_value(member) for key, member in value.items()}
+        if any(key.startswith("$") for key in encoded):
+            return {"$d": encoded}
+        return encoded
+    raise WireError(
+        f"event parameter value {value!r} ({type(value).__name__}) is not "
+        f"wire-encodable"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(member) for member in value]
+    if isinstance(value, dict):
+        if "$fs" in value:
+            return frozenset(decode_value(member) for member in value["$fs"])
+        if "$t" in value:
+            return tuple(decode_value(member) for member in value["$t"])
+        if "$d" in value:
+            return {
+                key: decode_value(member)
+                for key, member in value["$d"].items()
+            }
+        return {key: decode_value(member) for key, member in value.items()}
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+
+def event_to_wire(event: Event, provenance: bool = False) -> Dict[str, Any]:
+    """Encode one event (type name + parameters [+ provenance chain])."""
+    out: Dict[str, Any] = {
+        "type": event.type_name,
+        "params": {
+            key: encode_value(value)
+            for key, value in event._params.items()
+            if key != "type"
+        },
+    }
+    if provenance and event.provenance is not None:
+        out["provenance"] = provenance_to_wire(event.provenance)
+    return out
+
+
+def event_from_wire(data: Mapping[str, Any]) -> Event:
+    """Decode one event; restores frozensets/tuples and the provenance."""
+    event_type = resolve_event_type(data["type"])
+    params = {
+        key: decode_value(value) for key, value in data["params"].items()
+    }
+    event = Event.trusted(event_type, params)
+    chain = data.get("provenance")
+    if chain is not None:
+        event.provenance = provenance_from_wire(chain)
+    return event
+
+
+# ---------------------------------------------------------------------------
+# Provenance chains
+# ---------------------------------------------------------------------------
+
+
+def provenance_to_wire(node: ProvenanceNode) -> Dict[str, Any]:
+    """Encode a provenance node tree (summaries keep their raw shape)."""
+    return {
+        "id": node.event_id,
+        "node": node.node,
+        "kind": node.kind,
+        "type": node.event_type,
+        "t": node.logical_time,
+        "summary": encode_value(node.summary),
+        "in": [provenance_to_wire(child) for child in node.inputs],
+    }
+
+
+def provenance_from_wire(data: Mapping[str, Any]) -> ProvenanceNode:
+    return ProvenanceNode(
+        event_id=data["id"],
+        node=data["node"],
+        kind=data["kind"],
+        event_type=data["type"],
+        logical_time=data["t"],
+        summary=decode_value(data["summary"]),
+        inputs=tuple(provenance_from_wire(child) for child in data["in"]),
+    )
+
+
+def as_tuples(value: Any) -> Any:
+    """Normalize a JSON round-tripped signature back to nested tuples.
+
+    ``ProvenanceNode.signature()`` values are nested tuples; JSON turns
+    tuples into lists, so worker-reported signatures are re-normalized
+    before comparison with locally computed ones.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(as_tuples(member) for member in value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse frames above this size — a corrupted length prefix must not
+#: turn into a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def write_frame(stream: IO[bytes], message: Mapping[str, Any]) -> None:
+    """Write one length-prefixed JSON frame and flush it."""
+    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    stream.write(_HEADER.pack(len(data)) + data)
+    stream.flush()
+
+
+def read_frame(stream: IO[bytes]) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF, :class:`WireError` mid-frame."""
+    header = _read_exact(stream, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    data = _read_exact(stream, length, allow_eof=False)
+    assert data is not None
+    try:
+        return json.loads(data.decode("utf-8"))
+    except ValueError as error:
+        raise WireError(f"malformed frame payload: {error}") from None
+
+
+def _read_exact(
+    stream: IO[bytes], count: int, allow_eof: bool
+) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise WireError(
+                f"channel closed mid-frame ({count - remaining}/{count} "
+                f"bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if len(chunks) != 1 else chunks[0]
+
+
+_register_builtins()

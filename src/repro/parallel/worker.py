@@ -1,0 +1,137 @@
+"""The shard worker process: one pipeline behind two pipes.
+
+``worker_main`` is the forked child's entry point.  It owns one
+:class:`~repro.parallel.host.ShardHost` and serves frames from its input
+pipe in arrival order; it only ever *writes* in response to ``stats`` /
+``flush`` requests, so the channel cannot deadlock — the parent's event
+sends are pipelined fire-and-forget (pipe backpressure is the flow
+control) and every read the parent performs has exactly one pending
+response.
+
+Protocol frames (see :mod:`repro.parallel.wire` for the framing):
+
+* ``{"kind": "events", "events": [...]}`` — ingest a routed batch;
+* ``{"kind": "deploy", "spec": {...}}`` / ``{"kind": "undeploy",
+  "spec_id": ...}`` — detector lifecycle;
+* ``{"kind": "stats"}`` → ``{"kind": "stats", "stats": {...},
+  "errors": [...]}``;
+* ``{"kind": "flush"}`` → ``{"kind": "results", "notifications": [...]}``
+  — drain the recorded notification stream (sequence numbers included);
+* ``{"kind": "shutdown"}`` → ``{"kind": "bye"}`` and a clean exit — the
+  poison pill.
+
+Recoverable per-frame failures (a bad spec, an unroutable event type)
+are recorded and reported with the next ``stats`` response; anything
+else writes a final ``error`` frame and exits nonzero so the parent sees
+EOF, not a hang.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List
+
+from ..errors import ReproError
+from ..observability import INSTRUMENTATION as _OBS
+from .host import FederationBlueprint, ShardHost, ShardSpec
+from .wire import event_from_wire, read_frame, write_frame
+
+
+def worker_main(
+    shard_id: int,
+    shard_count: int,
+    in_fd: int,
+    out_fd: int,
+    close_fds: List[int],
+    options: Dict[str, Any],
+    blueprint_wire: Dict[str, Any],
+) -> None:
+    """Serve one shard until the poison pill (or EOF) arrives."""
+    # A fork copies every parent fd, including the pipes of sibling
+    # workers forked earlier.  Holding those copies would keep a crashed
+    # sibling's channel half-open (the parent would never see EOF), so
+    # each worker first drops everything that is not its own pair.
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # Instrumentation is process-global; the fork inherited the parent's
+    # flag, so set it to what the shard config asks for, explicitly.
+    if options.get("instrument"):
+        _OBS.reset()
+        _OBS.enable()
+    else:
+        _OBS.disable()
+
+    inp = os.fdopen(in_fd, "rb")
+    out = os.fdopen(out_fd, "wb")
+    exit_code = 0
+    errors: List[str] = []
+    try:
+        host = ShardHost(
+            shard_id,
+            shard_count,
+            share_plans=bool(options.get("share_plans", True)),
+        )
+        host.apply_blueprint(FederationBlueprint.from_wire(blueprint_wire))
+        while True:
+            frame = read_frame(inp)
+            if frame is None:  # parent vanished: treat as shutdown
+                break
+            kind = frame.get("kind")
+            try:
+                if kind == "events":
+                    host.ingest(
+                        [event_from_wire(data) for data in frame["events"]]
+                    )
+                elif kind == "deploy":
+                    host.deploy_spec(ShardSpec.from_wire(frame["spec"]))
+                elif kind == "undeploy":
+                    host.undeploy_spec(frame["spec_id"])
+                elif kind == "stats":
+                    write_frame(
+                        out,
+                        {
+                            "kind": "stats",
+                            "stats": host.stats(),
+                            "errors": list(errors),
+                        },
+                    )
+                    errors.clear()
+                elif kind == "flush":
+                    write_frame(
+                        out,
+                        {
+                            "kind": "results",
+                            "notifications": host.drain_results(),
+                        },
+                    )
+                elif kind == "shutdown":
+                    write_frame(out, {"kind": "bye"})
+                    break
+                else:
+                    errors.append(f"unknown frame kind {kind!r}")
+            except ReproError as error:
+                # Recoverable: the pipeline is still consistent.  Report
+                # with the next stats exchange instead of dying.
+                errors.append(f"{kind}: {error}")
+    except BaseException as error:  # pragma: no cover - crash path
+        exit_code = 1
+        try:
+            write_frame(
+                out, {"kind": "error", "error": f"{type(error).__name__}: {error}"}
+            )
+        except OSError:
+            pass
+    finally:
+        try:
+            out.close()
+        except OSError:  # pragma: no cover
+            pass
+        try:
+            inp.close()
+        except OSError:  # pragma: no cover
+            pass
+    os._exit(exit_code)

@@ -37,6 +37,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..events.event import Event
+from ..events.producers import CONTEXT_EVENT_TYPE
+from ..parallel.host import FederationBlueprint, ShardSpec
+from ..parallel.router import ShardRouter
 from ..baselines import (
     BaselineAdapter,
     ContentFilterPubSub,
@@ -431,3 +435,201 @@ class CrisisWorkload:
             work_items=len(self.system.coordination.worklists.all_items()),
             cmi_deliveries=len(cmi),
         )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic shard-partitionable stream (QE11)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardStreamConfig:
+    """Knobs of the seeded taskforce-style sharding workload.
+
+    Each task force owns one named context (its affinity key), one
+    process instance, one delivery team, and ``windows_per_force``
+    awareness windows — a filter -> count -> rising-edge chain per
+    window, with spread thresholds so every window fires exactly once
+    per run.  Distinct context names per force give the router real keys
+    to spread; distinct instance names per chain keep the plan cache
+    from collapsing the per-event work the benchmark measures.
+    """
+
+    forces: int = 8
+    windows_per_force: int = 4
+    events_per_force: int = 200
+    members_per_team: int = 2
+    seed: int = 23
+    process_schema_id: str = "P-ShardTF"
+
+    def __post_init__(self) -> None:
+        if self.forces < 1:
+            raise WorkloadError("stream needs at least one task force")
+        if self.windows_per_force < 1:
+            raise WorkloadError("each force needs at least one window")
+        if self.members_per_team < 1:
+            raise WorkloadError("each team needs at least one member")
+        if self.events_per_force < self.windows_per_force + 1:
+            raise WorkloadError(
+                "events_per_force must exceed windows_per_force so every "
+                "edge threshold is crossed"
+            )
+
+
+class ShardStreamWorkload:
+    """A seeded primitive-event stream plus the federation that reads it.
+
+    The stream is pure data (``T_context`` events built directly, no
+    CORE engine involved), so the identical workload can drive a serial
+    engine, a serial-backend federation, and a process-backend
+    federation — QE11's differential leans on that.  ``shard_slice``
+    partitions the stream exactly as the
+    :class:`~repro.parallel.router.ShardRouter` would: the union of the
+    ``n`` slices is the unsharded stream, order preserved within each
+    slice.
+    """
+
+    def __init__(self, config: Optional[ShardStreamConfig] = None) -> None:
+        self.config = config or ShardStreamConfig()
+
+    # -- identifiers -------------------------------------------------------
+
+    def context_name(self, force: int) -> str:
+        return f"TaskForceCtx{force:03d}"
+
+    def instance_id(self, force: int) -> str:
+        return f"tf-{force:03d}"
+
+    def team_role(self, force: int) -> str:
+        return f"team-{force:03d}"
+
+    # -- federation bootstrap ----------------------------------------------
+
+    def blueprint(self) -> FederationBlueprint:
+        """Participants, teams, and one spec per force, as pure data."""
+        config = self.config
+        blueprint = FederationBlueprint()
+        for force in range(config.forces):
+            member_ids = []
+            for member in range(config.members_per_team):
+                participant_id = f"u-{force:03d}-{member}"
+                blueprint.add_participant(
+                    participant_id, f"analyst-{force:03d}-{member}"
+                )
+                member_ids.append(participant_id)
+            blueprint.add_role(self.team_role(force), member_ids)
+            blueprint.add_specification(
+                ShardSpec(
+                    spec_id=f"spec-tf-{force:03d}",
+                    process_schema_id=config.process_schema_id,
+                    text=self.specification_text(force),
+                )
+            )
+        return blueprint
+
+    def thresholds(self) -> List[int]:
+        """Edge thresholds spread across the per-force stream length."""
+        config = self.config
+        windows = config.windows_per_force
+        return [
+            max(1, (config.events_per_force * (index + 1)) // (windows + 1))
+            for index in range(windows)
+        ]
+
+    def specification_text(self, force: int) -> str:
+        """One window: ``windows_per_force`` filter->count->edge chains."""
+        context = self.context_name(force)
+        lines: List[str] = []
+        for index, threshold in enumerate(self.thresholds()):
+            lines.append(
+                f"d{index} = Filter_context[{context}, Deadline]"
+                f"(ContextEvent)"
+            )
+            lines.append(f"n{index} = Count[](d{index})")
+            lines.append(f"g{index} = Edge[>=, {threshold}](n{index})")
+            lines.append(
+                f'deliver g{index} to {self.team_role(force)} '
+                f'as "deadline churn {index}" named AS_TF{force:03d}_{index}'
+            )
+        return "\n".join(lines)
+
+    # -- the stream --------------------------------------------------------
+
+    def events(self) -> List[Event]:
+        """The full seeded stream, strictly time-ordered.
+
+        Fresh :class:`Event` objects per call: producers stamp
+        provenance onto the events they emit, so reusing one list across
+        runs would leak state between them.
+        """
+        config = self.config
+        rng = random.Random(config.seed)
+        remaining = {
+            force: config.events_per_force for force in range(config.forces)
+        }
+        counts = {force: 0 for force in range(config.forces)}
+        associations = {
+            force: frozenset(
+                {(config.process_schema_id, self.instance_id(force))}
+            )
+            for force in range(config.forces)
+        }
+        events: List[Event] = []
+        time = 0
+        live = list(range(config.forces))
+        while live:
+            # A seeded interleave: forces take turns in shuffled rounds,
+            # so the global stream genuinely mixes affinity keys (the
+            # shape a federation of concurrent task forces produces).
+            rng.shuffle(live)
+            for force in list(live):
+                time += 1
+                value = counts[force] + 1
+                counts[force] = value
+                events.append(
+                    Event.trusted(
+                        CONTEXT_EVENT_TYPE,
+                        {
+                            "time": time,
+                            "source": "E_context",
+                            "contextId": f"ctx-{self.instance_id(force)}",
+                            "contextName": self.context_name(force),
+                            "processAssociations": associations[force],
+                            "fieldName": "Deadline",
+                            "oldFieldValue": value - 1,
+                            "newFieldValue": value,
+                        },
+                    )
+                )
+                remaining[force] -= 1
+            live = [force for force in live if remaining[force]]
+        return events
+
+    def shard_slice(
+        self, shard_count: int, shard: int, router: Optional[ShardRouter] = None
+    ) -> List[Event]:
+        """The sub-stream shard *shard* of *shard_count* would receive.
+
+        Slices preserve stream order, are pairwise disjoint, and their
+        union (merged back by ``time``) is exactly :meth:`events` — the
+        property that makes a sharded run comparable to a serial one.
+        """
+        if not 0 <= shard < shard_count:
+            raise WorkloadError(
+                f"shard index {shard} out of range for {shard_count} shards"
+            )
+        active_router = router or ShardRouter()
+        return [
+            event
+            for event in self.events()
+            if active_router.shard_for(event, shard_count) == shard
+        ]
+
+    # -- ground truth ------------------------------------------------------
+
+    def expected_recognitions(self) -> int:
+        """Every edge fires exactly once per force (counts only rise)."""
+        return self.config.forces * self.config.windows_per_force
+
+    def expected_notifications(self) -> int:
+        return self.expected_recognitions() * self.config.members_per_team

@@ -266,3 +266,51 @@ class TestStatistics:
         assert bus.delivered_count("T_a") == 2
         assert bus.delivered_count("T_b") == 0
         assert "T_a" in bus.topics()
+
+
+class TestSubscribeMany:
+    def test_batch_matches_a_loop_of_subscribes(self):
+        batched, looped = EventBus(), EventBus()
+        for bus in (batched, looped):
+            bus.set_key_extractor("T_a", lambda e: e.params["source"])
+        order_batched, order_looped = [], []
+        registrations = [
+            (lambda e, i=i, out=order_batched: out.append(i), keys)
+            for i, keys in enumerate(
+                [None, ("test",), ("other",), ("test", "other")]
+            )
+        ]
+        batched_subs = batched.subscribe_many("T_a", registrations)
+        for i, keys in enumerate(
+            [None, ("test",), ("other",), ("test", "other")]
+        ):
+            looped.subscribe(
+                "T_a", lambda e, i=i, out=order_looped: out.append(i), keys
+            )
+        batched.publish(make_event())
+        looped.publish(make_event())
+        assert order_batched == order_looped
+        assert len(batched_subs) == 4
+
+    def test_batch_after_dispatch_invalidates_snapshots(self):
+        # The first publish builds the per-key dispatch snapshots; the
+        # batch registration must invalidate exactly the touched ones.
+        bus = EventBus()
+        bus.set_key_extractor("T_a", lambda e: e.params["source"])
+        first, second = [], []
+        bus.subscribe("T_a", first.append, keys=("test",))
+        bus.publish(make_event())
+        bus.subscribe_many(
+            "T_a", [(second.append, ("test",)), (second.append, None)]
+        )
+        bus.publish(make_event())
+        assert len(first) == 2
+        assert len(second) == 2  # keyed + wildcard both saw the event
+
+    def test_batch_subscriptions_unsubscribe_normally(self):
+        bus = EventBus()
+        got = []
+        (subscription,) = bus.subscribe_many("T_a", [(got.append, None)])
+        bus.unsubscribe(subscription)
+        bus.publish(make_event())
+        assert got == []

@@ -1,0 +1,123 @@
+"""The process backend: forked workers, crash containment, differential.
+
+Workloads here are deliberately tiny — these tests check the protocol
+and the lifecycle, not throughput (QE11 owns that).
+"""
+
+import multiprocessing
+import signal
+
+import pytest
+
+from repro.errors import ParallelError, ShardCrashError
+from repro.parallel import ShardConfig, ShardSpec, ShardedFederation
+from repro.workloads.generator import ShardStreamConfig, ShardStreamWorkload
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the process backend requires the fork start method",
+)
+
+
+def small_workload():
+    return ShardStreamWorkload(
+        ShardStreamConfig(forces=4, windows_per_force=2, events_per_force=30)
+    )
+
+
+def process_config(shards=2, **overrides):
+    defaults = dict(
+        shards=shards, backend="process", instrument=True, join_timeout=10.0
+    )
+    defaults.update(overrides)
+    return ShardConfig(**defaults)
+
+
+class TestProcessBackend:
+    def test_end_to_end_matches_the_serial_run(self):
+        workload = small_workload()
+        with ShardedFederation(
+            workload.blueprint(),
+            ShardConfig(shards=1, backend="serial", instrument=True),
+        ) as serial:
+            serial.ingest(workload.events())
+            base = serial.drain()
+        with ShardedFederation(
+            workload.blueprint(), process_config()
+        ) as federation:
+            federation.ingest(workload.events())
+            sharded = federation.drain()
+            stats = federation.stats()
+        assert len(sharded) == workload.expected_notifications()
+        assert stats["shards_alive"] == 2
+        assert sorted(map(repr, (n.signature for n in sharded))) == (
+            sorted(map(repr, (n.signature for n in base)))
+        )
+
+    def test_per_shard_stats_report_live_workers(self):
+        workload = small_workload()
+        with ShardedFederation(
+            workload.blueprint(), process_config()
+        ) as federation:
+            federation.ingest(workload.events())
+            federation.drain()
+            rows = federation.shard_stats()
+            assert [row["alive"] for row in rows] == [True, True]
+            assert sum(row["events_ingested"] for row in rows) == (
+                len(workload.events())
+            )
+            # Workers flip their own instrumentation plane post-fork.
+            assert all(row["instrumented"] == 1 for row in rows)
+
+    def test_runtime_deploy_error_surfaces_eagerly(self):
+        workload = small_workload()
+        with ShardedFederation(
+            workload.blueprint(), process_config()
+        ) as federation:
+            # Re-deploying an existing spec id is a recoverable worker
+            # error: the deploy round-trip must raise, not hang or kill
+            # the worker.
+            with pytest.raises(ParallelError):
+                federation.deploy(federation.blueprint.specifications[0])
+            assert federation.healthy()
+            extra = ShardSpec(
+                spec_id="spec-extra",
+                process_schema_id=workload.config.process_schema_id,
+                text=workload.specification_text(0).replace("AS_TF", "AS_XX"),
+            )
+            federation.deploy(extra)
+            federation.undeploy("spec-extra")
+            assert federation.healthy()
+
+    def test_killed_worker_surfaces_as_crash_not_hang(self):
+        workload = small_workload()
+        federation = ShardedFederation(
+            workload.blueprint(), process_config()
+        )
+        try:
+            victim = federation.shards[0]
+            victim.process._popen._send_signal(signal.SIGKILL)  # noqa: SLF001
+            victim.process.join(10.0)
+            with pytest.raises(ShardCrashError):
+                victim.stats()
+            assert not victim.alive
+            assert not federation.healthy()
+            rows = federation.shard_stats()
+            assert rows[0]["alive"] is False
+            assert rows[1]["alive"] is True
+            # The aggregate keeps serving from the survivors.
+            assert federation.stats()["shards_alive"] == 1
+        finally:
+            federation.close()
+
+    def test_close_shuts_workers_down_cleanly(self):
+        workload = small_workload()
+        federation = ShardedFederation(
+            workload.blueprint(), process_config()
+        )
+        processes = [shard.process for shard in federation.shards]
+        federation.ingest(workload.events()[:50])
+        federation.close()
+        for process in processes:
+            assert not process.is_alive()
+            assert process.exitcode == 0
