@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Compare pytest-benchmark results against committed baselines.
+
+The CI benchmark job emits one ``BENCH_qe*.json`` per experiment
+(``--benchmark-json``).  This script diffs each file's per-benchmark
+*median* against the baseline of the same name under
+``benchmarks/baselines/`` and enforces the regression budget:
+
+* median more than ``--fail-over`` percent slower  -> FAIL (exit 1)
+* median more than ``--warn-over`` percent slower  -> WARN (exit 0)
+* otherwise (including any speedup)                -> OK
+
+Run it locally exactly like CI does::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_qe5_detector_scaling.py \
+        --benchmark-json=BENCH_qe5.json
+    python scripts/bench_compare.py BENCH_qe5.json
+
+Refresh the committed baselines after an intentional perf change::
+
+    python scripts/bench_compare.py BENCH_qe*.json --update
+
+Baselines are stored as a trimmed ``{name: median_seconds}`` map (plus
+provenance), not the full pytest-benchmark dump, so diffs stay readable.
+The loader also accepts a raw pytest-benchmark JSON as a baseline, so a
+downloaded CI artifact can be dropped into ``benchmarks/baselines/``
+verbatim.  Stdlib only — no dependencies beyond Python itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Tuple
+
+DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
+BASELINE_FORMAT = 1
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """``{benchmark fullname: median seconds}`` from either file format."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if "medians" in data:  # trimmed baseline format
+        return {str(k): float(v) for k, v in data["medians"].items()}
+    return {
+        bench["fullname"]: float(bench["stats"]["median"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def write_baseline(path: str, medians: Dict[str, float], source: str) -> None:
+    payload = {
+        "format": BASELINE_FORMAT,
+        "source": os.path.basename(source),
+        "medians": {k: medians[k] for k in sorted(medians)},
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def compare(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    warn_over: float,
+    fail_over: float,
+) -> Tuple[int, int]:
+    """Print one verdict line per benchmark; returns (warnings, failures)."""
+    warnings = failures = 0
+    for name in sorted(current):
+        median = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"  NEW   {name}: {median * 1e3:.3f} ms (no baseline)")
+            continue
+        if base <= 0:
+            print(f"  SKIP  {name}: baseline median is {base}")
+            continue
+        delta = (median / base - 1.0) * 100.0
+        detail = (
+            f"{name}: {median * 1e3:.3f} ms vs {base * 1e3:.3f} ms "
+            f"({delta:+.1f}%)"
+        )
+        if delta > fail_over:
+            failures += 1
+            print(f"  FAIL  {detail}")
+        elif delta > warn_over:
+            warnings += 1
+            print(f"  WARN  {detail}")
+        else:
+            print(f"  ok    {detail}")
+    for name in sorted(set(baseline) - set(current)):
+        warnings += 1
+        print(f"  WARN  {name}: in baseline but not in this run")
+    return warnings, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "results",
+        nargs="+",
+        help="pytest-benchmark JSON files (e.g. BENCH_qe5.json)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=DEFAULT_BASELINE_DIR,
+        help=f"directory of committed baselines (default: "
+        f"{DEFAULT_BASELINE_DIR})",
+    )
+    parser.add_argument(
+        "--warn-over",
+        type=float,
+        default=10.0,
+        help="warn when a median regresses more than this percent",
+    )
+    parser.add_argument(
+        "--fail-over",
+        type=float,
+        default=25.0,
+        help="fail when a median regresses more than this percent",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baselines from these results instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    if args.warn_over > args.fail_over:
+        parser.error("--warn-over must not exceed --fail-over")
+
+    total_warnings = total_failures = 0
+    for path in args.results:
+        name = os.path.basename(path)
+        baseline_path = os.path.join(args.baseline_dir, name)
+        current = load_medians(path)
+        if args.update:
+            os.makedirs(args.baseline_dir, exist_ok=True)
+            write_baseline(baseline_path, current, source=path)
+            print(f"updated {baseline_path} ({len(current)} benchmark(s))")
+            continue
+        print(f"{name}:")
+        if not os.path.exists(baseline_path):
+            total_warnings += 1
+            print(
+                "  WARN  no baseline "
+                f"({baseline_path} missing; run with --update to create)"
+            )
+            continue
+        warnings, failures = compare(
+            current,
+            load_medians(baseline_path),
+            warn_over=args.warn_over,
+            fail_over=args.fail_over,
+        )
+        total_warnings += warnings
+        total_failures += failures
+
+    if args.update:
+        return 0
+    print(
+        f"bench_compare: {total_failures} failure(s), "
+        f"{total_warnings} warning(s) "
+        f"(fail >{args.fail_over:g}%, warn >{args.warn_over:g}%)"
+    )
+    return 1 if total_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

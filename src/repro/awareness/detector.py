@@ -17,7 +17,7 @@ bus publishing ``T_delivery``).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..events.bus import EventBus
 from ..events.event import Event
@@ -42,6 +42,12 @@ class DetectorAgent:
         #: live wiring belongs to the shared plan, not to this window's
         #: graph; detach then releases the plan instead of the leaves.
         self._detach_hook = detach_hook
+        #: The :class:`~repro.awareness.planner.DeployedPlan` this window
+        #: resolved to (set by the engine under plan sharing, ``None``
+        #: otherwise).  Durability snapshots enumerate the *live*
+        #: operators through it — the shared nodes, not the window's
+        #: authoring-time copies.
+        self.plan: Optional[Any] = None
         self._sinks: List[Sink] = []
         self._sink_snapshot: Tuple[Sink, ...] = ()
         if sink is not None:

@@ -184,6 +184,7 @@ class AwarenessEngine:
             detector = DetectorAgent(
                 window, sink=self.delivery.deliver, detach_hook=plan.detach
             )
+            detector.plan = plan
         else:
             window.graph.attach_producers()
             detector = DetectorAgent(window, sink=self.delivery.deliver)

@@ -164,6 +164,7 @@ DEFAULT_SYSTEM_METRICS: Tuple[str, ...] = (
     "timer_backlog",
     "work_items_open",
     "journal_divergence",
+    "shard_recoveries",
 )
 
 #: Name of the derived per-stage p95 latency metric (microseconds), read

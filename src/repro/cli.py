@@ -16,8 +16,14 @@
   pipeline: queues, delivery lag, firing alerts, hottest detectors;
 * ``plans`` — deploy a fleet of per-participant copies of one awareness
   specification and show how the plan cache shares their operator nodes;
+* ``journal`` — inspect (and optionally compact) the write-ahead
+  journals and snapshots a durable sharded run left behind;
 * ``check-spec`` — parse and validate an awareness specification written
   in the DSL, printing the resulting window (a designer's lint step).
+
+``shards`` and ``top`` accept ``--durable DIR`` to run their sharded
+federation with per-shard write-ahead journaling and crash recovery
+(process backend).
 """
 
 from __future__ import annotations
@@ -237,7 +243,12 @@ def _cmd_shards(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
-    config = ShardConfig(shards=args.shards, backend=args.backend)
+    config = ShardConfig(
+        shards=args.shards,
+        backend=args.backend,
+        durable_dir=args.durable,
+        snapshot_every=args.snapshot_every,
+    )
     with ShardedFederation(workload.blueprint(), config) as federation:
         federation.ingest(workload.events())
         notifications = federation.drain()
@@ -255,6 +266,7 @@ def _cmd_shards(args: argparse.Namespace) -> int:
                         "windows_per_force": args.windows,
                         "events_per_force": args.events,
                         "seed": args.seed,
+                        "durable": args.durable,
                     },
                     "shards": rows,
                     "totals": totals,
@@ -270,25 +282,147 @@ def _cmd_shards(args: argparse.Namespace) -> int:
         f"{totals['events_ingested']} events over {args.forces} task "
         f"forces, {len(notifications)} notifications merged\n"
     )
+    headers = ["shard", "alive", "events", "queue", "recognized", "notifs"]
+    table = [
+        [
+            row["shard"],
+            "yes" if row["alive"] else "NO",
+            row.get("events_ingested", 0),
+            row.get("queue_depth", 0),
+            row.get("composites_recognized", 0),
+            row.get("notifications", 0),
+        ]
+        for row in rows
+    ]
+    if args.durable:
+        headers.extend(["journal", "recovered"])
+        for line, row in zip(table, rows):
+            line.extend(
+                [row.get("journal_frames", 0), row.get("recoveries", 0)]
+            )
     print(
         render_table(
-            ("shard", "alive", "events", "queue", "recognized", "notifs"),
-            [
-                (
-                    row["shard"],
-                    "yes" if row["alive"] else "NO",
-                    row.get("events_ingested", 0),
-                    row.get("queue_depth", 0),
-                    row.get("composites_recognized", 0),
-                    row.get("notifications", 0),
-                )
-                for row in rows
-            ],
+            tuple(headers),
+            [tuple(line) for line in table],
             title="per-shard gauges",
         )
     )
     if not all(row["alive"] for row in rows):
         return 1
+    return 0
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .durability.log import (
+        CONTROL_COMPACTED,
+        FrameLog,
+        log_base,
+        read_file_frames,
+        scan,
+    )
+    from .durability.snapshot import ShardSnapshot
+    from .durability.supervisor import JOURNAL_FILENAME, SNAPSHOT_FILENAME
+    from .metrics.report import render_table
+
+    targets: List[tuple] = []
+    if os.path.isfile(args.dir):
+        targets.append((os.path.basename(args.dir), args.dir, None))
+    elif os.path.isdir(args.dir):
+        for name in sorted(os.listdir(args.dir)):
+            journal_path = os.path.join(args.dir, name, JOURNAL_FILENAME)
+            if os.path.isfile(journal_path):
+                targets.append(
+                    (
+                        name,
+                        journal_path,
+                        os.path.join(args.dir, name, SNAPSHOT_FILENAME),
+                    )
+                )
+        if not targets and os.path.isfile(
+            os.path.join(args.dir, JOURNAL_FILENAME)
+        ):
+            targets.append(
+                (
+                    os.path.basename(args.dir.rstrip(os.sep)),
+                    os.path.join(args.dir, JOURNAL_FILENAME),
+                    os.path.join(args.dir, SNAPSHOT_FILENAME),
+                )
+            )
+    if not targets:
+        print(f"error: no frame logs under {args.dir!r}", file=sys.stderr)
+        return 1
+
+    reports = []
+    for name, journal_path, snapshot_path in targets:
+        file_frames, valid_bytes, torn = scan(journal_path)
+        base = log_base(journal_path)
+        payload_frames = file_frames - (1 if base else 0)
+        kinds: dict = {}
+        for frame in read_file_frames(journal_path):
+            kind = frame.get("kind")
+            if kind == CONTROL_COMPACTED:
+                continue
+            kinds[str(kind)] = kinds.get(str(kind), 0) + 1
+        snapshot = None
+        if snapshot_path is not None and os.path.exists(snapshot_path):
+            snapshot = ShardSnapshot.load(snapshot_path)
+        report = {
+            "name": name,
+            "path": journal_path,
+            "frames": payload_frames,
+            "base": base,
+            "next_index": base + payload_frames,
+            "bytes": os.path.getsize(journal_path),
+            "torn_tail": torn,
+            "kinds": kinds,
+            "snapshot_frame": (
+                snapshot.frame_index if snapshot is not None else None
+            ),
+        }
+        if args.compact:
+            keep_from = (
+                snapshot.frame_index if snapshot is not None else None
+            )
+            if keep_from is not None and keep_from > base:
+                with FrameLog(journal_path) as log:
+                    survivors = log.compact(keep_from)
+                report["compacted_to"] = keep_from
+                report["frames"] = survivors
+                report["base"] = keep_from
+                report["bytes"] = os.path.getsize(journal_path)
+        reports.append(report)
+
+    if args.json:
+        print(json.dumps({"journals": reports}, indent=2))
+        return 0
+    print(
+        render_table(
+            ("journal", "frames", "base", "bytes", "torn", "snapshot@"),
+            [
+                (
+                    report["name"],
+                    report["frames"],
+                    report["base"],
+                    report["bytes"],
+                    "YES" if report["torn_tail"] else "no",
+                    report["snapshot_frame"]
+                    if report["snapshot_frame"] is not None
+                    else "-",
+                )
+                for report in reports
+            ],
+            title="write-ahead journals",
+        )
+    )
+    for report in reports:
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(report["kinds"].items())
+        )
+        print(f"  {report['name']}: {kinds or 'empty'}")
     return 0
 
 
@@ -333,9 +467,15 @@ def _cmd_top(args: argparse.Namespace) -> int:
         shard_workload = ShardStreamWorkload(
             ShardStreamConfig(forces=max(4, args.shards * 2))
         )
+        # --durable flips the block to the process backend (the serial
+        # loop has no worker to journal for or respawn).
         shard_federation = ShardedFederation(
             shard_workload.blueprint(),
-            ShardConfig(shards=args.shards, backend="serial"),
+            ShardConfig(
+                shards=args.shards,
+                backend="process" if args.durable else "serial",
+                durable_dir=args.durable,
+            ),
         )
         shard_events = shard_workload.events()
 
@@ -381,18 +521,27 @@ def _cmd_top(args: argparse.Namespace) -> int:
             lines.append(
                 f"shards ({shard_cursor}/{len(shard_events)} events fed):"
             )
+            durable_cols = (
+                f" {'journal':>8} {'recovered':>9}" if args.durable else ""
+            )
             lines.append(
                 f"  {'shard':>5} {'alive':>5} {'events':>7} {'queue':>6} "
-                f"{'recognized':>10} {'notifs':>7}"
+                f"{'recognized':>10} {'notifs':>7}{durable_cols}"
             )
             for row in shard_federation.shard_stats():
+                durable_vals = (
+                    f" {row.get('journal_frames', 0):>8} "
+                    f"{row.get('recoveries', 0):>9}"
+                    if args.durable
+                    else ""
+                )
                 lines.append(
                     f"  {row['shard']:>5} "
                     f"{'yes' if row['alive'] else 'NO':>5} "
                     f"{row.get('events_ingested', 0):>7} "
                     f"{row.get('queue_depth', 0):>6} "
                     f"{row.get('composites_recognized', 0):>10} "
-                    f"{row.get('notifications', 0):>7}"
+                    f"{row.get('notifications', 0):>7}{durable_vals}"
                 )
         return "\n".join(lines)
 
@@ -604,6 +753,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also drive a sharded federation and show per-shard gauges "
         "(>1 activates the shard column block)",
     )
+    top.add_argument(
+        "--durable",
+        metavar="DIR",
+        default=None,
+        help="journal the shard block's mutations under DIR and recover "
+        "crashed workers (switches the block to the process backend)",
+    )
     top.set_defaults(handler=_cmd_top)
 
     shards = commands.add_parser(
@@ -633,11 +789,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shards.add_argument("--seed", type=int, default=23)
     shards.add_argument(
+        "--durable",
+        metavar="DIR",
+        default=None,
+        help="write per-shard journals and snapshots under DIR and "
+        "recover crashed workers (requires --backend process)",
+    )
+    shards.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=256,
+        help="journal frames between shard snapshots (0 = never; "
+        "only meaningful with --durable)",
+    )
+    shards.add_argument(
         "--json",
         action="store_true",
         help="emit per-shard gauges, totals, and the config as JSON",
     )
     shards.set_defaults(handler=_cmd_shards)
+
+    journal = commands.add_parser(
+        "journal",
+        help="inspect the write-ahead journals of a durable shard run",
+    )
+    journal.add_argument(
+        "dir",
+        help="durable root directory (shard-N subdirectories), one "
+        "shard directory, or a single frame-log file",
+    )
+    journal.add_argument(
+        "--compact",
+        action="store_true",
+        help="drop journal frames the shard's snapshot already covers",
+    )
+    journal.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the journal reports as JSON",
+    )
+    journal.set_defaults(handler=_cmd_journal)
 
     plans = commands.add_parser(
         "plans",

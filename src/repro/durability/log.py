@@ -1,0 +1,216 @@
+"""The write-ahead frame log: length-prefixed frames on disk.
+
+One :class:`FrameLog` is one append-only file of wire frames — the same
+4-byte length prefix + UTF-8 JSON encoding the shard channel speaks
+(:mod:`repro.parallel.wire`), so a journaled event batch is byte-for-byte
+the frame that crossed (or will cross) the worker pipe, and ``strace``
+output, journal files, and pipe traffic all read identically.
+
+Durability policy is *fsync batching*: every append is written and
+flushed to the OS immediately (a crashed **worker** loses nothing — the
+journal lives in the facade's process), but ``os.fsync`` — the expensive
+part — runs once every ``fsync_every`` appends and on :meth:`sync`.
+A machine-level crash can therefore lose at most the last
+``fsync_every`` frames; a process-level crash loses nothing.
+
+Frame *indices are absolute* (counted from the journal's creation):
+snapshots record the absolute index they cover, and compaction — which
+drops covered frames — preserves the numbering by writing a control
+frame ``{"kind": "compacted", "base": N}`` as the new first frame, so a
+compacted log is self-describing and offline tools need no sidecar.
+
+A killed writer can leave a *torn* final frame (partial header or
+payload).  :func:`scan` tolerates it: the log is valid up to the last
+complete frame, and opening a log for append truncates the torn tail so
+the next frame starts clean — the standard WAL repair rule.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..errors import DurabilityError, WireError
+from ..observability import STRUCTURED_LOG as _SLOG
+from ..parallel.wire import read_frame, write_frame
+
+#: Frame kind of the compaction control frame (never replayed).
+CONTROL_COMPACTED = "compacted"
+
+
+def scan(path: str) -> Tuple[int, int, bool]:
+    """Scan a frame log file: ``(file_frames, valid_bytes, torn_tail)``.
+
+    ``file_frames`` counts every complete frame physically present
+    (including a leading control frame); ``valid_bytes`` is the offset
+    just past the last complete frame; ``torn_tail`` is true when bytes
+    beyond it exist but do not form a whole frame (a crash mid-append).
+    """
+    frames = 0
+    valid = 0
+    torn = False
+    with open(path, "rb") as stream:
+        while True:
+            try:
+                frame = read_frame(stream)
+            except WireError:
+                torn = True
+                break
+            if frame is None:
+                break
+            frames += 1
+            valid = stream.tell()
+        if not torn:
+            # read_frame returns None both at a true EOF and when only a
+            # partial header remains; compare against the file size to
+            # tell them apart.
+            torn = os.path.getsize(path) > valid
+    return frames, valid, torn
+
+
+def read_file_frames(path: str, skip: int = 0) -> List[Dict[str, Any]]:
+    """Complete frames from file position *skip* on (torn tail ignored)."""
+    frames: List[Dict[str, Any]] = []
+    with open(path, "rb") as stream:
+        index = 0
+        while True:
+            try:
+                frame = read_frame(stream)
+            except WireError:
+                break
+            if frame is None:
+                break
+            if index >= skip:
+                frames.append(frame)
+            index += 1
+    return frames
+
+
+def log_base(path: str) -> int:
+    """The absolute index of the first payload frame in the file."""
+    with open(path, "rb") as stream:
+        try:
+            first = read_frame(stream)
+        except WireError:
+            return 0
+    if first is not None and first.get("kind") == CONTROL_COMPACTED:
+        return int(first["base"])
+    return 0
+
+
+class FrameLog:
+    """An append-only, fsync-batched log of wire frames."""
+
+    def __init__(self, path: str, fsync_every: int = 16) -> None:
+        if fsync_every < 0:
+            raise DurabilityError("fsync_every must be >= 0 (0 = never)")
+        self.path = path
+        self.fsync_every = fsync_every
+        self._unsynced = 0
+        self.appended = 0
+        self.bytes_written = 0
+        #: Absolute index of the file's first payload frame (compaction
+        #: shifts it forward; indices handed out stay stable).
+        self.base = 0
+        file_frames = 0
+        if os.path.exists(path):
+            file_frames, valid, torn = scan(path)
+            if torn:
+                # Torn tail from a previous crashed writer: truncate to
+                # the last complete frame so appends start clean.
+                with open(path, "r+b") as repair:
+                    repair.truncate(valid)
+                _SLOG.emit(
+                    "durability",
+                    "journal_tail_truncated",
+                    level="warning",
+                    path=path,
+                    frames=file_frames,
+                    valid_bytes=valid,
+                )
+            self.base = log_base(path)
+            if self.base:
+                file_frames -= 1  # the control frame is not a payload
+        #: Absolute count of payload frames ever appended (next index).
+        self.frame_count = self.base + file_frames
+        self._stream = open(path, "ab")
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, frame: Mapping[str, Any]) -> int:
+        """Durably append one frame; returns its absolute index."""
+        before = self._stream.tell()
+        write_frame(self._stream, frame)
+        self.bytes_written += self._stream.tell() - before
+        index = self.frame_count
+        self.frame_count += 1
+        self.appended += 1
+        self._unsynced += 1
+        if self.fsync_every and self._unsynced >= self.fsync_every:
+            self.sync()
+        return index
+
+    def sync(self) -> None:
+        """Force the batched fsync now."""
+        if self._unsynced:
+            self._stream.flush()
+            os.fsync(self._stream.fileno())
+            self._unsynced = 0
+
+    # -- reading / maintenance --------------------------------------------
+
+    def tail(self, start: int) -> List[Dict[str, Any]]:
+        """Frames from absolute index *start* on (buffered appends included)."""
+        if start < self.base:
+            raise DurabilityError(
+                f"frames before index {self.base} were compacted away; "
+                f"cannot read from {start}"
+            )
+        self._stream.flush()
+        skip = (start - self.base) + (1 if self.base else 0)
+        return read_file_frames(self.path, skip)
+
+    def compact(self, keep_from: int) -> int:
+        """Drop frames below absolute index *keep_from* (atomic rewrite).
+
+        Called after a snapshot: frames the snapshot already covers are
+        dead weight for recovery.  Returns the surviving payload frame
+        count.
+        """
+        if keep_from <= self.base:
+            return self.frame_count - self.base
+        if keep_from > self.frame_count:
+            raise DurabilityError(
+                f"cannot compact past the end of the log "
+                f"({keep_from} > {self.frame_count} frames)"
+            )
+        self.sync()
+        survivors = self.tail(keep_from)
+        replacement = f"{self.path}.compact"
+        with open(replacement, "wb") as stream:
+            write_frame(
+                stream, {"kind": CONTROL_COMPACTED, "base": keep_from}
+            )
+            for frame in survivors:
+                write_frame(stream, frame)
+            stream.flush()
+            os.fsync(stream.fileno())
+        self._stream.close()
+        os.replace(replacement, self.path)
+        self._stream = open(self.path, "ab")
+        self.base = keep_from
+        return len(survivors)
+
+    def fileno(self) -> int:
+        return self._stream.fileno()
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self.sync()
+            self._stream.close()
+
+    def __enter__(self) -> "FrameLog":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

@@ -1,0 +1,315 @@
+"""The shard supervisor: journal every mutation, respawn the dead.
+
+:class:`SupervisedShard` wraps one process-backend shard with the
+durability loop:
+
+* **journal-then-send** — every mutating frame (event batch, deploy,
+  undeploy) is appended to the shard's write-ahead :class:`FrameLog`
+  *before* it crosses the worker pipe, so the facade can reconstruct the
+  exact frame sequence a dead worker had received (or was about to);
+* **snapshot cadence** — every ``snapshot_every`` journaled frames the
+  worker is asked for its recoverable state (the request rides the
+  ordered pipe, so the reply reflects exactly the frames journaled so
+  far); the snapshot is persisted atomically and the journal compacts
+  down to the frames it does not cover;
+* **recovery** — when the worker dies (:class:`ShardCrashError` from any
+  interaction), a replacement is forked from the snapshot's blueprint
+  (or the genesis blueprint when no snapshot succeeded yet), the
+  snapshot state is restored, and the journal tail replays through the
+  rebuilt pipeline.  Replay regenerates the per-shard notification
+  stream deterministically, so notifications the facade already merged
+  come back with the same ``(time, shard, seq)`` keys — the sequence
+  high-watermark in :meth:`SupervisedShard.flush` drops them, and the
+  merged stream continues exactly where it left off.
+
+The retry discipline is asymmetric by design: **mutations are never
+resent** (the journaled frame is part of the replay tail — a resend
+would double-apply), while **reads are retried once** after recovery
+(they are idempotent against the rebuilt worker).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from ..errors import ShardCrashError
+from ..events.event import Event
+from ..observability import STRUCTURED_LOG as _SLOG
+from ..observability import Counter, default_registry
+from ..parallel.host import FederationBlueprint, ShardSpec
+from ..parallel.wire import event_to_wire
+from .log import FrameLog
+from .snapshot import ShardSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..parallel.federation import ProcessShard, ShardConfig
+
+#: A respawn callback: fork a replacement worker for ``shard_id`` booted
+#: from ``blueprint_wire`` (the facade supplies it so the child closes
+#: every sibling pipe and journal fd it inherits).
+Respawn = Callable[[int, Dict[str, Any]], "ProcessShard"]
+
+JOURNAL_FILENAME = "journal.log"
+SNAPSHOT_FILENAME = "snapshot.json"
+
+
+def shard_directory(root: str, shard_id: int) -> str:
+    """The (created) durable state directory of one shard."""
+    path = os.path.join(root, f"shard-{shard_id}")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _counters() -> Dict[str, Counter]:
+    registry = default_registry()
+    return {
+        "recoveries": registry.counter(
+            "shard_recoveries",
+            "Shard workers respawned and replayed after a crash",
+        ),
+        "journal_frames": registry.counter(
+            "journal_frames_total",
+            "Frames appended to shard write-ahead journals",
+        ),
+        "snapshots": registry.counter(
+            "shard_snapshots_total",
+            "Shard snapshots persisted",
+        ),
+    }
+
+
+class SupervisedShard:
+    """A process shard with a write-ahead journal and crash recovery."""
+
+    backend = "process"
+
+    def __init__(
+        self,
+        inner: "ProcessShard",
+        config: "ShardConfig",
+        blueprint: FederationBlueprint,
+        respawn: Respawn,
+    ) -> None:
+        assert config.durable_dir is not None
+        self.shard_id = inner.shard_id
+        self.config = config
+        self.inner = inner
+        #: The facade's live blueprint (shared, mutated by deploys);
+        #: snapshots serialize its state as of the snapshot request.
+        self._blueprint = blueprint
+        #: Frozen copy of the blueprint the worker booted with — the
+        #: replay starting point until a snapshot succeeds.
+        self._genesis = blueprint.to_wire()
+        self._respawn = respawn
+        directory = shard_directory(config.durable_dir, self.shard_id)
+        self.journal = FrameLog(
+            os.path.join(directory, JOURNAL_FILENAME),
+            fsync_every=config.fsync_every,
+        )
+        self.snapshot_path = os.path.join(directory, SNAPSHOT_FILENAME)
+        #: Frames below this index predate this federation (a reused
+        #: durable directory); the genesis blueprint already covers them.
+        self._genesis_index = self.journal.frame_count
+        self._snapshot: Optional[ShardSnapshot] = None
+        #: Highest notification sequence the facade has merged; replayed
+        #: duplicates at or below it are dropped in :meth:`flush`.
+        self._seq_high = -1
+        self.recoveries = 0
+        self._metrics = _counters()
+
+    @property
+    def alive(self) -> bool:
+        return self.inner.alive
+
+    # -- mutations (journal-then-send, replay is the retry) ----------------
+
+    def _journal_and_send(self, frame: Dict[str, Any]) -> None:
+        self.journal.append(frame)
+        self._metrics["journal_frames"].inc()
+        try:
+            self.inner._send(frame)
+        except ShardCrashError:
+            # The frame is already in the journal: recovery replays it
+            # into the replacement worker.  Resending would double-apply.
+            self.recover()
+
+    def send_events(self, events: List[Event]) -> None:
+        self._journal_and_send(
+            {
+                "kind": "events",
+                "events": [event_to_wire(event) for event in events],
+            }
+        )
+        self._maybe_snapshot()
+
+    def deploy(self, spec: ShardSpec) -> None:
+        self._journal_and_send({"kind": "deploy", "spec": spec.to_wire()})
+
+    def undeploy(self, spec_id: str) -> None:
+        self._journal_and_send({"kind": "undeploy", "spec_id": spec_id})
+
+    # -- reads (idempotent, retried once after recovery) -------------------
+
+    def flush(self) -> List[Dict[str, Any]]:
+        try:
+            records = self.inner.flush()
+        except ShardCrashError:
+            self.recover()
+            records = self.inner.flush()
+        fresh = [
+            record
+            for record in records
+            if int(record["seq"]) > self._seq_high
+        ]
+        if fresh:
+            self._seq_high = int(fresh[-1]["seq"])
+        return fresh
+
+    def stats(self) -> Dict[str, int]:
+        try:
+            stats = dict(self.inner.stats())
+        except ShardCrashError:
+            self.recover()
+            stats = dict(self.inner.stats())
+        stats["recoveries"] = self.recoveries
+        stats["journal_frames"] = self.journal.frame_count
+        return stats
+
+    def sync(self) -> None:
+        try:
+            self.inner.sync()
+        except ShardCrashError:
+            self.recover()
+            self.inner.sync()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def _covered_index(self) -> int:
+        snapshot = self._snapshot
+        return (
+            snapshot.frame_index
+            if snapshot is not None
+            else self._genesis_index
+        )
+
+    def _maybe_snapshot(self) -> None:
+        every = self.config.snapshot_every
+        if not every:
+            return
+        if self.journal.frame_count - self._covered_index() >= every:
+            self.take_snapshot()
+
+    def take_snapshot(self) -> Optional[ShardSnapshot]:
+        """Snapshot the worker's state now; ``None`` when not possible.
+
+        The round trip rides the ordered pipe, so the reply reflects
+        exactly the ``frame_index`` frames journaled before the request.
+        A ``None`` state (some live operator is not snapshot-encodable)
+        leaves the full journal in place — recovery replays from the
+        previous covered index, which is always correct.
+        """
+        frame_index = self.journal.frame_count
+        try:
+            self.inner._send({"kind": "snapshot"})
+            state = self.inner._receive("snapshot")["state"]
+        except ShardCrashError:
+            self.recover()
+            return None
+        if state is None:
+            _SLOG.emit(
+                "durability",
+                "snapshot_unsupported",
+                level="warning",
+                shard=self.shard_id,
+                frame_index=frame_index,
+            )
+            return None
+        snapshot = ShardSnapshot(
+            shard_id=self.shard_id,
+            frame_index=frame_index,
+            blueprint=self._blueprint.to_wire(),
+            state=state,
+        )
+        # Invariant for offline tools: a snapshot on disk never covers
+        # frames the journal has not durably written.
+        self.journal.sync()
+        snapshot.save(self.snapshot_path)
+        self._snapshot = snapshot
+        self._metrics["snapshots"].inc()
+        self.journal.compact(frame_index)
+        if _SLOG.enabled:
+            _SLOG.emit(
+                "durability",
+                "snapshot_taken",
+                shard=self.shard_id,
+                frame_index=frame_index,
+                journal_frames=self.journal.frame_count - frame_index,
+            )
+        return snapshot
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> None:
+        """Respawn the worker and replay it back to the present.
+
+        Boot state is the latest snapshot (blueprint + operator state)
+        or the genesis blueprint; then every journal frame above the
+        covered index replays through the rebuilt pipeline in order.
+        The final ``sync()`` round-trips the channel so a restore or
+        replay failure surfaces here — as a recovery error — rather
+        than poisoning the next regular operation.
+        """
+        if self.recoveries >= self.config.max_recoveries:
+            raise ShardCrashError(
+                f"shard {self.shard_id} crashed again after "
+                f"{self.recoveries} recoveries (max_recoveries="
+                f"{self.config.max_recoveries}); giving up"
+            )
+        self.recoveries += 1
+        self._metrics["recoveries"].inc()
+        snapshot = self._snapshot
+        start = self._covered_index()
+        blueprint_wire = (
+            snapshot.blueprint if snapshot is not None else self._genesis
+        )
+        _SLOG.emit(
+            "durability",
+            "shard_recovery_started",
+            level="warning",
+            shard=self.shard_id,
+            attempt=self.recoveries,
+            from_frame=start,
+            snapshot=snapshot is not None,
+        )
+        old = self.inner
+        for stream in (old._in, old._out):
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        old._reap()
+        self.journal.sync()
+        tail = self.journal.tail(start)
+        self.inner = self._respawn(self.shard_id, blueprint_wire)
+        if snapshot is not None:
+            self.inner._send({"kind": "restore", "state": snapshot.state})
+        for frame in tail:
+            self.inner._send(frame)
+        self.inner.sync()
+        _SLOG.emit(
+            "durability",
+            "shard_recovered",
+            level="warning",
+            shard=self.shard_id,
+            attempt=self.recoveries,
+            replayed=len(tail),
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self.inner.close()
+        finally:
+            self.journal.close()

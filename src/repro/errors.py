@@ -144,6 +144,14 @@ class ShardCrashError(ParallelError):
     """A shard worker process died; its channel is unusable."""
 
 
+class DurabilityError(ParallelError):
+    """The write-ahead journal or a shard snapshot was misused or corrupt."""
+
+
+class SnapshotUnsupportedError(DurabilityError):
+    """A live operator holds state the snapshot encoder cannot express."""
+
+
 # ---------------------------------------------------------------------------
 # Workload / benchmark errors
 # ---------------------------------------------------------------------------

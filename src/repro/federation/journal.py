@@ -32,6 +32,7 @@ engine APIs for anything that must survive recovery.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.context import ContextChange
@@ -95,6 +96,35 @@ class Journal:
                 line = line.strip()
                 if line:
                     journal.append(json.loads(line))
+        return journal
+
+    def save_frames(self, path: str) -> None:
+        """Persist as a durability frame log.
+
+        Same on-disk format as the shard write-ahead journals
+        (:class:`~repro.durability.log.FrameLog`): length-prefixed wire
+        frames, torn-tail tolerant, inspectable with ``repro journal``.
+        Each CORE record is one frame.
+        """
+        from ..durability.log import FrameLog
+
+        if os.path.exists(path):
+            os.remove(path)
+        with FrameLog(path, fsync_every=0) as log:
+            for record in self._records:
+                log.append(record)
+
+    @classmethod
+    def load_frames(cls, path: str) -> "Journal":
+        """Load a :meth:`save_frames` file (replayable via
+        :func:`recover_core` exactly like an in-memory journal)."""
+        from ..durability.log import CONTROL_COMPACTED, read_file_frames
+
+        journal = cls()
+        for frame in read_file_frames(path):
+            if frame.get("kind") == CONTROL_COMPACTED:
+                continue
+            journal.append(frame)
         return journal
 
 

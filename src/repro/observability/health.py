@@ -169,6 +169,32 @@ def staleness_rule(
     )
 
 
+def restart_storm_rule(
+    window: int = 10,
+    limit: int = 2,
+    severity: str = SEVERITY_FAILING,
+) -> SloRule:
+    """Fires when shard workers keep crashing and being respawned.
+
+    A rate rule over the supervisor's ``shard_recoveries`` counter: more
+    than *limit* recoveries across the last *window* sampling passes
+    means the federation is in a crash loop (each recovery replays the
+    journal tail — forward progress is being paid for repeatedly), not
+    absorbing an isolated fault.  Deploy it on systems running a durable
+    sharded federation; elsewhere the metric never appears and the rule
+    stays silent.
+    """
+    return rate_rule(
+        "restart-storm",
+        "shard_recoveries",
+        window,
+        ">",
+        limit,
+        severity=severity,
+        description="Shard workers crashing and recovering repeatedly",
+    )
+
+
 def default_rules() -> Tuple[SloRule, ...]:
     """The out-of-the-box SLO set over the EnactmentSystem gauges."""
     return (

@@ -67,6 +67,23 @@ class ShardConfig:
     #: Seconds to wait for a worker to honor the poison pill before it
     #: is terminated.
     join_timeout: float = 5.0
+    #: Root directory for per-shard journals and snapshots.  Setting it
+    #: (process backend only) wraps every shard in a
+    #: :class:`~repro.durability.supervisor.SupervisedShard`: mutations
+    #: are journaled before dispatch and a crashed worker is respawned
+    #: from its latest snapshot plus journal-tail replay.
+    durable_dir: Optional[str] = None
+    #: fsync the journal once per this many appends (0 = rely on the OS;
+    #: a facade-process crash then still loses nothing, only a machine
+    #: crash can).
+    fsync_every: int = 16
+    #: Take a shard snapshot (and compact its journal) every this many
+    #: journaled frames; 0 disables snapshots — recovery replays the
+    #: whole journal.
+    snapshot_every: int = 256
+    #: Recoveries allowed per shard before the supervisor gives up and
+    #: lets the crash surface (a restart-storm backstop).
+    max_recoveries: int = 3
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -78,6 +95,18 @@ class ShardConfig:
             )
         if self.batch_size < 1:
             raise ParallelError("batch_size must be positive")
+        if self.durable_dir is not None and self.backend != "process":
+            raise ParallelError(
+                "durable_dir requires the process backend (a serial "
+                "shard dies with the facade; there is no worker to "
+                "respawn)"
+            )
+        if self.fsync_every < 0:
+            raise ParallelError("fsync_every must be >= 0 (0 = never)")
+        if self.snapshot_every < 0:
+            raise ParallelError("snapshot_every must be >= 0 (0 = never)")
+        if self.max_recoveries < 0:
+            raise ParallelError("max_recoveries must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -298,9 +327,19 @@ class ProcessShard:
             process.join(self.config.join_timeout)
 
 
-def _start_process_shards(
-    config: ShardConfig, blueprint: FederationBlueprint
-) -> List[ProcessShard]:
+def _spawn_worker(
+    shard_id: int,
+    config: ShardConfig,
+    blueprint_wire: Dict[str, Any],
+    close_fds: List[int],
+) -> ProcessShard:
+    """Fork one worker booted from *blueprint_wire*.
+
+    ``close_fds`` lists every parent-side fd the child must drop —
+    sibling pipes (so a crashed sibling's channel is not held half-open)
+    and, under durability, the journal fds.  The new shard's own
+    parent-side ends are added automatically.
+    """
     if "fork" not in multiprocessing.get_all_start_methods():
         raise ParallelError(
             "the process backend requires the fork start method "
@@ -311,44 +350,48 @@ def _start_process_shards(
         "instrument": config.instrument,
         "share_plans": config.share_plans,
     }
+    from .worker import worker_main
+
+    in_read, in_write = os.pipe()
+    out_read, out_write = os.pipe()
+    process = context.Process(
+        target=worker_main,
+        args=(
+            shard_id,
+            config.shards,
+            in_read,
+            out_write,
+            list(close_fds) + [in_write, out_read],
+            options,
+            blueprint_wire,
+        ),
+        daemon=True,
+        name=f"repro-shard-{shard_id}",
+    )
+    process.start()
+    os.close(in_read)
+    os.close(out_write)
+    return ProcessShard(
+        shard_id,
+        config,
+        process,
+        os.fdopen(in_write, "wb"),
+        os.fdopen(out_read, "rb"),
+    )
+
+
+def _start_process_shards(
+    config: ShardConfig, blueprint: FederationBlueprint
+) -> List[ProcessShard]:
     blueprint_wire = blueprint.to_wire()
     shards: List[ProcessShard] = []
     parent_fds: List[int] = []
-    from .worker import worker_main
-
     for shard_id in range(config.shards):
-        in_read, in_write = os.pipe()
-        out_read, out_write = os.pipe()
-        # Every parent-side fd opened so far — including this shard's —
-        # must be closed inside the child, or a crashed sibling's pipes
-        # stay half-open and EOF detection breaks (see worker_main).
-        parent_fds.extend((in_write, out_read))
-        process = context.Process(
-            target=worker_main,
-            args=(
-                shard_id,
-                config.shards,
-                in_read,
-                out_write,
-                list(parent_fds),
-                options,
-                blueprint_wire,
-            ),
-            daemon=True,
-            name=f"repro-shard-{shard_id}",
-        )
-        process.start()
-        os.close(in_read)
-        os.close(out_write)
-        shards.append(
-            ProcessShard(
-                shard_id,
-                config,
-                process,
-                os.fdopen(in_write, "wb"),
-                os.fdopen(out_read, "rb"),
-            )
-        )
+        shard = _spawn_worker(shard_id, config, blueprint_wire, parent_fds)
+        # Every parent-side fd opened so far must be closed inside the
+        # children forked later (see worker_main).
+        parent_fds.extend((shard._in.fileno(), shard._out.fileno()))
+        shards.append(shard)
     return shards
 
 
@@ -367,9 +410,21 @@ class ShardedFederation:
         self._closed = False
         self._restore_instrumentation: Optional[bool] = None
         if self.config.backend == "process":
-            self.shards: List[Any] = _start_process_shards(
-                self.config, blueprint
-            )
+            workers = _start_process_shards(self.config, blueprint)
+            if self.config.durable_dir is not None:
+                from ..durability.supervisor import SupervisedShard
+
+                self.shards: List[Any] = [
+                    SupervisedShard(
+                        worker,
+                        self.config,
+                        blueprint,
+                        self._respawn_worker,
+                    )
+                    for worker in workers
+                ]
+            else:
+                self.shards = list(workers)
         else:
             if self.config.instrument and not _OBS.enabled:
                 # Workers own their instrumentation plane; serial shards
@@ -389,6 +444,36 @@ class ShardedFederation:
         ]
         #: Everything drained so far, in merged order.
         self.delivered: List[ShardNotification] = []
+
+    # -- recovery plumbing --------------------------------------------------
+
+    def _parent_fds(self) -> List[int]:
+        """Every parent-side fd a freshly forked worker must close:
+        the live siblings' pipe ends and the shards' journal fds."""
+        fds: List[int] = []
+        for shard in self.shards:
+            inner = getattr(shard, "inner", shard)
+            if getattr(inner, "alive", False) and inner.backend == "process":
+                for stream in (inner._in, inner._out):
+                    try:
+                        fds.append(stream.fileno())
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+            journal = getattr(shard, "journal", None)
+            if journal is not None:
+                try:
+                    fds.append(journal.fileno())
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        return fds
+
+    def _respawn_worker(
+        self, shard_id: int, blueprint_wire: Dict[str, Any]
+    ) -> ProcessShard:
+        """Fork a replacement worker (the supervisor's respawn hook)."""
+        return _spawn_worker(
+            shard_id, self.config, blueprint_wire, self._parent_fds()
+        )
 
     # -- events ------------------------------------------------------------
 

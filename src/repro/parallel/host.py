@@ -25,11 +25,11 @@ merging streams is the facade's job, not the workers' (DESIGN note 9).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..awareness.dsl import compile_specification
 from ..core.roles import Participant
-from ..errors import ParallelError
+from ..errors import ParallelError, SnapshotUnsupportedError
 from ..events.event import Event
 from ..events.producers import EventProducer
 from ..events.queues import MemoryDeliveryQueue, Notification
@@ -121,6 +121,10 @@ class RecordingDeliveryQueue(MemoryDeliveryQueue):
     def __init__(self) -> None:
         super().__init__()
         self.records: List[Notification] = []
+        #: Sequence numbers already issued by a previous incarnation of
+        #: this shard (restored from a snapshot); the shard's absolute
+        #: sequence for ``records[i]`` is ``seq_offset + i``.
+        self.seq_offset = 0
 
     def enqueue(self, notification: Notification) -> None:
         self.records.append(notification)
@@ -156,6 +160,9 @@ class ShardHost:
         self._detectors: Dict[str, Any] = {}
         self._ingested: int = 0
         self._reported: int = 0
+        #: Bus publishes counted by a previous incarnation (snapshot
+        #: restore); the fresh bus restarts at zero.
+        self._published_offset: int = 0
 
     # -- sources -----------------------------------------------------------
 
@@ -243,6 +250,7 @@ class ShardHost:
         tracker's ring buffer.
         """
         records = self.queue.records
+        seq_offset = self.queue.seq_offset
         out: List[Dict[str, Any]] = []
         for seq in range(self._reported, len(records)):
             notification = records[seq]
@@ -261,7 +269,7 @@ class ShardHost:
                 )
             out.append(
                 {
-                    "seq": seq,
+                    "seq": seq_offset + seq,
                     "id": notification.notification_id,
                     "participant": notification.participant_id,
                     "time": notification.time,
@@ -275,6 +283,93 @@ class ShardHost:
         self._reported = len(records)
         return out
 
+    # -- durability --------------------------------------------------------
+
+    def live_operators(self) -> List[Any]:
+        """The live operator instances, in deterministic order.
+
+        Under plan sharing the live operators are the interned
+        :class:`~repro.awareness.planner.SharedNode` instances the
+        window's deploy resolved to — *not* the window's authoring-time
+        copies — so enumeration walks each detector's
+        :attr:`~repro.awareness.detector.DetectorAgent.plan` entries
+        (topological order), deduplicated by identity (shared sub-DAGs
+        appear under every window that references them).  Without plan
+        sharing the window's own graph is the live wiring.
+
+        The order is a pure function of the blueprint (specs deploy in
+        list order, plan interning is deterministic), so a host rebuilt
+        from the same blueprint enumerates the same operators — the
+        contract :meth:`restore_state` relies on.
+        """
+        operators: List[Any] = []
+        seen: Set[int] = set()
+        for detector in self._detectors.values():
+            plan = detector.plan
+            if plan is not None:
+                candidates = [entry.operator for entry in plan.entries]
+            else:
+                candidates = list(detector.window.operators())
+            for operator in candidates:
+                if id(operator) not in seen:
+                    seen.add(id(operator))
+                    operators.append(operator)
+        return operators
+
+    def snapshot_state(self) -> Optional[Dict[str, Any]]:
+        """The host's recoverable state, or ``None`` if unencodable.
+
+        ``None`` (some live operator holds state the snapshot codec
+        cannot express) is a supported answer: the supervisor keeps the
+        full journal and recovery replays from the beginning, which is
+        always correct — just slower.
+        """
+        from ..durability.state import capture_operators
+
+        try:
+            operators = capture_operators(self.live_operators())
+        except SnapshotUnsupportedError:
+            return None
+        return {
+            "operators": operators,
+            "recognized": [
+                detector.recognized
+                for detector in self._detectors.values()
+            ],
+            "recognized_retired": self.system.awareness._recognized_retired,
+            "seq": self.queue.seq_offset + len(self.queue.records),
+            "ingested": self._ingested,
+            "published": (
+                self._published_offset + self.system.bus.published_count()
+            ),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Load a :meth:`snapshot_state` payload into this fresh host.
+
+        The blueprint must already be applied (same specs, same order);
+        the journal tail above the snapshot's frame index is then
+        replayed through :meth:`ingest` / :meth:`deploy_spec` as usual.
+        """
+        from ..durability.state import restore_operators
+
+        restore_operators(self.live_operators(), state["operators"])
+        detectors = list(self._detectors.values())
+        recognized = state["recognized"]
+        if len(detectors) != len(recognized):
+            raise SnapshotUnsupportedError(
+                f"snapshot carries {len(recognized)} detector counts but "
+                f"{len(detectors)} specifications are deployed"
+            )
+        for detector, count in zip(detectors, recognized):
+            detector.recognized = int(count)
+        self.system.awareness._recognized_retired = int(
+            state.get("recognized_retired", 0)
+        )
+        self.queue.seq_offset = int(state["seq"])
+        self._ingested = int(state["ingested"])
+        self._published_offset = int(state["published"])
+
     # -- inspection --------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
@@ -283,10 +378,14 @@ class ShardHost:
         return {
             "events_ingested": self._ingested,
             "composites_recognized": awareness["composites_recognized"],
-            "notifications": len(self.queue.records),
+            "notifications": (
+                self.queue.seq_offset + len(self.queue.records)
+            ),
             "queue_depth": self.queue.pending_count(),
             "specs_deployed": len(self._detectors),
-            "bus_published": self.system.bus.published_count(),
+            "bus_published": (
+                self._published_offset + self.system.bus.published_count()
+            ),
             "instrumented": 1 if _OBS.enabled else 0,
         }
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Dict, IO, List, Mapping, Optional
+from typing import Any, Dict, IO, Iterator, List, Mapping, Optional
 
 from ..errors import WireError
 from ..events.canonical import CANONICAL_PREFIX, canonical_type, is_canonical
@@ -233,6 +233,21 @@ def read_frame(stream: IO[bytes]) -> Optional[Dict[str, Any]]:
         return json.loads(data.decode("utf-8"))
     except ValueError as error:
         raise WireError(f"malformed frame payload: {error}") from None
+
+
+def iter_frames(stream: IO[bytes]) -> "Iterator[Dict[str, Any]]":
+    """Yield frames until clean EOF; :class:`WireError` on a torn tail.
+
+    The shared read loop of the worker channel and the write-ahead
+    journal: both speak the same framing, so torn-tail detection (a
+    partial header or payload at the end of a crashed writer's file)
+    lives here once.
+    """
+    while True:
+        frame = read_frame(stream)
+        if frame is None:
+            return
+        yield frame
 
 
 def _read_exact(

@@ -17,6 +17,13 @@ Protocol frames (see :mod:`repro.parallel.wire` for the framing):
   "errors": [...]}``;
 * ``{"kind": "flush"}`` → ``{"kind": "results", "notifications": [...]}``
   — drain the recorded notification stream (sequence numbers included);
+* ``{"kind": "snapshot"}`` → ``{"kind": "snapshot", "state": {...}}`` —
+  the host's recoverable state (``state`` is ``null`` when a live
+  operator holds state the snapshot codec cannot express; the
+  supervisor then keeps the full journal instead);
+* ``{"kind": "restore", "state": {...}}`` — load a snapshot payload
+  into the freshly booted host (sent once, right after fork, before the
+  journal tail is replayed);
 * ``{"kind": "shutdown"}`` → ``{"kind": "bye"}`` and a clean exit — the
   poison pill.
 
@@ -108,6 +115,16 @@ def worker_main(
                             "notifications": host.drain_results(),
                         },
                     )
+                elif kind == "snapshot":
+                    write_frame(
+                        out,
+                        {
+                            "kind": "snapshot",
+                            "state": host.snapshot_state(),
+                        },
+                    )
+                elif kind == "restore":
+                    host.restore_state(frame["state"])
                 elif kind == "shutdown":
                     write_frame(out, {"kind": "bye"})
                     break

@@ -1,0 +1,133 @@
+"""The CI smoke expectations, as a test module.
+
+These assertions used to live inline in ``.github/workflows/ci.yml`` as
+``python -c`` one-liners with hard-coded magic numbers (16 notifications,
+45 deduped operators).  Here each expectation is *derived* from the
+workload parameters the command is invoked with, so changing a default
+breaks a named test with a readable diff instead of a YAML step.
+
+Every command runs in-process through ``repro.cli.main(argv)``.
+"""
+
+import json
+import multiprocessing
+import re
+
+import pytest
+
+from repro.cli import _FLEET_SPEC_TEMPLATE, main
+from repro.workloads.generator import ShardStreamConfig, ShardStreamWorkload
+
+#: Parameters of the `repro shards` CI smoke invocation.
+SHARDS = 2
+FORCES = 4
+WINDOWS_PER_FORCE = 2
+EVENTS_PER_FORCE = 40
+
+#: Parameters of the `repro plans` CI smoke invocation (the CLI default).
+PLAN_WINDOWS = 16
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def operators_per_window():
+    """Operator definitions in the fleet template (one plan node each)."""
+    return sum(
+        1
+        for line in _FLEET_SPEC_TEMPLATE.splitlines()
+        if re.match(r"\s*\w+\s*=", line)
+    )
+
+
+class TestHealthSmoke:
+    def test_health_reports_and_parses(self, capsys):
+        # The stock demonstration never drains participant queues, so the
+        # backlog rules honestly report degraded (exit 1); only 2+
+        # (failing) or a crash is a smoke failure.
+        code, out = run_cli(capsys, "health", "--json")
+        assert code <= 1, f"health exited {code}"
+        payload = json.loads(out)
+        assert payload["federation"]
+        assert payload["systems"] and payload["systems"][0]["rules"]
+
+
+class TestPlanCacheSmoke:
+    def test_fleet_deploy_shares_the_template_plan(self, capsys):
+        code, out = run_cli(
+            capsys, "plans", "--windows", str(PLAN_WINDOWS), "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        stats = payload["stats"]
+        nodes = operators_per_window()
+        assert stats["windows_deployed"] == PLAN_WINDOWS
+        # One live node per template operator; every later window shares
+        # all of them.
+        assert stats["nodes_live"] == nodes
+        assert stats["operators_resolved"] == nodes * PLAN_WINDOWS
+        assert stats["operators_deduped"] == nodes * (PLAN_WINDOWS - 1)
+        assert len(payload["nodes"]) == nodes
+
+
+class TestShardingSmoke:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="the process backend requires the fork start method",
+    )
+    def test_forked_workers_merge_the_full_stream(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "shards",
+            "--shards",
+            str(SHARDS),
+            "--backend",
+            "process",
+            "--forces",
+            str(FORCES),
+            "--windows",
+            str(WINDOWS_PER_FORCE),
+            "--events",
+            str(EVENTS_PER_FORCE),
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        expected = ShardStreamWorkload(
+            ShardStreamConfig(
+                forces=FORCES,
+                windows_per_force=WINDOWS_PER_FORCE,
+                events_per_force=EVENTS_PER_FORCE,
+            )
+        ).expected_notifications()
+        totals = payload["totals"]
+        assert totals["shards_alive"] == SHARDS
+        assert payload["notifications_merged"] == expected
+        assert all(row["alive"] for row in payload["shards"])
+
+    def test_serial_backend_agrees_with_the_workload_math(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "shards",
+            "--shards",
+            str(SHARDS),
+            "--forces",
+            str(FORCES),
+            "--windows",
+            str(WINDOWS_PER_FORCE),
+            "--events",
+            str(EVENTS_PER_FORCE),
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        expected = ShardStreamWorkload(
+            ShardStreamConfig(
+                forces=FORCES,
+                windows_per_force=WINDOWS_PER_FORCE,
+                events_per_force=EVENTS_PER_FORCE,
+            )
+        ).expected_notifications()
+        assert payload["notifications_merged"] == expected

@@ -14,6 +14,7 @@ from repro.observability.health import (
     SloRule,
     default_rules,
     rate_rule,
+    restart_storm_rule,
     staleness_rule,
     threshold_rule,
     worst_status,
@@ -72,6 +73,16 @@ class TestSloRule:
         assert rule.kind == "staleness"
         assert rule.breached(3)
         assert not rule.breached(2)
+
+    def test_restart_storm_factory_watches_shard_recoveries(self):
+        rule = restart_storm_rule(window=5, limit=1)
+        assert rule.base_metric == "shard_recoveries"
+        assert rule.kind == "rate"
+        assert rule.window == 5
+        assert rule.breached(2)
+        assert not rule.breached(1)
+        # Opt-in: crash loops only matter on durable sharded federations.
+        assert "restart-storm" not in {r.name for r in default_rules()}
 
     def test_default_rules_cover_the_issue_set(self):
         names = {rule.name for rule in default_rules()}
