@@ -1,0 +1,205 @@
+"""QE13 — federated observability overhead: plane attached vs detached.
+
+The federation observability plane (cross-shard trace propagation,
+metrics-registry shipping, structured-log shipping) rides frames that
+already exist: trace contexts stamp outgoing event batches, and every
+stats/flush response piggybacks the worker's registry snapshot, its
+buffered sampled span batches, and the log records past the shipping
+cursor.  Nothing blocks the hot path — so attaching the whole plane to
+a sharded process-backend run must cost < 1.3x the detached per-event
+time (the same budget QE8 holds single-process instrumentation to).
+
+Measurement protocol (QE8's): the two modes run *paired* inside each
+repetition so machine drift hits both sides of the ratio, and each
+mode's cost is the minimum across repetitions.  The stream is driven in
+waves (ingest + drain per chunk) because a wave is the tracing unit:
+each sampled wave must come back as ONE assembled trace holding span
+trees from every shard it touched.
+
+Correctness ridealongs, asserted on the attached run:
+
+* identical merged notification stream in both modes;
+* at least one assembled trace with spans from >= 2 distinct shards,
+  every shipped tree parented under the wave's root span (the assembler
+  refuses mislinked batches, so ``orphaned == 0`` is the linkage proof);
+* worker registries aggregated under per-shard labels;
+* structured-log records shipped from every worker with no losses.
+
+``REPRO_QE13_SMOKE=1`` shrinks the stream and skips the overhead
+assertion (shared CI runners); the plane's behavior is still verified
+end to end.  The nightly full run asserts the 1.3x budget.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.metrics.report import render_table
+from repro.parallel import ShardConfig, ShardedFederation
+from repro.workloads.generator import ShardStreamConfig, ShardStreamWorkload
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the process backend requires the fork start method",
+)
+
+SMOKE = bool(os.environ.get("REPRO_QE13_SMOKE"))
+
+FORCES = 6 if SMOKE else 12
+WINDOWS_PER_FORCE = 2 if SMOKE else 4
+EVENTS_PER_FORCE = 80 if SMOKE else 250
+SHARDS = 2
+WAVES = 8
+REPS = 2 if SMOKE else 4
+ROUNDS = 1 if SMOKE else 3
+
+#: One wave in this many is traced end to end across the shards.  The
+#: full run measures the tracer's default cadence (the configuration a
+#: deployment leaves on); smoke lowers it so the short stream still
+#: produces sampled waves to verify.
+SAMPLE_EVERY = 4 if SMOKE else 16
+
+#: Acceptance bound: the full federated plane costs < 1.3x detached.
+MAX_OVERHEAD = 1.3
+
+
+def make_workload():
+    return ShardStreamWorkload(
+        ShardStreamConfig(
+            forces=FORCES,
+            windows_per_force=WINDOWS_PER_FORCE,
+            events_per_force=EVENTS_PER_FORCE,
+        )
+    )
+
+
+def run_once(workload, attached: bool):
+    """One timed wave-driven run; returns (seconds, summary dict)."""
+    events = workload.events()
+    wave = max(1, len(events) // WAVES)
+    config = ShardConfig(
+        shards=SHARDS,
+        backend="process",
+        instrument=attached,
+        ship_logs=attached,
+        trace_sample_every=SAMPLE_EVERY,
+        join_timeout=10.0,
+    )
+    with ShardedFederation(workload.blueprint(), config) as federation:
+        started = time.perf_counter()
+        notifications = []
+        for start in range(0, len(events), wave):
+            federation.ingest(events[start : start + wave])
+            notifications.extend(federation.drain())
+        elapsed = time.perf_counter() - started
+        federation.refresh_observability()
+        assembler = federation.trace_assembler
+        summary = {
+            "events": len(events),
+            # Provenance signatures need instrumentation; merge keys are
+            # the mode-independent identity of the merged stream.
+            "merge_keys": [n.merge_key for n in notifications],
+            "traces": federation.traces(),
+            "multi_shard": [
+                trace
+                for trace in federation.traces()
+                if len(assembler.shards_of(trace)) >= 2
+            ],
+            "orphaned": assembler.orphaned,
+            "spans_dropped": federation.spans_dropped,
+            "metric_shards": set(),
+            "log_shards": set(),
+            "logs_dropped": federation.logs().dropped(),
+        }
+        registry = federation.metrics_registry()
+        published = registry.get("bus_published_total")
+        if published is not None:
+            summary["metric_shards"] = {
+                labels[0] for labels in published.series()
+            }
+        summary["log_shards"] = {
+            record["shard"]
+            for record in federation.logs().records()
+            if record["shard"] >= 0
+        }
+    return elapsed, summary
+
+
+def drive() -> dict:
+    workload = make_workload()
+    run_once(workload, attached=False)  # warmup: fork + import costs
+    detached = attached = None
+    result: dict = {}
+    for __ in range(REPS):
+        elapsed, summary = run_once(workload, attached=False)
+        detached = elapsed if detached is None else min(detached, elapsed)
+        result["detached_merge_keys"] = summary["merge_keys"]
+        # Attached goes last so the summary the test inspects is the
+        # plane's (traces, shipped logs, per-shard metrics).
+        elapsed, summary = run_once(workload, attached=True)
+        attached = elapsed if attached is None else min(attached, elapsed)
+        result["attached"] = summary
+    events = result["attached"]["events"]
+    result["detached_us"] = detached / events * 1e6
+    result["attached_us"] = attached / events * 1e6
+    result["overhead"] = attached / detached
+    return result
+
+
+def test_qe13_federated_observability_overhead(benchmark, record_table):
+    result = benchmark.pedantic(drive, rounds=ROUNDS, iterations=1)
+    summary = result["attached"]
+
+    # Behavior-preserving: the plane changes nothing downstream.
+    expected = make_workload().expected_notifications()
+    assert len(summary["merge_keys"]) == expected
+    assert summary["merge_keys"] == result["detached_merge_keys"]
+
+    # The plane actually observed the federation: sampled waves came
+    # back as assembled cross-shard traces with correct linkage...
+    assert summary["traces"], "no waves were sampled"
+    assert summary["multi_shard"], "no trace spans >= 2 shards"
+    for trace in summary["multi_shard"]:
+        shards = [entry["shard"] for entry in trace["spans"]]
+        assert len(set(shards)) >= 2
+        for entry in trace["spans"]:
+            assert entry["span"]["name"] == "shard.ingest"
+    assert summary["orphaned"] == 0
+    assert summary["spans_dropped"] == 0
+    # ...every worker's registry aggregated under its shard label...
+    assert summary["metric_shards"] >= {str(s) for s in range(SHARDS)}
+    # ...and every worker shipped structured-log records, losslessly.
+    assert summary["log_shards"] == set(range(SHARDS))
+    assert summary["logs_dropped"] == {}
+
+    record_table(
+        render_table(
+            ("mode", "us/event", "overhead"),
+            [
+                ("plane detached", f"{result['detached_us']:.1f}", "1.00x"),
+                (
+                    "plane attached",
+                    f"{result['attached_us']:.1f}",
+                    f"{result['overhead']:.2f}x",
+                ),
+            ],
+            title=(
+                f"QE13 federated observability overhead ({SHARDS} forked "
+                f"shards, {summary['events']} events, "
+                f"sample 1/{SAMPLE_EVERY}, "
+                f"{len(summary['traces'])} traces assembled)"
+            ),
+        )
+    )
+
+    if SMOKE:
+        pytest.skip(
+            "overhead budget not asserted in smoke mode "
+            f"(measured {result['overhead']:.2f}x)"
+        )
+    assert result["overhead"] < MAX_OVERHEAD, (
+        f"federated observability plane costs {result['overhead']:.2f}x "
+        f"(budget {MAX_OVERHEAD}x)"
+    )

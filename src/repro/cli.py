@@ -8,10 +8,18 @@
 * ``demonstration`` — the Section 7-scale run with paper-vs-measured rows;
 * ``trace`` — the demonstration run under pipeline instrumentation:
   recognition provenance chains for delivered notifications plus the
-  per-stage latency summary;
+  per-stage latency summary; ``--shards N`` instead runs the seeded
+  shard workload and shows the *assembled cross-shard traces* (one
+  logical trace per ship wave, holding every shard's spans) plus the
+  per-shard stage p95 table;
 * ``health`` — the demonstration run with self-awareness attached: the
   per-system SLO rule states and the federation rollup (exit code 0 =
-  ok, 1 = degraded, 2 = failing);
+  ok, 1 = degraded, 2 = failing); ``--shards N`` evaluates the SLO
+  rules against the *merged worker registries* of a sharded federation
+  instead — a breach inside any one worker sets the exit code;
+* ``export`` — a Prometheus text-exposition snapshot: the demonstration
+  run's registry, or (``--shards N``) the merged federation registry
+  with one ``shard``-labelled series per worker;
 * ``top`` — a live federation dashboard driven by CMI's own awareness
   pipeline: queues, delivery lag, firing alerts, hottest detectors;
 * ``plans`` — deploy a fleet of per-participant copies of one awareness
@@ -106,6 +114,101 @@ def _cmd_demonstration(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_workload(args: argparse.Namespace):
+    """The seeded shard workload the observability commands drive."""
+    from .workloads.generator import ShardStreamConfig, ShardStreamWorkload
+
+    return ShardStreamWorkload(
+        ShardStreamConfig(
+            forces=max(4, args.shards * 2),
+            windows_per_force=2,
+            events_per_force=40,
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_trace_shards(args: argparse.Namespace) -> int:
+    import json
+
+    from .metrics.report import render_table
+    from .observability.registry import Histogram
+    from .parallel import ShardConfig, ShardedFederation
+
+    workload = _shard_workload(args)
+    config = ShardConfig(
+        shards=args.shards,
+        backend=args.backend,
+        batch_size=32,
+        instrument=True,
+        trace_sample_every=1,
+    )
+    with ShardedFederation(workload.blueprint(), config) as federation:
+        federation.ingest(workload.events())
+        federation.drain()
+        federation.refresh_observability()
+        assembler = federation.trace_assembler
+        traces = federation.traces()
+        merged = federation.metrics_registry()
+
+    shown = list(traces[-args.limit :] if args.limit else traces)
+    histogram = merged.get("pipeline_stage_us")
+    p95 = (
+        {
+            labels: histogram.quantile(0.95, labels)
+            for labels in sorted(histogram.series_labels())
+        }
+        if isinstance(histogram, Histogram)
+        else {}
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "traces": [
+                        dict(
+                            trace,
+                            shards=list(assembler.shards_of(trace)),
+                        )
+                        for trace in shown
+                    ],
+                    "orphaned": assembler.orphaned,
+                    "evicted": assembler.evicted,
+                    "stage_p95_us": {
+                        f"shard={shard}/{stage}": round(value, 3)
+                        for (shard, stage), value in p95.items()
+                    },
+                },
+                indent=2,
+                default=str,
+            )
+        )
+        return 0
+    if not traces:
+        print("no traces were assembled; nothing to show")
+        return 1
+    print(
+        f"{len(traces)} cross-shard trace(s) assembled; "
+        f"showing the last {len(shown)}:\n"
+    )
+    for trace in shown:
+        print(assembler.render(trace))
+        print()
+    if p95:
+        rows = [
+            (shard, stage, f"{value:.1f}")
+            for (shard, stage), value in p95.items()
+        ]
+        print(
+            render_table(
+                ("shard", "stage", "p95 us"),
+                rows,
+                title="stage p95 per shard",
+            )
+        )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -113,6 +216,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .observability import instrumented
     from .workloads.demonstration import build_demonstration
 
+    if args.shards > 0:
+        return _cmd_trace_shards(args)
     with instrumented() as obs:
         build_demonstration(seed=args.seed).run()
 
@@ -170,6 +275,60 @@ def _parse_limit_overrides(pairs: List[str]) -> dict:
     return overrides
 
 
+def _cmd_health_shards(args: argparse.Namespace, rules: list) -> int:
+    import json
+
+    from .parallel import ShardConfig, ShardedFederation
+
+    workload = _shard_workload(args)
+    config = ShardConfig(
+        shards=args.shards,
+        backend=args.backend,
+        batch_size=32,
+        instrument=True,
+        ship_logs=True,
+        trace_sample_every=1,
+    )
+    with ShardedFederation(workload.blueprint(), config) as federation:
+        federation.ingest(workload.events())
+        if args.no_drain:
+            # Leave the participant queues full: worker-side backpressure
+            # gauges (queue depth, delivery lag) stay observable so their
+            # SLO rules can actually fire.
+            federation.flush_buffers()
+        else:
+            federation.drain()
+        health = federation.health(tuple(rules))
+        stats = federation.stats()
+        dropped = federation.logs().dropped()
+
+    if args.json:
+        payload = health.as_dict()
+        payload["federation"] = {
+            "shards": args.shards,
+            "backend": args.backend,
+            "stats": stats,
+            "logs_dropped": {
+                str(shard): count for shard, count in dropped.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        firing = health.firing()
+        print(
+            f"federation: {health.status} — {len(firing)} rule(s) firing, "
+            f"{stats['shards_alive']}/{args.shards} shard(s) alive "
+            f"({args.backend} backend)"
+        )
+        for state in health.rules:
+            print(
+                f"  {state.rule.name:<20} "
+                f"{'FIRING' if state.firing else 'ok':<6} "
+                f"last={state.last_value}"
+            )
+    return health.exit_code
+
+
 def _cmd_health(args: argparse.Namespace) -> int:
     import dataclasses
     import json
@@ -195,6 +354,8 @@ def _cmd_health(args: argparse.Namespace) -> int:
             f"default rules: {known}"
         )
 
+    if args.shards > 0:
+        return _cmd_health_shards(args, rules)
     with instrumented():
         builder = build_demonstration(seed=args.seed)
         awareness = SelfAwareness(
@@ -226,6 +387,35 @@ def _cmd_health(args: argparse.Namespace) -> int:
                     print(f"  t={alert.time} [{alert.schema_name}] "
                           f"{alert.description}")
     return rollup.exit_code
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    if args.shards > 0:
+        from .parallel import ShardConfig, ShardedFederation
+
+        workload = _shard_workload(args)
+        config = ShardConfig(
+            shards=args.shards,
+            backend=args.backend,
+            batch_size=32,
+            instrument=True,
+            ship_logs=True,
+            trace_sample_every=1,
+        )
+        with ShardedFederation(workload.blueprint(), config) as federation:
+            federation.ingest(workload.events())
+            federation.drain()
+            federation.refresh_observability()
+            text = federation.render_metrics()
+        print(text)
+        return 0
+
+    from .workloads.demonstration import build_demonstration
+
+    builder = build_demonstration(seed=args.seed)
+    builder.run()
+    print(builder.system.metrics.render_text())
+    return 0
 
 
 def _cmd_shards(args: argparse.Namespace) -> int:
@@ -543,6 +733,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
                     f"{row.get('composites_recognized', 0):>10} "
                     f"{row.get('notifications', 0):>7}{durable_vals}"
                 )
+            health = shard_federation.health()
+            lines.append(
+                f"  federation health: {health.status} "
+                f"({len(health.firing())} rule(s) firing)"
+            )
         return "\n".join(lines)
 
     iteration = 0
@@ -689,6 +884,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit deliveries, stage summary, and raw traces as JSON",
     )
+    trace.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the seeded shard workload instead and show assembled "
+        "cross-shard traces + per-shard stage p95 (>0 activates)",
+    )
+    trace.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="shard backend for --shards (serial = in-process loop)",
+    )
     trace.set_defaults(handler=_cmd_trace)
 
     health = commands.add_parser(
@@ -714,6 +922,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the per-system states, rollup, and alerts as JSON",
+    )
+    health.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="evaluate the SLO rules against the merged worker registries "
+        "of a sharded federation instead (>0 activates)",
+    )
+    health.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="shard backend for --shards (serial = in-process loop)",
+    )
+    health.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="with --shards: leave the participant queues undrained so "
+        "worker-side backpressure SLOs (queue depth, delivery lag) are "
+        "observable",
     )
     health.set_defaults(handler=_cmd_health)
 
@@ -761,6 +989,28 @@ def build_parser() -> argparse.ArgumentParser:
         "crashed workers (switches the block to the process backend)",
     )
     top.set_defaults(handler=_cmd_top)
+
+    export = commands.add_parser(
+        "export",
+        help="Prometheus text snapshot: demonstration registry, or the "
+        "merged federation registry with --shards",
+    )
+    export.add_argument("--seed", type=int, default=3)
+    export.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="export the merged registry of a sharded run instead: one "
+        "shard-labelled series per worker plus the facade's own "
+        "(>0 activates)",
+    )
+    export.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="shard backend for --shards (serial = in-process loop)",
+    )
+    export.set_defaults(handler=_cmd_export)
 
     shards = commands.add_parser(
         "shards",

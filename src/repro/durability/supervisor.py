@@ -37,8 +37,9 @@ from ..errors import ShardCrashError
 from ..events.event import Event
 from ..observability import STRUCTURED_LOG as _SLOG
 from ..observability import Counter, default_registry
+from ..observability.trace import TraceContext
 from ..parallel.host import FederationBlueprint, ShardSpec
-from ..parallel.wire import event_to_wire
+from ..parallel.wire import attach_trace, event_to_wire, strip_trace_sampling
 from .log import FrameLog
 from .snapshot import ShardSnapshot
 
@@ -115,12 +116,60 @@ class SupervisedShard:
         #: Highest notification sequence the facade has merged; replayed
         #: duplicates at or below it are dropped in :meth:`flush`.
         self._seq_high = -1
+        #: Highest structured-log sequence number forwarded to the
+        #: facade; records a recovered worker re-emits during journal
+        #: replay carry sequence numbers at or below it (the snapshot
+        #: restored the worker's emission counter) and are filtered out
+        #: here so the merged log never double-counts.
+        self._log_seq_high = 0
+        self._sink: Optional[Callable[[Dict[str, Any]], None]] = None
         self.recoveries = 0
         self._metrics = _counters()
 
     @property
     def alive(self) -> bool:
         return self.inner.alive
+
+    # -- observability forwarding ------------------------------------------
+
+    @property
+    def observability_sink(self) -> Optional[Callable[[Dict[str, Any]], None]]:
+        return self._sink
+
+    @observability_sink.setter
+    def observability_sink(
+        self, sink: Optional[Callable[[Dict[str, Any]], None]]
+    ) -> None:
+        self._sink = sink
+        self._install_sink()
+
+    def _install_sink(self) -> None:
+        """(Re)attach the log-watermark filter to the current worker."""
+        if self._sink is None:
+            self.inner.observability_sink = None
+            return
+
+        def filtered(payload: Dict[str, Any]) -> None:
+            logs = payload.get("logs")
+            if logs:
+                records = [
+                    record
+                    for record in logs.get("records", ())
+                    if int(record.get("_seq", 0)) > self._log_seq_high
+                ]
+                if records:
+                    self._log_seq_high = max(
+                        int(record.get("_seq", 0)) for record in records
+                    )
+                logs = dict(logs)
+                logs["records"] = records
+                payload = dict(payload)
+                payload["logs"] = logs
+            sink = self._sink
+            if sink is not None:
+                sink(payload)
+
+        self.inner.observability_sink = filtered
 
     # -- mutations (journal-then-send, replay is the retry) ----------------
 
@@ -134,12 +183,17 @@ class SupervisedShard:
             # into the replacement worker.  Resending would double-apply.
             self.recover()
 
-    def send_events(self, events: List[Event]) -> None:
+    def send_events(
+        self, events: List[Event], ctx: Optional[TraceContext] = None
+    ) -> None:
         self._journal_and_send(
-            {
-                "kind": "events",
-                "events": [event_to_wire(event) for event in events],
-            }
+            attach_trace(
+                {
+                    "kind": "events",
+                    "events": [event_to_wire(event) for event in events],
+                },
+                ctx,
+            )
         )
         self._maybe_snapshot()
 
@@ -292,10 +346,15 @@ class SupervisedShard:
         self.journal.sync()
         tail = self.journal.tail(start)
         self.inner = self._respawn(self.shard_id, blueprint_wire)
+        self._install_sink()
         if snapshot is not None:
             self.inner._send({"kind": "restore", "state": snapshot.state})
         for frame in tail:
-            self.inner._send(frame)
+            # The sampled waves in the tail already shipped their spans
+            # before the crash; replay with the sampling decision forced
+            # off so the assembler never sees the same wave twice.  (The
+            # journal file itself is untouched.)
+            self.inner._send(strip_trace_sampling(frame))
         self.inner.sync()
         _SLOG.emit(
             "durability",

@@ -34,8 +34,10 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from .logging import (
+    DEFAULT_MAX_MERGED_RECORDS,
     DEFAULT_MAX_RECORDS,
     STRUCTURED_LOG,
+    FederationLogView,
     StructuredLog,
     disable_structured_logging,
     enable_structured_logging,
@@ -62,7 +64,15 @@ from .registry import (
     default_registry,
     set_default_registry,
 )
-from .trace import DEFAULT_MAX_TRACES, DEFAULT_SAMPLE_EVERY, Span, Tracer
+from .trace import (
+    DEFAULT_MAX_TRACES,
+    DEFAULT_SAMPLE_EVERY,
+    Span,
+    TraceAssembler,
+    TraceContext,
+    Tracer,
+    is_recorded,
+)
 
 __all__ = [
     "BoundCounter",
@@ -70,11 +80,13 @@ __all__ = [
     "CallbackGauge",
     "Counter",
     "DEFAULT_MAX_DELIVERIES",
+    "DEFAULT_MAX_MERGED_RECORDS",
     "DEFAULT_MAX_RECORDS",
     "DEFAULT_MAX_SERIES",
     "DEFAULT_MAX_TRACES",
     "DEFAULT_SAMPLE_EVERY",
     "DeliveryProvenance",
+    "FederationLogView",
     "Gauge",
     "Histogram",
     "INSTRUMENTATION",
@@ -87,6 +99,8 @@ __all__ = [
     "STRUCTURED_LOG",
     "Span",
     "StructuredLog",
+    "TraceAssembler",
+    "TraceContext",
     "Tracer",
     "default_registry",
     "disable_instrumentation",
@@ -94,6 +108,7 @@ __all__ = [
     "enable_instrumentation",
     "enable_structured_logging",
     "instrumented",
+    "is_recorded",
     "logging_enabled",
     "set_default_registry",
     "structured_log",

@@ -474,6 +474,77 @@ class HealthEvaluator:
         )
 
 
+def evaluate_registry(
+    registry: Any,
+    rules: Optional[Tuple[SloRule, ...]] = None,
+    system_name: str = "federation",
+    tick: int = 0,
+) -> SystemHealth:
+    """Evaluate threshold SLO rules directly against a metrics registry.
+
+    The pipeline-compiled :class:`HealthEvaluator` needs a live telemetry
+    source; the *merged* federation registry
+    (:class:`~repro.observability.selfawareness.FederationMetricsView`)
+    has no such source — it is a point-in-time aggregate of worker
+    snapshots.  This function closes the gap: each threshold rule reads
+    every series of its instrument (in the merged registry that means
+    one series per shard, thanks to the leading ``shard`` label) and
+    fires when *any* reading breaches, so one worker-side SLO breach
+    surfaces in the federation status.  Rate and staleness rules need
+    sampling history and are skipped here.
+    """
+    from .registry import (
+        CallbackGauge,
+        Counter,
+        Gauge,
+        MultiCallbackGauge,
+    )
+
+    states: List[RuleState] = []
+    for rule in rules if rules is not None else default_rules():
+        if rule.kind != "threshold":
+            continue
+        state = RuleState(rule=rule)
+        states.append(state)
+        instrument = registry.get(rule.metric)
+        if instrument is None or not isinstance(
+            instrument, (Counter, Gauge, CallbackGauge, MultiCallbackGauge)
+        ):
+            continue
+        readings = [
+            (labels, int(value))
+            for labels, value in instrument.series().items()
+            if rule.series_label in (None, "*")
+            or rule.series_label in labels
+        ]
+        if not readings:
+            continue
+        breaching = [
+            value for __, value in readings if rule.breached(value)
+        ]
+        state.last_value = (
+            breaching[0] if breaching else max(value for __, value in readings)
+        )
+        if breaching:
+            state.firing = True
+            state.fired_count = 1
+            state.last_breach_tick = tick
+    status = "ok"
+    for state in states:
+        if not state.firing:
+            continue
+        if state.rule.severity == SEVERITY_FAILING:
+            status = SEVERITY_FAILING
+        elif status == "ok":
+            status = SEVERITY_DEGRADED
+    return SystemHealth(
+        system=system_name,
+        status=status,
+        tick=tick,
+        rules=tuple(states),
+    )
+
+
 def worst_status(statuses: Iterable[str]) -> str:
     """The worst of *statuses* under :data:`STATUS_ORDER` (ok if empty)."""
     worst = 0

@@ -36,6 +36,7 @@ from typing import (
     Deque,
     Dict,
     IO,
+    Iterable,
     Iterator,
     Optional,
     Tuple,
@@ -59,7 +60,14 @@ class StructuredLog:
     the disabled hot-path cost is a single attribute load.
     """
 
-    __slots__ = ("enabled", "max_records", "_records", "_sink", "_tracer")
+    __slots__ = (
+        "enabled",
+        "max_records",
+        "_records",
+        "_sink",
+        "_tracer",
+        "_seq",
+    )
 
     def __init__(self, max_records: int = DEFAULT_MAX_RECORDS) -> None:
         self.enabled = False
@@ -67,6 +75,10 @@ class StructuredLog:
         self._records: Deque[Dict[str, Any]] = deque(maxlen=max_records)
         self._sink: Optional[Sink] = None
         self._tracer: Optional[Tracer] = None
+        #: Monotonic emission counter; each record is stamped with it so a
+        #: drain cursor (and recovery's high-watermark) can tell records
+        #: apart even after the ring has wrapped.
+        self._seq = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -119,6 +131,8 @@ class StructuredLog:
                 record["span"] = tracer.active_depth
         if fields:
             record.update(fields)
+        self._seq += 1
+        record["_seq"] = self._seq
         self._records.append(record)
         sink = self._sink
         if sink is not None:
@@ -142,18 +156,129 @@ class StructuredLog:
             out.append(record)
         return tuple(out)
 
+    @property
+    def seq(self) -> int:
+        """The sequence number of the most recently emitted record."""
+        return self._seq
+
+    def set_seq(self, value: int) -> None:
+        """Reset the emission counter (snapshot restore only).
+
+        A worker restored from a durability snapshot continues numbering
+        from the snapshot's ``log_seq``, so records re-emitted during
+        journal replay collide exactly with the sequence numbers already
+        shipped — the facade-side watermark drops them as duplicates.
+        """
+        self._seq = value
+
+    def drain(
+        self, after_seq: int
+    ) -> Tuple[Tuple[Dict[str, Any], ...], int, int]:
+        """Records emitted after *after_seq*: ``(records, dropped, cursor)``.
+
+        ``dropped`` counts records that were emitted since the cursor but
+        already pushed out of the bounded ring — the shipper's honest
+        loss accounting.  ``cursor`` is the new high-watermark to pass to
+        the next drain.  Never blocks and never copies records.
+        """
+        available = tuple(
+            record
+            for record in self._records
+            if record.get("_seq", 0) > after_seq
+        )
+        emitted_since = max(0, self._seq - after_seq)
+        dropped = emitted_since - len(available)
+        return available, max(0, dropped), self._seq
+
     def render_lines(self) -> str:
         """Every buffered record as JSON lines (the sink format)."""
         return "\n".join(render_record(record) for record in self._records)
 
     def clear(self) -> None:
-        """Drop buffered records (flag and sink unchanged)."""
+        """Drop buffered records (flag and sink unchanged).
+
+        The emission counter is *not* reset: drain cursors held by
+        shippers must stay valid across a clear.
+        """
         self._records.clear()
 
 
 def render_record(record: Dict[str, Any]) -> str:
     """One record as a canonical JSON line (sorted keys, repr fallback)."""
     return json.dumps(record, sort_keys=True, default=repr)
+
+
+#: Default capacity of the merged federation log view.
+DEFAULT_MAX_MERGED_RECORDS = 4096
+
+
+class FederationLogView:
+    """The facade-side merge of every shard's shipped log records.
+
+    Workers drain their ring buffers over the frame protocol (see
+    :meth:`StructuredLog.drain`); the facade feeds each shipment in here
+    tagged with its shard id.  Reads come back ordered by
+    ``(tick, shard, seq)`` — logical time first, so interleaved shards
+    read as one coherent story; shard then seq break ties
+    deterministically.  The view is itself a bounded ring with the same
+    honest-loss accounting as the shippers: per-shard ``dropped`` counts
+    accumulate what the workers lost, ``evicted`` counts what this ring
+    pushed out.
+    """
+
+    def __init__(
+        self, max_records: int = DEFAULT_MAX_MERGED_RECORDS
+    ) -> None:
+        self.max_records = max_records
+        self._records: Deque[Dict[str, Any]] = deque(maxlen=max_records)
+        self._dropped: Dict[int, int] = {}
+        self.evicted = 0
+
+    def extend(
+        self,
+        shard: int,
+        records: Iterable[Dict[str, Any]],
+        dropped: int = 0,
+    ) -> None:
+        """Ingest one shipment from *shard* (records keep their seq)."""
+        ring = self._records
+        for record in records:
+            tagged = dict(record)
+            tagged["shard"] = shard
+            if len(ring) == self.max_records:
+                self.evicted += 1
+            ring.append(tagged)
+        if dropped:
+            self._dropped[shard] = self._dropped.get(shard, 0) + dropped
+
+    def records(
+        self,
+        component: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> Tuple[Dict[str, Any], ...]:
+        """Merged records ordered by ``(tick, shard, seq)``."""
+        out = [
+            record
+            for record in self._records
+            if (component is None or record.get("component") == component)
+            and (shard is None or record.get("shard") == shard)
+        ]
+        out.sort(
+            key=lambda record: (
+                record.get("tick") or 0,
+                record.get("shard", 0),
+                record.get("_seq", 0),
+            )
+        )
+        return tuple(out)
+
+    def dropped(self) -> Dict[int, int]:
+        """Per-shard counts of records the workers' rings lost in transit."""
+        return dict(self._dropped)
+
+    def render_lines(self) -> str:
+        """The merged view as JSON lines, in ``(tick, shard, seq)`` order."""
+        return "\n".join(render_record(record) for record in self.records())
 
 
 #: The process-wide structured log; disabled until enabled.

@@ -33,7 +33,16 @@ from __future__ import annotations
 import json
 import threading
 from bisect import bisect_left
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from ..errors import ReproError
 
@@ -349,6 +358,55 @@ class Histogram(Instrument):
         with self._lock:
             return tuple(self._series)
 
+    def add_counts(
+        self,
+        labels: LabelValues,
+        bucket_counts: Sequence[int],
+        total: float,
+        count: int,
+    ) -> None:
+        """Fold pre-aggregated counts into one series (snapshot merging).
+
+        ``bucket_counts`` must match this histogram's bucket layout
+        (non-cumulative, with the trailing overflow bucket).
+        """
+        _check_labels(self.name, self.label_names, labels)
+        if len(bucket_counts) != len(self.buckets) + 1:
+            raise MetricsError(
+                f"histogram {self.name!r} has {len(self.buckets) + 1} "
+                f"buckets (incl. overflow), got {len(bucket_counts)} counts"
+            )
+        with self._lock:
+            series = self._series.get(labels)
+            if series is None:
+                self._check_capacity(self._series)
+                series = self._series[labels] = HistogramSeries(len(self.buckets))
+            for index, increment in enumerate(bucket_counts):
+                series.bucket_counts[index] += int(increment)
+            series.total += total
+            series.count += count
+
+    def quantile(self, q: float, labels: LabelValues = ()) -> float:
+        """Estimate the *q*-quantile (0..1) from the bucket counts.
+
+        Linear interpolation within the winning bucket, the standard
+        fixed-bucket estimator; observations in the overflow bucket clamp
+        to the last finite edge.  Returns 0.0 for an empty series.
+        """
+        counts, __, count = self.snapshot(labels)
+        if not count:
+            return 0.0
+        rank = q * count
+        running = 0.0
+        lower = 0.0
+        for edge, bucket in zip(self.buckets, counts):
+            if bucket and running + bucket >= rank:
+                fraction = (rank - running) / bucket
+                return lower + (edge - lower) * min(1.0, max(0.0, fraction))
+            running += bucket
+            lower = edge
+        return self.buckets[-1]
+
 
 class BoundHistogram:
     """One histogram series bound ahead of time; ``observe`` is hot."""
@@ -584,6 +642,118 @@ class MetricsRegistry:
 
     def render_json(self) -> str:
         return json.dumps(self.as_dict(), sort_keys=True)
+
+    # -- snapshot codec ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A lossless, JSON-able snapshot of every instrument.
+
+        Unlike :meth:`as_dict` (a human-facing rendering), the snapshot
+        preserves label *tuples*, bucket boundaries, and per-bucket counts
+        exactly, so :meth:`merge` on another registry reproduces every
+        series bit-for-bit.  Callback gauges are captured at their
+        collection-time values and decode as plain gauges — the callable
+        itself cannot cross a process boundary.
+        """
+        out: Dict[str, object] = {}
+        for name in self.names():
+            instrument = self.get(name)
+            if instrument is None:  # pragma: no cover - racy unregister
+                continue
+            entry: Dict[str, object] = {
+                "kind": instrument.kind,
+                "description": instrument.description,
+                "label_names": list(instrument.label_names),
+            }
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+                entry["series"] = [
+                    [list(labels), list(counts), total, count]
+                    for labels in instrument.series_labels()
+                    for counts, total, count in (instrument.snapshot(labels),)
+                ]
+            elif isinstance(
+                instrument,
+                (Counter, Gauge, CallbackGauge, MultiCallbackGauge),
+            ):
+                entry["series"] = [
+                    [list(labels), value]
+                    for labels, value in sorted(instrument.series().items())
+                ]
+            else:  # pragma: no cover - no other kinds exist
+                continue
+            out[name] = entry
+        return out
+
+    def merge(
+        self, snapshot: Mapping[str, object], shard: Optional[str] = None
+    ) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters accumulate, gauges overwrite, histogram bucket counts
+        add.  With ``shard`` set, every instrument gains a leading
+        ``shard`` label so series from different shards stay distinct —
+        the federation-aggregation path.  Bucket-layout disagreements
+        raise :class:`MetricsError` rather than merging garbage.
+        """
+        prefix_names = ("shard",) if shard is not None else ()
+        prefix_values = (shard,) if shard is not None else ()
+        for name, raw in snapshot.items():
+            entry = dict(cast(Mapping[str, object], raw))
+            kind = entry.get("kind")
+            description = str(entry.get("description", ""))
+            label_names = prefix_names + tuple(
+                str(label)
+                for label in cast(Sequence[object], entry.get("label_names", ()))
+            )
+            series = cast(Sequence[Sequence[object]], entry.get("series", ()))
+            if kind == "counter":
+                counter = self.counter(name, description, label_names)
+                for labels_raw, value in cast(
+                    Sequence[Tuple[Sequence[object], float]], series
+                ):
+                    labels = prefix_values + tuple(
+                        str(part) for part in labels_raw
+                    )
+                    counter.inc(float(value), labels)
+            elif kind == "gauge":
+                gauge = self.gauge(name, description, label_names)
+                for labels_raw, value in cast(
+                    Sequence[Tuple[Sequence[object], float]], series
+                ):
+                    labels = prefix_values + tuple(
+                        str(part) for part in labels_raw
+                    )
+                    gauge.set(float(value), labels)
+            elif kind == "histogram":
+                buckets = [
+                    float(edge)
+                    for edge in cast(Sequence[object], entry.get("buckets", ()))
+                ]
+                histogram = self.histogram(
+                    name, buckets, description, label_names
+                )
+                if list(histogram.buckets) != buckets:
+                    raise MetricsError(
+                        f"histogram {name!r} bucket layout mismatch on "
+                        f"merge: registry has {histogram.buckets}, snapshot "
+                        f"has {tuple(buckets)}"
+                    )
+                for row in series:
+                    labels_raw, counts, total, count = (
+                        cast(Sequence[object], row[0]),
+                        cast(Sequence[int], row[1]),
+                        float(cast(float, row[2])),
+                        int(cast(int, row[3])),
+                    )
+                    labels = prefix_values + tuple(
+                        str(part) for part in labels_raw
+                    )
+                    histogram.add_counts(labels, counts, total, count)
+            else:
+                raise MetricsError(
+                    f"snapshot entry {name!r} has unknown kind {kind!r}"
+                )
 
     def render_text(self) -> str:
         """Prometheus-style text exposition (counters, gauges, histograms)."""

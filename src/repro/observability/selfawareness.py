@@ -29,8 +29,10 @@ from .health import (
     HealthEvaluator,
     SloRule,
     SystemHealth,
+    evaluate_registry,
     worst_status,
 )
+from .registry import Histogram, MetricsRegistry
 
 
 class SelfAwareness:
@@ -181,3 +183,66 @@ class FederationHealthView:
             )
         lines.append(f"federation: {rollup.status}")
         return "\n".join(lines)
+
+
+class FederationMetricsView:
+    """The facade-side aggregate of every shard's metrics registry.
+
+    Each shard ships a lossless :meth:`MetricsRegistry.snapshot` on its
+    stats/flush frames; the view keeps the *latest* snapshot per shard
+    and rebuilds a merged registry on demand, every instrument gaining a
+    leading ``shard`` label (:meth:`MetricsRegistry.merge`).  Rebuilding
+    from the latest snapshots (rather than merging incrementally) is
+    what keeps counters correct — snapshots are cumulative, so folding
+    two generations of the same shard would double-count.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[int, Dict[str, Any]] = {}
+
+    def update(self, shard: int, snapshot: Dict[str, Any]) -> None:
+        """Replace *shard*'s latest registry snapshot."""
+        self._snapshots[shard] = snapshot
+
+    def shards(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._snapshots))
+
+    def registry(self) -> MetricsRegistry:
+        """The merged federation registry (one series per shard)."""
+        merged = MetricsRegistry()
+        for shard in sorted(self._snapshots):
+            merged.merge(self._snapshots[shard], shard=str(shard))
+        return merged
+
+    def render_text(self) -> str:
+        """Prometheus text exposition across the whole federation."""
+        return self.registry().render_text()
+
+    def stage_p95(self) -> Dict[Tuple[str, str], float]:
+        """p95 stage latency (µs) per ``(shard, stage)`` from the merged
+        ``pipeline_stage_us`` histogram."""
+        merged = self.registry()
+        histogram = merged.get("pipeline_stage_us")
+        if not isinstance(histogram, Histogram):
+            return {}
+        return {
+            (labels[0], labels[1]): histogram.quantile(0.95, labels)
+            for labels in histogram.series_labels()
+        }
+
+    def health(
+        self,
+        rules: Optional[Tuple[SloRule, ...]] = None,
+        tick: int = 0,
+    ) -> SystemHealth:
+        """Threshold SLO rules evaluated over the merged registry.
+
+        A breach in any one shard's series fires the federation rule —
+        the worker-side SLO surfacing the tentpole asks for.
+        """
+        return evaluate_registry(
+            self.registry(),
+            rules=rules,
+            system_name="federation",
+            tick=tick,
+        )

@@ -32,9 +32,10 @@ Provenance is *not* sampled — recognition chains stay complete.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Deque, Dict, List, Optional, Tuple, cast
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, cast
 
 from ..metrics.latency import STAGE_LATENCY_BUCKETS_US
 from .registry import BoundHistogram, Histogram, MetricsRegistry
@@ -46,6 +47,38 @@ DEFAULT_MAX_TRACES = 256
 DEFAULT_SAMPLE_EVERY = 16
 
 JsonSpan = Dict[str, object]
+
+WireTraceContext = List[object]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable identity of one logical trace.
+
+    Three fields cross the shard boundary inside wire frames: which trace
+    a batch of events belongs to, which facade-side span is the logical
+    parent of the work a worker performs for it, and whether the facade's
+    head sampler chose to record the trace.  Workers honor ``sampled``
+    verbatim — there is no re-sampling downstream, so a recorded trace is
+    never partial across shards.
+    """
+
+    trace_id: str
+    parent_span_id: str
+    sampled: bool
+
+    def to_wire(self) -> WireTraceContext:
+        """The compact list form carried on ``events`` frames."""
+        return [self.trace_id, self.parent_span_id, 1 if self.sampled else 0]
+
+    @classmethod
+    def from_wire(
+        cls, payload: Optional[Sequence[object]]
+    ) -> Optional["TraceContext"]:
+        if payload is None:
+            return None
+        trace_id, parent_span_id, sampled = payload
+        return cls(str(trace_id), str(parent_span_id), bool(sampled))
 
 
 class _LightSpan:
@@ -222,6 +255,34 @@ class Tracer:
         span.start = perf_counter()
         return span
 
+    def begin_root(
+        self,
+        name: str,
+        sampled: bool,
+        logical_time: Optional[int] = None,
+        attributes: Optional[Dict[str, object]] = None,
+    ) -> Span:
+        """Open a root span with a *forced* sampling decision.
+
+        This is how a worker honors the facade's head-sampling choice
+        carried in a :class:`TraceContext`: the local sampler is bypassed
+        entirely, so the worker neither drops a trace the facade chose to
+        record nor records one it chose to skip.  When a span is already
+        active (the caller is not actually at a trace root) the enclosing
+        trace's decision wins and this degrades to :meth:`begin`.
+        Close with :meth:`end` either way.
+        """
+        if self._light_depth or self._stack:
+            return self.begin(name, logical_time, attributes)
+        self._trace_count += 1
+        if not sampled:
+            self._light_depth = 1
+            return _LIGHT_AS_SPAN
+        span = Span(self, name, logical_time, attributes)
+        self._stack.append(span)
+        span.start = perf_counter()
+        return span
+
     def end(self, span: Span) -> None:
         """Close a span opened with :meth:`begin`."""
         if span is _LIGHT_AS_SPAN:
@@ -323,3 +384,113 @@ class Tracer:
         self._traces.clear()
         self.completed_spans = 0
         self._trace_count = 0
+
+
+def is_recorded(span: Span) -> bool:
+    """True when *span* is a real recorded span, not the sampler's token."""
+    return span is not _LIGHT_AS_SPAN and not span.light
+
+
+class TraceAssembler:
+    """Facade-side stitching of worker span batches into logical traces.
+
+    The facade makes the head-sampling decision when a wave of events
+    leaves for the shards (:meth:`begin`); each shard that receives part
+    of the wave opens its own pipeline root span under the wave's
+    :class:`TraceContext` and ships the completed tree back on its next
+    stats/flush frame.  :meth:`add_batch` reattaches those trees under
+    the originating wave, so one logical trace ends up holding the spans
+    of every shard the wave touched.
+
+    The assembler mirrors the tracer's one-in-``sample_every`` cadence
+    (the decision is made *here*, once per wave — workers honor it
+    verbatim), keeps a bounded window of assembled traces, and counts
+    what it could not place: ``orphaned`` batches referencing unknown or
+    evicted traces, and ``evicted`` traces pushed out of the window.
+    """
+
+    def __init__(
+        self,
+        max_traces: int = 64,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+    ) -> None:
+        self.sample_every = max(1, sample_every)
+        self.max_traces = max_traces
+        self._count = 0
+        self._traces: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self.orphaned = 0
+        self.evicted = 0
+
+    def begin(self, op: str) -> TraceContext:
+        """Open a logical trace for one ship wave; returns its context.
+
+        Mirrors :class:`Tracer` head sampling: one wave in
+        ``sample_every`` is recorded (the tracer records trace number
+        ``k`` when ``k % sample_every == 0``, and so does this).
+        """
+        self._count += 1
+        sampled = self._count % self.sample_every == 0
+        trace_id = f"t{self._count:06d}"
+        context = TraceContext(trace_id, f"{trace_id}.root", sampled)
+        if sampled:
+            self._traces[trace_id] = {
+                "trace_id": trace_id,
+                "op": op,
+                "root_span_id": context.parent_span_id,
+                "spans": [],
+            }
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+                self.evicted += 1
+        return context
+
+    def add_batch(self, batch: Dict[str, object]) -> bool:
+        """Attach one shipped worker span tree; False if it had no home.
+
+        A batch carries ``trace`` (trace id), ``parent`` (the span id the
+        worker parented under — must be the trace's root span for correct
+        linkage), ``shard``, and ``span`` (the worker root span's
+        ``to_dict`` tree).
+        """
+        trace = self._traces.get(str(batch.get("trace")))
+        if trace is None or batch.get("parent") != trace["root_span_id"]:
+            self.orphaned += 1
+            return False
+        cast(List[Dict[str, object]], trace["spans"]).append(
+            {"shard": batch.get("shard"), "span": batch.get("span")}
+        )
+        return True
+
+    def traces(self) -> Tuple[Dict[str, object], ...]:
+        """Assembled traces, oldest first (only sampled waves appear)."""
+        return tuple(self._traces.values())
+
+    def shards_of(self, trace: Dict[str, object]) -> Tuple[int, ...]:
+        """The distinct shard ids contributing spans to one trace."""
+        spans = cast(List[Dict[str, object]], trace["spans"])
+        return tuple(sorted({cast(int, entry["shard"]) for entry in spans}))
+
+    def render(self, trace: Dict[str, object]) -> str:
+        """A one-trace tree rendering for the CLI."""
+        lines = [
+            f"{trace['trace_id']} {trace['op']} "
+            f"shards={list(self.shards_of(trace))}"
+        ]
+        for entry in cast(List[Dict[str, object]], trace["spans"]):
+            span = cast(JsonSpan, entry["span"])
+            lines.append(f"  shard {entry['shard']}:")
+            lines.extend(
+                "    " + line for line in _render_json_span(span, 0)
+            )
+        return "\n".join(lines)
+
+
+def _render_json_span(span: JsonSpan, indent: int) -> List[str]:
+    duration = span.get("duration_us", 0.0)
+    time_part = (
+        f" t={span['logical_time']}" if "logical_time" in span else ""
+    )
+    lines = [f"{'  ' * indent}{span.get('name')}{time_part} ({duration}us)"]
+    for child in cast(List[JsonSpan], span.get("children", [])):
+        lines.extend(_render_json_span(child, indent + 1))
+    return lines

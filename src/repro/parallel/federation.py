@@ -45,11 +45,35 @@ from ..errors import ParallelError, ShardCrashError
 from ..events.event import Event
 from ..observability import INSTRUMENTATION as _OBS
 from ..observability import STRUCTURED_LOG as _SLOG
+from ..observability.health import SloRule, SystemHealth
+from ..observability.logging import FederationLogView
+from ..observability.registry import MetricsRegistry, default_registry
+from ..observability.selfawareness import FederationMetricsView
+from ..observability.trace import (
+    DEFAULT_SAMPLE_EVERY,
+    TraceAssembler,
+    TraceContext,
+)
 from .host import FederationBlueprint, ShardHost, ShardSpec
 from .router import ShardRouter
-from .wire import as_tuples, decode_value, read_frame, write_frame
+from .wire import (
+    as_tuples,
+    attach_trace,
+    decode_value,
+    read_frame,
+    write_frame,
+)
 
 BACKENDS = ("serial", "process")
+
+#: Shard id under which the facade process's own structured-log records
+#: appear in the merged federation view (serial shards share the facade
+#: process, so their records land here too).
+FACADE_SHARD = -1
+
+#: An observability shipment handler: receives the ``observability``
+#: payload a shard piggybacked on a stats/flush exchange.
+ObservabilitySink = Optional[Any]
 
 
 @dataclass(frozen=True)
@@ -84,6 +108,16 @@ class ShardConfig:
     #: Recoveries allowed per shard before the supervisor gives up and
     #: lets the crash surface (a restart-storm backstop).
     max_recoveries: int = 3
+    #: Ship each worker's structured-log ring to the facade's merged
+    #: :class:`~repro.observability.logging.FederationLogView` (process
+    #: backend; serial shards share the facade's process log, which the
+    #: facade drains directly under :data:`FACADE_SHARD`).
+    ship_logs: bool = False
+    #: Head-sampling period of the facade's trace assembler: one ship
+    #: wave in this many is traced end to end across the shards it
+    #: touches (1 = trace every wave).  Only meaningful with
+    #: ``instrument`` on.
+    trace_sample_every: int = DEFAULT_SAMPLE_EVERY
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -107,6 +141,8 @@ class ShardConfig:
             raise ParallelError("snapshot_every must be >= 0 (0 = never)")
         if self.max_recoveries < 0:
             raise ParallelError("max_recoveries must be >= 0")
+        if self.trace_sample_every < 1:
+            raise ParallelError("trace_sample_every must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -159,12 +195,18 @@ class SerialShard:
         self.host = ShardHost(
             shard_id, config.shards, share_plans=config.share_plans
         )
+        #: Receives this shard's observability payloads (set by the
+        #: facade); serial shards harvest straight from the host on
+        #: every read, mirroring the frames a worker would send.
+        self.observability_sink: ObservabilitySink = None
 
     def bootstrap(self, blueprint: FederationBlueprint) -> None:
         self.host.apply_blueprint(blueprint)
 
-    def send_events(self, events: List[Event]) -> None:
-        self.host.ingest(events)
+    def send_events(
+        self, events: List[Event], ctx: Optional[TraceContext] = None
+    ) -> None:
+        self.host.ingest(events, ctx)
 
     def deploy(self, spec: ShardSpec) -> None:
         self.host.deploy_spec(spec)
@@ -173,10 +215,33 @@ class SerialShard:
         self.host.undeploy_spec(spec_id)
 
     def flush(self) -> List[Dict[str, Any]]:
-        return self.host.drain_results()
+        records = self.host.drain_results()
+        self._harvest()
+        return records
 
     def stats(self) -> Dict[str, int]:
-        return self.host.stats()
+        stats = self.host.stats()
+        self._harvest()
+        return stats
+
+    def _harvest(self) -> None:
+        """Feed the sink what a worker would piggyback on this exchange.
+
+        Only the *system* registry ships: serial shards share the
+        facade's process-wide default registry (stage histograms and
+        durability counters), which the facade merges once under its own
+        shard label instead of once per shard.  Logs likewise live in
+        the shared process log, drained centrally by the facade.
+        """
+        sink = self.observability_sink
+        if sink is None:
+            return
+        sink(
+            {
+                "registry": self.host.system.metrics.snapshot(),
+                "spans": self.host.drain_spans(),
+            }
+        )
 
     def sync(self) -> None:
         """Nothing buffered, nothing remote: always consistent."""
@@ -206,6 +271,9 @@ class ProcessShard:
         self._in = in_stream
         self._out = out_stream
         self.alive = True
+        #: Receives the ``observability`` payloads the worker piggybacks
+        #: on stats/results frames (set by the facade).
+        self.observability_sink: ObservabilitySink = None
 
     # -- channel ----------------------------------------------------------
 
@@ -254,14 +322,19 @@ class ProcessShard:
 
     # -- shard surface ----------------------------------------------------
 
-    def send_events(self, events: List[Event]) -> None:
+    def send_events(
+        self, events: List[Event], ctx: Optional[TraceContext] = None
+    ) -> None:
         from .wire import event_to_wire
 
         self._send(
-            {
-                "kind": "events",
-                "events": [event_to_wire(event) for event in events],
-            }
+            attach_trace(
+                {
+                    "kind": "events",
+                    "events": [event_to_wire(event) for event in events],
+                },
+                ctx,
+            )
         )
 
     def deploy(self, spec: ShardSpec) -> None:
@@ -272,7 +345,15 @@ class ProcessShard:
 
     def flush(self) -> List[Dict[str, Any]]:
         self._send({"kind": "flush"})
-        return self._receive("results")["notifications"]
+        frame = self._receive("results")
+        self._harvest(frame)
+        return frame["notifications"]
+
+    def _harvest(self, frame: Dict[str, Any]) -> None:
+        sink = self.observability_sink
+        payload = frame.get("observability")
+        if sink is not None and payload:
+            sink(payload)
 
     def stats(self) -> Dict[str, int]:
         stats, errors = self._stats_round_trip()
@@ -293,6 +374,7 @@ class ProcessShard:
     def _stats_round_trip(self) -> Tuple[Dict[str, int], List[str]]:
         self._send({"kind": "stats"})
         frame = self._receive("stats")
+        self._harvest(frame)
         return frame["stats"], list(frame.get("errors", ()))
 
     def close(self) -> None:
@@ -349,6 +431,7 @@ def _spawn_worker(
     options = {
         "instrument": config.instrument,
         "share_plans": config.share_plans,
+        "ship_logs": config.ship_logs,
     }
     from .worker import worker_main
 
@@ -409,6 +492,19 @@ class ShardedFederation:
         self.blueprint = blueprint
         self._closed = False
         self._restore_instrumentation: Optional[bool] = None
+        self._restore_logging: Optional[bool] = None
+        #: Federation-wide observability plane, fed by the shards'
+        #: piggybacked payloads on every stats/flush exchange.
+        self.trace_assembler = TraceAssembler(
+            sample_every=self.config.trace_sample_every
+        )
+        self.metrics_view = FederationMetricsView()
+        self.log_view = FederationLogView()
+        self.spans_dropped = 0
+        #: Start the facade's own drain cursor at the process log's
+        #: current position: records emitted before this federation
+        #: existed are history, not federation traffic.
+        self._local_log_cursor = _SLOG.seq
         if self.config.backend == "process":
             workers = _start_process_shards(self.config, blueprint)
             if self.config.durable_dir is not None:
@@ -433,12 +529,23 @@ class ShardedFederation:
                 self._restore_instrumentation = _OBS.enabled
                 _OBS.reset()
                 _OBS.enable()
+            if self.config.ship_logs and not _SLOG.enabled:
+                # Same deal for the structured log: serial shards record
+                # into this process's ring, drained by logs().
+                self._restore_logging = _SLOG.enabled
+                _SLOG.enabled = True
             self.shards = [
                 SerialShard(shard_id, self.config)
                 for shard_id in range(self.config.shards)
             ]
             for shard in self.shards:
                 shard.bootstrap(blueprint)
+        for shard in self.shards:
+            shard.observability_sink = (
+                lambda payload, sid=shard.shard_id: self._on_observability(
+                    sid, payload
+                )
+            )
         self._buffers: List[List[Event]] = [
             [] for __ in range(self.config.shards)
         ]
@@ -478,24 +585,42 @@ class ShardedFederation:
     # -- events ------------------------------------------------------------
 
     def ingest(self, events: List[Event]) -> None:
-        """Route events to their shards; ships full batches eagerly."""
+        """Route events to their shards; ships full batches eagerly.
+
+        Under instrumentation, every batch shipped from one ``ingest``
+        call shares a single :class:`TraceContext` — one logical *wave*.
+        A wave the assembler samples is recorded end to end: each shard
+        the wave reaches opens a ``shard.ingest`` root span under the
+        wave's context, and the shipped trees reassemble into one trace
+        spanning every shard the wave touched.  Events left buffered
+        here ship later under that wave's context (see
+        :meth:`flush_buffers`).
+        """
         router = self.router
         shard_count = self.config.shards
         batch_size = self.config.batch_size
         buffers = self._buffers
+        ctx: Optional[TraceContext] = None
         for event in events:
             shard = router.shard_for(event, shard_count)
             buffer = buffers[shard]
             buffer.append(event)
             if len(buffer) >= batch_size:
-                self.shards[shard].send_events(buffer)
+                if ctx is None and self.config.instrument:
+                    ctx = self.trace_assembler.begin("federation.ingest")
+                self.shards[shard].send_events(buffer, ctx)
                 buffers[shard] = []
 
     def flush_buffers(self) -> None:
         """Ship every partial batch (events keep per-shard order)."""
+        if not any(self._buffers):
+            return
+        ctx: Optional[TraceContext] = None
+        if self.config.instrument:
+            ctx = self.trace_assembler.begin("federation.flush")
         for shard, buffer in enumerate(self._buffers):
             if buffer:
-                self.shards[shard].send_events(buffer)
+                self.shards[shard].send_events(buffer, ctx)
                 self._buffers[shard] = []
 
     # -- specification lifecycle ------------------------------------------
@@ -559,6 +684,72 @@ class ShardedFederation:
 
     # -- observability ------------------------------------------------------
 
+    def _on_observability(self, shard_id: int, payload: Dict[str, Any]) -> None:
+        """Route one shard's piggybacked shipment into the facade views."""
+        registry = payload.get("registry")
+        if registry:
+            self.metrics_view.update(shard_id, registry)
+        spans = payload.get("spans")
+        if spans:
+            for batch in spans.get("batches", ()):
+                self.trace_assembler.add_batch(batch)
+            self.spans_dropped += int(spans.get("dropped", 0))
+        logs = payload.get("logs")
+        if logs:
+            self.log_view.extend(
+                shard_id,
+                logs.get("records", ()),
+                int(logs.get("dropped", 0)),
+            )
+
+    def refresh_observability(self) -> None:
+        """Round-trip every live shard so the federation views are
+        current (each read piggybacks the shard's latest shipment)."""
+        for shard in self.shards:
+            if shard.alive:
+                try:
+                    shard.stats()
+                except (ShardCrashError, ParallelError):
+                    continue
+
+    def traces(self) -> Tuple[Dict[str, Any], ...]:
+        """Assembled cross-shard traces, oldest first."""
+        return self.trace_assembler.traces()
+
+    def logs(self) -> FederationLogView:
+        """The merged federation log, facade-process records included.
+
+        Worker records arrive through the piggybacked shipments (call
+        :meth:`refresh_observability` or any stats/drain first); the
+        facade's own process log — which serial shards share — is
+        drained here under :data:`FACADE_SHARD`.
+        """
+        records, dropped, cursor = _SLOG.drain(self._local_log_cursor)
+        self._local_log_cursor = cursor
+        self.log_view.extend(FACADE_SHARD, records, dropped)
+        return self.log_view
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The merged federation registry: every shard's snapshot under
+        its ``shard`` label, plus this process's default registry (stage
+        histograms of serial shards, journal/supervisor counters) under
+        the ``facade`` label."""
+        merged = self.metrics_view.registry()
+        merged.merge(default_registry().snapshot(), shard="facade")
+        return merged
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition across the whole federation."""
+        return self.metrics_registry().render_text()
+
+    def health(
+        self, rules: Optional[Tuple[SloRule, ...]] = None
+    ) -> SystemHealth:
+        """Threshold SLO rules evaluated over the merged federation
+        registry — a breach inside any one worker surfaces here."""
+        self.refresh_observability()
+        return self.metrics_view.health(rules)
+
     def shard_stats(self) -> List[Dict[str, Any]]:
         """Per-shard rows for ``repro shards`` and the dashboard."""
         rows: List[Dict[str, Any]] = []
@@ -578,8 +769,14 @@ class ShardedFederation:
         return rows
 
     def stats(self) -> Dict[str, Any]:
-        """The federation aggregate: counter sums across live shards."""
-        totals: Dict[str, int] = {}
+        """The federation aggregate: counter sums across live shards.
+
+        Numeric stats sum; anything a shard reports that cannot be
+        summed (strings, flags, structures) is namespaced per shard as
+        ``shard<N>/<key>`` instead of being silently dropped — a worker
+        surfacing a non-counter datum deserves to be seen.
+        """
+        totals: Dict[str, Any] = {}
         alive = 0
         for row in self.shard_stats():
             if row["alive"]:
@@ -587,7 +784,11 @@ class ShardedFederation:
             for key, value in row.items():
                 if key in ("shard", "backend", "alive"):
                     continue
-                if isinstance(value, int):
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    totals[f"shard{row['shard']}/{key}"] = value
+                else:
                     totals[key] = totals.get(key, 0) + value
         totals["shards"] = self.config.shards
         totals["shards_alive"] = alive
@@ -610,6 +811,8 @@ class ShardedFederation:
                 pass
         if self._restore_instrumentation is not None:
             _OBS.enabled = self._restore_instrumentation
+        if self._restore_logging is not None:
+            _SLOG.enabled = self._restore_logging
 
     def __enter__(self) -> "ShardedFederation":
         return self

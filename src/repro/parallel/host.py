@@ -35,7 +35,15 @@ from ..events.producers import EventProducer
 from ..events.queues import MemoryDeliveryQueue, Notification
 from ..federation.system import EnactmentSystem
 from ..observability import INSTRUMENTATION as _OBS
+from ..observability import STRUCTURED_LOG as _LOG
+from ..observability.registry import default_registry
+from ..observability.trace import TraceContext, is_recorded
 from .wire import encode_value
+
+#: Upper bound on buffered sampled span batches awaiting shipment; the
+#: hot path never blocks on observability — beyond this, batches are
+#: dropped and counted.
+MAX_SPAN_BATCHES = 128
 
 
 @dataclass(frozen=True)
@@ -163,6 +171,14 @@ class ShardHost:
         #: Bus publishes counted by a previous incarnation (snapshot
         #: restore); the fresh bus restarts at zero.
         self._published_offset: int = 0
+        #: Sampled ingest span trees awaiting shipment to the facade
+        #: (bounded; see :data:`MAX_SPAN_BATCHES`).
+        self._span_batches: List[Dict[str, Any]] = []
+        self._spans_dropped: int = 0
+        #: Whether this host ships its process structured log to the
+        #: facade (process-backend workers only; the worker entry point
+        #: sets it from the shard options).
+        self.ship_logs: bool = False
 
     # -- sources -----------------------------------------------------------
 
@@ -214,13 +230,48 @@ class ShardHost:
 
     # -- ingest ------------------------------------------------------------
 
-    def ingest(self, events: List[Event]) -> None:
+    def ingest(
+        self, events: List[Event], ctx: Optional[TraceContext] = None
+    ) -> None:
         """Feed routed primitive events into the pipeline, in order.
 
         Consecutive same-type runs enter as one ``emit_batch``, so the
         producers' run-grouping (and the shared plans' ``consume_batch``)
         see the same batch shapes an in-process engine would.
+
+        With a :class:`TraceContext` and instrumentation on, the whole
+        batch runs under a ``shard.ingest`` root span whose sampling
+        decision is the facade's, verbatim (no local re-sampling); a
+        recorded tree is buffered for shipment on the next stats/flush
+        frame.
         """
+        if ctx is not None and _OBS.enabled:
+            tracer = _OBS.tracer
+            span = tracer.begin_root(
+                "shard.ingest",
+                ctx.sampled,
+                attributes={"shard": self.shard_id, "events": len(events)},
+            )
+            try:
+                self._ingest(events)
+            finally:
+                tracer.end(span)
+                if ctx.sampled and is_recorded(span):
+                    if len(self._span_batches) >= MAX_SPAN_BATCHES:
+                        self._spans_dropped += 1
+                    else:
+                        self._span_batches.append(
+                            {
+                                "trace": ctx.trace_id,
+                                "parent": ctx.parent_span_id,
+                                "shard": self.shard_id,
+                                "span": span.to_dict(),
+                            }
+                        )
+            return
+        self._ingest(events)
+
+    def _ingest(self, events: List[Event]) -> None:
         producers = self._producers
         i, n = 0, len(events)
         while i < n:
@@ -283,6 +334,36 @@ class ShardHost:
         self._reported = len(records)
         return out
 
+    # -- observability shipping --------------------------------------------
+
+    def drain_spans(self) -> Dict[str, Any]:
+        """Buffered sampled span batches (and the drop count), then clear."""
+        batches, self._span_batches = self._span_batches, []
+        dropped, self._spans_dropped = self._spans_dropped, 0
+        return {"batches": batches, "dropped": dropped}
+
+    def drain_logs(self, after_seq: int) -> Dict[str, Any]:
+        """The process structured-log records past *after_seq* (shippable)."""
+        records, dropped, cursor = _LOG.drain(after_seq)
+        return {
+            "records": [dict(record) for record in records],
+            "dropped": dropped,
+            "cursor": cursor,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One lossless snapshot covering this shard's metric space.
+
+        The default registry carries the instrumentation plane's
+        ``pipeline_stage_us`` histogram (and any standalone components);
+        the system registry carries the pipeline gauges and counters.
+        System instruments win name collisions — they are the
+        authoritative pipeline truth.
+        """
+        snapshot = default_registry().snapshot()
+        snapshot.update(self.system.metrics.snapshot())
+        return snapshot
+
     # -- durability --------------------------------------------------------
 
     def live_operators(self) -> List[Any]:
@@ -342,6 +423,11 @@ class ShardHost:
             "published": (
                 self._published_offset + self.system.bus.published_count()
             ),
+            # Log-shipping high-watermark: a restored worker continues
+            # numbering from here, so records re-emitted during journal
+            # replay collide with already-shipped sequence numbers and
+            # the facade-side watermark drops them (no double-count).
+            "log_seq": _LOG.seq if self.ship_logs else None,
         }
 
     def restore_state(self, state: Dict[str, Any]) -> None:
@@ -369,6 +455,9 @@ class ShardHost:
         self.queue.seq_offset = int(state["seq"])
         self._ingested = int(state["ingested"])
         self._published_offset = int(state["published"])
+        log_seq = state.get("log_seq")
+        if self.ship_logs and log_seq is not None:
+            _LOG.set_seq(int(log_seq))
 
     # -- inspection --------------------------------------------------------
 

@@ -189,6 +189,49 @@ def provenance_from_wire(data: Mapping[str, Any]) -> ProvenanceNode:
     )
 
 
+#: Key under which an ``events`` frame carries its trace context —
+#: the compact ``[trace_id, parent_span_id, sampled]`` list of
+#: :meth:`repro.observability.trace.TraceContext.to_wire`.
+TRACE_KEY = "trace"
+
+
+def attach_trace(frame: Dict[str, Any], ctx: Optional[Any]) -> Dict[str, Any]:
+    """Stamp *frame* with *ctx*'s wire form (no-op when ctx is ``None``).
+
+    The facade's head-sampling decision travels inside the frame itself,
+    so a worker (or a journal replay) sees exactly the decision the
+    facade made for that wave of events — the cross-shard propagation
+    contract of DESIGN note 11.
+    """
+    if ctx is not None:
+        frame[TRACE_KEY] = ctx.to_wire()
+    return frame
+
+
+def extract_trace(frame: Mapping[str, Any]) -> Optional[Any]:
+    """The frame's :class:`~repro.observability.trace.TraceContext`."""
+    from ..observability.trace import TraceContext
+
+    return TraceContext.from_wire(frame.get(TRACE_KEY))
+
+
+def strip_trace_sampling(frame: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of *frame* with the trace sampling decision forced off.
+
+    Journal replay uses this: the spans of a sampled wave were already
+    shipped and assembled the first time around, so replaying the frame
+    verbatim would re-record and double-count them.  The trace identity
+    is kept (the frame remains attributable); only the record decision
+    is cleared.  Frames without a trace context pass through unchanged.
+    """
+    trace = frame.get(TRACE_KEY)
+    if not trace:
+        return frame
+    stripped = dict(frame)
+    stripped[TRACE_KEY] = [trace[0], trace[1], 0]
+    return stripped
+
+
 def as_tuples(value: Any) -> Any:
     """Normalize a JSON round-tripped signature back to nested tuples.
 

@@ -10,13 +10,23 @@ response.
 
 Protocol frames (see :mod:`repro.parallel.wire` for the framing):
 
-* ``{"kind": "events", "events": [...]}`` — ingest a routed batch;
+* ``{"kind": "events", "events": [...], "trace": [tid, psid, 0|1]}`` —
+  ingest a routed batch; the optional ``trace`` context carries the
+  facade's head-sampling decision, honored verbatim (no re-sampling);
 * ``{"kind": "deploy", "spec": {...}}`` / ``{"kind": "undeploy",
   "spec_id": ...}`` — detector lifecycle;
 * ``{"kind": "stats"}`` → ``{"kind": "stats", "stats": {...},
-  "errors": [...]}``;
-* ``{"kind": "flush"}`` → ``{"kind": "results", "notifications": [...]}``
-  — drain the recorded notification stream (sequence numbers included);
+  "errors": [...], "observability": {...}}``;
+* ``{"kind": "flush"}`` → ``{"kind": "results", "notifications": [...],
+  "observability": {...}}``
+  — drain the recorded notification stream (sequence numbers included).
+
+Both read responses piggyback an ``observability`` payload — the shard's
+full metrics-registry snapshot, its buffered sampled span batches, and
+(when ``ship_logs`` is on) the structured-log records past the shipping
+cursor — so the facade's federation views refresh on every read without
+extra round trips, and span/log shipping rides frames that already
+exist;
 * ``{"kind": "snapshot"}`` → ``{"kind": "snapshot", "state": {...}}`` —
   the host's recoverable state (``state`` is ``null`` when a live
   operator holds state the snapshot codec cannot express; the
@@ -40,8 +50,9 @@ from typing import Any, Dict, List
 
 from ..errors import ReproError
 from ..observability import INSTRUMENTATION as _OBS
+from ..observability import STRUCTURED_LOG as _SLOG
 from .host import FederationBlueprint, ShardHost, ShardSpec
-from .wire import event_from_wire, read_frame, write_frame
+from .wire import event_from_wire, extract_trace, read_frame, write_frame
 
 
 def worker_main(
@@ -71,6 +82,32 @@ def worker_main(
         _OBS.enable()
     else:
         _OBS.disable()
+    # Structured logging is likewise process-global and inherited; a
+    # log-shipping worker records into its own ring (no sink — the
+    # facade drains over the frame protocol), others stay silent.
+    ship_logs = bool(options.get("ship_logs"))
+    _SLOG.clear()
+    # The fork also inherited the parent's emission counter; a fresh
+    # worker's stream starts at 1 so the shipping cursor below (and the
+    # supervisor's replay watermark) line up with what this worker emits.
+    _SLOG.set_seq(0)
+    _SLOG.enabled = ship_logs
+    #: The shipped-records high-watermark: records at or below it have
+    #: already crossed the pipe (or were re-emitted during replay after
+    #: a snapshot restore reset the emission counter beneath it).
+    log_cursor = 0
+
+    def observability() -> Dict[str, Any]:
+        nonlocal log_cursor
+        payload: Dict[str, Any] = {
+            "registry": host.metrics_snapshot(),
+            "spans": host.drain_spans(),
+        }
+        if ship_logs:
+            logs = host.drain_logs(log_cursor)
+            log_cursor = int(logs["cursor"])
+            payload["logs"] = logs
+        return payload
 
     inp = os.fdopen(in_fd, "rb")
     out = os.fdopen(out_fd, "wb")
@@ -82,6 +119,7 @@ def worker_main(
             shard_count,
             share_plans=bool(options.get("share_plans", True)),
         )
+        host.ship_logs = ship_logs
         host.apply_blueprint(FederationBlueprint.from_wire(blueprint_wire))
         while True:
             frame = read_frame(inp)
@@ -91,7 +129,8 @@ def worker_main(
             try:
                 if kind == "events":
                     host.ingest(
-                        [event_from_wire(data) for data in frame["events"]]
+                        [event_from_wire(data) for data in frame["events"]],
+                        extract_trace(frame),
                     )
                 elif kind == "deploy":
                     host.deploy_spec(ShardSpec.from_wire(frame["spec"]))
@@ -104,6 +143,7 @@ def worker_main(
                             "kind": "stats",
                             "stats": host.stats(),
                             "errors": list(errors),
+                            "observability": observability(),
                         },
                     )
                     errors.clear()
@@ -113,6 +153,7 @@ def worker_main(
                         {
                             "kind": "results",
                             "notifications": host.drain_results(),
+                            "observability": observability(),
                         },
                     )
                 elif kind == "snapshot":
@@ -125,6 +166,11 @@ def worker_main(
                     )
                 elif kind == "restore":
                     host.restore_state(frame["state"])
+                    # The restore moved the log's emission counter to the
+                    # snapshot's position; records below it are covered
+                    # state, not unshipped backlog, so the shipping
+                    # cursor must not count them as dropped.
+                    log_cursor = _SLOG.seq
                 elif kind == "shutdown":
                     write_frame(out, {"kind": "bye"})
                     break

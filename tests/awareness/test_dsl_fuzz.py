@@ -162,7 +162,19 @@ class TestDslFuzz:
                         new_value=value,
                     )
                 )
+        # The canonical decompile deliberately reorders commutative
+        # operator definitions (PR 4's within-wave sort), which can change
+        # consumer registration order and therefore the *intra-tick*
+        # interleaving of detections on diamond-shaped DAGs.  The
+        # equivalence contract is the per-tick multiset of detections,
+        # not their intra-tick order.
+        def per_tick(stream):
+            out = {}
+            for event in stream:
+                out.setdefault(event.time, []).append(
+                    repr(event.get("intInfo"))
+                )
+            return {time: sorted(infos) for time, infos in out.items()}
+
         assert len(detected[0]) == len(detected[1])
-        for a, b in zip(detected[0], detected[1]):
-            assert a.time == b.time
-            assert a.get("intInfo") == b.get("intInfo")
+        assert per_tick(detected[0]) == per_tick(detected[1])

@@ -72,6 +72,66 @@ class TestPlanCacheSmoke:
         assert len(payload["nodes"]) == nodes
 
 
+class TestFederatedObservabilitySmoke:
+    def test_export_emits_shard_labelled_prometheus_text(self, capsys):
+        code, out = run_cli(capsys, "export", "--shards", str(SHARDS))
+        assert code == 0
+        assert "# TYPE bus_published_total counter" in out
+        for shard in range(SHARDS):
+            assert f'{{shard="{shard}"' in out
+        # The facade's own registry rides along under its own label.
+        assert 'shard="facade"' in out
+
+    def test_export_without_shards_renders_the_demonstration(self, capsys):
+        code, out = run_cli(capsys, "export")
+        assert code == 0
+        assert "# TYPE notifications_delivered_total counter" in out
+
+    def test_trace_shards_assembles_cross_shard_traces(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "--shards", str(SHARDS), "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["traces"], "every wave is sampled in this mode"
+        multi = [
+            trace for trace in payload["traces"] if len(trace["shards"]) >= 2
+        ]
+        assert multi, "a full ingest wave must touch both shards"
+        for trace in payload["traces"]:
+            for entry in trace["spans"]:
+                assert entry["span"]["name"] == "shard.ingest"
+        assert payload["orphaned"] == 0
+        assert payload["stage_p95_us"]
+
+    def test_health_shards_exit_code_tracks_worker_breach(self, capsys):
+        # Relaxed limits + drained queues: ok.
+        code, out = run_cli(
+            capsys, "health", "--shards", str(SHARDS), "--json"
+        )
+        payload = json.loads(out)
+        assert code in (0, 1)
+        assert payload["status"] in ("ok", "degraded")
+        assert payload["federation"]["stats"]["shards_alive"] == SHARDS
+        # Undrained queues + a 1-notification limit: a worker-side SLO
+        # breach must surface as the documented exit code.
+        code, out = run_cli(
+            capsys,
+            "health",
+            "--shards",
+            str(SHARDS),
+            "--no-drain",
+            "--limit",
+            "queue-depth=1",
+            "--json",
+        )
+        payload = json.loads(out)
+        assert code == 1
+        assert payload["status"] == "degraded"
+        assert payload["rules"]["queue-depth"]["firing"]
+        assert payload["federation"]["stats"]["shards_alive"] == SHARDS
+
+
 class TestShardingSmoke:
     @pytest.mark.skipif(
         "fork" not in multiprocessing.get_all_start_methods(),
