@@ -1,17 +1,34 @@
 """The write-ahead frame log: length-prefixed frames on disk.
 
-One :class:`FrameLog` is one append-only file of wire frames — the same
-4-byte length prefix + UTF-8 JSON encoding the shard channel speaks
-(:mod:`repro.parallel.wire`), so a journaled event batch is byte-for-byte
-the frame that crossed (or will cross) the worker pipe, and ``strace``
-output, journal files, and pipe traffic all read identically.
+One :class:`FrameLog` is one append-only file of wire frames in either
+channel codec.  A **binary** journal (the default, matching the shard
+channel's default) starts with the :data:`JOURNAL_MAGIC` header and
+carries :mod:`repro.parallel.codec` frames — the exact bytes-for-bytes
+encoding the worker pipe speaks, raw events included; a **JSON** journal
+is the 4-byte length prefix + UTF-8 JSON framing of
+:mod:`repro.parallel.wire`.  Readers auto-detect the codec from the
+first bytes (the magic's first byte can never begin a valid JSON frame:
+as a length prefix it would exceed ``MAX_FRAME_BYTES``), so journals
+written before the binary codec existed keep replaying — and opening a
+journal under the *other* codec atomically re-encodes it, converting
+event frames between their raw and wire forms, so one file never mixes
+codecs.
 
-Durability policy is *fsync batching*: every append is written and
-flushed to the OS immediately (a crashed **worker** loses nothing — the
-journal lives in the facade's process), but ``os.fsync`` — the expensive
-part — runs once every ``fsync_every`` appends and on :meth:`sync`.
-A machine-level crash can therefore lose at most the last
-``fsync_every`` frames; a process-level crash loses nothing.
+Binary journals are *self-contained*: the interning tables start empty
+at the first frame, every define-record is inline, and compaction
+rewrites the file under a fresh encoder — a decoder starting at byte
+four replays any cut.  Reopening a binary journal for append decodes
+the existing frames once and seeds the append encoder with the decoder's
+tables, so new frames keep referencing the established ids.
+
+Write policy is *coalescing with fsync batching*: appends accumulate in
+a buffer that is written with a **single** ``os.write`` per fsync batch
+(``journal_writes_total`` counts the physical writes), and ``os.fsync``
+runs once per ``fsync_every`` appends and on :meth:`sync`.  A machine
+crash — or now a facade-process crash mid-batch — can lose at most the
+last ``fsync_every`` frames; with ``fsync_every=0`` every append is
+written and flushed to the OS immediately (no coalescing, never
+fsynced), preserving the pre-batching process-crash durability.
 
 Frame *indices are absolute* (counted from the journal's creation):
 snapshots record the absolute index they cover, and compaction — which
@@ -28,14 +45,103 @@ the next frame starts clean — the standard WAL repair rule.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import DurabilityError, WireError
+from ..events.event import Event
 from ..observability import STRUCTURED_LOG as _SLOG
-from ..parallel.wire import read_frame, write_frame
+from ..observability import Counter, default_registry
+from ..parallel.codec import (
+    WIRE_CODECS,
+    BinaryDecoder,
+    BinaryEncoder,
+)
+from ..parallel.wire import (
+    MAX_FRAME_BYTES,
+    event_from_wire,
+    event_to_wire,
+    frame_bytes,
+)
 
 #: Frame kind of the compaction control frame (never replayed).
 CONTROL_COMPACTED = "compacted"
+
+#: First bytes of a binary journal file.  The leading ``0xC3`` byte is
+#: deliberate: read as a JSON frame's length prefix it decodes to ~3.2
+#: GB — far beyond ``MAX_FRAME_BYTES`` — so a JSON reader fails fast
+#: instead of misparsing, and auto-detection is unambiguous.
+JOURNAL_MAGIC = b"\xc3RJ1"
+
+
+def detect_codec(path: str) -> Optional[str]:
+    """The codec of the journal at *path*; ``None`` if missing/empty."""
+    try:
+        with open(path, "rb") as stream:
+            head = stream.read(len(JOURNAL_MAGIC))
+    except FileNotFoundError:
+        return None
+    if not head:
+        return None
+    return "binary" if head == JOURNAL_MAGIC else "json"
+
+
+def _load(
+    path: str,
+) -> Tuple[str, List[Dict[str, Any]], int, bool, Optional[BinaryDecoder]]:
+    """Read a whole journal: ``(codec, frames, valid_bytes, torn, decoder)``.
+
+    Binary frames must decode in file order against one decoder (the
+    interning tables are stream state); the decoder comes back so an
+    append-side encoder can adopt its tables.
+    """
+    codec = detect_codec(path) or "json"
+    frames: List[Dict[str, Any]] = []
+    torn = False
+    decoder: Optional[BinaryDecoder] = None
+    with open(path, "rb") as stream:
+        if codec == "binary":
+            decoder = BinaryDecoder()
+            valid = len(stream.read(len(JOURNAL_MAGIC)))
+            while True:
+                header = stream.read(4)
+                if not header:
+                    break
+                if len(header) < 4:
+                    torn = True
+                    break
+                length = int.from_bytes(header, "big")
+                if length > MAX_FRAME_BYTES:
+                    torn = True
+                    break
+                payload = stream.read(length)
+                if len(payload) < length:
+                    torn = True
+                    break
+                try:
+                    frames.append(decoder.decode_payload(payload))
+                except WireError:
+                    torn = True
+                    break
+                valid = stream.tell()
+        else:
+            from ..parallel.wire import read_frame
+
+            valid = 0
+            while True:
+                try:
+                    frame = read_frame(stream)
+                except WireError:
+                    torn = True
+                    break
+                if frame is None:
+                    break
+                frames.append(frame)
+                valid = stream.tell()
+    if not torn:
+        # A clean EOF and a lone partial header both end the loop;
+        # compare against the file size to tell them apart.
+        torn = os.path.getsize(path) > valid
+    return codec, frames, valid, torn, decoder
 
 
 def scan(path: str) -> Tuple[int, int, bool]:
@@ -43,117 +149,211 @@ def scan(path: str) -> Tuple[int, int, bool]:
 
     ``file_frames`` counts every complete frame physically present
     (including a leading control frame); ``valid_bytes`` is the offset
-    just past the last complete frame; ``torn_tail`` is true when bytes
-    beyond it exist but do not form a whole frame (a crash mid-append).
+    just past the last complete frame (the codec magic included);
+    ``torn_tail`` is true when bytes beyond it exist but do not form a
+    whole frame (a crash mid-append).  The codec is auto-detected.
     """
-    frames = 0
-    valid = 0
-    torn = False
-    with open(path, "rb") as stream:
-        while True:
-            try:
-                frame = read_frame(stream)
-            except WireError:
-                torn = True
-                break
-            if frame is None:
-                break
-            frames += 1
-            valid = stream.tell()
-        if not torn:
-            # read_frame returns None both at a true EOF and when only a
-            # partial header remains; compare against the file size to
-            # tell them apart.
-            torn = os.path.getsize(path) > valid
-    return frames, valid, torn
+    __, frames, valid, torn, __decoder = _load(path)
+    return len(frames), valid, torn
 
 
 def read_file_frames(path: str, skip: int = 0) -> List[Dict[str, Any]]:
-    """Complete frames from file position *skip* on (torn tail ignored)."""
-    frames: List[Dict[str, Any]] = []
-    with open(path, "rb") as stream:
-        index = 0
-        while True:
-            try:
-                frame = read_frame(stream)
-            except WireError:
-                break
-            if frame is None:
-                break
-            if index >= skip:
-                frames.append(frame)
-            index += 1
-    return frames
+    """Complete frames from file frame *skip* on (torn tail ignored).
+
+    The codec is auto-detected; binary journals return their frames
+    with native values (raw events included)."""
+    __, frames, __valid, __torn, __decoder = _load(path)
+    return frames[skip:]
 
 
 def log_base(path: str) -> int:
     """The absolute index of the first payload frame in the file."""
-    with open(path, "rb") as stream:
-        try:
-            first = read_frame(stream)
-        except WireError:
-            return 0
-    if first is not None and first.get("kind") == CONTROL_COMPACTED:
-        return int(first["base"])
+    __, frames, __valid, __torn, __decoder = _load(path)
+    if frames and frames[0].get("kind") == CONTROL_COMPACTED:
+        return int(frames[0]["base"])
     return 0
 
 
-class FrameLog:
-    """An append-only, fsync-batched log of wire frames."""
+def convert_frame(frame: Dict[str, Any], codec: str) -> Dict[str, Any]:
+    """*frame* in the channel form of *codec*.
 
-    def __init__(self, path: str, fsync_every: int = 16) -> None:
+    Only ``events`` frames differ between codecs: binary channels carry
+    the events themselves, JSON channels their ``event_to_wire`` dicts.
+    Every other frame kind is codec-neutral and passes through.
+    """
+    if frame.get("kind") != "events":
+        return frame
+    events = frame.get("events") or []
+    if codec == "binary":
+        if events and not isinstance(events[0], Event):
+            frame = dict(frame)
+            frame["events"] = [event_from_wire(data) for data in events]
+    elif events and isinstance(events[0], Event):
+        frame = dict(frame)
+        frame["events"] = [
+            event_to_wire(event, provenance=True) for event in events
+        ]
+    return frame
+
+
+def _journal_counters() -> Dict[str, Counter]:
+    registry = default_registry()
+    return {
+        "writes": registry.counter(
+            "journal_writes_total",
+            "Physical journal writes (one per coalesced frame batch)",
+        ),
+    }
+
+
+class FrameLog:
+    """An append-only, write-coalescing, fsync-batched log of frames."""
+
+    def __init__(
+        self, path: str, fsync_every: int = 16, codec: str = "binary"
+    ) -> None:
         if fsync_every < 0:
             raise DurabilityError("fsync_every must be >= 0 (0 = never)")
+        if codec not in WIRE_CODECS:
+            raise DurabilityError(
+                f"unknown journal codec {codec!r}; "
+                f"expected one of {WIRE_CODECS}"
+            )
         self.path = path
         self.fsync_every = fsync_every
+        self.codec = codec
         self._unsynced = 0
         self.appended = 0
         self.bytes_written = 0
+        #: Physical write calls issued (appends - writes = syscalls the
+        #: coalescing saved); also exported as ``journal_writes_total``.
+        self.writes_total = 0
+        self._metrics = _journal_counters()
+        #: Pending encoded frames awaiting one coalesced write.
+        self._buffer = bytearray()
+        self._encoder = BinaryEncoder()
         #: Absolute index of the file's first payload frame (compaction
         #: shifts it forward; indices handed out stay stable).
         self.base = 0
         file_frames = 0
-        if os.path.exists(path):
-            file_frames, valid, torn = scan(path)
-            if torn:
-                # Torn tail from a previous crashed writer: truncate to
-                # the last complete frame so appends start clean.
-                with open(path, "r+b") as repair:
-                    repair.truncate(valid)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        if not fresh:
+            detected, frames, valid, torn, decoder = _load(path)
+            if frames and frames[0].get("kind") == CONTROL_COMPACTED:
+                self.base = int(frames[0]["base"])
+                file_frames = len(frames) - 1
+            else:
+                file_frames = len(frames)
+            if detected != codec:
+                # Re-encode the whole file under the requested codec so
+                # it never mixes framings; the torn tail (if any) dies
+                # with the rewrite.  Event frames convert between their
+                # raw and wire forms; the fresh encoder used for the
+                # rewrite becomes the append encoder (its tables match
+                # the file exactly).
+                self._recode(frames)
                 _SLOG.emit(
                     "durability",
-                    "journal_tail_truncated",
+                    "journal_recoded",
                     level="warning",
                     path=path,
                     frames=file_frames,
-                    valid_bytes=valid,
+                    from_codec=detected,
+                    to_codec=codec,
                 )
-            self.base = log_base(path)
-            if self.base:
-                file_frames -= 1  # the control frame is not a payload
+            else:
+                if torn:
+                    # Torn tail from a previous crashed writer: truncate
+                    # to the last complete frame so appends start clean.
+                    with open(path, "r+b") as repair:
+                        repair.truncate(valid)
+                    _SLOG.emit(
+                        "durability",
+                        "journal_tail_truncated",
+                        level="warning",
+                        path=path,
+                        frames=file_frames,
+                        valid_bytes=valid,
+                    )
+                    if codec == "binary":
+                        # A tail torn mid-decode may have polluted the
+                        # decoder's intern tables with defines that just
+                        # got truncated away; re-read the repaired file
+                        # so the seed matches the surviving bytes.
+                        __d, __f, __v, __t, decoder = _load(path)
+                if codec == "binary" and decoder is not None:
+                    # Seed the append encoder with the tables the file's
+                    # frames established, so new refs stay consistent.
+                    self._encoder.seed(
+                        decoder.interned_strings,
+                        decoder.interned_compounds,
+                    )
         #: Absolute count of payload frames ever appended (next index).
         self.frame_count = self.base + file_frames
         self._stream = open(path, "ab")
+        if fresh and codec == "binary":
+            self._stream.write(JOURNAL_MAGIC)
+            self._stream.flush()
+
+    def _encode(self, frame: Mapping[str, Any]) -> bytes:
+        if self.codec == "binary":
+            return self._encoder.encode_frame(
+                convert_frame(dict(frame), "binary")
+            )
+        return frame_bytes(convert_frame(dict(frame), "json"))
+
+    def _recode(self, frames: List[Dict[str, Any]]) -> None:
+        """Atomically rewrite the file under ``self.codec``."""
+        replacement = f"{self.path}.recode"
+        self._encoder = BinaryEncoder()
+        with open(replacement, "wb") as stream:
+            if self.codec == "binary":
+                stream.write(JOURNAL_MAGIC)
+            for frame in frames:
+                stream.write(self._encode(frame))
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(replacement, self.path)
 
     # -- writing -----------------------------------------------------------
 
     def append(self, frame: Mapping[str, Any]) -> int:
-        """Durably append one frame; returns its absolute index."""
-        before = self._stream.tell()
-        write_frame(self._stream, frame)
-        self.bytes_written += self._stream.tell() - before
+        """Append one frame; returns its absolute index.
+
+        The encoded frame lands in the coalescing buffer; it reaches
+        the OS with the batch's single write (at the fsync point, or —
+        with ``fsync_every=0`` — immediately).
+        """
+        data = self._encode(frame)
+        self._buffer += data
+        self.bytes_written += len(data)
         index = self.frame_count
         self.frame_count += 1
         self.appended += 1
         self._unsynced += 1
-        if self.fsync_every and self._unsynced >= self.fsync_every:
-            self.sync()
+        if self.fsync_every:
+            if self._unsynced >= self.fsync_every:
+                self.sync()
+        else:
+            # fsync_every=0 keeps the historical per-append OS write:
+            # a facade crash then still loses nothing (only a machine
+            # crash can).
+            self._flush_buffer()
         return index
 
-    def sync(self) -> None:
-        """Force the batched fsync now."""
-        if self._unsynced:
+    def _flush_buffer(self) -> None:
+        """One ``os.write`` for every frame buffered since the last."""
+        if self._buffer:
+            self._stream.write(self._buffer)
             self._stream.flush()
+            self.writes_total += 1
+            self._metrics["writes"].inc()
+            del self._buffer[:]
+
+    def sync(self) -> None:
+        """Write the coalesced batch and force the batched fsync now."""
+        self._flush_buffer()
+        if self._unsynced:
             os.fsync(self._stream.fileno())
             self._unsynced = 0
 
@@ -166,7 +366,7 @@ class FrameLog:
                 f"frames before index {self.base} were compacted away; "
                 f"cannot read from {start}"
             )
-        self._stream.flush()
+        self._flush_buffer()
         skip = (start - self.base) + (1 if self.base else 0)
         return read_file_frames(self.path, skip)
 
@@ -174,8 +374,11 @@ class FrameLog:
         """Drop frames below absolute index *keep_from* (atomic rewrite).
 
         Called after a snapshot: frames the snapshot already covers are
-        dead weight for recovery.  Returns the surviving payload frame
-        count.
+        dead weight for recovery.  A binary journal is rewritten under a
+        **fresh** encoder — the interning tables reset at the compaction
+        boundary, so the surviving cut is self-contained — and the fresh
+        encoder takes over for subsequent appends.  Returns the
+        surviving payload frame count.
         """
         if keep_from <= self.base:
             return self.frame_count - self.base
@@ -186,17 +389,10 @@ class FrameLog:
             )
         self.sync()
         survivors = self.tail(keep_from)
-        replacement = f"{self.path}.compact"
-        with open(replacement, "wb") as stream:
-            write_frame(
-                stream, {"kind": CONTROL_COMPACTED, "base": keep_from}
-            )
-            for frame in survivors:
-                write_frame(stream, frame)
-            stream.flush()
-            os.fsync(stream.fileno())
         self._stream.close()
-        os.replace(replacement, self.path)
+        self._recode(
+            [{"kind": CONTROL_COMPACTED, "base": keep_from}] + survivors
+        )
         self._stream = open(self.path, "ab")
         self.base = keep_from
         return len(survivors)

@@ -38,8 +38,9 @@ from ..events.event import Event
 from ..observability import STRUCTURED_LOG as _SLOG
 from ..observability import Counter, default_registry
 from ..observability.trace import TraceContext
+from ..parallel.codec import events_frame
 from ..parallel.host import FederationBlueprint, ShardSpec
-from ..parallel.wire import attach_trace, event_to_wire, strip_trace_sampling
+from ..parallel.wire import attach_trace, strip_trace_sampling
 from .log import FrameLog
 from .snapshot import ShardSnapshot
 
@@ -104,9 +105,14 @@ class SupervisedShard:
         self._genesis = blueprint.to_wire()
         self._respawn = respawn
         directory = shard_directory(config.durable_dir, self.shard_id)
+        # The journal shares the channel's codec: a journaled frame is
+        # exactly the frame that crossed (or will cross) the worker
+        # pipe, so recovery replays it verbatim.  Opening a journal left
+        # by a deployment on the *other* codec re-encodes it in place.
         self.journal = FrameLog(
             os.path.join(directory, JOURNAL_FILENAME),
             fsync_every=config.fsync_every,
+            codec=config.wire_codec,
         )
         self.snapshot_path = os.path.join(directory, SNAPSHOT_FILENAME)
         #: Frames below this index predate this federation (a reused
@@ -129,6 +135,11 @@ class SupervisedShard:
     @property
     def alive(self) -> bool:
         return self.inner.alive
+
+    @property
+    def wire_codec(self) -> str:
+        """The negotiated channel (and journal) codec."""
+        return self.inner.wire_codec
 
     # -- observability forwarding ------------------------------------------
 
@@ -187,13 +198,7 @@ class SupervisedShard:
         self, events: List[Event], ctx: Optional[TraceContext] = None
     ) -> None:
         self._journal_and_send(
-            attach_trace(
-                {
-                    "kind": "events",
-                    "events": [event_to_wire(event) for event in events],
-                },
-                ctx,
-            )
+            attach_trace(events_frame(events, self.wire_codec), ctx)
         )
         self._maybe_snapshot()
 
@@ -284,6 +289,7 @@ class SupervisedShard:
             frame_index=frame_index,
             blueprint=self._blueprint.to_wire(),
             state=state,
+            codec=self.wire_codec,
         )
         # Invariant for offline tools: a snapshot on disk never covers
         # frames the journal has not durably written.

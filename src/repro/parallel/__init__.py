@@ -17,9 +17,20 @@ Entry points:
   ``serial`` / ``process`` backend switch;
 * :class:`~repro.parallel.host.FederationBlueprint` /
   :class:`~repro.parallel.host.ShardSpec` — the data-only bootstrap;
-* :class:`~repro.parallel.router.ShardRouter` — affinity routing.
+* :class:`~repro.parallel.router.ShardRouter` — affinity routing;
+* :mod:`~repro.parallel.codec` — the binary wire codec the shard
+  channels and write-ahead journals speak by default
+  (``ShardConfig(wire_codec="json")`` restores the debuggable JSON
+  framing).
 """
 
+from .codec import (
+    WIRE_CODECS,
+    BinaryDecoder,
+    BinaryEncoder,
+    make_reader,
+    make_writer,
+)
 from .federation import (
     BACKENDS,
     ShardConfig,
@@ -38,6 +49,8 @@ from .wire import (
 
 __all__ = [
     "BACKENDS",
+    "BinaryDecoder",
+    "BinaryEncoder",
     "FederationBlueprint",
     "RecordingDeliveryQueue",
     "ShardConfig",
@@ -46,8 +59,11 @@ __all__ = [
     "ShardRouter",
     "ShardSpec",
     "ShardedFederation",
+    "WIRE_CODECS",
     "event_from_wire",
     "event_to_wire",
+    "make_reader",
+    "make_writer",
     "read_frame",
     "register_event_type",
     "write_frame",

@@ -1,0 +1,859 @@
+"""The binary wire codec: one serialization fast path for shards and
+the journal.
+
+Frames on a binary channel keep the JSON path's *framing* — a 4-byte
+big-endian length prefix per frame — but the payload is a compact
+type-tagged binary encoding instead of a UTF-8 JSON document, and the
+values inside are the *native* objects the pipeline speaks: ``Event``
+instances, nested tuples, frozensets, and provenance node trees cross
+the channel without the ``event_to_wire`` / ``encode_value`` tag-dict
+detour (``$fs`` / ``$t`` / ``$d``) the JSON path pays per value.
+
+**Value encoding.**  Every value is one tag byte followed by its body:
+
+========  =====================================================
+tag       body
+========  =====================================================
+``NONE``  —
+``TRUE``  —
+``FALSE`` —
+``INT``   zigzag varint (arbitrary precision)
+``FLOAT`` IEEE-754 big-endian double
+``STR``   varint byte length + UTF-8 (not interned)
+``DEF``   varint byte length + UTF-8; *defines* the next string id
+``REF``   varint string id (see interning below)
+``LIST``  varint count + members
+``TUPLE`` varint count + members
+``FSET``  varint count + members, sorted by ``repr`` for
+          deterministic bytes (mirrors the JSON path)
+``DICT``  varint count + alternating key/value members
+``EVENT`` event type name, key-schema tuple, the parameter
+          values in key order (``type`` skipped), provenance flag
+          byte + optional provenance tree
+``PROV``  provenance node: id, node, kind, type, logical time,
+          summary, varint child count + children
+``CDEF``  *defines* the next compound id; body is the
+          TUPLE/FSET it wraps
+``CREF``  varint compound id
+========  =====================================================
+
+**Per-channel interning.**  Each channel direction owns one encoder and
+one mirroring decoder.  The first time a short string (≤
+:data:`INTERN_MAX` UTF-8 bytes) is encoded it travels as an inline
+``DEF`` record and both sides append it to their string table; every
+later occurrence is a 2–3 byte ``REF``.  Hashable tuples and frozensets
+(association pairs, ``processAssociations`` sets, and — crucially — the
+per-event *key schema*, the tuple of parameter names) intern the same
+way through ``CDEF``/``CREF``: a steady-state event is its type-name
+ref, its key-schema ref, and its parameter values, nothing else.
+Compound ids are assigned in **post-order** (a definition completes,
+and numbers, after its members) because that is the only order an
+streaming decoder can mirror without backpatching.
+
+Tables are *per channel instance*: a fresh worker (respawn after a
+crash) gets a fresh writer/reader pair, and a compacted journal is
+rewritten under a fresh encoder, so every replay cut is
+self-contained — a decoder starting at the file's first frame sees
+every ``DEF`` it needs.
+
+**Error discipline.**  A truncated, torn, or corrupt payload raises
+:class:`~repro.errors.WireError` — never ``IndexError`` or a crash —
+and leaves the decoder's tables undefined: callers must
+:meth:`~BinaryDecoder.reset` (or discard) the decoder after an error.
+"""
+
+from __future__ import annotations
+
+import struct
+from types import MappingProxyType
+from typing import Any, Dict, IO, List, Mapping, Optional, Tuple
+
+from ..errors import WireError
+from ..events.event import Event
+from ..observability.provenance import ProvenanceNode
+from .wire import (
+    MAX_FRAME_BYTES,
+    _read_exact,
+    read_frame,
+    resolve_event_type,
+    write_frame,
+)
+
+#: The codecs a shard channel (and the journal) can speak.
+WIRE_CODECS = ("binary", "json")
+
+#: Strings longer than this many UTF-8 bytes are not interned (one-off
+#: payload text should not occupy table slots).
+INTERN_MAX = 64
+
+#: Upper bound on interned entries per table; beyond it, values encode
+#: inline (correct, just less compact).
+INTERN_CAP = 1 << 15
+
+# Value tags.
+T_NONE = 0
+T_TRUE = 1
+T_FALSE = 2
+T_INT = 3
+T_FLOAT = 4
+T_STR = 5
+T_DEF = 6
+T_REF = 7
+T_LIST = 8
+T_TUPLE = 9
+T_FSET = 10
+T_DICT = 11
+T_EVENT = 12
+T_PROV = 13
+T_CDEF = 14
+T_CREF = 15
+
+_pack_into = struct.pack_into
+_pack_d = struct.Struct(">d").pack
+_unpack_d = struct.Struct(">d").unpack_from
+_HEADER = struct.Struct(">I")
+_new_event = object.__new__
+
+# ---------------------------------------------------------------------------
+# Channel negotiation (the hello frame)
+# ---------------------------------------------------------------------------
+
+#: First bytes on a worker pipe: magic, protocol version, codec byte.
+HELLO_MAGIC = b"RPW1"
+_HELLO_BYTE = {"json": 0, "binary": 1}
+_HELLO_CODEC = {byte: codec for codec, byte in _HELLO_BYTE.items()}
+
+
+def write_hello(stream: IO[bytes], codec: str) -> None:
+    """Open a channel: magic + codec byte, before any frame."""
+    stream.write(HELLO_MAGIC + bytes((_HELLO_BYTE[codec],)))
+    stream.flush()
+
+
+def read_hello(stream: IO[bytes]) -> str:
+    """Read the peer's hello; returns the negotiated codec name."""
+    data = _read_exact(stream, len(HELLO_MAGIC) + 1, allow_eof=False)
+    assert data is not None
+    if data[: len(HELLO_MAGIC)] != HELLO_MAGIC:
+        raise WireError(
+            f"bad channel hello {data[:len(HELLO_MAGIC)]!r} "
+            f"(expected {HELLO_MAGIC!r})"
+        )
+    codec = _HELLO_CODEC.get(data[-1])
+    if codec is None:
+        raise WireError(f"unknown wire codec byte {data[-1]!r} in hello")
+    return codec
+
+
+# ---------------------------------------------------------------------------
+# Varints
+# ---------------------------------------------------------------------------
+
+
+def _varint(buf: bytearray, n: int) -> None:
+    while n > 0x7F:
+        buf.append((n & 0x7F) | 0x80)
+        n >>= 7
+    buf.append(n)
+
+
+def _ref_bytes(tag: int, n: int) -> bytes:
+    out = bytearray((tag,))
+    _varint(out, n)
+    return bytes(out)
+
+
+#: Precomputed ``INT`` encodings for small non-negative ints (logical
+#: times, sequence numbers, counters — the bulk of numeric traffic).
+_INT_CACHE: List[bytes] = []
+for _small in range(2048):
+    _cached = bytearray((T_INT,))
+    _varint(_cached, _small << 1)
+    _INT_CACHE.append(bytes(_cached))
+del _small, _cached
+
+
+# ---------------------------------------------------------------------------
+# Encoder
+# ---------------------------------------------------------------------------
+
+
+class BinaryEncoder:
+    """One channel direction's stateful encoder.
+
+    Reuses a single ``bytearray`` across frames (no per-frame
+    allocation growth) and keeps the interning tables between frames —
+    the whole point: steady-state frames are almost entirely refs.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        #: str -> precomputed ``REF`` bytes.
+        self._refs: Dict[str, bytes] = {}
+        self._count = 0
+        #: hashable tuple/frozenset -> precomputed ``CREF`` bytes.
+        self._crefs: Dict[Any, bytes] = {}
+        self._ccount = 0
+
+    def reset(self) -> None:
+        """Drop the interning tables (respawn / compaction boundary)."""
+        self._refs.clear()
+        self._count = 0
+        self._crefs.clear()
+        self._ccount = 0
+
+    def seed(self, strings: List[str], compounds: List[Any]) -> None:
+        """Adopt a decoder's tables (reopening an existing journal).
+
+        ``strings`` / ``compounds`` must be the define-order tables of a
+        :class:`BinaryDecoder` that consumed every frame this encoder's
+        stream already carries; encoding continues exactly where the
+        previous writer left off.
+        """
+        self.reset()
+        for index, text in enumerate(strings):
+            self._refs[text] = _ref_bytes(T_REF, index)
+        self._count = len(strings)
+        for index, compound in enumerate(compounds):
+            try:
+                self._crefs[compound] = _ref_bytes(T_CREF, index)
+            except TypeError:  # pragma: no cover - decoder never defines
+                pass  # an unhashable compound; defensive only
+        self._ccount = len(compounds)
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode_frame(self, frame: Mapping[str, Any]) -> bytes:
+        """One length-prefixed binary frame, ready for a single write."""
+        buf = self._buf
+        del buf[:]
+        buf += b"\x00\x00\x00\x00"
+        self._value(buf, frame if type(frame) is dict else dict(frame))
+        size = len(buf) - 4
+        if size > MAX_FRAME_BYTES:
+            raise WireError(
+                f"frame length {size} exceeds {MAX_FRAME_BYTES}"
+            )
+        _pack_into(">I", buf, 0, size)
+        return bytes(buf)
+
+    def _define(self, buf: bytearray, text: str) -> None:
+        raw = text.encode("utf-8")
+        size = len(raw)
+        if size <= INTERN_MAX and self._count < INTERN_CAP:
+            buf.append(T_DEF)
+            _varint(buf, size)
+            buf += raw
+            self._refs[text] = _ref_bytes(T_REF, self._count)
+            self._count += 1
+        else:
+            buf.append(T_STR)
+            _varint(buf, size)
+            buf += raw
+
+    def _value(self, buf: bytearray, value: Any) -> None:
+        kind = type(value)
+        if kind is str:
+            ref = self._refs.get(value)
+            if ref is not None:
+                buf += ref
+            else:
+                self._define(buf, value)
+        elif kind is int:
+            if 0 <= value < 2048:
+                buf += _INT_CACHE[value]
+            else:
+                buf.append(T_INT)
+                _varint(
+                    buf,
+                    (value << 1) if value >= 0 else (((-value) << 1) - 1),
+                )
+        # Events come third: an ``events`` frame is mostly a list of
+        # them, and each list member dispatches through here.
+        elif kind is Event:
+            buf.append(T_EVENT)
+            self._event(buf, value)
+        elif kind is bool:
+            buf.append(T_TRUE if value else T_FALSE)
+        elif value is None:
+            buf.append(T_NONE)
+        elif kind is float:
+            buf.append(T_FLOAT)
+            buf += _pack_d(value)
+        elif kind is tuple or kind is frozenset:
+            try:
+                ref = self._crefs.get(value)
+                internable = True
+            except TypeError:  # tuple holding an unhashable member
+                ref = None
+                internable = False
+            if ref is not None:
+                buf += ref
+                return
+            intern = internable and self._ccount < INTERN_CAP
+            if intern:
+                buf.append(T_CDEF)
+            members = (
+                sorted(value, key=repr) if kind is frozenset else value
+            )
+            buf.append(T_TUPLE if kind is tuple else T_FSET)
+            _varint(buf, len(members))
+            encode = self._value
+            for member in members:
+                encode(buf, member)
+            if intern:
+                # Post-order id assignment: nested compounds complete
+                # (and number) first, matching the decoder's
+                # append-after-decode order.
+                self._crefs[value] = _ref_bytes(T_CREF, self._ccount)
+                self._ccount += 1
+        elif kind is dict:
+            buf.append(T_DICT)
+            _varint(buf, len(value))
+            encode = self._value
+            for key, member in value.items():
+                encode(buf, key)
+                encode(buf, member)
+        elif kind is list:
+            buf.append(T_LIST)
+            _varint(buf, len(value))
+            encode = self._value
+            event = self._event
+            for member in value:
+                # A wave's ``events`` list is the hot list shape: skip
+                # the generic dispatch frame for its members.
+                if type(member) is Event:
+                    buf.append(T_EVENT)
+                    event(buf, member)
+                else:
+                    encode(buf, member)
+        elif kind is ProvenanceNode:
+            buf.append(T_PROV)
+            self._provenance(buf, value)
+        elif isinstance(value, Mapping):
+            self._value(buf, dict(value))
+        else:
+            raise WireError(
+                f"value {value!r} ({kind.__name__}) is not wire-encodable"
+            )
+
+    def _event(self, buf: bytearray, event: Event) -> None:
+        refs_get = self._refs.get
+        crefs_get = self._crefs.get
+        name = event._event_type.name
+        ref = refs_get(name)
+        if ref is not None:
+            buf += ref
+        else:
+            self._define(buf, name)
+        params = event._params
+        keys = tuple(params)
+        ref = crefs_get(keys)
+        if ref is not None:
+            buf += ref
+        else:
+            self._value(buf, keys)
+        int_cache = _INT_CACHE
+        encode = self._value
+        for key, value in params.items():
+            if key == "type":
+                continue
+            kind = type(value)
+            if kind is str:
+                ref = refs_get(value)
+                if ref is not None:
+                    buf += ref
+                else:
+                    self._define(buf, value)
+            elif kind is int and 0 <= value < 2048:
+                buf += int_cache[value]
+            elif kind is tuple or kind is frozenset:
+                try:
+                    ref = crefs_get(value)
+                except TypeError:
+                    ref = None
+                if ref is not None:
+                    buf += ref
+                else:
+                    encode(buf, value)
+            else:
+                encode(buf, value)
+        chain = event.provenance
+        if chain is None:
+            buf.append(0)
+        else:
+            buf.append(1)
+            self._provenance(buf, chain)
+
+    def _provenance(self, buf: bytearray, node: ProvenanceNode) -> None:
+        encode = self._value
+        encode(buf, node.event_id)
+        encode(buf, node.node)
+        encode(buf, node.kind)
+        encode(buf, node.event_type)
+        encode(buf, node.logical_time)
+        encode(buf, node.summary)
+        inputs = node.inputs
+        _varint(buf, len(inputs))
+        for child in inputs:
+            self._provenance(buf, child)
+
+
+# ---------------------------------------------------------------------------
+# Decoder
+# ---------------------------------------------------------------------------
+
+#: Exceptions a corrupt payload can surface as; all become WireError.
+_DECODE_ERRORS = (
+    IndexError,
+    KeyError,
+    OverflowError,
+    TypeError,
+    UnicodeDecodeError,
+    ValueError,
+    struct.error,
+)
+
+
+class BinaryDecoder:
+    """The mirror of :class:`BinaryEncoder`: same stream, same tables."""
+
+    def __init__(self) -> None:
+        self._strings: List[str] = []
+        self._compounds: List[Any] = []
+        self._types: Dict[str, Any] = {}
+
+    def reset(self) -> None:
+        """Drop the interning tables (respawn / compaction boundary)."""
+        self._strings.clear()
+        self._compounds.clear()
+
+    @property
+    def interned_strings(self) -> List[str]:
+        """The string table in define order (for :meth:`BinaryEncoder.seed`)."""
+        return list(self._strings)
+
+    @property
+    def interned_compounds(self) -> List[Any]:
+        """The compound table in define order."""
+        return list(self._compounds)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode_payload(self, data: Any) -> Dict[str, Any]:
+        """Decode one frame payload (``bytes`` or ``memoryview``).
+
+        Raises :class:`WireError` on truncated, trailing, or corrupt
+        bytes; the tables are then undefined — reset or discard.
+        """
+        try:
+            value, pos = self._value(data, 0)
+        except WireError:
+            raise
+        except _DECODE_ERRORS as error:
+            raise WireError(
+                f"malformed binary frame payload: "
+                f"{type(error).__name__}: {error}"
+            ) from None
+        if pos != len(data):
+            raise WireError(
+                f"binary frame payload has {len(data) - pos} trailing "
+                f"bytes"
+            )
+        if type(value) is not dict:
+            raise WireError(
+                f"binary frame payload decoded to "
+                f"{type(value).__name__}, not a frame mapping"
+            )
+        return value
+
+    def _value(self, data: Any, pos: int) -> Tuple[Any, int]:
+        tag = data[pos]
+        pos += 1
+        if tag == T_REF:
+            n = data[pos]
+            pos += 1
+            if n >= 0x80:
+                n &= 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    n |= (b & 0x7F) << shift
+                    if b < 0x80:
+                        break
+                    shift += 7
+            return self._strings[n], pos
+        if tag == T_INT:
+            n = data[pos]
+            pos += 1
+            if n >= 0x80:
+                n &= 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    n |= (b & 0x7F) << shift
+                    if b < 0x80:
+                        break
+                    shift += 7
+            return (n >> 1) ^ -(n & 1), pos
+        if tag == T_CREF:
+            n = data[pos]
+            pos += 1
+            if n >= 0x80:
+                n &= 0x7F
+                shift = 7
+                while True:
+                    b = data[pos]
+                    pos += 1
+                    n |= (b & 0x7F) << shift
+                    if b < 0x80:
+                        break
+                    shift += 7
+            return self._compounds[n], pos
+        # Events come fourth: an ``events`` frame is mostly a list of
+        # them, and each list member dispatches through here.
+        if tag == T_EVENT:
+            return self._event(data, pos)
+        if tag == T_DEF:
+            n, pos = self._varint(data, pos)
+            end = pos + n
+            if end > len(data):
+                raise WireError("binary frame truncated inside a string")
+            text = str(data[pos:end], "utf-8")
+            self._strings.append(text)
+            return text, end
+        if tag == T_CDEF:
+            value, pos = self._value(data, pos)
+            self._compounds.append(value)
+            return value, pos
+        if tag == T_STR:
+            n, pos = self._varint(data, pos)
+            end = pos + n
+            if end > len(data):
+                raise WireError("binary frame truncated inside a string")
+            return str(data[pos:end], "utf-8"), end
+        if tag == T_NONE:
+            return None, pos
+        if tag == T_TRUE:
+            return True, pos
+        if tag == T_FALSE:
+            return False, pos
+        if tag == T_FLOAT:
+            return _unpack_d(data, pos)[0], pos + 8
+        if tag == T_TUPLE or tag == T_FSET:
+            n, pos = self._varint(data, pos)
+            out: List[Any] = []
+            decode = self._value
+            for __ in range(n):
+                member, pos = decode(data, pos)
+                out.append(member)
+            return (
+                tuple(out) if tag == T_TUPLE else frozenset(out)
+            ), pos
+        if tag == T_DICT:
+            n, pos = self._varint(data, pos)
+            mapping: Dict[Any, Any] = {}
+            decode = self._value
+            for __ in range(n):
+                key, pos = decode(data, pos)
+                member, pos = decode(data, pos)
+                mapping[key] = member
+            return mapping, pos
+        if tag == T_LIST:
+            n, pos = self._varint(data, pos)
+            items: List[Any] = []
+            decode = self._value
+            event = self._event
+            append = items.append
+            for __ in range(n):
+                # A wave's ``events`` list is the hot list shape: skip
+                # the generic dispatch frame for its members.
+                if data[pos] == T_EVENT:
+                    member, pos = event(data, pos + 1)
+                else:
+                    member, pos = decode(data, pos)
+                append(member)
+            return items, pos
+        if tag == T_PROV:
+            return self._provenance(data, pos)
+        raise WireError(f"unknown binary value tag {tag}")
+
+    def _varint(self, data: Any, pos: int) -> Tuple[int, int]:
+        n = data[pos]
+        pos += 1
+        if n < 0x80:
+            return n, pos
+        n &= 0x7F
+        shift = 7
+        while True:
+            b = data[pos]
+            pos += 1
+            n |= (b & 0x7F) << shift
+            if b < 0x80:
+                return n, pos
+            shift += 7
+
+    def _event(self, data: Any, pos: int) -> Tuple[Event, int]:
+        strings = self._strings
+        compounds = self._compounds
+        decode = self._value
+        # Type name: nearly always a single-byte REF.
+        tag = data[pos]
+        if tag == T_REF:
+            b = data[pos + 1]
+            if b < 0x80:
+                name = strings[b]
+                pos += 2
+            else:
+                name, pos = decode(data, pos)
+        else:
+            name, pos = decode(data, pos)
+        event_type = self._types.get(name)
+        if event_type is None:
+            event_type = self._types[name] = resolve_event_type(name)
+        # Key schema: nearly always a single-byte CREF.
+        tag = data[pos]
+        if tag == T_CREF:
+            b = data[pos + 1]
+            if b < 0x80:
+                keys = compounds[b]
+                pos += 2
+            else:
+                keys, pos = decode(data, pos)
+        else:
+            keys, pos = decode(data, pos)
+        if type(keys) is not tuple:
+            raise WireError("event key schema is not a tuple")
+        params: Dict[str, Any] = {}
+        for key in keys:
+            if key == "type":
+                continue
+            tag = data[pos]
+            if tag == T_REF:
+                b = data[pos + 1]
+                if b < 0x80:
+                    value: Any = strings[b]
+                    pos += 2
+                else:
+                    value, pos = decode(data, pos)
+            elif tag == T_INT:
+                b = data[pos + 1]
+                if b < 0x80:
+                    value = (b >> 1) ^ -(b & 1)
+                    pos += 2
+                else:
+                    b2 = data[pos + 2]
+                    if b2 < 0x80:
+                        n = (b & 0x7F) | (b2 << 7)
+                        value = (n >> 1) ^ -(n & 1)
+                        pos += 3
+                    else:
+                        value, pos = decode(data, pos)
+            elif tag == T_CREF:
+                b = data[pos + 1]
+                if b < 0x80:
+                    value = compounds[b]
+                    pos += 2
+                else:
+                    value, pos = decode(data, pos)
+            else:
+                value, pos = decode(data, pos)
+            params[key] = value
+        # Inlined ``Event.trusted``: the decoder owns *params* and knows
+        # ``"type"`` was skipped on encode, so the setdefault is a plain
+        # store and the classmethod dispatch is skipped entirely.
+        params["type"] = event_type.name
+        event = _new_event(Event)
+        event._event_type = event_type
+        event._params = MappingProxyType(params)
+        event.provenance = None
+        flag = data[pos]
+        pos += 1
+        if flag:
+            chain, pos = self._provenance(data, pos)
+            event.provenance = chain
+        return event, pos
+
+    def _provenance(self, data: Any, pos: int) -> Tuple[ProvenanceNode, int]:
+        decode = self._value
+        event_id, pos = decode(data, pos)
+        node, pos = decode(data, pos)
+        kind, pos = decode(data, pos)
+        event_type, pos = decode(data, pos)
+        logical_time, pos = decode(data, pos)
+        summary, pos = decode(data, pos)
+        count, pos = self._varint(data, pos)
+        children: List[ProvenanceNode] = []
+        for __ in range(count):
+            child, pos = self._provenance(data, pos)
+            children.append(child)
+        return (
+            ProvenanceNode(
+                event_id=event_id,
+                node=node,
+                kind=kind,
+                event_type=event_type,
+                logical_time=logical_time,
+                summary=summary,
+                inputs=tuple(children),
+            ),
+            pos,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Channel wrappers: one writer/reader pair per pipe direction
+# ---------------------------------------------------------------------------
+
+
+class BinaryFrameWriter:
+    """Writes binary frames to a stream; one encoder, one write per frame."""
+
+    codec = "binary"
+
+    def __init__(self, stream: IO[bytes]) -> None:
+        self._stream = stream
+        self.encoder = BinaryEncoder()
+
+    def write(self, frame: Mapping[str, Any]) -> None:
+        # One buffer, one write call, one flush: a batch frame (a whole
+        # dispatch wave) crosses the pipe as a single ``os.write``.
+        self._stream.write(self.encoder.encode_frame(frame))
+        self._stream.flush()
+
+    def reset(self) -> None:
+        self.encoder.reset()
+
+
+class BinaryFrameReader:
+    """Reads binary frames from a stream; mirrors one writer's tables."""
+
+    codec = "binary"
+
+    def __init__(self, stream: IO[bytes]) -> None:
+        self._stream = stream
+        self.decoder = BinaryDecoder()
+
+    def read(self) -> Optional[Dict[str, Any]]:
+        header = _read_exact(self._stream, _HEADER.size, allow_eof=True)
+        if header is None:
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise WireError(
+                f"frame length {length} exceeds {MAX_FRAME_BYTES}"
+            )
+        data = _read_exact(self._stream, length, allow_eof=False)
+        assert data is not None
+        return self.decoder.decode_payload(data)
+
+    def reset(self) -> None:
+        self.decoder.reset()
+
+
+class JsonFrameWriter:
+    """The JSON debug/compat path behind the same writer surface."""
+
+    codec = "json"
+
+    def __init__(self, stream: IO[bytes]) -> None:
+        self._stream = stream
+
+    def write(self, frame: Mapping[str, Any]) -> None:
+        write_frame(self._stream, frame)
+
+    def reset(self) -> None:  # noqa: D102 - no state to reset
+        pass
+
+
+class JsonFrameReader:
+    """The JSON debug/compat path behind the same reader surface."""
+
+    codec = "json"
+
+    def __init__(self, stream: IO[bytes]) -> None:
+        self._stream = stream
+
+    def read(self) -> Optional[Dict[str, Any]]:
+        return read_frame(self._stream)
+
+    def reset(self) -> None:  # noqa: D102 - no state to reset
+        pass
+
+
+FrameWriter = Any  # BinaryFrameWriter | JsonFrameWriter
+FrameReader = Any  # BinaryFrameReader | JsonFrameReader
+
+
+def make_writer(stream: IO[bytes], codec: str) -> Any:
+    """The frame writer for *codec* over *stream*."""
+    if codec == "binary":
+        return BinaryFrameWriter(stream)
+    if codec == "json":
+        return JsonFrameWriter(stream)
+    raise WireError(
+        f"unknown wire codec {codec!r}; expected one of {WIRE_CODECS}"
+    )
+
+
+def make_reader(stream: IO[bytes], codec: str) -> Any:
+    """The frame reader for *codec* over *stream*."""
+    if codec == "binary":
+        return BinaryFrameReader(stream)
+    if codec == "json":
+        return JsonFrameReader(stream)
+    raise WireError(
+        f"unknown wire codec {codec!r}; expected one of {WIRE_CODECS}"
+    )
+
+
+def events_frame(events: List[Event], codec: str) -> Dict[str, Any]:
+    """The ``events`` frame for *codec*.
+
+    A binary channel carries the events themselves (the codec encodes
+    them natively); a JSON channel carries their ``event_to_wire``
+    dicts.  The same shapes land in the write-ahead journal, which
+    shares the channel's codec.
+    """
+    if codec == "binary":
+        return {"kind": "events", "events": list(events)}
+    from .wire import event_to_wire
+
+    return {
+        "kind": "events",
+        "events": [event_to_wire(event) for event in events],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Debug rendering
+# ---------------------------------------------------------------------------
+
+
+def frame_to_jsonable(value: Any) -> Any:
+    """A decoded binary frame as the JSON path would have carried it.
+
+    ``repro journal inspect`` uses this so a binary journal
+    pretty-prints identically to a JSON one: raw events become their
+    ``event_to_wire`` form, tuples/frozensets their ``$t``/``$fs``
+    tags.
+    """
+    from .wire import encode_value, event_to_wire
+
+    if isinstance(value, Event):
+        return event_to_wire(value, provenance=True)
+    if isinstance(value, dict):
+        return {
+            key: frame_to_jsonable(member) for key, member in value.items()
+        }
+    if isinstance(value, list):
+        return [frame_to_jsonable(member) for member in value]
+    if isinstance(value, (tuple, frozenset)):
+        return encode_value(value)
+    if isinstance(value, ProvenanceNode):
+        from .wire import provenance_to_wire
+
+        return provenance_to_wire(value)
+    return value

@@ -54,14 +54,19 @@ from ..observability.trace import (
     TraceAssembler,
     TraceContext,
 )
+from .codec import (
+    WIRE_CODECS,
+    events_frame,
+    make_reader,
+    make_writer,
+    write_hello,
+)
 from .host import FederationBlueprint, ShardHost, ShardSpec
 from .router import ShardRouter
 from .wire import (
     as_tuples,
     attach_trace,
     decode_value,
-    read_frame,
-    write_frame,
 )
 
 BACKENDS = ("serial", "process")
@@ -118,6 +123,12 @@ class ShardConfig:
     #: touches (1 = trace every wave).  Only meaningful with
     #: ``instrument`` on.
     trace_sample_every: int = DEFAULT_SAMPLE_EVERY
+    #: Serialization of the worker pipes and the write-ahead journal:
+    #: ``binary`` (the interned fast path of
+    #: :mod:`repro.parallel.codec`) or ``json`` (the debug/compat
+    #: path — ``strace`` a worker and read the traffic).  Serial shards
+    #: never serialize; the knob only affects the process backend.
+    wire_codec: str = "binary"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -143,6 +154,11 @@ class ShardConfig:
             raise ParallelError("max_recoveries must be >= 0")
         if self.trace_sample_every < 1:
             raise ParallelError("trace_sample_every must be >= 1")
+        if self.wire_codec not in WIRE_CODECS:
+            raise ParallelError(
+                f"unknown wire codec {self.wire_codec!r}; "
+                f"expected one of {WIRE_CODECS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -166,9 +182,28 @@ class ShardNotification:
 
 
 def _notification_from_record(
-    shard: int, record: Dict[str, Any]
+    shard: int, record: Dict[str, Any], raw: bool = False
 ) -> ShardNotification:
+    """Build one merged notification from a shard's drain record.
+
+    ``raw`` marks records off a binary channel: the signature is
+    already nested tuples and the parameters are native values, so the
+    JSON path's ``decode_value`` / ``as_tuples`` normalization is
+    skipped entirely.
+    """
     signature = record.get("signature")
+    if raw:
+        return ShardNotification(
+            shard=shard,
+            seq=record["seq"],
+            time=record["time"],
+            participant_id=record["participant"],
+            schema_name=record["schema"],
+            description=record["description"],
+            process_instance_id=record.get("instance"),
+            signature=signature,
+            parameters=record.get("parameters") or {},
+        )
     return ShardNotification(
         shard=shard,
         seq=record["seq"],
@@ -188,6 +223,9 @@ class SerialShard:
     """An in-process shard: direct calls, no encoding, no IPC."""
 
     backend = "serial"
+    #: Serial records use the JSON-path record shape (``encode_value``'d
+    #: parameters), so the facade decodes them like a JSON channel's.
+    wire_codec = "json"
 
     def __init__(self, shard_id: int, config: ShardConfig) -> None:
         self.shard_id = shard_id
@@ -271,6 +309,13 @@ class ProcessShard:
         self._in = in_stream
         self._out = out_stream
         self.alive = True
+        #: The negotiated channel codec (the hello frame already told
+        #: the worker).  A fresh ``ProcessShard`` means fresh
+        #: writer/reader interning tables on both pipe directions — the
+        #: respawn-resets-the-tables contract lives here.
+        self.wire_codec = config.wire_codec
+        self._writer = make_writer(in_stream, config.wire_codec)
+        self._reader = make_reader(out_stream, config.wire_codec)
         #: Receives the ``observability`` payloads the worker piggybacks
         #: on stats/results frames (set by the facade).
         self.observability_sink: ObservabilitySink = None
@@ -299,13 +344,13 @@ class ProcessShard:
                 f"shard {self.shard_id} worker is not running"
             )
         try:
-            write_frame(self._in, frame)
+            self._writer.write(frame)
         except (BrokenPipeError, OSError) as error:
             raise self._crashed(f"send failed: {error}") from None
 
     def _receive(self, expected: str) -> Dict[str, Any]:
         try:
-            frame = read_frame(self._out)
+            frame = self._reader.read()
         except Exception as error:
             raise self._crashed(f"receive failed: {error}") from None
         if frame is None:
@@ -325,17 +370,7 @@ class ProcessShard:
     def send_events(
         self, events: List[Event], ctx: Optional[TraceContext] = None
     ) -> None:
-        from .wire import event_to_wire
-
-        self._send(
-            attach_trace(
-                {
-                    "kind": "events",
-                    "events": [event_to_wire(event) for event in events],
-                },
-                ctx,
-            )
-        )
+        self._send(attach_trace(events_frame(events, self.wire_codec), ctx))
 
     def deploy(self, spec: ShardSpec) -> None:
         self._send({"kind": "deploy", "spec": spec.to_wire()})
@@ -454,11 +489,16 @@ def _spawn_worker(
     process.start()
     os.close(in_read)
     os.close(out_write)
+    in_stream = os.fdopen(in_write, "wb")
+    # Codec negotiation: the hello bytes are the first thing on the
+    # event pipe, before any frame — the worker configures both channel
+    # directions (and its host's raw/wire record shape) from them.
+    write_hello(in_stream, config.wire_codec)
     return ProcessShard(
         shard_id,
         config,
         process,
-        os.fdopen(in_write, "wb"),
+        in_stream,
         os.fdopen(out_read, "rb"),
     )
 
@@ -674,8 +714,9 @@ class ShardedFederation:
         self.flush_buffers()
         merged: List[ShardNotification] = []
         for shard in self.shards:
+            raw = shard.wire_codec == "binary"
             merged.extend(
-                _notification_from_record(shard.shard_id, record)
+                _notification_from_record(shard.shard_id, record, raw)
                 for record in shard.flush()
             )
         merged.sort(key=lambda n: n.merge_key)

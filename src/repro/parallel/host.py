@@ -179,6 +179,12 @@ class ShardHost:
         #: facade (process-backend workers only; the worker entry point
         #: sets it from the shard options).
         self.ship_logs: bool = False
+        #: Record shape of :meth:`drain_results`: ``True`` on a binary
+        #: channel (native tuples/values — the codec ships them
+        #: directly), ``False`` on the JSON path (``encode_value``'d
+        #: JSON-safe records).  The worker entry point sets it from the
+        #: negotiated codec.
+        self.wire_raw: bool = False
 
     # -- sources -----------------------------------------------------------
 
@@ -302,6 +308,7 @@ class ShardHost:
         """
         records = self.queue.records
         seq_offset = self.queue.seq_offset
+        raw = self.wire_raw
         out: List[Dict[str, Any]] = []
         for seq in range(self._reported, len(records)):
             notification = records[seq]
@@ -309,15 +316,15 @@ class ShardHost:
             chain = parameters.pop("provenance", None)
             signature: Any = None
             if chain is not None:
-                signature = encode_value(
-                    (
-                        notification.participant_id,
-                        notification.schema_name,
-                        notification.description,
-                        notification.time,
-                        chain.signature(),
-                    )
+                signature = (
+                    notification.participant_id,
+                    notification.schema_name,
+                    notification.description,
+                    notification.time,
+                    chain.signature(),
                 )
+                if not raw:
+                    signature = encode_value(signature)
             out.append(
                 {
                     "seq": seq_offset + seq,
@@ -328,7 +335,9 @@ class ShardHost:
                     "description": notification.description,
                     "instance": parameters.get("processInstanceId"),
                     "signature": signature,
-                    "parameters": encode_value(parameters),
+                    "parameters": parameters
+                    if raw
+                    else encode_value(parameters),
                 }
             )
         self._reported = len(records)

@@ -255,10 +255,15 @@ _HEADER = struct.Struct(">I")
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
+def frame_bytes(message: Mapping[str, Any]) -> bytes:
+    """One length-prefixed JSON frame as bytes (a single write's worth)."""
+    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(data)) + data
+
+
 def write_frame(stream: IO[bytes], message: Mapping[str, Any]) -> None:
     """Write one length-prefixed JSON frame and flush it."""
-    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
-    stream.write(_HEADER.pack(len(data)) + data)
+    stream.write(frame_bytes(message))
     stream.flush()
 
 

@@ -51,8 +51,9 @@ from typing import Any, Dict, List
 from ..errors import ReproError
 from ..observability import INSTRUMENTATION as _OBS
 from ..observability import STRUCTURED_LOG as _SLOG
+from .codec import make_reader, make_writer, read_hello
 from .host import FederationBlueprint, ShardHost, ShardSpec
-from .wire import event_from_wire, extract_trace, read_frame, write_frame
+from .wire import event_from_wire, extract_trace, write_frame
 
 
 def worker_main(
@@ -113,23 +114,38 @@ def worker_main(
     out = os.fdopen(out_fd, "wb")
     exit_code = 0
     errors: List[str] = []
+    writer: Any = None
     try:
+        # Codec negotiation: the parent's hello bytes precede every
+        # frame on the event pipe and configure both channel directions.
+        codec = read_hello(inp)
+        raw = codec == "binary"
+        reader = make_reader(inp, codec)
+        writer = make_writer(out, codec)
         host = ShardHost(
             shard_id,
             shard_count,
             share_plans=bool(options.get("share_plans", True)),
         )
         host.ship_logs = ship_logs
+        host.wire_raw = raw
         host.apply_blueprint(FederationBlueprint.from_wire(blueprint_wire))
         while True:
-            frame = read_frame(inp)
+            frame = reader.read()
             if frame is None:  # parent vanished: treat as shutdown
                 break
             kind = frame.get("kind")
             try:
                 if kind == "events":
+                    # A binary channel delivers the events themselves;
+                    # the JSON path delivers their wire dicts.
                     host.ingest(
-                        [event_from_wire(data) for data in frame["events"]],
+                        list(frame["events"])
+                        if raw
+                        else [
+                            event_from_wire(data)
+                            for data in frame["events"]
+                        ],
                         extract_trace(frame),
                     )
                 elif kind == "deploy":
@@ -137,32 +153,29 @@ def worker_main(
                 elif kind == "undeploy":
                     host.undeploy_spec(frame["spec_id"])
                 elif kind == "stats":
-                    write_frame(
-                        out,
+                    writer.write(
                         {
                             "kind": "stats",
                             "stats": host.stats(),
                             "errors": list(errors),
                             "observability": observability(),
-                        },
+                        }
                     )
                     errors.clear()
                 elif kind == "flush":
-                    write_frame(
-                        out,
+                    writer.write(
                         {
                             "kind": "results",
                             "notifications": host.drain_results(),
                             "observability": observability(),
-                        },
+                        }
                     )
                 elif kind == "snapshot":
-                    write_frame(
-                        out,
+                    writer.write(
                         {
                             "kind": "snapshot",
                             "state": host.snapshot_state(),
-                        },
+                        }
                     )
                 elif kind == "restore":
                     host.restore_state(frame["state"])
@@ -172,7 +185,7 @@ def worker_main(
                     # cursor must not count them as dropped.
                     log_cursor = _SLOG.seq
                 elif kind == "shutdown":
-                    write_frame(out, {"kind": "bye"})
+                    writer.write({"kind": "bye"})
                     break
                 else:
                     errors.append(f"unknown frame kind {kind!r}")
@@ -182,10 +195,15 @@ def worker_main(
                 errors.append(f"{kind}: {error}")
     except BaseException as error:  # pragma: no cover - crash path
         exit_code = 1
+        frame = {"kind": "error", "error": f"{type(error).__name__}: {error}"}
         try:
-            write_frame(
-                out, {"kind": "error", "error": f"{type(error).__name__}: {error}"}
-            )
+            if writer is not None:
+                writer.write(frame)
+            else:
+                # The hello never arrived: the parent's reader codec is
+                # unknown, so fall back to the JSON framing (the parent
+                # still sees a fail-fast error, worst case as EOF).
+                write_frame(out, frame)
         except OSError:
             pass
     finally:

@@ -290,3 +290,71 @@ class TestDurableLifecycle:
             shipped = sum(len(frame["events"]) for frame in frames)
             assert shipped == shard.stats()["events_ingested"]
             assert all(frame["kind"] == "events" for frame in frames)
+
+
+class TestBinaryChannelRecovery:
+    def test_crash_mid_wave_resets_the_intern_tables(self, tmp_path):
+        # The facade-side encoder interns strings per channel.  A
+        # respawned worker starts with empty decoder tables, so the
+        # facade must NOT keep the dead channel's encoder: recovery
+        # builds a fresh writer/reader pair, and the journal replay
+        # re-defines every name from scratch.  Crash mid-wave — with
+        # interned names in flight and nothing drained — and the
+        # continued stream must still match the uninterrupted run.
+        workload = small_workload(seed=47)
+        events = workload.events()
+        cut = len(events) // 2
+        with ShardedFederation(
+            workload.blueprint(), durable_config(tmp_path)
+        ) as federation:
+            shard = federation.shards[0]
+            assert shard.wire_codec == "binary"
+            federation.ingest(events[:cut])  # no drain: waves in flight
+            old_writer = shard.inner._writer
+            # The dead channel's encoder holds interned names.
+            assert old_writer.encoder._count > 0
+            kill_worker(shard)
+            federation.ingest(events[cut:])  # first send recovers
+            merged = federation.drain()
+            new_writer = shard.inner._writer
+            assert new_writer is not old_writer
+            # The replacement channel re-interned (replay + new waves)
+            # on its own fresh table.
+            assert new_writer.encoder._count > 0
+            assert federation.stats()["recoveries"] == 1
+            merged = list(federation.delivered)
+        assert len(merged) == workload.expected_notifications()
+        assert signatures(merged) == signatures(reference_run(workload))
+
+    def test_journal_replays_a_preexisting_json_journal(self, tmp_path):
+        # A durable directory written by a JSON-codec deployment keeps
+        # replaying after the binary codec becomes the default: opening
+        # the journal re-encodes it (events frames convert to their raw
+        # form), and the frame numbering is preserved.
+        workload = small_workload(seed=53)
+        events = workload.events()
+        cut = len(events) // 2
+        json_config = durable_config(tmp_path, wire_codec="json")
+        with ShardedFederation(
+            workload.blueprint(), json_config
+        ) as federation:
+            federation.ingest(events[:cut])
+            federation.drain()
+            first = list(federation.delivered)
+            frames_before = [
+                shard.journal.frame_count for shard in federation.shards
+            ]
+        binary_config = durable_config(tmp_path)  # binary default
+        with ShardedFederation(
+            workload.blueprint(), binary_config
+        ) as federation:
+            for shard, count in zip(federation.shards, frames_before):
+                # The upgraded journal kept the absolute numbering.
+                assert shard.journal.codec == "binary"
+                assert shard.journal.frame_count == count
+            federation.ingest(events[cut:])
+            federation.drain()
+            second = list(federation.delivered)
+        # Both halves delivered; no crash, no frame loss.
+        combined = signatures(first) + signatures(second)
+        assert len(combined) == workload.expected_notifications()

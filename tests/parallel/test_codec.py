@@ -1,0 +1,373 @@
+"""Binary codec round-trips: values, events, interning, negotiation."""
+
+import io
+
+import pytest
+
+from repro.errors import WireError
+from repro.events.event import Event
+from repro.events.producers import ACTIVITY_EVENT_TYPE, CONTEXT_EVENT_TYPE
+from repro.observability.provenance import ProvenanceNode
+from repro.parallel.codec import (
+    HELLO_MAGIC,
+    INTERN_MAX,
+    BinaryDecoder,
+    BinaryEncoder,
+    events_frame,
+    frame_to_jsonable,
+    make_reader,
+    make_writer,
+    read_hello,
+    write_hello,
+)
+from repro.parallel.wire import event_to_wire
+
+
+def roundtrip(frame, encoder=None, decoder=None):
+    encoder = encoder if encoder is not None else BinaryEncoder()
+    decoder = decoder if decoder is not None else BinaryDecoder()
+    data = encoder.encode_frame(frame)
+    return decoder.decode_payload(memoryview(data)[4:])
+
+
+def activity_event(instance="tf-001", time=41, provenance=None):
+    event = Event.trusted(
+        ACTIVITY_EVENT_TYPE,
+        {
+            "time": time,
+            "source": "E_activity",
+            "activityInstanceId": "act-1",
+            "activityVariableId": "State",
+            "parentProcessSchemaId": "P-TF",
+            "parentProcessInstanceId": instance,
+            "oldValue": "Running",
+            "newValue": "Completed",
+        },
+    )
+    if provenance is not None:
+        event.provenance = provenance
+    return event
+
+
+class TestValueRoundTrips:
+    def test_scalars(self):
+        frame = {
+            "none": None,
+            "yes": True,
+            "no": False,
+            "int": 41,
+            "big": 1 << 80,
+            "neg": -(1 << 80),
+            "negsmall": -1,
+            "float": 2.5,
+            "str": "hello",
+            "empty": "",
+        }
+        assert roundtrip(frame) == frame
+
+    def test_bool_is_not_confused_with_int(self):
+        back = roundtrip({"a": True, "b": 1, "c": False, "d": 0})
+        assert back["a"] is True
+        assert back["b"] == 1 and type(back["b"]) is int
+        assert back["c"] is False
+        assert back["d"] == 0 and type(back["d"]) is int
+
+    def test_composites(self):
+        frame = {
+            "list": [1, "two", [3, None]],
+            "tuple": (1, 2, ("nested", 3)),
+            "fset": frozenset({("P-TF", "tf-001"), ("P-TF", "tf-002")}),
+            "dict": {"inner": {"$fs": "not a tag here"}},
+        }
+        back = roundtrip(frame)
+        assert back == frame
+        assert type(back["tuple"]) is tuple
+        assert type(back["tuple"][2]) is tuple
+        assert type(back["fset"]) is frozenset
+
+    def test_dollar_keys_survive_without_tag_collision(self):
+        # The JSON path must wrap these in "$d"; the binary path carries
+        # them natively.
+        frame = {"$fs": [1], "$t": "x", "$d": {"$fs": 2}}
+        assert roundtrip(frame) == frame
+
+    def test_long_strings_are_not_interned(self):
+        long = "x" * (INTERN_MAX + 1)
+        encoder = BinaryEncoder()
+        decoder = BinaryDecoder()
+        assert roundtrip({"a": long}, encoder, decoder) == {"a": long}
+        assert decoder.interned_strings == ["a"]
+
+    def test_unencodable_value_raises_wire_error(self):
+        with pytest.raises(WireError):
+            BinaryEncoder().encode_frame({"bad": object()})
+
+
+class TestEventRoundTrips:
+    def test_event_params_and_type(self):
+        frame = events_frame([activity_event()], "binary")
+        back = roundtrip(frame)
+        event = back["events"][0]
+        assert event.event_type is ACTIVITY_EVENT_TYPE
+        assert dict(event.params) == dict(activity_event().params)
+
+    def test_context_event_frozenset_parameter(self):
+        associations = frozenset({("P-TF", "tf-001"), ("P-TF", "tf-002")})
+        event = Event.trusted(
+            CONTEXT_EVENT_TYPE,
+            {
+                "time": 7,
+                "source": "E_context",
+                "contextName": "Shared",
+                "contextId": "ctx-1",
+                "fieldName": "status",
+                "oldValue": None,
+                "newValue": "ok",
+                "processAssociations": associations,
+            },
+        )
+        back = roundtrip(events_frame([event], "binary"))
+        assert back["events"][0].params["processAssociations"] == associations
+
+    def test_provenance_chain(self):
+        leaf = ProvenanceNode(
+            event_id=1,
+            node="producer",
+            kind="primitive",
+            event_type="T_activity",
+            logical_time=41,
+            summary=("activity", "act-1", "Running", "Completed"),
+        )
+        root = ProvenanceNode(
+            event_id=2,
+            node="detector",
+            kind="operator",
+            event_type="C[P-TF]",
+            logical_time=41,
+            summary="matched",
+            inputs=(leaf,),
+        )
+        event = activity_event(provenance=root)
+        back = roundtrip(events_frame([event], "binary"))
+        chain = back["events"][0].provenance
+        assert chain.signature() == root.signature()
+        assert chain.event_id == 2
+        assert chain.inputs[0].summary == leaf.summary
+
+    def test_steady_state_events_shrink(self):
+        encoder = BinaryEncoder()
+        first = encoder.encode_frame(
+            events_frame([activity_event("tf-001", 1)], "binary")
+        )
+        second = encoder.encode_frame(
+            events_frame([activity_event("tf-001", 2)], "binary")
+        )
+        # Every string and the key schema are interned after frame one.
+        assert len(second) < len(first) / 3
+
+
+class TestInterning:
+    def test_tables_persist_across_frames(self):
+        encoder = BinaryEncoder()
+        decoder = BinaryDecoder()
+        for time in range(5):
+            back = roundtrip(
+                events_frame([activity_event(time=time)], "binary"),
+                encoder,
+                decoder,
+            )
+            assert back["events"][0].params["time"] == time
+        assert "T_activity" in decoder.interned_strings
+
+    def test_reset_forgets_the_tables(self):
+        encoder = BinaryEncoder()
+        decoder = BinaryDecoder()
+        roundtrip({"k": "shared-string"}, encoder, decoder)
+        encoder.reset()
+        decoder.reset()
+        assert roundtrip({"k": "shared-string"}, encoder, decoder) == {
+            "k": "shared-string"
+        }
+        assert decoder.interned_strings == ["k", "shared-string"]
+
+    def test_stale_decoder_without_reset_misreads_refs(self):
+        # Documents WHY respawn must reset both sides together: a fresh
+        # encoder speaking to a stale decoder (or vice versa) is a
+        # protocol error surfaced as WireError/garbage, which is exactly
+        # what the worker-respawn fresh-channel rule prevents.
+        encoder = BinaryEncoder()
+        decoder = BinaryDecoder()
+        roundtrip({"k": "v"}, encoder, decoder)
+        fresh_encoder = BinaryEncoder()
+        data = fresh_encoder.encode_frame({"k": "v"})
+        # The stale decoder re-appends defines: tables now disagree with
+        # the fresh encoder's (lengths differ), the canary of a skew.
+        decoder.decode_payload(memoryview(data)[4:])
+        assert len(decoder.interned_strings) != len(
+            fresh_encoder._refs
+        )
+
+    def test_seed_continues_a_decoders_tables(self):
+        # Stream one: the original writer.
+        original = BinaryEncoder()
+        first = original.encode_frame(
+            events_frame([activity_event()], "binary")
+        )
+        # Reopen: a decoder consumes the existing stream, a successor
+        # encoder adopts its tables and appends.
+        reopen = BinaryDecoder()
+        reopen.decode_payload(memoryview(first)[4:])
+        successor = BinaryEncoder()
+        successor.seed(reopen.interned_strings, reopen.interned_compounds)
+        second = successor.encode_frame(
+            events_frame([activity_event(time=99)], "binary")
+        )
+        # A fresh decoder replaying the whole stream agrees — the
+        # successor's refs resolve against frame one's defines.
+        replay = BinaryDecoder()
+        back = replay.decode_payload(memoryview(first)[4:])
+        assert back["events"][0].params["time"] == 41
+        back = replay.decode_payload(memoryview(second)[4:])
+        assert back["events"][0].params["time"] == 99
+        # Seeding matched the original writer byte-for-byte.
+        assert second == original.encode_frame(
+            events_frame([activity_event(time=99)], "binary")
+        )
+
+    def test_nested_compound_ids_agree(self):
+        # Post-order id assignment: a frozenset of tuples defines the
+        # member tuples first on both sides.
+        inner_a = ("P-TF", "tf-001")
+        inner_b = ("P-TF", "tf-002")
+        outer = frozenset({inner_a, inner_b})
+        encoder = BinaryEncoder()
+        decoder = BinaryDecoder()
+        assert roundtrip({"s": outer}, encoder, decoder) == {"s": outer}
+        # Second frame: everything is refs, and they resolve correctly.
+        back = roundtrip(
+            {"s": outer, "a": inner_a, "b": inner_b}, encoder, decoder
+        )
+        assert back == {"s": outer, "a": inner_a, "b": inner_b}
+
+    def test_unhashable_tuple_encodes_inline(self):
+        value = ("key", {"nested": "dict"})
+        assert roundtrip({"v": value}) == {"v": value}
+
+
+class TestDecodeErrors:
+    def encoded(self, frame):
+        return BinaryEncoder().encode_frame(frame)[4:]
+
+    def test_truncation_raises_wire_error_at_every_cut(self):
+        payload = self.encoded(
+            events_frame(
+                [activity_event()],
+                "binary",
+            )
+        )
+        for cut in range(len(payload)):
+            with pytest.raises(WireError):
+                BinaryDecoder().decode_payload(payload[:cut])
+
+    def test_trailing_bytes_raise(self):
+        payload = self.encoded({"k": 1})
+        with pytest.raises(WireError):
+            BinaryDecoder().decode_payload(payload + b"\x00")
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(WireError):
+            BinaryDecoder().decode_payload(bytes((200,)))
+
+    def test_undefined_ref_raises(self):
+        from repro.parallel.codec import T_DICT, T_REF
+
+        with pytest.raises(WireError):
+            BinaryDecoder().decode_payload(bytes((T_DICT, 1, T_REF, 5)))
+
+    def test_non_dict_frame_raises(self):
+        payload = bytes((1,))  # T_TRUE: a bare scalar, not a frame
+        with pytest.raises(WireError):
+            BinaryDecoder().decode_payload(payload)
+
+
+class TestChannelWrappers:
+    def test_writer_reader_round_trip(self):
+        stream = io.BytesIO()
+        writer = make_writer(stream, "binary")
+        frames = [
+            events_frame([activity_event(time=t)], "binary")
+            for t in range(3)
+        ] + [{"kind": "stats"}]
+        for frame in frames:
+            writer.write(frame)
+        stream.seek(0)
+        reader = make_reader(stream, "binary")
+        for frame in frames:
+            back = reader.read()
+            assert back["kind"] == frame["kind"]
+        assert reader.read() is None
+
+    def test_json_wrappers_speak_the_legacy_framing(self):
+        stream = io.BytesIO()
+        make_writer(stream, "json").write({"kind": "stats"})
+        stream.seek(0)
+        from repro.parallel.wire import read_frame
+
+        assert read_frame(stream) == {"kind": "stats"}
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(WireError):
+            make_writer(io.BytesIO(), "msgpack")
+        with pytest.raises(WireError):
+            make_reader(io.BytesIO(), "msgpack")
+
+    def test_hello_negotiation(self):
+        for codec in ("binary", "json"):
+            stream = io.BytesIO()
+            write_hello(stream, codec)
+            stream.seek(0)
+            assert read_hello(stream) == codec
+
+    def test_bad_hello_raises(self):
+        stream = io.BytesIO(b"XXXX\x01")
+        with pytest.raises(WireError):
+            read_hello(stream)
+        stream = io.BytesIO(HELLO_MAGIC + b"\x09")
+        with pytest.raises(WireError):
+            read_hello(stream)
+
+
+class TestDebugRendering:
+    def test_frame_to_jsonable_matches_the_json_path(self):
+        event = activity_event()
+        binary_form = frame_to_jsonable(events_frame([event], "binary"))
+        json_form = events_frame([event], "json")
+        # The JSON path omits provenance on channel frames; for an event
+        # without provenance the rendering is identical.
+        assert binary_form == json_form
+
+    def test_frame_to_jsonable_is_json_serializable(self):
+        import json
+
+        event = activity_event(
+            provenance=ProvenanceNode(
+                event_id=1,
+                node="p",
+                kind="primitive",
+                event_type="T_activity",
+                logical_time=1,
+                summary=("activity", "a", "x", "y"),
+            )
+        )
+        frame = {
+            "kind": "events",
+            "events": [event],
+            "extra": (1, frozenset({"a"})),
+        }
+        text = json.dumps(frame_to_jsonable(frame))
+        assert "T_activity" in text
+
+    def test_events_frame_json_uses_wire_dicts(self):
+        event = activity_event()
+        frame = events_frame([event], "json")
+        assert frame["events"][0] == event_to_wire(event)

@@ -1,0 +1,215 @@
+"""Property tests for the binary codec (Hypothesis).
+
+Three invariants, fuzzed:
+
+* **round-trip** — any frame built from wire-encodable values (nested
+  tuples, frozensets, ``$``-prefixed keys included) decodes to an equal
+  value, across multi-frame streams and intern-table resets;
+* **every frame kind** — the protocol frames the worker channel and the
+  journal actually carry survive the codec unchanged;
+* **corruption safety** — truncated or torn payloads raise
+  :class:`~repro.errors.WireError`, never ``IndexError`` or another
+  crash.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireError
+from repro.events.event import Event
+from repro.events.producers import ACTIVITY_EVENT_TYPE
+from repro.parallel.codec import BinaryDecoder, BinaryEncoder
+
+# Floats are restricted to non-NaN (NaN != NaN breaks equality-based
+# round-trip assertions; the codec itself carries NaN fine).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(1 << 70), max_value=1 << 70),
+    st.floats(allow_nan=False),
+    st.text(max_size=80),
+)
+
+# Keys include "$fs" / "$t" / "$d" lookalikes: the binary codec needs no
+# escaping, so they must pass through verbatim.
+keys = st.one_of(
+    st.text(max_size=20),
+    st.sampled_from(["$fs", "$t", "$d", "$", "type", "params"]),
+)
+
+
+# Frozenset members must be hashable: nested tuples/frozensets of
+# scalars only.
+hashables = st.recursive(
+    scalars,
+    lambda child: st.one_of(
+        st.tuples(child, child), st.frozensets(child, max_size=4)
+    ),
+    max_leaves=8,
+)
+
+
+def _extend(children):
+    return st.one_of(
+        st.lists(children, max_size=4),
+        # Tuples may hold unhashable members (a list, a dict) — the
+        # encoder must fall back to inline encoding there.
+        st.tuples(children, children),
+        st.frozensets(hashables, max_size=4),
+        st.dictionaries(keys, children, max_size=4),
+    )
+
+
+values = st.recursive(scalars, _extend, max_leaves=12)
+
+frames = st.dictionaries(keys, values, max_size=5)
+
+
+def _roundtrip(encoder, decoder, frame):
+    data = encoder.encode_frame(frame)
+    return decoder.decode_payload(memoryview(data)[4:])
+
+
+@settings(max_examples=60, deadline=None)
+@given(frames)
+def test_single_frame_round_trip(frame):
+    assert _roundtrip(BinaryEncoder(), BinaryDecoder(), frame) == frame
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(frames, min_size=1, max_size=5))
+def test_stream_round_trip_shares_tables(stream):
+    encoder = BinaryEncoder()
+    decoder = BinaryDecoder()
+    for frame in stream:
+        assert _roundtrip(encoder, decoder, frame) == frame
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(frames, min_size=1, max_size=3),
+    st.lists(frames, min_size=1, max_size=3),
+)
+def test_reset_boundary_keeps_streams_decodable(before, after):
+    # Respawn/compaction: both sides reset together, then continue.
+    encoder = BinaryEncoder()
+    decoder = BinaryDecoder()
+    for frame in before:
+        assert _roundtrip(encoder, decoder, frame) == frame
+    encoder.reset()
+    decoder.reset()
+    for frame in after:
+        assert _roundtrip(encoder, decoder, frame) == frame
+
+
+@settings(max_examples=30, deadline=None)
+@given(frames, st.data())
+def test_truncated_payload_raises_wire_error(frame, data):
+    payload = BinaryEncoder().encode_frame(frame)[4:]
+    cut = data.draw(st.integers(min_value=0, max_value=max(len(payload) - 1, 0)))
+    with pytest.raises(WireError):
+        BinaryDecoder().decode_payload(payload[:cut])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=200))
+def test_arbitrary_bytes_never_crash(garbage):
+    # Fuzzed payloads either decode (to *something* dict-shaped) or
+    # raise WireError; any other exception is a bug.
+    try:
+        BinaryDecoder().decode_payload(garbage)
+    except WireError:
+        pass
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(
+            [
+                "time",
+                "source",
+                "activityInstanceId",
+                "activityVariableId",
+                "parentProcessSchemaId",
+                "parentProcessInstanceId",
+                "oldValue",
+                "newValue",
+            ]
+        ),
+        st.one_of(
+            st.text(max_size=30),
+            st.integers(min_value=0, max_value=1 << 40),
+            st.tuples(st.text(max_size=10), st.text(max_size=10)),
+            st.frozensets(
+                st.tuples(st.text(max_size=8), st.text(max_size=8)),
+                max_size=3,
+            ),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_event_payload_round_trip(params):
+    event = Event.trusted(ACTIVITY_EVENT_TYPE, params)
+    encoder = BinaryEncoder()
+    decoder = BinaryDecoder()
+    frame = {"kind": "events", "events": [event, event]}
+    back = _roundtrip(encoder, decoder, frame)
+    for got in back["events"]:
+        assert got.event_type is ACTIVITY_EVENT_TYPE
+        assert dict(got.params) == dict(event.params)
+    # Steady state: the same event again, now fully interned.
+    again = _roundtrip(encoder, decoder, frame)
+    assert dict(again["events"][0].params) == dict(event.params)
+
+
+# Every frame kind the worker channel and journal actually carry.
+protocol_frames = st.one_of(
+    st.builds(
+        lambda n: {
+            "kind": "events",
+            "events": [
+                Event.trusted(
+                    ACTIVITY_EVENT_TYPE, {"time": n, "source": "E_activity"}
+                )
+            ],
+            "trace": ["t" * 16, "s" * 8, 1],
+        },
+        st.integers(min_value=0, max_value=1000),
+    ),
+    st.builds(
+        lambda sid: {"kind": "deploy", "spec": {"spec_id": sid, "plan": [1]}},
+        st.text(min_size=1, max_size=10),
+    ),
+    st.builds(lambda sid: {"kind": "undeploy", "spec_id": sid}, st.text()),
+    st.just({"kind": "stats"}),
+    st.just({"kind": "flush"}),
+    st.just({"kind": "snapshot"}),
+    st.builds(
+        lambda state: {"kind": "restore", "state": state},
+        st.dictionaries(st.text(max_size=8), st.integers(), max_size=3),
+    ),
+    st.just({"kind": "shutdown"}),
+    st.just({"kind": "bye"}),
+    st.builds(lambda m: {"kind": "error", "error": m}, st.text(max_size=40)),
+    st.builds(lambda b: {"kind": "compacted", "base": b}, st.integers(0, 99)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(protocol_frames, min_size=1, max_size=6))
+def test_every_protocol_frame_kind_round_trips(stream):
+    encoder = BinaryEncoder()
+    decoder = BinaryDecoder()
+    for frame in stream:
+        back = _roundtrip(encoder, decoder, frame)
+        if frame["kind"] == "events":
+            assert back["trace"] == frame["trace"]
+            assert [dict(e.params) for e in back["events"]] == [
+                dict(e.params) for e in frame["events"]
+            ]
+        else:
+            assert back == frame

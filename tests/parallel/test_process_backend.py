@@ -121,3 +121,30 @@ class TestProcessBackend:
         for process in processes:
             assert not process.is_alive()
             assert process.exitcode == 0
+
+
+class TestWireCodecs:
+    def test_json_codec_matches_the_binary_default(self):
+        # The differential guard of the codec switch: both codecs carry
+        # the same workload to the same notification stream (and the
+        # same provenance signature multiset).
+        workload = small_workload()
+        runs = {}
+        for codec in ("binary", "json"):
+            with ShardedFederation(
+                workload.blueprint(), process_config(wire_codec=codec)
+            ) as federation:
+                assert all(
+                    shard.wire_codec == codec
+                    for shard in federation.shards
+                )
+                federation.ingest(workload.events())
+                runs[codec] = federation.drain()
+        assert len(runs["binary"]) == workload.expected_notifications()
+        assert sorted(
+            map(repr, (n.signature for n in runs["binary"]))
+        ) == sorted(map(repr, (n.signature for n in runs["json"])))
+
+    def test_unknown_codec_is_rejected_at_config_time(self):
+        with pytest.raises(ParallelError, match="wire codec"):
+            ShardConfig(shards=1, wire_codec="msgpack")
