@@ -1,0 +1,203 @@
+"""QE15 — overlapped shard I/O vs one-at-a-time gather round trips.
+
+The multiplexer turned every collective (drain, stats, deploy) from a
+serial sweep over the workers — cost: the **sum** of per-shard round
+trips — into a broadcast-then-gather — cost: the **max**.  The gap is
+widest exactly when the paper's federation is busiest: shards loaded
+unevenly (affinity keys are real-world skewed) and collectives frequent
+(interactive monitoring drains while ingest continues).
+
+The workload makes that shape deterministic: ``force_weights`` makes
+every task force co-sharded with force 0 emit 4x the events, so one of
+the 4 shards is ~4x hotter than its neighbours, and the driver
+interleaves chunked ingest with a drain+stats collective per chunk.
+``overlap=False`` keeps the multiplexer but serialises the collectives
+(the pre-overlap behaviour); the speedup is that switch alone — same
+codec, same workers, same credit windows.
+
+Two measurements:
+
+* **Collective-cycle throughput** — the skewed stream at 4 process
+  shards, overlapped vs serial gather.  With >= 4 cores the overlapped
+  run must clear 1.5x; on smaller machines the table is recorded but
+  the ratio is not asserted (a gather of CPU-starved workers has no
+  latency to overlap).
+* **Three-way differential** (always asserted) — serial backend,
+  overlapped process backend, and serial-gather process backend must
+  produce the identical multiset of delivery provenance signatures and
+  identical per-instance order: overlapping changes *when* responses
+  arrive, never *what* merges.
+
+``REPRO_QE15_SMOKE=1`` shrinks the stream for CI, where the point is
+exercising both collective paths end-to-end, not measuring speedups on
+shared runners.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.metrics.report import render_table
+from repro.parallel import ShardConfig, ShardedFederation
+from repro.parallel.router import ShardRouter
+from repro.workloads.generator import ShardStreamConfig, ShardStreamWorkload
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the process backend requires the fork start method",
+)
+
+SMOKE = bool(os.environ.get("REPRO_QE15_SMOKE"))
+
+SHARDS = 4
+FORCES = 8
+WINDOWS_PER_FORCE = 2 if SMOKE else 4
+EVENTS_PER_FORCE = 40 if SMOKE else 150
+#: Event multiplier for every force co-sharded with force 0.
+HOT_WEIGHT = 4
+#: Ingest chunks, each followed by a drain + stats collective.
+CYCLES = 3 if SMOKE else 8
+REPS = 1 if SMOKE else 2
+
+#: The overlap assertion needs worker latencies that can actually
+#: overlap, i.e. cores for the workers to respond from concurrently.
+CORES = len(os.sched_getaffinity(0))
+
+
+def skewed_weights():
+    """Weight-4 every force whose context co-shards with force 0's."""
+    probe = ShardStreamWorkload(ShardStreamConfig(forces=FORCES))
+    hot_shard = ShardRouter.shard_for_key(probe.context_name(0), SHARDS)
+    return tuple(
+        HOT_WEIGHT
+        if ShardRouter.shard_for_key(probe.context_name(force), SHARDS)
+        == hot_shard
+        else 1
+        for force in range(FORCES)
+    )
+
+
+def make_workload():
+    return ShardStreamWorkload(
+        ShardStreamConfig(
+            forces=FORCES,
+            windows_per_force=WINDOWS_PER_FORCE,
+            events_per_force=EVENTS_PER_FORCE,
+            force_weights=skewed_weights(),
+        )
+    )
+
+
+def drive(workload, overlap, backend="process"):
+    """Chunked ingest with a drain + stats collective per chunk."""
+    events = workload.events()  # generated outside the timed section
+    chunk = max(1, (len(events) + CYCLES - 1) // CYCLES)
+    config = ShardConfig(
+        shards=1 if backend == "serial" else SHARDS,
+        backend=backend,
+        instrument=True,
+        ship_logs=True,
+        trace_sample_every=1,
+        overlap=overlap,
+        join_timeout=10.0,
+    )
+    with ShardedFederation(workload.blueprint(), config) as federation:
+        started = time.perf_counter()
+        for start in range(0, len(events), chunk):
+            federation.ingest(events[start : start + chunk])
+            federation.drain()
+            federation.stats()
+        elapsed = time.perf_counter() - started
+        notifications = list(federation.delivered)
+    assert len(notifications) == workload.expected_notifications()
+    return {
+        "events": len(events),
+        "notifications": notifications,
+        "seconds": elapsed,
+        "events_per_s": len(events) / elapsed,
+    }
+
+
+def best_of(reps, workload, overlap):
+    return min(
+        (drive(workload, overlap) for __ in range(reps)),
+        key=lambda r: r["seconds"],
+    )
+
+
+def test_qe15_overlapped_collectives(benchmark, record_table):
+    workload = make_workload()
+    serial_gather = best_of(REPS, workload, overlap=False)
+    overlapped = benchmark(drive, workload, True)
+
+    speedup = overlapped["events_per_s"] / serial_gather["events_per_s"]
+    rows = [
+        (
+            "serial gather",
+            serial_gather["events"],
+            f"{serial_gather['seconds'] * 1e3:.0f}ms",
+            f"{serial_gather['events_per_s'] / 1e3:.1f}k",
+            "1.00x",
+        ),
+        (
+            "overlapped",
+            overlapped["events"],
+            f"{overlapped['seconds'] * 1e3:.0f}ms",
+            f"{overlapped['events_per_s'] / 1e3:.1f}k",
+            f"{speedup:.2f}x",
+        ),
+    ]
+    record_table(
+        render_table(
+            ("collectives", "events", "elapsed", "events/s", "speedup"),
+            rows,
+            title=f"QE15 overlapped shard I/O ({CORES} cores, {SHARDS} "
+            f"shards, hot shard ~{HOT_WEIGHT}x, {CYCLES} collective "
+            f"cycles)",
+        )
+    )
+
+    if SMOKE or CORES < 4:
+        pytest.skip(
+            f"overlap ratio not asserted: {CORES} core(s) available"
+            + (" (smoke run)" if SMOKE else "")
+        )
+    assert speedup >= 1.5, (
+        f"expected >=1.5x collective-cycle throughput with overlapped "
+        f"gather at {SHARDS} shards, got {speedup:.2f}x"
+    )
+
+
+def test_qe15_overlap_is_a_pure_scheduling_change():
+    # The three-way differential: whatever the gather order, the merged
+    # stream is byte-identical in provenance.
+    workload = ShardStreamWorkload(
+        ShardStreamConfig(
+            forces=FORCES,
+            windows_per_force=2,
+            events_per_force=30,
+            force_weights=skewed_weights(),
+        )
+    )
+    serial = drive(workload, overlap=True, backend="serial")
+    overlapped = drive(workload, overlap=True)
+    gathered = drive(workload, overlap=False)
+
+    def signatures(result):
+        return sorted(
+            map(repr, (n.signature for n in result["notifications"]))
+        )
+
+    def per_instance(result):
+        streams = {}
+        for n in result["notifications"]:
+            streams.setdefault(n.process_instance_id, []).append(n.signature)
+        return streams
+
+    assert all(n.signature is not None for n in serial["notifications"])
+    assert signatures(overlapped) == signatures(serial)
+    assert signatures(gathered) == signatures(serial)
+    assert per_instance(overlapped) == per_instance(serial)
+    assert per_instance(gathered) == per_instance(serial)

@@ -31,21 +31,21 @@ would double-apply), while **reads are retried once** after recovery
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ShardCrashError
 from ..events.event import Event
 from ..observability import STRUCTURED_LOG as _SLOG
 from ..observability import Counter, default_registry
 from ..observability.trace import TraceContext
-from ..parallel.codec import events_frame
 from ..parallel.host import FederationBlueprint, ShardSpec
-from ..parallel.wire import attach_trace, strip_trace_sampling
+from ..parallel.wire import strip_trace_sampling
 from .log import FrameLog
 from .snapshot import ShardSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..parallel.federation import ProcessShard, ShardConfig
+    from ..parallel.mux import MuxChannel
 
 #: A respawn callback: fork a replacement worker for ``shard_id`` booted
 #: from ``blueprint_wire`` (the facade supplies it so the child closes
@@ -141,6 +141,14 @@ class SupervisedShard:
         """The negotiated channel (and journal) codec."""
         return self.inner.wire_codec
 
+    @property
+    def channel(self) -> "MuxChannel":
+        """The current worker's multiplexer channel (changes on respawn)."""
+        return self.inner.channel
+
+    def has_credit(self) -> bool:
+        return self.inner.has_credit()
+
     # -- observability forwarding ------------------------------------------
 
     @property
@@ -184,11 +192,13 @@ class SupervisedShard:
 
     # -- mutations (journal-then-send, replay is the retry) ----------------
 
-    def _journal_and_send(self, frame: Dict[str, Any]) -> None:
+    def _journal_and_send(
+        self, frame: Dict[str, Any], credit: bool = False
+    ) -> None:
         self.journal.append(frame)
         self._metrics["journal_frames"].inc()
         try:
-            self.inner._send(frame)
+            self.inner._send(frame, credit=credit)
         except ShardCrashError:
             # The frame is already in the journal: recovery replays it
             # into the replacement worker.  Resending would double-apply.
@@ -197,8 +207,14 @@ class SupervisedShard:
     def send_events(
         self, events: List[Event], ctx: Optional[TraceContext] = None
     ) -> None:
+        # The sequence number is assigned before journaling, so the
+        # journaled frame is byte-for-byte the frame that crosses (or
+        # crossed) the pipe — replay re-credits the in-flight window
+        # from the original numbers.  Journal-before-send still holds
+        # for queued writes: by the time a frame enters the channel's
+        # outbound queue it is already on disk.
         self._journal_and_send(
-            attach_trace(events_frame(events, self.wire_codec), ctx)
+            self.inner.make_events_frame(events, ctx), credit=True
         )
         self._maybe_snapshot()
 
@@ -210,12 +226,10 @@ class SupervisedShard:
 
     # -- reads (idempotent, retried once after recovery) -------------------
 
-    def flush(self) -> List[Dict[str, Any]]:
-        try:
-            records = self.inner.flush()
-        except ShardCrashError:
-            self.recover()
-            records = self.inner.flush()
+    def _fresh_records(
+        self, records: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Drop replayed duplicates at or below the merge watermark."""
         fresh = [
             record
             for record in records
@@ -225,12 +239,23 @@ class SupervisedShard:
             self._seq_high = int(fresh[-1]["seq"])
         return fresh
 
+    def flush(self) -> List[Dict[str, Any]]:
+        try:
+            records = self.inner.flush()
+        except ShardCrashError:
+            self.recover()
+            records = self.inner.flush()
+        return self._fresh_records(records)
+
     def stats(self) -> Dict[str, int]:
         try:
             stats = dict(self.inner.stats())
         except ShardCrashError:
             self.recover()
             stats = dict(self.inner.stats())
+        return self._augment_stats(stats)
+
+    def _augment_stats(self, stats: Dict[str, int]) -> Dict[str, int]:
         stats["recoveries"] = self.recoveries
         stats["journal_frames"] = self.journal.frame_count
         return stats
@@ -241,6 +266,45 @@ class SupervisedShard:
         except ShardCrashError:
             self.recover()
             self.inner.sync()
+
+    # -- split-phase collectives (recover-and-retry on either phase) -------
+
+    def begin_flush(self) -> None:
+        try:
+            self.inner.begin_flush()
+        except ShardCrashError:
+            self.recover()
+            self.inner.begin_flush()
+
+    def end_flush(
+        self, frame: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        try:
+            records = self.inner.end_flush(frame)
+        except ShardCrashError:
+            # The worker died between broadcast and gather; the
+            # replacement replays the journal, then a fresh blocking
+            # round trip re-asks the question (reads are idempotent).
+            self.recover()
+            records = self.inner.flush()
+        return self._fresh_records(records)
+
+    def begin_stats(self) -> None:
+        try:
+            self.inner.begin_stats()
+        except ShardCrashError:
+            self.recover()
+            self.inner.begin_stats()
+
+    def end_stats(
+        self, frame: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Dict[str, int], List[str]]:
+        try:
+            stats, errors = self.inner.end_stats(frame)
+        except ShardCrashError:
+            self.recover()
+            stats, errors = self.inner._stats_round_trip()
+        return self._augment_stats(dict(stats)), errors
 
     # -- snapshots ---------------------------------------------------------
 
@@ -343,15 +407,16 @@ class SupervisedShard:
             snapshot=snapshot is not None,
         )
         old = self.inner
-        for stream in (old._in, old._out):
-            try:
-                stream.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-        old._reap()
+        old.discard()
         self.journal.sync()
         tail = self.journal.tail(start)
         self.inner = self._respawn(self.shard_id, blueprint_wire)
+        # The replacement continues the old sequence counter, so
+        # replayed frames keep their journaled numbers and new frames
+        # never collide with them.  The fresh channel's credit window
+        # lazily re-bases on the first replayed frame's sequence — the
+        # in-flight window is re-credited, not inherited.
+        self.inner._next_seq = old._next_seq
         self._install_sink()
         if snapshot is not None:
             self.inner._send({"kind": "restore", "state": snapshot.state})
@@ -359,8 +424,12 @@ class SupervisedShard:
             # The sampled waves in the tail already shipped their spans
             # before the crash; replay with the sampling decision forced
             # off so the assembler never sees the same wave twice.  (The
-            # journal file itself is untouched.)
-            self.inner._send(strip_trace_sampling(frame))
+            # journal file itself is untouched.)  Event frames replay
+            # under the same credit discipline as live traffic.
+            self.inner._send(
+                strip_trace_sampling(frame),
+                credit=frame.get("kind") == "events",
+            )
         self.inner.sync()
         _SLOG.emit(
             "durability",

@@ -195,6 +195,32 @@ def restart_storm_rule(
     )
 
 
+def backpressure_rule(
+    window: int = 10,
+    limit: int = 50,
+    severity: str = SEVERITY_DEGRADED,
+) -> SloRule:
+    """Fires when ingest keeps stalling on shard credit windows.
+
+    A rate rule over the facade's ``backpressure_stalls_total``
+    counter: more than *limit* stalls across the last *window* sampling
+    passes means one or more shards persistently cannot keep up with
+    the event stream — the credit window is doing its job (bounding
+    memory), but throughput is now governed by the slowest shard.
+    Opt-in like :func:`restart_storm_rule`: without a process-backend
+    federation the metric never appears and the rule stays silent.
+    """
+    return rate_rule(
+        "ingest-backpressure",
+        "backpressure_stalls_total",
+        window,
+        ">",
+        limit,
+        severity=severity,
+        description="Ingest repeatedly stalled on shard credit windows",
+    )
+
+
 def default_rules() -> Tuple[SloRule, ...]:
     """The out-of-the-box SLO set over the EnactmentSystem gauges."""
     return (

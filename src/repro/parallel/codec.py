@@ -124,9 +124,19 @@ _HELLO_BYTE = {"json": 0, "binary": 1}
 _HELLO_CODEC = {byte: codec for codec, byte in _HELLO_BYTE.items()}
 
 
+def hello_bytes(codec: str) -> bytes:
+    """The channel-opening bytes: magic + codec byte, before any frame.
+
+    Exposed separately from :func:`write_hello` for writers that manage
+    raw file descriptors (the facade's multiplexer) rather than
+    buffered streams.
+    """
+    return HELLO_MAGIC + bytes((_HELLO_BYTE[codec],))
+
+
 def write_hello(stream: IO[bytes], codec: str) -> None:
     """Open a channel: magic + codec byte, before any frame."""
-    stream.write(HELLO_MAGIC + bytes((_HELLO_BYTE[codec],)))
+    stream.write(hello_bytes(codec))
     stream.flush()
 
 

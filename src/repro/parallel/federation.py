@@ -32,6 +32,18 @@ the serial stream with per-instance order intact (QE11 asserts this).
 plus :class:`~repro.errors.ShardCrashError` on the next interaction —
 never a hang: reads fail fast on EOF, and shutdown uses a poison pill
 with a join timeout before escalating to ``terminate()``.
+
+**Overlapped I/O.**  On the process backend every collective —
+:meth:`ShardedFederation.drain`, deploy/undeploy sync, ``stats()``,
+``refresh_observability()`` — broadcasts its request to every live
+shard first and then gathers the responses as they arrive through one
+:class:`~repro.parallel.mux.ChannelMultiplexer`, so a collective costs
+the slowest shard, not the sum of all shards.  Ingest is flow
+controlled per shard: event frames carry sequence numbers, workers ack
+them (piggybacked on responses, standalone past a threshold), and at
+most ``ShardConfig.max_inflight`` frames ride each pipe — a hot shard
+defers *its own* batches in the facade buffer while the rest of the
+wave keeps shipping (see DESIGN note 13).
 """
 
 from __future__ import annotations
@@ -39,7 +51,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ParallelError, ShardCrashError
 from ..events.event import Event
@@ -47,7 +60,12 @@ from ..observability import INSTRUMENTATION as _OBS
 from ..observability import STRUCTURED_LOG as _SLOG
 from ..observability.health import SloRule, SystemHealth
 from ..observability.logging import FederationLogView
-from ..observability.registry import MetricsRegistry, default_registry
+from ..observability.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
 from ..observability.selfawareness import FederationMetricsView
 from ..observability.trace import (
     DEFAULT_SAMPLE_EVERY,
@@ -57,19 +75,40 @@ from ..observability.trace import (
 from .codec import (
     WIRE_CODECS,
     events_frame,
-    make_reader,
-    make_writer,
-    write_hello,
+    hello_bytes,
 )
 from .host import FederationBlueprint, ShardHost, ShardSpec
+from .mux import ChannelMultiplexer, MuxChannel, inflight_snapshot
 from .router import ShardRouter
 from .wire import (
+    SEQ_KEY,
     as_tuples,
     attach_trace,
     decode_value,
 )
 
 BACKENDS = ("serial", "process")
+
+#: Gather-latency histogram buckets (microseconds): collectives span
+#: everything from a warm two-shard stats poll to a drain that waits on
+#: a recognition-heavy worker.
+GATHER_LATENCY_BUCKETS = (
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    250_000.0,
+    1_000_000.0,
+)
+
+#: Response frame kind per collective operation.
+_COLLECTIVE_RESPONSE = {"flush": "results", "stats": "stats"}
 
 #: Shard id under which the facade process's own structured-log records
 #: appear in the merged federation view (serial shards share the facade
@@ -129,6 +168,17 @@ class ShardConfig:
     #: path — ``strace`` a worker and read the traffic).  Serial shards
     #: never serialize; the knob only affects the process backend.
     wire_codec: str = "binary"
+    #: Event frames allowed in flight (sent, not yet acked) per shard
+    #: before ingest defers that shard's batches in the facade buffer.
+    #: The window bounds facade- and pipe-side memory per shard while a
+    #: worker stalls; acks ride the worker's response frames plus
+    #: standalone ack frames every ``max_inflight // 2`` event frames.
+    max_inflight: int = 32
+    #: Overlap the collective operations (broadcast the request to all
+    #: shards, then gather responses as they arrive).  ``False`` falls
+    #: back to one shard at a time — full round trips in shard order —
+    #: which is the comparison baseline QE15 measures against.
+    overlap: bool = True
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -159,6 +209,8 @@ class ShardConfig:
                 f"unknown wire codec {self.wire_codec!r}; "
                 f"expected one of {WIRE_CODECS}"
             )
+        if self.max_inflight < 1:
+            raise ParallelError("max_inflight must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -237,6 +289,8 @@ class SerialShard:
         #: facade); serial shards harvest straight from the host on
         #: every read, mirroring the frames a worker would send.
         self.observability_sink: ObservabilitySink = None
+        self._pending_flush: Optional[List[Dict[str, Any]]] = None
+        self._pending_stats: Optional[Dict[str, int]] = None
 
     def bootstrap(self, blueprint: FederationBlueprint) -> None:
         self.host.apply_blueprint(blueprint)
@@ -261,6 +315,27 @@ class SerialShard:
         stats = self.host.stats()
         self._harvest()
         return stats
+
+    # -- split-phase collectives (degenerate: serial shards answer
+    # -- synchronously, so "begin" already computes the response) ----------
+
+    def begin_flush(self) -> None:
+        self._pending_flush = self.flush()
+
+    def end_flush(
+        self, frame: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        records, self._pending_flush = self._pending_flush, None
+        return records if records is not None else self.flush()
+
+    def begin_stats(self) -> None:
+        self._pending_stats = self.stats()
+
+    def end_stats(
+        self, frame: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Dict[str, int], List[str]]:
+        stats, self._pending_stats = self._pending_stats, None
+        return (stats if stats is not None else self.stats()), []
 
     def _harvest(self) -> None:
         """Feed the sink what a worker would piggyback on this exchange.
@@ -291,7 +366,14 @@ class SerialShard:
 
 
 class ProcessShard:
-    """A forked worker behind two pipes (events in, results out)."""
+    """A forked worker behind two pipes (events in, results out).
+
+    The pipes live inside a :class:`~repro.parallel.mux.MuxChannel`
+    owned by the federation's :class:`ChannelMultiplexer`: writes are
+    queued and pumped non-blocking, reads are readiness-driven, and a
+    fresh shard means fresh interning tables on both pipe directions —
+    the respawn-resets-the-tables contract lives in the channel.
+    """
 
     backend = "process"
 
@@ -300,22 +382,22 @@ class ProcessShard:
         shard_id: int,
         config: ShardConfig,
         process: Any,
-        in_stream: IO[bytes],
-        out_stream: IO[bytes],
+        mux: ChannelMultiplexer,
+        channel: MuxChannel,
     ) -> None:
         self.shard_id = shard_id
         self.config = config
         self.process = process
-        self._in = in_stream
-        self._out = out_stream
+        self.mux = mux
+        self.channel = channel
         self.alive = True
-        #: The negotiated channel codec (the hello frame already told
-        #: the worker).  A fresh ``ProcessShard`` means fresh
-        #: writer/reader interning tables on both pipe directions — the
-        #: respawn-resets-the-tables contract lives here.
+        #: The negotiated channel codec (the hello bytes already told
+        #: the worker).
         self.wire_codec = config.wire_codec
-        self._writer = make_writer(in_stream, config.wire_codec)
-        self._reader = make_reader(out_stream, config.wire_codec)
+        #: Sequence number of the next event frame; survives a respawn
+        #: (the supervisor copies it onto the replacement shard) so
+        #: journal-replayed frames keep their original numbers.
+        self._next_seq = 0
         #: Receives the ``observability`` payloads the worker piggybacks
         #: on stats/results frames (set by the facade).
         self.observability_sink: ObservabilitySink = None
@@ -323,46 +405,69 @@ class ProcessShard:
     # -- channel ----------------------------------------------------------
 
     def _crashed(self, reason: str) -> ShardCrashError:
-        self.alive = False
-        exit_code = self.process.exitcode
-        _SLOG.emit(
-            "parallel",
-            "worker_crashed",
-            level="error",
-            shard=self.shard_id,
-            reason=reason,
-            exit_code=exit_code,
-        )
+        if self.alive:
+            self.alive = False
+            _SLOG.emit(
+                "parallel",
+                "worker_crashed",
+                level="error",
+                shard=self.shard_id,
+                reason=reason,
+                exit_code=self.process.exitcode,
+            )
         return ShardCrashError(
             f"shard {self.shard_id} worker died ({reason}; "
-            f"exit code {exit_code})"
+            f"exit code {self.process.exitcode})"
         )
 
-    def _send(self, frame: Dict[str, Any]) -> None:
+    def _send(self, frame: Dict[str, Any], credit: bool = False) -> None:
+        """Queue *frame* on the channel (non-blocking).
+
+        With ``credit`` the send first waits for in-flight window space
+        — the per-frame backpressure point of barrier paths like
+        :meth:`ShardedFederation.flush_buffers` and journal replay
+        (streaming ingest checks :meth:`has_credit` instead and defers
+        without waiting).
+        """
         if not self.alive:
             raise ShardCrashError(
                 f"shard {self.shard_id} worker is not running"
             )
+        if credit and not self.mux.wait_for_credit(self.channel):
+            raise self._crashed(self.channel.dead or "send failed")
         try:
-            self._writer.write(frame)
-        except (BrokenPipeError, OSError) as error:
-            raise self._crashed(f"send failed: {error}") from None
+            self.channel.queue(frame)
+        except BrokenPipeError as error:
+            raise self._crashed(str(error)) from None
+        if self.channel.dead is not None:
+            raise self._crashed(self.channel.dead)
 
     def _receive(self, expected: str) -> Dict[str, Any]:
-        try:
-            frame = self._reader.read()
-        except Exception as error:
-            raise self._crashed(f"receive failed: {error}") from None
-        if frame is None:
-            raise self._crashed("channel closed")
-        kind = frame.get("kind")
-        if kind == "error":
-            raise self._crashed(f"worker error: {frame.get('error')}")
-        if kind != expected:
-            raise self._crashed(
-                f"protocol violation: expected {expected!r} frame, "
-                f"got {kind!r}"
-            )
+        """Gather this shard's next response frame (blocking).
+
+        Out-of-band ``error`` frames a dying worker emits while a
+        gather is pending are dispatched at the channel layer — they
+        mark the channel dead with the worker's reason attributed, and
+        surface here as the :class:`ShardCrashError` they are, never as
+        a protocol violation.
+        """
+        frames, crashed = self.mux.gather({self.shard_id: expected})
+        if self.shard_id in crashed:
+            raise self._crashed(crashed[self.shard_id])
+        return frames[self.shard_id]
+
+    def has_credit(self) -> bool:
+        """Whether an event frame can ship without stalling."""
+        return self.channel.has_credit()
+
+    def make_events_frame(
+        self, events: List[Event], ctx: Optional[TraceContext] = None
+    ) -> Dict[str, Any]:
+        """Build the sequenced events frame (consumes one sequence
+        number); the supervisor journals exactly this frame."""
+        frame = attach_trace(events_frame(events, self.wire_codec), ctx)
+        frame[SEQ_KEY] = self._next_seq
+        self._next_seq += 1
         return frame
 
     # -- shard surface ----------------------------------------------------
@@ -370,7 +475,7 @@ class ProcessShard:
     def send_events(
         self, events: List[Event], ctx: Optional[TraceContext] = None
     ) -> None:
-        self._send(attach_trace(events_frame(events, self.wire_codec), ctx))
+        self._send(self.make_events_frame(events, ctx), credit=True)
 
     def deploy(self, spec: ShardSpec) -> None:
         self._send({"kind": "deploy", "spec": spec.to_wire()})
@@ -378,11 +483,33 @@ class ProcessShard:
     def undeploy(self, spec_id: str) -> None:
         self._send({"kind": "undeploy", "spec_id": spec_id})
 
-    def flush(self) -> List[Dict[str, Any]]:
+    # -- split-phase collectives ------------------------------------------
+
+    def begin_flush(self) -> None:
         self._send({"kind": "flush"})
-        frame = self._receive("results")
+
+    def end_flush(
+        self, frame: Optional[Dict[str, Any]] = None
+    ) -> List[Dict[str, Any]]:
+        if frame is None:
+            frame = self._receive("results")
         self._harvest(frame)
         return frame["notifications"]
+
+    def begin_stats(self) -> None:
+        self._send({"kind": "stats"})
+
+    def end_stats(
+        self, frame: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Dict[str, int], List[str]]:
+        if frame is None:
+            frame = self._receive("stats")
+        self._harvest(frame)
+        return frame["stats"], list(frame.get("errors", ()))
+
+    def flush(self) -> List[Dict[str, Any]]:
+        self.begin_flush()
+        return self.end_flush()
 
     def _harvest(self, frame: Dict[str, Any]) -> None:
         sink = self.observability_sink
@@ -407,14 +534,12 @@ class ProcessShard:
             )
 
     def _stats_round_trip(self) -> Tuple[Dict[str, int], List[str]]:
-        self._send({"kind": "stats"})
-        frame = self._receive("stats")
-        self._harvest(frame)
-        return frame["stats"], list(frame.get("errors", ()))
+        self.begin_stats()
+        return self.end_stats()
 
     def close(self) -> None:
         if not self.alive:
-            self._reap()
+            self.discard()
             return
         try:
             self._send({"kind": "shutdown"})
@@ -422,12 +547,14 @@ class ProcessShard:
         except (ShardCrashError, ParallelError):
             pass  # already down is an acceptable way to shut down
         self.alive = False
+        self.discard()
+
+    def discard(self) -> None:
+        """Tear the channel down and reap the worker (no handshake)."""
+        self.alive = False
+        self.mux.unregister(self.channel)
+        self.channel.close_fds()
         self._reap()
-        for stream in (self._in, self._out):
-            try:
-                stream.close()
-            except OSError:  # pragma: no cover
-                pass
 
     def _reap(self) -> None:
         process = self.process
@@ -449,6 +576,7 @@ def _spawn_worker(
     config: ShardConfig,
     blueprint_wire: Dict[str, Any],
     close_fds: List[int],
+    mux: ChannelMultiplexer,
 ) -> ProcessShard:
     """Fork one worker booted from *blueprint_wire*.
 
@@ -467,6 +595,9 @@ def _spawn_worker(
         "instrument": config.instrument,
         "share_plans": config.share_plans,
         "ship_logs": config.ship_logs,
+        # A worker volunteers a standalone ack once this many event
+        # frames arrive without a response to piggyback the ack on.
+        "ack_every": max(1, config.max_inflight // 2),
     }
     from .worker import worker_main
 
@@ -489,31 +620,34 @@ def _spawn_worker(
     process.start()
     os.close(in_read)
     os.close(out_write)
-    in_stream = os.fdopen(in_write, "wb")
     # Codec negotiation: the hello bytes are the first thing on the
     # event pipe, before any frame — the worker configures both channel
     # directions (and its host's raw/wire record shape) from them.
-    write_hello(in_stream, config.wire_codec)
-    return ProcessShard(
-        shard_id,
-        config,
-        process,
-        in_stream,
-        os.fdopen(out_read, "rb"),
+    # Written before the channel flips the fd non-blocking: five bytes
+    # always fit a fresh pipe.
+    os.write(in_write, hello_bytes(config.wire_codec))
+    channel = MuxChannel(
+        shard_id, in_write, out_read, config.wire_codec, config.max_inflight
     )
+    mux.register(channel)
+    return ProcessShard(shard_id, config, process, mux, channel)
 
 
 def _start_process_shards(
-    config: ShardConfig, blueprint: FederationBlueprint
+    config: ShardConfig,
+    blueprint: FederationBlueprint,
+    mux: ChannelMultiplexer,
 ) -> List[ProcessShard]:
     blueprint_wire = blueprint.to_wire()
     shards: List[ProcessShard] = []
     parent_fds: List[int] = []
     for shard_id in range(config.shards):
-        shard = _spawn_worker(shard_id, config, blueprint_wire, parent_fds)
+        shard = _spawn_worker(
+            shard_id, config, blueprint_wire, parent_fds, mux
+        )
         # Every parent-side fd opened so far must be closed inside the
         # children forked later (see worker_main).
-        parent_fds.extend((shard._in.fileno(), shard._out.fileno()))
+        parent_fds.extend((shard.channel.in_fd, shard.channel.out_fd))
         shards.append(shard)
     return shards
 
@@ -545,8 +679,45 @@ class ShardedFederation:
         #: current position: records emitted before this federation
         #: existed are history, not federation traffic.
         self._local_log_cursor = _SLOG.seq
+        self._mux: Optional[ChannelMultiplexer] = None
+        self._stalls: Optional[Counter] = None
+        self._gather_latency: Optional[Histogram] = None
         if self.config.backend == "process":
-            workers = _start_process_shards(self.config, blueprint)
+            self._mux = ChannelMultiplexer()
+            registry = default_registry()
+            self._stalls = registry.counter(
+                "backpressure_stalls_total",
+                "Event sends deferred or blocked on a shard's in-flight "
+                "credit window",
+                label_names=("shard",),
+            )
+            self._gather_latency = registry.histogram(
+                "gather_latency_us",
+                GATHER_LATENCY_BUCKETS,
+                "Latency of broadcast-then-gather collectives",
+                label_names=("op",),
+            )
+            facade_pid = os.getpid()
+
+            def _inflight() -> Dict[Tuple[str, ...], float]:
+                # Workers inherit this registry (and this callback)
+                # across fork; only the facade process owns channels.
+                if os.getpid() != facade_pid:
+                    return {}
+                return inflight_snapshot(self._live_channels())
+
+            registry.multi_callback_gauge(
+                "shard_inflight",
+                _inflight,
+                "Event frames in flight (sent, unacked) per shard",
+                label_names=("shard",),
+            )
+            self._mux.on_stall = lambda channel: self._count_stall(
+                channel.shard_id
+            )
+            workers = _start_process_shards(
+                self.config, blueprint, self._mux
+            )
             if self.config.durable_dir is not None:
                 from ..durability.supervisor import SupervisedShard
 
@@ -589,8 +760,26 @@ class ShardedFederation:
         self._buffers: List[List[Event]] = [
             [] for __ in range(self.config.shards)
         ]
+        #: Per-shard flag: the shard's buffer holds at least one full
+        #: batch the credit window would not admit.  Used to count one
+        #: stall per deferral episode instead of one per event.
+        self._deferred: List[bool] = [False] * self.config.shards
         #: Everything drained so far, in merged order.
         self.delivered: List[ShardNotification] = []
+
+    # -- backpressure plumbing ----------------------------------------------
+
+    def _live_channels(self) -> List[MuxChannel]:
+        channels: List[MuxChannel] = []
+        for shard in getattr(self, "shards", ()):
+            channel = getattr(shard, "channel", None)
+            if channel is not None and shard.alive:
+                channels.append(channel)
+        return channels
+
+    def _count_stall(self, shard_id: int) -> None:
+        if self._stalls is not None:
+            self._stalls.inc(labels=(str(shard_id),))
 
     # -- recovery plumbing --------------------------------------------------
 
@@ -601,11 +790,7 @@ class ShardedFederation:
         for shard in self.shards:
             inner = getattr(shard, "inner", shard)
             if getattr(inner, "alive", False) and inner.backend == "process":
-                for stream in (inner._in, inner._out):
-                    try:
-                        fds.append(stream.fileno())
-                    except (OSError, ValueError):  # pragma: no cover
-                        pass
+                fds.extend((inner.channel.in_fd, inner.channel.out_fd))
             journal = getattr(shard, "journal", None)
             if journal is not None:
                 try:
@@ -618,8 +803,13 @@ class ShardedFederation:
         self, shard_id: int, blueprint_wire: Dict[str, Any]
     ) -> ProcessShard:
         """Fork a replacement worker (the supervisor's respawn hook)."""
+        assert self._mux is not None
         return _spawn_worker(
-            shard_id, self.config, blueprint_wire, self._parent_fds()
+            shard_id,
+            self.config,
+            blueprint_wire,
+            self._parent_fds(),
+            self._mux,
         )
 
     # -- events ------------------------------------------------------------
@@ -635,6 +825,12 @@ class ShardedFederation:
         spanning every shard the wave touched.  Events left buffered
         here ship later under that wave's context (see
         :meth:`flush_buffers`).
+
+        Ingest never blocks on a slow shard: a full batch whose shard
+        has exhausted its in-flight credit window stays in the facade
+        buffer (bounded memory — event references, not copies) and
+        ships once the shard acks; meanwhile every other shard's
+        batches keep flowing.
         """
         router = self.router
         shard_count = self.config.shards
@@ -642,26 +838,78 @@ class ShardedFederation:
         buffers = self._buffers
         ctx: Optional[TraceContext] = None
         for event in events:
-            shard = router.shard_for(event, shard_count)
-            buffer = buffers[shard]
+            index = router.shard_for(event, shard_count)
+            buffer = buffers[index]
             buffer.append(event)
-            if len(buffer) >= batch_size:
-                if ctx is None and self.config.instrument:
-                    ctx = self.trace_assembler.begin("federation.ingest")
-                self.shards[shard].send_events(buffer, ctx)
-                buffers[shard] = []
+            if len(buffer) < batch_size:
+                continue
+            if not self._can_ship(index):
+                # Window full: defer this shard's batch, count the
+                # stall once per episode, give pending acks a poll,
+                # and keep the wave moving.
+                if not self._deferred[index]:
+                    self._deferred[index] = True
+                    self.shards[index].channel.stalls += 1
+                    self._count_stall(index)
+                if self._mux is not None:
+                    self._mux.pump(0.0)
+                if not self._can_ship(index):
+                    continue
+            if ctx is None and self.config.instrument:
+                ctx = self.trace_assembler.begin("federation.ingest")
+            self._ship(index, ctx)
+
+    def _can_ship(self, index: int) -> bool:
+        """Whether shard *index* accepts an event frame right now.
+
+        A dead channel reports ``True`` so the send attempt surfaces
+        the crash (or triggers supervised recovery) instead of
+        deferring forever.
+        """
+        shard = self.shards[index]
+        channel = getattr(shard, "channel", None)
+        if channel is None or channel.dead is not None:
+            return True
+        return bool(channel.has_credit())
+
+    def _ship(self, index: int, ctx: Optional[TraceContext]) -> None:
+        """Ship as many full batches of shard *index* as credit allows."""
+        buffer = self._buffers[index]
+        shard = self.shards[index]
+        batch_size = self.config.batch_size
+        start = 0
+        while len(buffer) - start >= batch_size and self._can_ship(index):
+            shard.send_events(buffer[start:start + batch_size], ctx)
+            start += batch_size
+        if start:
+            self._buffers[index] = buffer = buffer[start:]
+        self._deferred[index] = len(buffer) >= batch_size
 
     def flush_buffers(self) -> None:
-        """Ship every partial batch (events keep per-shard order)."""
+        """Ship every partial batch (events keep per-shard order).
+
+        This is a barrier: deferred batches ship too, each send waiting
+        for its shard's credit window (the multiplexer keeps pumping
+        every channel during the wait, so the acks that free the window
+        can arrive).
+        """
         if not any(self._buffers):
             return
         ctx: Optional[TraceContext] = None
         if self.config.instrument:
             ctx = self.trace_assembler.begin("federation.flush")
-        for shard, buffer in enumerate(self._buffers):
-            if buffer:
-                self.shards[shard].send_events(buffer, ctx)
-                self._buffers[shard] = []
+        batch_size = self.config.batch_size
+        for index, buffer in enumerate(self._buffers):
+            if not buffer:
+                continue
+            shard = self.shards[index]
+            # Deferred batches may have stacked past one batch_size;
+            # ship them as separate frames so the credit window keeps
+            # counting what it meters (frames in flight).
+            for start in range(0, len(buffer), batch_size):
+                shard.send_events(buffer[start:start + batch_size], ctx)
+            self._buffers[index] = []
+            self._deferred[index] = False
 
     # -- specification lifecycle ------------------------------------------
 
@@ -685,18 +933,84 @@ class ShardedFederation:
             if spec.spec_id != spec_id
         ]
 
+    # -- collectives --------------------------------------------------------
+
+    def _collect(
+        self, op: str, tolerant: bool = False
+    ) -> List[Tuple[Any, Any]]:
+        """One broadcast-then-gather collective across the federation.
+
+        Broadcasts the *op* request (``"flush"`` or ``"stats"``) to
+        every shard first, then gathers the responses as they arrive —
+        the collective costs the slowest shard, not the sum.  Returns
+        ``[(shard, result), ...]`` in shard order: records lists for
+        ``flush``, ``(stats, errors)`` pairs for ``stats``.
+
+        The wave always completes: every broadcast request is matched
+        to its response (or its shard's crash) before anything is
+        raised, so no stale frame is left behind to poison the next
+        collective.  Supervised shards recover-and-retry internally;
+        a plain shard's crash raises after the wave, with the shard
+        attributed.  With ``tolerant``, dead shards are skipped and
+        crashes drop the shard from the result instead of raising.
+
+        With ``ShardConfig.overlap`` off (or on the serial backend) the
+        same code degenerates to one blocking round trip per shard in
+        shard order — the pre-overlap behavior, kept as the QE15
+        comparison baseline.
+        """
+        shards = [s for s in self.shards if not tolerant or s.alive]
+        begun: List[Any] = []
+        failures: List[ShardCrashError] = []
+        for shard in shards:
+            try:
+                if op == "flush":
+                    shard.begin_flush()
+                else:
+                    shard.begin_stats()
+                begun.append(shard)
+            except ShardCrashError as error:
+                if not tolerant:
+                    failures.append(error)
+        frames: Dict[int, Dict[str, Any]] = {}
+        if self._mux is not None and self.config.overlap:
+            wants = {
+                shard.shard_id: _COLLECTIVE_RESPONSE[op]
+                for shard in begun
+                if getattr(shard, "channel", None) is not None
+            }
+            if wants:
+                started = perf_counter()
+                frames, __ = self._mux.gather(wants)
+                if self._gather_latency is not None:
+                    self._gather_latency.observe(
+                        (perf_counter() - started) * 1e6, labels=(op,)
+                    )
+        results: List[Tuple[Any, Any]] = []
+        for shard in begun:
+            frame = frames.get(shard.shard_id)
+            try:
+                if op == "flush":
+                    results.append((shard, shard.end_flush(frame)))
+                else:
+                    results.append((shard, shard.end_stats(frame)))
+            except ShardCrashError as error:
+                if not tolerant:
+                    failures.append(error)
+        if failures:
+            raise failures[0]
+        return results
+
     def _sync(self) -> None:
         # Round-trip every shard even when an early one reports errors:
         # stopping at the first failure would leave later shards'
         # deferred errors undrained, poisoning the *next* operation.
         problems: List[str] = []
-        for shard in self.shards:
-            try:
-                shard.sync()
-            except ShardCrashError:
-                raise
-            except ParallelError as error:
-                problems.append(str(error))
+        for shard, (__, errors) in self._collect("stats"):
+            if errors:
+                problems.append(
+                    f"shard {shard.shard_id} reported errors: {errors}"
+                )
         if problems:
             raise ParallelError("; ".join(problems))
 
@@ -705,19 +1019,21 @@ class ShardedFederation:
     def drain(self) -> List[ShardNotification]:
         """Collect and deterministically merge new notifications.
 
-        The merge key is ``(logical time, shard id, sequence)``: a total
-        order independent of worker scheduling.  Per-shard sequence
-        numbers increase with enqueue order, so notifications of one
-        process instance (always co-sharded) keep their recognition
-        order in the merged stream.
+        The flush fans out to every shard before the first response is
+        awaited, so the drain costs the slowest shard's flush.  The
+        merge key is ``(logical time, shard id, sequence)``: a total
+        order independent of worker scheduling — and of gather arrival
+        order.  Per-shard sequence numbers increase with enqueue order,
+        so notifications of one process instance (always co-sharded)
+        keep their recognition order in the merged stream.
         """
         self.flush_buffers()
         merged: List[ShardNotification] = []
-        for shard in self.shards:
+        for shard, records in self._collect("flush"):
             raw = shard.wire_codec == "binary"
             merged.extend(
                 _notification_from_record(shard.shard_id, record, raw)
-                for record in shard.flush()
+                for record in records
             )
         merged.sort(key=lambda n: n.merge_key)
         self.delivered.extend(merged)
@@ -745,13 +1061,9 @@ class ShardedFederation:
 
     def refresh_observability(self) -> None:
         """Round-trip every live shard so the federation views are
-        current (each read piggybacks the shard's latest shipment)."""
-        for shard in self.shards:
-            if shard.alive:
-                try:
-                    shard.stats()
-                except (ShardCrashError, ParallelError):
-                    continue
+        current (each read piggybacks the shard's latest shipment) —
+        one overlapped wave, not a per-shard loop."""
+        self._collect("stats", tolerant=True)
 
     def traces(self) -> Tuple[Dict[str, Any], ...]:
         """Assembled cross-shard traces, oldest first."""
@@ -793,6 +1105,13 @@ class ShardedFederation:
 
     def shard_stats(self) -> List[Dict[str, Any]]:
         """Per-shard rows for ``repro shards`` and the dashboard."""
+        stats_by_id: Dict[int, Dict[str, Any]] = {}
+        for shard, (stats, errors) in self._collect("stats", tolerant=True):
+            if errors:
+                raise ParallelError(
+                    f"shard {shard.shard_id} reported errors: {errors}"
+                )
+            stats_by_id[shard.shard_id] = dict(stats)
         rows: List[Dict[str, Any]] = []
         for shard in self.shards:
             row: Dict[str, Any] = {
@@ -801,11 +1120,16 @@ class ShardedFederation:
                 "alive": shard.alive,
                 "buffered": len(self._buffers[shard.shard_id]),
             }
-            if shard.alive:
-                try:
-                    row.update(shard.stats())
-                except ShardCrashError:
-                    row["alive"] = False
+            # Credit-window columns (after the collect: its piggybacked
+            # acks retire credits, so these read the settled window).
+            channel = getattr(shard, "channel", None)
+            if channel is not None:
+                row["inflight"] = channel.outstanding
+                row["credits"] = max(
+                    0, channel.max_inflight - channel.outstanding
+                )
+                row["stalls"] = channel.stalls
+            row.update(stats_by_id.get(shard.shard_id, {}))
             rows.append(row)
         return rows
 
@@ -850,6 +1174,8 @@ class ShardedFederation:
                 shard.close()
             except ShardCrashError:  # pragma: no cover - already logged
                 pass
+        if self._mux is not None:
+            self._mux.close()
         if self._restore_instrumentation is not None:
             _OBS.enabled = self._restore_instrumentation
         if self._restore_logging is not None:

@@ -167,6 +167,12 @@ class ShardHost:
         }
         self._detectors: Dict[str, Any] = {}
         self._ingested: int = 0
+        self._frames: int = 0
+        #: Highest event-frame sequence number received (the worker's
+        #: cumulative credit ack).  ``None`` until a sequenced frame
+        #: arrives — unsequenced frames (serial shards, legacy JSON
+        #: journals) never participate in the credit window.
+        self.last_seq: Optional[int] = None
         self._reported: int = 0
         #: Bus publishes counted by a previous incarnation (snapshot
         #: restore); the fresh bus restarts at zero.
@@ -237,7 +243,10 @@ class ShardHost:
     # -- ingest ------------------------------------------------------------
 
     def ingest(
-        self, events: List[Event], ctx: Optional[TraceContext] = None
+        self,
+        events: List[Event],
+        ctx: Optional[TraceContext] = None,
+        seq: Optional[int] = None,
     ) -> None:
         """Feed routed primitive events into the pipeline, in order.
 
@@ -245,12 +254,20 @@ class ShardHost:
         producers' run-grouping (and the shared plans' ``consume_batch``)
         see the same batch shapes an in-process engine would.
 
+        ``seq`` is the facade's frame sequence number; it is recorded
+        *before* processing so the frame's credit is returned to the
+        sender even when ingest fails recoverably partway through.
+
         With a :class:`TraceContext` and instrumentation on, the whole
         batch runs under a ``shard.ingest`` root span whose sampling
         decision is the facade's, verbatim (no local re-sampling); a
         recorded tree is buffered for shipment on the next stats/flush
         frame.
         """
+        if seq is not None:
+            if self.last_seq is None or seq > self.last_seq:
+                self.last_seq = seq
+            self._frames += 1
         if ctx is not None and _OBS.enabled:
             tracer = _OBS.tracer
             span = tracer.begin_root(
@@ -475,6 +492,7 @@ class ShardHost:
         awareness = self.system.awareness.stats()
         return {
             "events_ingested": self._ingested,
+            "frames_ingested": self._frames,
             "composites_recognized": awareness["composites_recognized"],
             "notifications": (
                 self.queue.seq_offset + len(self.queue.records)

@@ -31,7 +31,7 @@ facade and every worker.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 from ..events.canonical import is_canonical
 from ..events.event import Event
@@ -43,6 +43,12 @@ from ..events.producers import (
 )
 
 KeyExtractor = Callable[[Event], Hashable]
+
+#: Entries kept in the router's key-to-shard memo before it resets.
+#: Affinity keys are heavily repeated (every event of one process
+#: instance, context, or system carries the same key), so a small cache
+#: absorbs nearly all the ``repr`` + crc32 work on the ingest hot path.
+ROUTER_CACHE_MAX = 4096
 
 
 def activity_affinity(event: Event) -> Hashable:
@@ -86,6 +92,12 @@ class ShardRouter:
             SYSTEM_EVENT_TYPE_NAME: system_affinity,
             NEWS_EVENT_TYPE_NAME: external_affinity,
         }
+        #: Memoized ``(key, shard_count) -> shard`` results.  Purely a
+        #: cache of :meth:`shard_for_key` (which depends on nothing but
+        #: its arguments), so extractor registration never invalidates
+        #: it.  Bounded: a full cache is cleared, not evicted — the hot
+        #: keys repopulate it within one batch.
+        self._shard_cache: Dict[Any, int] = {}
 
     def register(self, type_name: str, extractor: KeyExtractor) -> None:
         """Install (or replace) the affinity extractor for *type_name*.
@@ -113,7 +125,20 @@ class ShardRouter:
         """The shard index in ``[0, shard_count)`` owning *event*."""
         if shard_count <= 1:
             return 0
-        return self.shard_for_key(self.affinity_key(event), shard_count)
+        key = self.affinity_key(event)
+        cache_key = (key, shard_count)
+        try:
+            cached = self._shard_cache.get(cache_key)
+        except TypeError:
+            # An unhashable custom key: fall through to the hash.
+            return self.shard_for_key(key, shard_count)
+        if cached is not None:
+            return cached
+        shard = self.shard_for_key(key, shard_count)
+        if len(self._shard_cache) >= ROUTER_CACHE_MAX:
+            self._shard_cache.clear()
+        self._shard_cache[cache_key] = shard
+        return shard
 
     @staticmethod
     def shard_for_key(key: Hashable, shard_count: int) -> int:

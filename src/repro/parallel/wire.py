@@ -194,6 +194,30 @@ def provenance_from_wire(data: Mapping[str, Any]) -> ProvenanceNode:
 #: :meth:`repro.observability.trace.TraceContext.to_wire`.
 TRACE_KEY = "trace"
 
+#: Key under which an ``events`` frame carries its per-shard sequence
+#: number — the credit-based flow control's unit of account.  Seqs are
+#: assigned by the facade in send order and survive a respawn (the
+#: replacement channel inherits the counter), so a journal-replayed
+#: frame keeps its original number.
+SEQ_KEY = "seq"
+
+#: Key under which a worker response piggybacks its cumulative ack: the
+#: highest event-frame sequence number fully ingested so far.  Rides
+#: every ``stats``/``results`` frame; the facade uses it to retire
+#: in-flight credits without a dedicated exchange.
+ACKED_KEY = "acked"
+
+#: Frame kind of the standalone credit grant a worker emits once enough
+#: unacknowledged event frames accumulate between reads — the
+#: lightweight path that keeps a write-heavy stream flowing when no
+#: stats/flush response is due.
+ACK_KIND = "ack"
+
+
+def ack_frame(acked: int) -> Dict[str, Any]:
+    """A standalone credit grant: cumulative ack through *acked*."""
+    return {"kind": ACK_KIND, ACKED_KEY: acked}
+
 
 def attach_trace(frame: Dict[str, Any], ctx: Optional[Any]) -> Dict[str, Any]:
     """Stamp *frame* with *ctx*'s wire form (no-op when ctx is ``None``).

@@ -10,16 +10,25 @@ response.
 
 Protocol frames (see :mod:`repro.parallel.wire` for the framing):
 
-* ``{"kind": "events", "events": [...], "trace": [tid, psid, 0|1]}`` —
-  ingest a routed batch; the optional ``trace`` context carries the
-  facade's head-sampling decision, honored verbatim (no re-sampling);
+* ``{"kind": "events", "events": [...], "seq": N,
+  "trace": [tid, psid, 0|1]}`` — ingest a routed batch; ``seq`` is the
+  facade's per-shard frame sequence number (the credit window's unit),
+  and the optional ``trace`` context carries the facade's head-sampling
+  decision, honored verbatim (no re-sampling);
 * ``{"kind": "deploy", "spec": {...}}`` / ``{"kind": "undeploy",
   "spec_id": ...}`` — detector lifecycle;
 * ``{"kind": "stats"}`` → ``{"kind": "stats", "stats": {...},
-  "errors": [...], "observability": {...}}``;
+  "errors": [...], "acked": N, "observability": {...}}``;
 * ``{"kind": "flush"}`` → ``{"kind": "results", "notifications": [...],
-  "observability": {...}}``
+  "acked": N, "observability": {...}}``
   — drain the recorded notification stream (sequence numbers included).
+
+Every response piggybacks ``acked`` — the highest event-frame ``seq``
+fully ingested — so the facade retires in-flight credits on reads it
+already performs.  When ``ack_every`` event frames arrive with no read
+pending (a pure write stream), the worker volunteers a standalone
+``{"kind": "ack", "acked": N}`` so the window never starves the sender
+of credits.
 
 Both read responses piggyback an ``observability`` payload — the shard's
 full metrics-registry snapshot, its buffered sampled span batches, and
@@ -53,7 +62,14 @@ from ..observability import INSTRUMENTATION as _OBS
 from ..observability import STRUCTURED_LOG as _SLOG
 from .codec import make_reader, make_writer, read_hello
 from .host import FederationBlueprint, ShardHost, ShardSpec
-from .wire import event_from_wire, extract_trace, write_frame
+from .wire import (
+    ACKED_KEY,
+    SEQ_KEY,
+    ack_frame,
+    event_from_wire,
+    extract_trace,
+    write_frame,
+)
 
 
 def worker_main(
@@ -130,6 +146,20 @@ def worker_main(
         host.ship_logs = ship_logs
         host.wire_raw = raw
         host.apply_blueprint(FederationBlueprint.from_wire(blueprint_wire))
+        # Credit bookkeeping: event frames since the last ack crossed
+        # the pipe (in either piggybacked or standalone form).  The
+        # threshold keeps a pure write stream credited without a
+        # dedicated exchange per frame.
+        ack_every = max(1, int(options.get("ack_every", 1)))
+        unacked = 0
+
+        def piggyback_ack(response: Dict[str, Any]) -> Dict[str, Any]:
+            nonlocal unacked
+            if host.last_seq is not None:
+                response[ACKED_KEY] = host.last_seq
+                unacked = 0
+            return response
+
         while True:
             frame = reader.read()
             if frame is None:  # parent vanished: treat as shutdown
@@ -137,38 +167,54 @@ def worker_main(
             kind = frame.get("kind")
             try:
                 if kind == "events":
-                    # A binary channel delivers the events themselves;
-                    # the JSON path delivers their wire dicts.
-                    host.ingest(
-                        list(frame["events"])
-                        if raw
-                        else [
-                            event_from_wire(data)
-                            for data in frame["events"]
-                        ],
-                        extract_trace(frame),
-                    )
+                    seq = frame.get(SEQ_KEY)
+                    if seq is not None:
+                        unacked += 1
+                    try:
+                        # A binary channel delivers the events
+                        # themselves; the JSON path their wire dicts.
+                        host.ingest(
+                            list(frame["events"])
+                            if raw
+                            else [
+                                event_from_wire(data)
+                                for data in frame["events"]
+                            ],
+                            extract_trace(frame),
+                            seq=seq,
+                        )
+                    finally:
+                        # The frame consumed a credit even if ingest
+                        # failed recoverably — ack it regardless, or
+                        # the facade's window leaks shut.
+                        if seq is not None and unacked >= ack_every:
+                            writer.write(ack_frame(seq))
+                            unacked = 0
                 elif kind == "deploy":
                     host.deploy_spec(ShardSpec.from_wire(frame["spec"]))
                 elif kind == "undeploy":
                     host.undeploy_spec(frame["spec_id"])
                 elif kind == "stats":
                     writer.write(
-                        {
-                            "kind": "stats",
-                            "stats": host.stats(),
-                            "errors": list(errors),
-                            "observability": observability(),
-                        }
+                        piggyback_ack(
+                            {
+                                "kind": "stats",
+                                "stats": host.stats(),
+                                "errors": list(errors),
+                                "observability": observability(),
+                            }
+                        )
                     )
                     errors.clear()
                 elif kind == "flush":
                     writer.write(
-                        {
-                            "kind": "results",
-                            "notifications": host.drain_results(),
-                            "observability": observability(),
-                        }
+                        piggyback_ack(
+                            {
+                                "kind": "results",
+                                "notifications": host.drain_results(),
+                                "observability": observability(),
+                            }
+                        )
                     )
                 elif kind == "snapshot":
                     writer.write(

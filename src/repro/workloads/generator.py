@@ -453,6 +453,13 @@ class ShardStreamConfig:
     per run.  Distinct context names per force give the router real keys
     to spread; distinct instance names per chain keep the plan cache
     from collapsing the per-event work the benchmark measures.
+
+    ``force_weights`` skews the stream: force ``i`` emits
+    ``events_per_force * force_weights[i]`` events (QE15 uses this to
+    make one shard's keys hot).  Thresholds stay per-force fractions of
+    that force's own stream length, so every window still fires exactly
+    once and :meth:`ShardStreamWorkload.expected_notifications` stays
+    exact whatever the skew.
     """
 
     forces: int = 8
@@ -461,6 +468,7 @@ class ShardStreamConfig:
     members_per_team: int = 2
     seed: int = 23
     process_schema_id: str = "P-ShardTF"
+    force_weights: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.forces < 1:
@@ -474,6 +482,22 @@ class ShardStreamConfig:
                 "events_per_force must exceed windows_per_force so every "
                 "edge threshold is crossed"
             )
+        if self.force_weights:
+            if len(self.force_weights) != self.forces:
+                raise WorkloadError(
+                    "force_weights must name one weight per force"
+                )
+            for weight in self.force_weights:
+                if not isinstance(weight, int) or weight < 1:
+                    raise WorkloadError(
+                        "force weights must be positive integers"
+                    )
+
+    def events_for_force(self, force: int) -> int:
+        """This force's stream length after applying its weight."""
+        if self.force_weights:
+            return self.events_per_force * self.force_weights[force]
+        return self.events_per_force
 
 
 class ShardStreamWorkload:
@@ -527,12 +551,13 @@ class ShardStreamWorkload:
             )
         return blueprint
 
-    def thresholds(self) -> List[int]:
-        """Edge thresholds spread across the per-force stream length."""
+    def thresholds(self, force: int) -> List[int]:
+        """Edge thresholds spread across *force*'s own stream length."""
         config = self.config
         windows = config.windows_per_force
+        length = config.events_for_force(force)
         return [
-            max(1, (config.events_per_force * (index + 1)) // (windows + 1))
+            max(1, (length * (index + 1)) // (windows + 1))
             for index in range(windows)
         ]
 
@@ -540,7 +565,7 @@ class ShardStreamWorkload:
         """One window: ``windows_per_force`` filter->count->edge chains."""
         context = self.context_name(force)
         lines: List[str] = []
-        for index, threshold in enumerate(self.thresholds()):
+        for index, threshold in enumerate(self.thresholds(force)):
             lines.append(
                 f"d{index} = Filter_context[{context}, Deadline]"
                 f"(ContextEvent)"
@@ -565,7 +590,8 @@ class ShardStreamWorkload:
         config = self.config
         rng = random.Random(config.seed)
         remaining = {
-            force: config.events_per_force for force in range(config.forces)
+            force: config.events_for_force(force)
+            for force in range(config.forces)
         }
         counts = {force: 0 for force in range(config.forces)}
         associations = {

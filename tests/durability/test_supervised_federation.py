@@ -297,10 +297,11 @@ class TestBinaryChannelRecovery:
         # The facade-side encoder interns strings per channel.  A
         # respawned worker starts with empty decoder tables, so the
         # facade must NOT keep the dead channel's encoder: recovery
-        # builds a fresh writer/reader pair, and the journal replay
-        # re-defines every name from scratch.  Crash mid-wave — with
-        # interned names in flight and nothing drained — and the
-        # continued stream must still match the uninterrupted run.
+        # builds a fresh multiplexer channel (encoder and decoder
+        # included), and the journal replay re-defines every name from
+        # scratch.  Crash mid-wave — with interned names in flight and
+        # nothing drained — and the continued stream must still match
+        # the uninterrupted run.
         workload = small_workload(seed=47)
         events = workload.events()
         cut = len(events) // 2
@@ -310,17 +311,19 @@ class TestBinaryChannelRecovery:
             shard = federation.shards[0]
             assert shard.wire_codec == "binary"
             federation.ingest(events[:cut])  # no drain: waves in flight
-            old_writer = shard.inner._writer
+            old_channel = shard.inner.channel
             # The dead channel's encoder holds interned names.
-            assert old_writer.encoder._count > 0
+            assert old_channel._encoder is not None
+            assert old_channel._encoder._count > 0
             kill_worker(shard)
             federation.ingest(events[cut:])  # first send recovers
             merged = federation.drain()
-            new_writer = shard.inner._writer
-            assert new_writer is not old_writer
+            new_channel = shard.inner.channel
+            assert new_channel is not old_channel
             # The replacement channel re-interned (replay + new waves)
             # on its own fresh table.
-            assert new_writer.encoder._count > 0
+            assert new_channel._encoder is not None
+            assert new_channel._encoder._count > 0
             assert federation.stats()["recoveries"] == 1
             merged = list(federation.delivered)
         assert len(merged) == workload.expected_notifications()
@@ -358,3 +361,54 @@ class TestBinaryChannelRecovery:
         # Both halves delivered; no crash, no frame loss.
         combined = signatures(first) + signatures(second)
         assert len(combined) == workload.expected_notifications()
+
+
+class TestInflightRecovery:
+    def test_sigkill_with_a_full_credit_window_recovers_exactly(
+        self, tmp_path
+    ):
+        # The overlapped-I/O recovery contract: stop a worker so the
+        # credit window fills and batches defer facade-side, SIGKILL it
+        # with those frames in flight, and continue.  The journal holds
+        # every queued-then-sent frame (journal-before-send), the
+        # replacement worker replays the in-flight window, and the
+        # credit accounting re-bases on the replayed sequences — the
+        # final stream must equal the serial backend's, multiset and
+        # per-instance order both.
+        workload = small_workload(seed=61)
+        events = workload.events()
+        cut = len(events) // 2
+        config = durable_config(tmp_path, batch_size=4, max_inflight=2)
+        with ShardedFederation(workload.blueprint(), config) as federation:
+            shard = federation.shards[0]
+            worker = shard.inner
+            worker.process._popen._send_signal(signal.SIGSTOP)  # noqa: SLF001
+            federation.ingest(events[:cut])  # fills the window, defers
+            channel = worker.channel
+            assert channel.outstanding == 2  # the window is full
+            assert channel.stalls > 0
+            kill_worker(shard)
+            federation.ingest(events[cut:])  # first send recovers
+            federation.drain()
+            stats = federation.stats()
+            merged = list(federation.delivered)
+        assert stats["recoveries"] == 1
+        with ShardedFederation(
+            workload.blueprint(),
+            ShardConfig(shards=1, backend="serial", instrument=True),
+        ) as serial:
+            serial.ingest(workload.events())
+            base = serial.drain()
+        assert len(merged) == workload.expected_notifications()
+        assert signatures(merged) == signatures(base)
+        by_instance = {}
+        for notification in merged:
+            by_instance.setdefault(
+                notification.process_instance_id, []
+            ).append(notification.signature)
+        reference = {}
+        for notification in base:
+            reference.setdefault(
+                notification.process_instance_id, []
+            ).append(notification.signature)
+        assert by_instance == reference

@@ -1,0 +1,298 @@
+"""The channel multiplexer: framing, credits, gather, crash attribution.
+
+These tests drive :class:`MuxChannel` and :class:`ChannelMultiplexer`
+over raw ``os.pipe`` pairs with the test playing the worker — no forked
+processes, so every byte on the wire is under the test's control
+(partial frames, out-of-order responses, last-words error frames).
+"""
+
+import os
+
+import pytest
+
+from repro.parallel.codec import BinaryDecoder, BinaryEncoder
+from repro.parallel.mux import (
+    ChannelMultiplexer,
+    MuxChannel,
+    inflight_snapshot,
+)
+from repro.parallel.wire import (
+    ACKED_KEY,
+    SEQ_KEY,
+    ack_frame,
+    frame_bytes,
+)
+
+
+class FakeWorker:
+    """One channel plus the worker-side pipe ends, with cleanup."""
+
+    def __init__(self, shard_id=0, codec="json", max_inflight=4):
+        to_worker_read, to_worker_write = os.pipe()
+        to_facade_read, to_facade_write = os.pipe()
+        self.channel = MuxChannel(
+            shard_id, to_worker_write, to_facade_read, codec, max_inflight
+        )
+        #: The worker's read end of the facade-to-worker pipe.
+        self.request_fd = to_worker_read
+        #: The worker's write end of the worker-to-facade pipe.
+        self.response_fd = to_facade_write
+        self._encoder = BinaryEncoder() if codec == "binary" else None
+        self._decoder = BinaryDecoder() if codec == "binary" else None
+
+    def respond(self, frame):
+        """Write *frame* to the facade as the worker would."""
+        if self._encoder is not None:
+            os.write(self.response_fd, self._encoder.encode_frame(frame))
+        else:
+            os.write(self.response_fd, frame_bytes(frame))
+
+    def respond_raw(self, data):
+        os.write(self.response_fd, data)
+
+    def sent_frames(self):
+        """Decode every complete frame the facade has written so far."""
+        os.set_blocking(self.request_fd, False)
+        data = bytearray()
+        while True:
+            try:
+                chunk = os.read(self.request_fd, 1 << 16)
+            except BlockingIOError:
+                break
+            if not chunk:
+                break
+            data += chunk
+        frames = []
+        position = 0
+        while len(data) - position >= 4:
+            length = int.from_bytes(data[position:position + 4], "big")
+            payload = bytes(data[position + 4:position + 4 + length])
+            position += 4 + length
+            if self._decoder is not None:
+                frames.append(self._decoder.decode_payload(payload))
+            else:
+                import json
+
+                frames.append(json.loads(payload.decode("utf-8")))
+        return frames
+
+    def close(self):
+        self.channel.close_fds()
+        for fd in (self.request_fd, self.response_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+
+@pytest.fixture(params=["json", "binary"])
+def worker(request):
+    fake = FakeWorker(codec=request.param)
+    yield fake
+    fake.close()
+
+
+class TestMuxChannel:
+    def test_round_trip_both_directions(self, worker):
+        worker.channel.queue({"kind": "stats_request"})
+        assert worker.sent_frames() == [{"kind": "stats_request"}]
+        worker.respond({"kind": "stats", "stats": {"events": 3}})
+        worker.channel.pump_reads()
+        assert list(worker.channel.inbox) == [
+            {"kind": "stats", "stats": {"events": 3}}
+        ]
+
+    def test_partial_frames_reassemble_byte_by_byte(self, worker):
+        if worker._encoder is not None:
+            data = worker._encoder.encode_frame({"kind": "stats", "n": 7})
+        else:
+            data = frame_bytes({"kind": "stats", "n": 7})
+        for index, byte in enumerate(data):
+            worker.respond_raw(bytes([byte]))
+            worker.channel.pump_reads()
+            if index < len(data) - 1:
+                assert not worker.channel.inbox
+        assert list(worker.channel.inbox) == [{"kind": "stats", "n": 7}]
+        assert worker.channel.dead is None
+
+    def test_event_frames_open_the_credit_window(self, worker):
+        channel = worker.channel
+        assert channel.outstanding == 0
+        assert channel.has_credit()
+        # The first event frame defines the window origin — here a
+        # replayed journal tail starting at sequence 5.
+        channel.queue({"kind": "events", "events": [], SEQ_KEY: 5})
+        assert channel.last_acked_seq == 4
+        assert channel.outstanding == 1
+        channel.queue({"kind": "events", "events": [], SEQ_KEY: 6})
+        assert channel.outstanding == 2
+
+    def test_standalone_acks_grant_credit_without_reaching_the_inbox(
+        self, worker
+    ):
+        channel = worker.channel
+        channel.queue({"kind": "events", "events": [], SEQ_KEY: 0})
+        channel.queue({"kind": "events", "events": [], SEQ_KEY: 1})
+        worker.respond(ack_frame(1))
+        channel.pump_reads()
+        assert channel.outstanding == 0
+        assert not channel.inbox
+
+    def test_piggybacked_acks_grant_credit_and_deliver_the_frame(
+        self, worker
+    ):
+        channel = worker.channel
+        channel.queue({"kind": "events", "events": [], SEQ_KEY: 0})
+        worker.respond({"kind": "stats", "stats": {}, ACKED_KEY: 0})
+        channel.pump_reads()
+        assert channel.outstanding == 0
+        assert len(channel.inbox) == 1
+
+    def test_stale_acks_never_rewind_the_window(self, worker):
+        channel = worker.channel
+        channel.queue({"kind": "events", "events": [], SEQ_KEY: 0})
+        channel.queue({"kind": "events", "events": [], SEQ_KEY: 1})
+        worker.respond(ack_frame(1))
+        worker.respond(ack_frame(0))
+        channel.pump_reads()
+        assert channel.last_acked_seq == 1
+
+    def test_error_frames_mark_the_channel_dead_with_attribution(
+        self, worker
+    ):
+        worker.respond({"kind": "error", "error": "unknown kind 'x'"})
+        worker.channel.pump_reads()
+        assert worker.channel.dead == "worker error: unknown kind 'x'"
+        assert not worker.channel.inbox
+
+    def test_eof_marks_the_channel_dead(self, worker):
+        worker.respond({"kind": "stats", "stats": {}})
+        os.close(worker.response_fd)
+        worker.channel.pump_reads()
+        # Frames already on the wire still parse before the EOF lands
+        # (a short read defers the EOF check to the next readiness
+        # wake-up, which the selector delivers immediately).
+        assert len(worker.channel.inbox) == 1
+        worker.channel.pump_reads()
+        assert worker.channel.dead == "channel closed"
+
+    def test_oversized_length_prefix_is_rejected(self, worker):
+        worker.respond_raw((1 << 30).to_bytes(4, "big"))
+        worker.channel.pump_reads()
+        assert worker.channel.dead is not None
+        assert "receive failed" in worker.channel.dead
+
+    def test_queueing_on_a_dead_channel_raises(self, worker):
+        worker.channel.fail("worker error: boom")
+        with pytest.raises(BrokenPipeError):
+            worker.channel.queue({"kind": "stats_request"})
+
+    def test_partial_writes_resume_where_they_stopped(self):
+        worker = FakeWorker(codec="json")
+        try:
+            channel = worker.channel
+            # Far larger than a pipe buffer, so the first pump stops at
+            # a partial write mid-frame.
+            frame = {"kind": "events", "blob": "x" * 400_000}
+            expected = frame_bytes(frame)
+            channel.queue(frame)
+            assert channel.wants_write
+            assert 0 < channel.pending_bytes < len(expected)
+            received = bytearray()
+            while len(received) < len(expected):
+                channel.pump_writes()
+                received += os.read(worker.request_fd, 1 << 16)
+            assert bytes(received) == expected
+            assert not channel.wants_write
+            assert channel.pending_bytes == 0
+        finally:
+            worker.close()
+
+    def test_inflight_snapshot_shapes_gauge_labels(self, worker):
+        worker.channel.queue({"kind": "events", "events": [], SEQ_KEY: 0})
+        snapshot = inflight_snapshot([worker.channel])
+        assert snapshot == {(str(worker.channel.shard_id),): 1.0}
+
+
+class TestChannelMultiplexer:
+    @pytest.fixture
+    def pair(self):
+        mux = ChannelMultiplexer()
+        workers = [FakeWorker(shard_id=index) for index in range(2)]
+        for fake in workers:
+            mux.register(fake.channel)
+        yield mux, workers
+        mux.close()
+        for fake in workers:
+            fake.close()
+
+    def test_gather_collects_out_of_order_responses(self, pair):
+        mux, workers = pair
+        for fake in workers:
+            fake.channel.queue({"kind": "stats_request"})
+        # Shard 1 answers before shard 0 — the gather must not care.
+        workers[1].respond({"kind": "stats", "stats": {"shard": 1}})
+        workers[0].respond({"kind": "stats", "stats": {"shard": 0}})
+        frames, crashed = mux.gather({0: "stats", 1: "stats"})
+        assert crashed == {}
+        assert frames[0]["stats"] == {"shard": 0}
+        assert frames[1]["stats"] == {"shard": 1}
+
+    def test_gather_attributes_a_mid_wave_worker_error(self, pair):
+        mux, workers = pair
+        workers[0].respond({"kind": "stats", "stats": {}})
+        workers[1].respond({"kind": "error", "error": "journal torn"})
+        frames, crashed = mux.gather({0: "stats", 1: "stats"})
+        assert 0 in frames
+        assert crashed == {1: "worker error: journal torn"}
+
+    def test_gather_flags_a_genuine_protocol_violation(self, pair):
+        mux, workers = pair
+        workers[0].respond({"kind": "stats", "stats": {}})
+        workers[1].respond({"kind": "results", "results": []})
+        frames, crashed = mux.gather({0: "stats", 1: "stats"})
+        assert 0 in frames
+        assert "protocol violation" in crashed[1]
+        assert "'results'" in crashed[1]
+
+    def test_gather_completes_the_wave_despite_one_crash(self, pair):
+        mux, workers = pair
+        os.close(workers[0].response_fd)
+        workers[1].respond({"kind": "stats", "stats": {"ok": True}})
+        frames, crashed = mux.gather({0: "stats", 1: "stats"})
+        assert crashed == {0: "channel closed"}
+        assert frames[1]["stats"] == {"ok": True}
+
+    def test_wait_for_credit_counts_the_stall_and_recovers(self, pair):
+        mux, workers = pair
+        stalled = []
+        mux.on_stall = stalled.append
+        channel = workers[0].channel
+        channel.max_inflight = 1
+        channel.queue({"kind": "events", "events": [], SEQ_KEY: 0})
+        assert not channel.has_credit()
+        # The ack is already on the wire; the wait just has to pump.
+        workers[0].respond(ack_frame(0))
+        assert mux.wait_for_credit(channel)
+        assert channel.stalls == 1
+        assert stalled == [channel]
+        # With credit in hand the wait is free — no new stall.
+        assert mux.wait_for_credit(channel)
+        assert channel.stalls == 1
+
+    def test_wait_for_credit_surfaces_a_dead_channel(self, pair):
+        mux, workers = pair
+        channel = workers[0].channel
+        channel.max_inflight = 1
+        channel.queue({"kind": "events", "events": [], SEQ_KEY: 0})
+        os.close(workers[0].response_fd)
+        assert not mux.wait_for_credit(channel)
+        assert channel.dead == "channel closed"
+
+    def test_unregister_is_idempotent_and_identity_guarded(self, pair):
+        mux, workers = pair
+        channel = workers[0].channel
+        mux.unregister(channel)
+        mux.unregister(channel)
+        assert mux.channel(0) is None
+        assert mux.channel(1) is workers[1].channel

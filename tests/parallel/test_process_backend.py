@@ -148,3 +148,91 @@ class TestWireCodecs:
     def test_unknown_codec_is_rejected_at_config_time(self):
         with pytest.raises(ParallelError, match="wire codec"):
             ShardConfig(shards=1, wire_codec="msgpack")
+
+
+class TestOverlappedIO:
+    """Credit-based backpressure and the overlapped collective paths."""
+
+    def test_stopped_worker_stalls_only_its_own_queue(self):
+        # SIGSTOP one worker mid-stream: ingest must keep going without
+        # blocking the wave, the stopped shard's in-flight frames must
+        # stay capped at the credit window (bounded facade memory), the
+        # stall must be counted — and after SIGCONT the results must be
+        # exactly the serial run's.
+        workload = small_workload()
+        with ShardedFederation(
+            workload.blueprint(),
+            ShardConfig(shards=1, backend="serial", instrument=True),
+        ) as serial:
+            serial.ingest(workload.events())
+            base = serial.drain()
+        federation = ShardedFederation(
+            workload.blueprint(),
+            process_config(batch_size=5, max_inflight=2),
+        )
+        try:
+            victim = federation.shards[0]
+            victim.process._popen._send_signal(signal.SIGSTOP)  # noqa: SLF001
+            federation.ingest(workload.events())  # must not deadlock
+            channel = victim.channel
+            assert channel.outstanding <= 2
+            assert channel.stalls > 0
+            assert federation._stalls.value(labels=("0",)) > 0  # noqa: SLF001
+            # The overflow waits in the facade's buffer, not the pipe.
+            assert len(federation._buffers[0]) > 0  # noqa: SLF001
+            victim.process._popen._send_signal(signal.SIGCONT)  # noqa: SLF001
+            sharded = federation.drain()
+        finally:
+            federation.close()
+        assert sorted(map(repr, (n.signature for n in sharded))) == (
+            sorted(map(repr, (n.signature for n in base)))
+        )
+
+    def test_out_of_band_worker_error_is_attributed(self):
+        # A frame the worker cannot survive makes it emit a last-words
+        # ``error`` frame that races the next collective.  The crash
+        # must surface with the worker's reason attributed — not as a
+        # protocol violation against the expected response kind.
+        workload = small_workload()
+        federation = ShardedFederation(
+            workload.blueprint(), process_config()
+        )
+        try:
+            victim = federation.shards[0]
+            victim.channel.queue({"kind": "events"})  # no payload: fatal
+            with pytest.raises(ShardCrashError) as crash:
+                federation.drain()
+            assert "worker error" in str(crash.value)
+            assert "protocol violation" not in str(crash.value)
+            assert not victim.alive
+        finally:
+            federation.close()
+
+    def test_serial_gather_mode_matches_the_overlapped_run(self):
+        # ``overlap=False`` keeps the legacy one-shard-at-a-time round
+        # trips (QE15's baseline); both modes must produce the same
+        # notification multiset and the same per-instance order.
+        workload = small_workload()
+
+        def per_instance(notifications):
+            streams = {}
+            for n in notifications:
+                streams.setdefault(n.process_instance_id, []).append(
+                    n.signature
+                )
+            return streams
+
+        runs = {}
+        for overlap in (True, False):
+            with ShardedFederation(
+                workload.blueprint(), process_config(overlap=overlap)
+            ) as federation:
+                assert federation.config.overlap is overlap
+                federation.ingest(workload.events())
+                runs[overlap] = federation.drain()
+        assert len(runs[True]) == workload.expected_notifications()
+        assert per_instance(runs[True]) == per_instance(runs[False])
+
+    def test_max_inflight_is_validated(self):
+        with pytest.raises(ParallelError, match="max_inflight"):
+            ShardConfig(shards=1, max_inflight=0)

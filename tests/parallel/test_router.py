@@ -167,3 +167,59 @@ class TestShardSlices:
         router = ShardRouter()
         for event in workload.shard_slice(4, 2, router=router):
             assert router.shard_for(event, 4) == 2
+
+
+class TestShardCache:
+    def test_cached_assignment_matches_the_uncached_hash(self):
+        router = ShardRouter()
+        events = [activity_event(f"tf-{i:03d}") for i in range(20)]
+        # First pass populates the memo, second pass serves from it;
+        # both must agree with the pure hash.
+        for _pass in range(2):
+            for event in events:
+                shard = router.shard_for(event, 4)
+                key = router.affinity_key(event)
+                assert shard == ShardRouter.shard_for_key(key, 4)
+        assert len(router._shard_cache) == 20
+
+    def test_cache_keys_include_the_shard_count(self):
+        router = ShardRouter()
+        event = activity_event("tf-007")
+        key = router.affinity_key(event)
+        for count in (2, 3, 4, 5):
+            assert router.shard_for(event, count) == (
+                ShardRouter.shard_for_key(key, count)
+            )
+        assert len(router._shard_cache) == 4
+
+    def test_full_cache_clears_instead_of_evicting(self):
+        from repro.parallel.router import ROUTER_CACHE_MAX
+
+        router = ShardRouter()
+        router._shard_cache = {
+            ("warm", index): 0 for index in range(ROUTER_CACHE_MAX)
+        }
+        router.shard_for(activity_event("tf-new"), 4)
+        # The overflowing insert reset the memo to just itself.
+        assert len(router._shard_cache) == 1
+
+    def test_unhashable_keys_fall_through_to_the_hash(self):
+        from repro.events.external import NEWS_EVENT_TYPE_NAME
+
+        router = ShardRouter()
+        router.register(
+            NEWS_EVENT_TYPE_NAME, lambda event: ["q", "1"]  # unhashable
+        )
+        event = Event.trusted(
+            NEWS_EVENT_TYPE,
+            {
+                "time": 1,
+                "source": "news",
+                "queryId": "q-1",
+                "articleId": "a-1",
+                "relevance": 1.0,
+            },
+        )
+        shard = router.shard_for(event, 4)
+        assert shard == ShardRouter.shard_for_key(["q", "1"], 4)
+        assert not router._shard_cache
